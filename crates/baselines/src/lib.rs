@@ -1,0 +1,22 @@
+//! # fela-baselines — the paper's three comparators
+//!
+//! Faithful BSP implementations of the baselines of §V-A, all driven by the same
+//! simulator, GPU model, network and straggler injection as Fela itself:
+//!
+//! * [`DpRuntime`] — data parallelism: full replicas, per-worker shards,
+//!   whole-model ring all-reduce each iteration;
+//! * [`MpRuntime`] — model parallelism: a FLOP-balanced pipeline with fixed
+//!   micro-batches (PipeDream/GPipe-style under BSP flushes);
+//! * [`HpRuntime`] — hybrid parallelism: Stanza's layer separation with N−1 CONV
+//!   workers and one FC worker.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dp;
+mod hp;
+mod mp;
+
+pub use dp::{DpRuntime, DpSync};
+pub use hp::HpRuntime;
+pub use mp::{balance_stages, MpRuntime, Stage};

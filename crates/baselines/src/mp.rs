@@ -1,0 +1,542 @@
+//! The model-parallel (MP) pipeline baseline (PipeDream/GPipe-style under BSP).
+//!
+//! The model is cut into `N` contiguous stages balanced by forward FLOPs, one per
+//! worker. Each iteration pushes `total_batch / micro_batch` micro-batches through
+//! the pipeline: stage `s` forwards micro-batch `j` once stage `s−1`'s activations
+//! arrive, the last stage turns straight around into backward, and gradients ripple
+//! back. Parameters live on exactly one stage, so there is no parameter
+//! synchronisation — MP's communication advantage — but under BSP the pipeline
+//! flushes every iteration, so stages idle during ramp-up/ramp-down (the *bubble*),
+//! and the small fixed micro-batch under-saturates the GPU (§V-C1's two reasons MP
+//! finishes last).
+
+use std::collections::VecDeque;
+
+use fela_cluster::{Scenario, TrainingRuntime};
+use fela_metrics::RunReport;
+use fela_model::Model;
+use fela_net::{FlowSpec, Network, NodeId};
+use fela_sim::{BusyTracker, Engine, EventId, RunOutcome, Scheduler, SimDuration, SimTime, World};
+
+/// One pipeline stage: a contiguous unit range on one worker.
+#[derive(Clone, Copy, Debug)]
+pub struct Stage {
+    /// First unit index.
+    pub start: usize,
+    /// One past the last unit index.
+    pub end: usize,
+    /// Output boundary bytes per sample (activation volume to the next stage).
+    pub out_bytes_per_sample: u64,
+}
+
+/// Balances the model into at most `n` contiguous stages by forward FLOPs.
+/// Returns fewer stages than `n` only if the model has fewer units.
+pub fn balance_stages(model: &Model, n: usize) -> Vec<Stage> {
+    let units = model.len();
+    let n = n.min(units).max(1);
+    let flops: Vec<u64> = model
+        .layers()
+        .iter()
+        .map(|l| l.kind.forward_flops())
+        .collect();
+    let total: u64 = flops.iter().sum();
+    let mut stages = Vec::with_capacity(n);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut consumed = 0u64;
+    for s in 0..n {
+        let remaining_stages = n - s;
+        let target = (total - consumed) / remaining_stages as u64;
+        let mut end = start;
+        // Take units until we reach the per-stage target, but always leave enough
+        // units for the remaining stages.
+        while end < units - (remaining_stages - 1) {
+            let next = flops[end];
+            // Stop if adding the unit overshoots and we already have something.
+            if acc > 0 && acc + next > target && end > start {
+                break;
+            }
+            acc += next;
+            end += 1;
+        }
+        if end == start {
+            end = start + 1; // every stage gets at least one unit
+        }
+        consumed += model.layers()[start..end]
+            .iter()
+            .map(|l| l.kind.forward_flops())
+            .sum::<u64>();
+        stages.push(Stage {
+            start,
+            end,
+            out_bytes_per_sample: model.boundary_bytes(end - 1),
+        });
+        start = end;
+        acc = 0;
+    }
+    stages.last_mut().expect("n ≥ 1").end = units;
+    stages.last_mut().expect("n ≥ 1").out_bytes_per_sample = model.boundary_bytes(units - 1);
+    stages
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Task {
+    Fwd(u64),
+    Bwd(u64),
+}
+
+enum Ev {
+    IterationStart,
+    ComputeDone { stage: usize, task: Task },
+    NetWake,
+}
+
+const KIND_FWD: u64 = 1 << 48;
+const KIND_BWD: u64 = 2 << 48;
+
+fn tag(kind: u64, stage: usize, micro: u64) -> u64 {
+    kind | ((stage as u64) << 24) | micro
+}
+
+struct MpWorld {
+    scenario: Scenario,
+    stages: Vec<Stage>,
+    micro_batch: u64,
+    n_micro: u64,
+    elastic_period: Option<u64>,
+    /// Busy seconds per stage within the current profiling period.
+    period_busy: Vec<f64>,
+    repartitions: u64,
+    net: Network,
+    net_ev: Option<EventId>,
+    busy: Vec<BusyTracker>,
+    ready: Vec<VecDeque<Task>>,
+    stage_busy: Vec<bool>,
+    bwd_done_at_stage0: u64,
+    iteration: u64,
+    iteration_start: SimTime,
+    per_iteration_secs: Vec<f64>,
+    finished_at: Option<SimTime>,
+}
+
+impl MpWorld {
+    fn reschedule_net(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        if let Some(ev) = self.net_ev.take() {
+            sched.cancel(ev);
+        }
+        if let Some(t) = self.net.next_completion() {
+            self.net_ev = Some(sched.schedule_at(t.max(sched.now()), Ev::NetWake));
+        }
+    }
+
+    /// Forward time of a stage on one micro-batch (fwd ≈ ⅓ of train time).
+    fn fwd_secs(&self, stage: usize, worker: usize) -> f64 {
+        let st = self.stages[stage];
+        self.scenario.cluster.compute_secs(
+            &self.scenario.model,
+            st.start,
+            st.end,
+            self.micro_batch,
+            worker,
+        ) / 3.0
+    }
+
+    /// Backward time (≈ ⅔ of train time).
+    fn bwd_secs(&self, stage: usize, worker: usize) -> f64 {
+        2.0 * self.fwd_secs(stage, worker)
+    }
+
+    fn try_start(&mut self, stage: usize, sched: &mut Scheduler<'_, Ev>) {
+        if self.stage_busy[stage] {
+            return;
+        }
+        let Some(task) = self.ready[stage].pop_front() else {
+            return;
+        };
+        self.stage_busy[stage] = true;
+        let worker = stage; // stage s runs on worker s
+        let secs = match task {
+            Task::Fwd(_) => self.fwd_secs(stage, worker),
+            Task::Bwd(_) => self.bwd_secs(stage, worker),
+        };
+        // A straggler cannot start computing before iteration_start + d; the
+        // sleep overlaps with the stage's ramp-up bubble (§V-C2's explanation of
+        // MP's small per-iteration delay).
+        let floor =
+            self.iteration_start + self.scenario.straggler_delay(self.iteration, worker);
+        let start = sched.now().max(floor);
+        self.period_busy[stage] += secs + start.since(sched.now()).as_secs_f64();
+        self.busy[worker].begin(start);
+        sched.schedule_at(
+            start + SimDuration::from_secs_f64(secs),
+            Ev::ComputeDone { stage, task },
+        );
+    }
+
+    /// ElasticPipe-style boundary migration: move one unit out of the stage with
+    /// the highest profiled busy time towards its lighter neighbour, based on
+    /// the *previous* period's measurements (the delayed, proactive tuning the
+    /// paper contrasts with Fela's reactive pulls).
+    fn repartition(&mut self) {
+        let Some(slowest) = self
+            .period_busy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let st = self.stages[slowest];
+        if st.end - st.start <= 1 {
+            for b in &mut self.period_busy {
+                *b = 0.0;
+            }
+            return;
+        }
+        // Pick the lighter neighbour; shrink the slow stage by one unit.
+        let left = slowest.checked_sub(1);
+        let right = (slowest + 1 < self.stages.len()).then_some(slowest + 1);
+        let target = match (left, right) {
+            (Some(l), Some(r)) => {
+                if self.period_busy[l] <= self.period_busy[r] {
+                    l
+                } else {
+                    r
+                }
+            }
+            (Some(l), None) => l,
+            (None, Some(r)) => r,
+            (None, None) => return,
+        };
+        if target < slowest {
+            self.stages[slowest].start += 1;
+            self.stages[target].end += 1;
+        } else {
+            self.stages[slowest].end -= 1;
+            self.stages[target].start -= 1;
+        }
+        // Refresh boundary volumes.
+        for st in &mut self.stages {
+            st.out_bytes_per_sample = self.scenario.model.boundary_bytes(st.end - 1);
+        }
+        self.repartitions += 1;
+        for b in &mut self.period_busy {
+            *b = 0.0;
+        }
+    }
+
+    fn finish_iteration(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        self.per_iteration_secs
+            .push(now.since(self.iteration_start).as_secs_f64());
+        self.iteration += 1;
+        if self.iteration < self.scenario.iterations {
+            sched.schedule_now(Ev::IterationStart);
+        } else {
+            self.finished_at = Some(now);
+        }
+    }
+}
+
+impl World for MpWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        match event {
+            Ev::IterationStart => {
+                if let Some(period) = self.elastic_period {
+                    if self.iteration > 0 && self.iteration % period == 0 {
+                        self.repartition();
+                    }
+                }
+                self.iteration_start = now;
+                self.bwd_done_at_stage0 = 0;
+                for q in &mut self.ready {
+                    debug_assert!(q.is_empty(), "pipeline flushed between iterations");
+                }
+                // Stage 0 reads samples locally: all its forwards are ready.
+                for j in 0..self.n_micro {
+                    self.ready[0].push_back(Task::Fwd(j));
+                }
+                self.try_start(0, sched);
+            }
+            Ev::ComputeDone { stage, task } => {
+                self.busy[stage].end(now);
+                self.stage_busy[stage] = false;
+                let last = self.stages.len() - 1;
+                match task {
+                    Task::Fwd(j) => {
+                        if stage == last {
+                            // Loss computed locally; turn straight into backward.
+                            self.ready[stage].push_back(Task::Bwd(j));
+                        } else {
+                            let bytes =
+                                self.stages[stage].out_bytes_per_sample * self.micro_batch;
+                            self.net.start_flow(
+                                now,
+                                FlowSpec {
+                                    src: NodeId(stage),
+                                    dst: NodeId(stage + 1),
+                                    bytes,
+                                    tag: tag(KIND_FWD, stage, j),
+                                },
+                            );
+                            self.reschedule_net(sched);
+                        }
+                    }
+                    Task::Bwd(j) => {
+                        if stage == 0 {
+                            self.bwd_done_at_stage0 += 1;
+                            if self.bwd_done_at_stage0 == self.n_micro {
+                                self.finish_iteration(sched);
+                                return;
+                            }
+                        } else {
+                            // Gradient w.r.t. the boundary activations flows back.
+                            let bytes = self.stages[stage - 1].out_bytes_per_sample
+                                * self.micro_batch;
+                            self.net.start_flow(
+                                now,
+                                FlowSpec {
+                                    src: NodeId(stage),
+                                    dst: NodeId(stage - 1),
+                                    bytes,
+                                    tag: tag(KIND_BWD, stage, j),
+                                },
+                            );
+                            self.reschedule_net(sched);
+                        }
+                    }
+                }
+                self.try_start(stage, sched);
+            }
+            Ev::NetWake => {
+                self.net_ev = None;
+                let completions = self.net.take_completions(now);
+                for (_, spec) in completions {
+                    let micro = spec.tag & 0xFF_FFFF;
+                    let dst = spec.dst.0;
+                    if spec.tag & KIND_FWD != 0 {
+                        self.ready[dst].push_back(Task::Fwd(micro));
+                    } else {
+                        self.ready[dst].push_back(Task::Bwd(micro));
+                    }
+                    self.try_start(dst, sched);
+                }
+                self.reschedule_net(sched);
+            }
+        }
+    }
+}
+
+/// The MP pipeline baseline runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct MpRuntime {
+    /// Fixed micro-batch size (the paper notes MP keeps this "small and fixed"
+    /// to amortise the bubble; 16 matches its Figure 3 granularity).
+    pub micro_batch: u64,
+    /// ElasticPipe-style proactive re-partitioning (§II of the paper): every
+    /// `Some(period)` iterations the head node moves one boundary unit from the
+    /// stage with the highest profiled busy time to its lighter neighbour.
+    /// `None` = the static PipeDream-style pipeline. Because the decision uses
+    /// the *previous* period's profile, transient (rotating) stragglers make it
+    /// chase the past — the behaviour §II-C and §III-C criticise.
+    pub elastic_period: Option<u64>,
+}
+
+impl Default for MpRuntime {
+    fn default() -> Self {
+        MpRuntime {
+            micro_batch: 16,
+            elastic_period: None,
+        }
+    }
+}
+
+impl MpRuntime {
+    /// The ElasticPipe-style variant with the given re-partitioning period.
+    pub fn elastic(period: u64) -> Self {
+        MpRuntime {
+            micro_batch: 16,
+            elastic_period: Some(period),
+        }
+    }
+}
+
+impl TrainingRuntime for MpRuntime {
+    fn name(&self) -> &'static str {
+        "mp"
+    }
+
+    fn run(&self, scenario: &Scenario) -> RunReport {
+        scenario.cluster.validate();
+        let micro = self.micro_batch.min(scenario.total_batch);
+        assert!(
+            scenario.total_batch % micro == 0,
+            "total batch must be a multiple of the micro-batch"
+        );
+        let stages = balance_stages(&scenario.model, scenario.cluster.nodes);
+        let n = scenario.cluster.nodes;
+        let n_stages = stages.len();
+        let world = MpWorld {
+            scenario: scenario.clone(),
+            n_micro: scenario.total_batch / micro,
+            micro_batch: micro,
+            elastic_period: self.elastic_period,
+            period_busy: vec![0.0; n_stages],
+            repartitions: 0,
+            net: Network::new(scenario.cluster.network),
+            net_ev: None,
+            busy: vec![BusyTracker::new(); n],
+            ready: vec![VecDeque::new(); stages.len()],
+            stage_busy: vec![false; stages.len()],
+            stages,
+            bwd_done_at_stage0: 0,
+            iteration: 0,
+            iteration_start: SimTime::ZERO,
+            per_iteration_secs: Vec::new(),
+            finished_at: None,
+        };
+        let mut engine = Engine::new(world);
+        engine.prime(Ev::IterationStart);
+        assert_eq!(engine.run(1 << 32), RunOutcome::Drained);
+        let (world, _) = engine.into_world();
+        let end = world.finished_at.expect("all iterations completed");
+
+        let mut report = RunReport::new("mp", &scenario.model.name, scenario.total_batch);
+        report.iterations = world.iteration;
+        report.total_time_secs = end.as_secs_f64();
+        report.per_iteration_secs = world.per_iteration_secs;
+        report.network_bytes = world.net.bytes_delivered();
+        report.worker_busy_secs = world
+            .busy
+            .iter()
+            .map(|b| b.busy_time().as_secs_f64())
+            .collect();
+        report.bump("stages", world.stages.len() as u64);
+        report.bump("micro_batches", world.n_micro);
+        report.bump("repartitions", world.repartitions);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fela_cluster::StragglerModel;
+    use fela_model::zoo;
+
+    fn scenario(batch: u64, iters: u64) -> Scenario {
+        Scenario::paper(zoo::vgg19(), batch).with_iterations(iters)
+    }
+
+    #[test]
+    fn stage_balance_covers_model() {
+        let m = zoo::vgg19();
+        let stages = balance_stages(&m, 8);
+        assert_eq!(stages.len(), 8);
+        assert_eq!(stages[0].start, 0);
+        assert_eq!(stages.last().unwrap().end, m.len());
+        for w in stages.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "stages must be contiguous");
+        }
+        // Reasonable balance: no stage above 3× the mean forward FLOPs.
+        let total = m.forward_flops() as f64;
+        for st in &stages {
+            let f: u64 = m.layers()[st.start..st.end]
+                .iter()
+                .map(|l| l.kind.forward_flops())
+                .sum();
+            assert!(
+                (f as f64) < 3.0 * total / 8.0,
+                "stage {st:?} holds {f} of {total} FLOPs"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_count_capped_by_units() {
+        let m = zoo::lenet5(); // 7 units
+        let stages = balance_stages(&m, 8);
+        assert_eq!(stages.len(), 7);
+    }
+
+    #[test]
+    fn completes_and_reports() {
+        let r = MpRuntime::default().run(&scenario(128, 2));
+        assert_eq!(r.iterations, 2);
+        assert!(r.average_throughput() > 0.0);
+        assert_eq!(r.counter("stages"), 8);
+        assert_eq!(r.counter("micro_batches"), 8);
+    }
+
+    #[test]
+    fn pipeline_bubble_hurts_utilization() {
+        let r = MpRuntime::default().run(&scenario(128, 2));
+        // With 8 micro-batches on 8 stages, ramp-up/down idles most stages most
+        // of the time — the §V-C1 "majority of workers remain idle" claim.
+        assert!(
+            r.mean_utilization() < 0.55,
+            "MP utilisation {} suspiciously high",
+            r.mean_utilization()
+        );
+    }
+
+    #[test]
+    fn straggler_on_idle_stage_partially_hidden() {
+        // MP's bubbles absorb some of the sleep — PID can be below d (§V-C2).
+        let base = MpRuntime::default().run(&scenario(128, 4));
+        let slow = MpRuntime::default().run(&scenario(128, 4).with_straggler(
+            StragglerModel::RoundRobin {
+                delay: SimDuration::from_secs(4),
+            },
+        ));
+        let pid = (slow.total_time_secs - base.total_time_secs) / 4.0;
+        assert!(pid < 4.0, "PID {pid} must be partially hidden by the bubble");
+        assert!(pid >= 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = MpRuntime::default().run(&scenario(128, 2));
+        let b = MpRuntime::default().run(&scenario(128, 2));
+        assert_eq!(a.total_time_secs, b.total_time_secs);
+    }
+
+    #[test]
+    fn elastic_repartitioning_fixes_persistent_imbalance() {
+        // A persistently slow worker: ElasticPipe's periodic migration should
+        // eventually shrink its stage and beat the static pipeline.
+        let mut sc = scenario(128, 12);
+        sc.cluster.speed_factors[2] = 3.0;
+        let static_mp = MpRuntime::default().run(&sc);
+        let elastic = MpRuntime::elastic(2).run(&sc);
+        assert!(elastic.counter("repartitions") > 0);
+        assert!(
+            elastic.total_time_secs < static_mp.total_time_secs,
+            "elastic {} vs static {}",
+            elastic.total_time_secs,
+            static_mp.total_time_secs
+        );
+    }
+
+    #[test]
+    fn elastic_repartitioning_chases_transient_stragglers() {
+        // §II-C / §III-C: with a rotating straggler, the previous period's
+        // profile mis-identifies the next period's bottleneck, so proactive
+        // migration cannot beat the static pipeline (and can lose to it).
+        let sc = scenario(128, 16).with_straggler(StragglerModel::RoundRobin {
+            delay: SimDuration::from_secs(4),
+        });
+        let static_mp = MpRuntime::default().run(&sc);
+        let elastic = MpRuntime::elastic(2).run(&sc);
+        assert!(elastic.counter("repartitions") > 0);
+        assert!(
+            elastic.total_time_secs >= static_mp.total_time_secs * 0.99,
+            "elastic {} should not beat static {} under rotating stragglers",
+            elastic.total_time_secs,
+            static_mp.total_time_secs
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! # fela-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the index).
+//! Each binary prints the same rows/series the paper reports and writes a
+//! machine-readable JSON copy under `results/` so EXPERIMENTS.md stays
+//! regenerable.
+//!
+//! Environment knobs:
+//!
+//! * `FELA_ITERS` — iterations per measured run (default 100, as in §V-A);
+//! * `FELA_QUICK=1` — shorthand for a 10-iteration smoke run of every experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use fela_cluster::{Scenario, TrainingRuntime};
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_metrics::RunReport;
+use fela_model::Model;
+use fela_tuning::Tuner;
+use serde::Serialize;
+
+/// Iterations per measured run (`FELA_ITERS`, `FELA_QUICK`, default 100).
+pub fn iterations() -> u64 {
+    if std::env::var("FELA_QUICK").is_ok_and(|v| v == "1") {
+        return 10;
+    }
+    std::env::var("FELA_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Tuning iterations per profiled case (5 in the paper; 2 in quick mode).
+pub fn tuning_iterations() -> u64 {
+    if std::env::var("FELA_QUICK").is_ok_and(|v| v == "1") {
+        2
+    } else {
+        5
+    }
+}
+
+/// The batch sizes the evaluation sweeps.
+pub const BATCHES: [u64; 5] = [64, 128, 256, 512, 1024];
+
+/// Writes `value` as pretty JSON to `results/<name>.json` (creating the
+/// directory), and reports the path on stdout.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match fs::write(&path, json) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// A paper-style scenario on the 8-node testbed.
+pub fn scenario(model: Model, batch: u64) -> Scenario {
+    Scenario::paper(model, batch).with_iterations(iterations())
+}
+
+/// Tunes Fela for a scenario (the §IV-B two-phase search) and returns the
+/// winning configuration.
+pub fn tuned_fela(scenario: &Scenario) -> FelaConfig {
+    let tuner = Tuner {
+        profile_iterations: tuning_iterations(),
+    };
+    tuner.tune(scenario).best_config
+}
+
+/// Runs tuned Fela on a scenario.
+pub fn run_tuned_fela(scenario: &Scenario) -> RunReport {
+    FelaRuntime::new(tuned_fela(scenario)).run(scenario)
+}
+
+/// Formats the paper's improvement style from a ratio (see
+/// [`fela_metrics::format_speedup`]).
+pub fn improvement(ours: f64, baseline: f64) -> String {
+    fela_metrics::format_speedup(ours / baseline)
+}
+
+/// AT and PID of every runtime under one straggler setting (Figures 9 and 10).
+#[derive(Clone, Debug, Serialize)]
+pub struct StragglerRow {
+    /// Benchmark model.
+    pub model: String,
+    /// Total batch size.
+    pub batch: u64,
+    /// Scenario label, e.g. `"d=6s"` or `"p=0.3"`.
+    pub setting: String,
+    /// Average throughput per runtime: `[fela, dp, mp, hp]`.
+    pub at: [f64; 4],
+    /// Per-iteration delay (Equation 4) per runtime: `[fela, dp, mp, hp]`.
+    pub pid: [f64; 4],
+}
+
+/// Runs the four runtimes under each straggler setting and computes AT + PID
+/// against each runtime's own non-straggler baseline (Equation 4).
+pub fn straggler_experiment(
+    model: &Model,
+    batch: u64,
+    settings: &[(String, fela_cluster::StragglerModel)],
+) -> Vec<StragglerRow> {
+    use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
+    let base_scenario = scenario(model.clone(), batch);
+    let fela_config = tuned_fela(&base_scenario);
+    let runtimes: Vec<Box<dyn TrainingRuntime>> = vec![
+        Box::new(FelaRuntime::new(fela_config)),
+        Box::new(DpRuntime::default()),
+        Box::new(MpRuntime::default()),
+        Box::new(HpRuntime),
+    ];
+    let baselines: Vec<RunReport> = runtimes.iter().map(|r| r.run(&base_scenario)).collect();
+    let mut rows = Vec::new();
+    for (label, straggler) in settings {
+        let sc = base_scenario.clone().with_straggler(*straggler);
+        let mut at = [0.0; 4];
+        let mut pid = [0.0; 4];
+        for (i, rt) in runtimes.iter().enumerate() {
+            let report = rt.run(&sc);
+            at[i] = report.average_throughput();
+            pid[i] = fela_metrics::per_iteration_delay(&report, &baselines[i]);
+        }
+        rows.push(StragglerRow {
+            model: model.name.clone(),
+            batch,
+            setting: label.clone(),
+            at,
+            pid,
+        });
+    }
+    rows
+}
+
+/// Prints AT and PID tables for straggler rows and the Fela-vs-baseline summary.
+pub fn print_straggler_tables(title: &str, rows: &[StragglerRow]) {
+    use fela_metrics::{f2, f3, Table};
+    let mut at_table = Table::new(
+        format!("{title} — average throughput (samples/s)"),
+        &["setting", "Fela", "DP", "MP", "HP"],
+    );
+    let mut pid_table = Table::new(
+        format!("{title} — per-iteration delay (s)"),
+        &["setting", "Fela", "DP", "MP", "HP"],
+    );
+    for r in rows {
+        at_table.row(vec![
+            r.setting.clone(),
+            f2(r.at[0]),
+            f2(r.at[1]),
+            f2(r.at[2]),
+            f2(r.at[3]),
+        ]);
+        pid_table.row(vec![
+            r.setting.clone(),
+            f3(r.pid[0]),
+            f3(r.pid[1]),
+            f3(r.pid[2]),
+            f3(r.pid[3]),
+        ]);
+    }
+    print!("{}", at_table.render());
+    print!("{}", pid_table.render());
+    let ratio_range = |idx: usize| {
+        let ratios: Vec<f64> = rows.iter().map(|r| r.at[0] / r.at[idx]).collect();
+        format!(
+            "{} ~ {}",
+            improvement(ratios.iter().cloned().fold(f64::INFINITY, f64::min), 1.0),
+            improvement(ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 1.0)
+        )
+    };
+    println!(
+        "Fela AT improvement: vs DP {}, vs MP {}, vs HP {}",
+        ratio_range(1),
+        ratio_range(2),
+        ratio_range(3)
+    );
+    let pid_red = |idx: usize| {
+        let reds: Vec<f64> = rows
+            .iter()
+            .map(|r| (1.0 - r.pid[0] / r.pid[idx]) * 100.0)
+            .collect();
+        format!(
+            "{:.2}% ~ {:.2}%",
+            reds.iter().cloned().fold(f64::INFINITY, f64::min),
+            reds.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        )
+    };
+    println!(
+        "Fela PID reduction: vs DP {}, vs HP {}\n",
+        pid_red(1),
+        pid_red(3)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fela_model::zoo;
+
+    #[test]
+    fn batch_sweep_is_papers() {
+        assert_eq!(BATCHES, [64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn scenario_uses_paper_testbed() {
+        let s = scenario(zoo::googlenet(), 128);
+        assert_eq!(s.cluster.nodes, 8);
+        assert_eq!(s.total_batch, 128);
+    }
+
+    #[test]
+    fn improvement_formats() {
+        assert_eq!(improvement(129.0, 100.0), "29.00%");
+        assert_eq!(improvement(323.0, 100.0), "3.23×");
+    }
+}

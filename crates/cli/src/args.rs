@@ -1,0 +1,344 @@
+//! Hand-rolled argument parsing for the `fela` CLI (kept dependency-free).
+
+use fela_cluster::StragglerModel;
+use fela_sim::SimDuration;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `fela run …` — one Fela training run.
+    Run(RunArgs),
+    /// `fela tune …` — the §IV-B two-phase search.
+    Tune(CommonArgs),
+    /// `fela compare …` — Fela vs DP/MP/HP on one scenario.
+    Compare(CommonArgs),
+    /// `fela models` — the Table I zoo.
+    Models,
+    /// `fela help`.
+    Help,
+}
+
+/// Options shared by every scenario-running subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommonArgs {
+    /// Zoo model name (`vgg19`, `googlenet`, …).
+    pub model: String,
+    /// Total batch size per iteration.
+    pub batch: u64,
+    /// Iteration count.
+    pub iters: u64,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Straggler injection.
+    pub straggler: StragglerModel,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            model: "vgg19".into(),
+            batch: 256,
+            iters: 100,
+            nodes: 8,
+            straggler: StragglerModel::None,
+        }
+    }
+}
+
+/// Options for `fela run`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// Shared scenario options.
+    pub common: CommonArgs,
+    /// Parallelism weight vector (`--weights 1,2,4`); `None` = run the tuner.
+    pub weights: Option<Vec<u64>>,
+    /// CTD subset size.
+    pub ctd: Option<usize>,
+    /// SSP staleness bound.
+    pub staleness: u64,
+    /// Disable cross-iteration pipelining.
+    pub no_pipelining: bool,
+    /// Emit the full report as JSON instead of a table.
+    pub json: bool,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("{flag} expects a value")))
+}
+
+/// Parses `--straggler` values: `none`, `round-robin:<d_secs>` or
+/// `prob:<p>:<d_secs>[:<seed>]`.
+pub fn parse_straggler(spec: &str) -> Result<StragglerModel, ParseError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["none"] => Ok(StragglerModel::None),
+        ["round-robin", d] => {
+            let secs: u64 = d
+                .parse()
+                .map_err(|_| ParseError(format!("bad delay '{d}'")))?;
+            Ok(StragglerModel::RoundRobin {
+                delay: SimDuration::from_secs(secs),
+            })
+        }
+        ["prob", p, d] | ["prob", p, d, _] => {
+            let p: f64 = p.parse().map_err(|_| ParseError(format!("bad probability '{p}'")))?;
+            if !(0.0..=1.0).contains(&p) {
+                return err(format!("probability {p} out of [0,1]"));
+            }
+            let secs: u64 = d
+                .parse()
+                .map_err(|_| ParseError(format!("bad delay '{d}'")))?;
+            let seed = parts
+                .get(3)
+                .map(|s| s.parse().map_err(|_| ParseError(format!("bad seed '{s}'"))))
+                .transpose()?
+                .unwrap_or(42);
+            Ok(StragglerModel::Probabilistic {
+                p,
+                delay: SimDuration::from_secs(secs),
+                seed,
+            })
+        }
+        _ => err(format!(
+            "unknown straggler spec '{spec}' (use none, round-robin:<secs> or prob:<p>:<secs>[:<seed>])"
+        )),
+    }
+}
+
+fn parse_common<'a>(
+    common: &mut CommonArgs,
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<bool, ParseError> {
+    match flag {
+        "--model" => common.model = take_value(flag, it)?.to_owned(),
+        "--batch" => {
+            common.batch = take_value(flag, it)?
+                .parse()
+                .map_err(|_| ParseError("--batch expects an integer".into()))?
+        }
+        "--iters" => {
+            common.iters = take_value(flag, it)?
+                .parse()
+                .map_err(|_| ParseError("--iters expects an integer".into()))?
+        }
+        "--nodes" => {
+            common.nodes = take_value(flag, it)?
+                .parse()
+                .map_err(|_| ParseError("--nodes expects an integer".into()))?
+        }
+        "--straggler" => common.straggler = parse_straggler(take_value(flag, it)?)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parses the full argument list (without the program name).
+pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
+    let Some((&cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut it = rest.iter().copied();
+    match cmd {
+        "models" => Ok(Command::Models),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "tune" | "compare" => {
+            let mut common = CommonArgs::default();
+            while let Some(flag) = it.next() {
+                if !parse_common(&mut common, flag, &mut it)? {
+                    return err(format!("unknown flag '{flag}' for '{cmd}'"));
+                }
+            }
+            Ok(if cmd == "tune" {
+                Command::Tune(common)
+            } else {
+                Command::Compare(common)
+            })
+        }
+        "run" => {
+            let mut run = RunArgs {
+                common: CommonArgs::default(),
+                weights: None,
+                ctd: None,
+                staleness: 0,
+                no_pipelining: false,
+                json: false,
+            };
+            while let Some(flag) = it.next() {
+                if parse_common(&mut run.common, flag, &mut it)? {
+                    continue;
+                }
+                match flag {
+                    "--weights" => {
+                        let spec = take_value(flag, &mut it)?;
+                        let ws: Result<Vec<u64>, _> =
+                            spec.split(',').map(str::parse).collect();
+                        run.weights = Some(ws.map_err(|_| {
+                            ParseError(format!("bad weight list '{spec}' (use e.g. 1,2,4)"))
+                        })?);
+                    }
+                    "--ctd" => {
+                        run.ctd = Some(take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--ctd expects an integer subset size".into())
+                        })?)
+                    }
+                    "--staleness" => {
+                        run.staleness = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--staleness expects an integer".into())
+                        })?
+                    }
+                    "--no-pipelining" => run.no_pipelining = true,
+                    "--json" => run.json = true,
+                    other => return err(format!("unknown flag '{other}' for 'run'")),
+                }
+            }
+            Ok(Command::Run(run))
+        }
+        other => err(format!("unknown command '{other}' (try 'fela help')")),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "fela — token-scheduled hybrid-parallel DML training (simulated testbed)
+
+USAGE:
+  fela run     --model <name> --batch <n> [--iters <n>] [--nodes <n>]
+               [--weights w1,w2,…] [--ctd <size>] [--staleness <s>]
+               [--no-pipelining] [--straggler <spec>] [--json]
+               (omit --weights to auto-tune first)
+  fela tune    --model <name> --batch <n> [--iters <n>] [--nodes <n>]
+  fela compare --model <name> --batch <n> [--iters <n>] [--straggler <spec>]
+  fela models
+  fela help
+
+STRAGGLER SPECS:
+  none | round-robin:<delay_secs> | prob:<p>:<delay_secs>[:<seed>]
+
+MODELS:
+  vgg19 (default), vgg16, googlenet, alexnet, lenet-5, zf-net, resnet-152
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_with_everything() {
+        let cmd = parse(&[
+            "run",
+            "--model",
+            "googlenet",
+            "--batch",
+            "512",
+            "--iters",
+            "20",
+            "--nodes",
+            "16",
+            "--weights",
+            "1,2,8",
+            "--ctd",
+            "2",
+            "--staleness",
+            "1",
+            "--no-pipelining",
+            "--straggler",
+            "round-robin:4",
+            "--json",
+        ])
+        .unwrap();
+        let Command::Run(run) = cmd else { panic!() };
+        assert_eq!(run.common.model, "googlenet");
+        assert_eq!(run.common.batch, 512);
+        assert_eq!(run.common.iters, 20);
+        assert_eq!(run.common.nodes, 16);
+        assert_eq!(run.weights, Some(vec![1, 2, 8]));
+        assert_eq!(run.ctd, Some(2));
+        assert_eq!(run.staleness, 1);
+        assert!(run.no_pipelining);
+        assert!(run.json);
+        assert!(matches!(
+            run.common.straggler,
+            StragglerModel::RoundRobin { .. }
+        ));
+    }
+
+    #[test]
+    fn defaults_are_paper_defaults() {
+        let Command::Run(run) = parse(&["run"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(run.common.model, "vgg19");
+        assert_eq!(run.common.batch, 256);
+        assert_eq!(run.common.iters, 100);
+        assert_eq!(run.common.nodes, 8);
+        assert!(run.weights.is_none(), "no weights → tuner runs");
+    }
+
+    #[test]
+    fn straggler_specs() {
+        assert_eq!(parse_straggler("none").unwrap(), StragglerModel::None);
+        assert!(matches!(
+            parse_straggler("round-robin:6").unwrap(),
+            StragglerModel::RoundRobin { .. }
+        ));
+        match parse_straggler("prob:0.3:6:7").unwrap() {
+            StragglerModel::Probabilistic { p, seed, .. } => {
+                assert_eq!(p, 0.3);
+                assert_eq!(seed, 7);
+            }
+            _ => panic!(),
+        }
+        assert!(parse_straggler("prob:1.5:6").is_err());
+        assert!(parse_straggler("sometimes").is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let e = parse(&["run", "--batch"]).unwrap_err();
+        assert!(e.0.contains("expects a value"));
+        let e = parse(&["run", "--frobnicate"]).unwrap_err();
+        assert!(e.0.contains("unknown flag"));
+        let e = parse(&["destroy"]).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        let e = parse(&["run", "--weights", "1,x"]).unwrap_err();
+        assert!(e.0.contains("bad weight list"));
+    }
+
+    #[test]
+    fn tune_and_compare_share_common_flags() {
+        let Command::Tune(c) = parse(&["tune", "--batch", "64"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.batch, 64);
+        let Command::Compare(c) =
+            parse(&["compare", "--straggler", "prob:0.2:3"]).unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(c.straggler, StragglerModel::Probabilistic { .. }));
+    }
+}

@@ -1,0 +1,251 @@
+//! `fela` — command-line front end to the Fela reproduction.
+//!
+//! ```text
+//! fela run --model vgg19 --batch 256 --iters 100 --weights 1,2,4 --ctd 2
+//! fela tune --model googlenet --batch 512
+//! fela compare --model vgg19 --batch 256 --straggler round-robin:6
+//! fela models
+//! ```
+
+mod args;
+
+use args::{Command, CommonArgs, RunArgs, HELP};
+use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
+use fela_cluster::{ClusterSpec, Scenario, TrainingRuntime};
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_metrics::{f2, format_speedup, Table};
+use fela_model::zoo;
+use fela_tuning::Tuner;
+use std::process::ExitCode;
+
+fn model_by_cli_name(name: &str) -> Option<fela_model::Model> {
+    let canonical = match name.to_ascii_lowercase().as_str() {
+        "vgg19" => "VGG19",
+        "vgg16" => "VGG16",
+        "googlenet" => "GoogleNet",
+        "alexnet" => "AlexNet",
+        "lenet-5" | "lenet5" | "lenet" => "LeNet-5",
+        "zf-net" | "zfnet" => "ZF Net",
+        "resnet-152" | "resnet152" => "ResNet-152",
+        _ => return None,
+    };
+    zoo::build_by_name(canonical)
+}
+
+fn scenario_from(common: &CommonArgs) -> Result<Scenario, String> {
+    let model = model_by_cli_name(&common.model)
+        .ok_or_else(|| format!("unknown model '{}' (try 'fela models')", common.model))?;
+    let mut sc = Scenario::paper(model, common.batch).with_iterations(common.iters);
+    if common.nodes != 8 {
+        sc.cluster = ClusterSpec::k40c_cluster(common.nodes);
+    }
+    sc.straggler = common.straggler;
+    Ok(sc)
+}
+
+fn cmd_models() {
+    let mut table = Table::new(
+        "Model zoo (Table I)",
+        &["name", "year", "layers", "params", "fwd GFLOP/sample"],
+    );
+    for info in zoo::TABLE_I {
+        let built = zoo::build_by_name(info.name);
+        table.row(vec![
+            info.name.to_owned(),
+            info.year.to_string(),
+            info.layer_number.to_string(),
+            built
+                .as_ref()
+                .map(|m| m.param_count().to_string())
+                .unwrap_or_else(|| "(metadata only)".into()),
+            built
+                .as_ref()
+                .map(|m| format!("{:.2}", m.forward_flops() as f64 / 1e9))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn cmd_run(run: &RunArgs) -> Result<(), String> {
+    let sc = scenario_from(&run.common)?;
+    let m = {
+        let probe = FelaRuntime::new(FelaConfig::new(1));
+        probe.partition_for(&sc).len()
+    };
+    let mut config = match &run.weights {
+        Some(w) => {
+            if w.len() != m {
+                return Err(format!(
+                    "--weights needs {m} entries for this model's partition, got {}",
+                    w.len()
+                ));
+            }
+            FelaConfig::new(m).with_weights(w.clone())
+        }
+        None => {
+            eprintln!("no --weights given: running the two-phase tuner first…");
+            Tuner::default().tune(&sc).best_config
+        }
+    };
+    if let Some(ctd) = run.ctd {
+        config = config.with_ctd(ctd);
+    }
+    config = config
+        .with_staleness(run.staleness)
+        .with_pipelining(!run.no_pipelining);
+    config.validate(sc.cluster.nodes);
+
+    let report = FelaRuntime::new(config.clone()).run(&sc);
+    if run.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let mut table = Table::new(
+        format!(
+            "Fela — {} @ batch {}, {} iterations, {} nodes",
+            sc.model.name, sc.total_batch, sc.iterations, sc.cluster.nodes
+        ),
+        &["metric", "value"],
+    );
+    table.row(vec!["weights".into(), format!("{:?}", config.weights)]);
+    table.row(vec![
+        "CTD subset".into(),
+        config
+            .ctd
+            .map(|c| c.subset_size.to_string())
+            .unwrap_or_else(|| "off".into()),
+    ]);
+    table.row(vec!["throughput (samples/s)".into(), f2(report.average_throughput())]);
+    table.row(vec!["total time (s)".into(), f2(report.total_time_secs)]);
+    table.row(vec!["mean iteration (s)".into(), f2(report.mean_iteration_secs())]);
+    table.row(vec!["GPU utilisation".into(), f2(report.mean_utilization())]);
+    table.row(vec![
+        "network traffic (GB)".into(),
+        f2(report.network_bytes as f64 / 1e9),
+    ]);
+    table.row(vec!["tokens granted".into(), report.counter("grants").to_string()]);
+    table.row(vec!["helper steals".into(), report.counter("steals").to_string()]);
+    table.row(vec!["lock conflicts".into(), report.counter("conflicts").to_string()]);
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_tune(common: &CommonArgs) -> Result<(), String> {
+    let sc = scenario_from(common)?;
+    let outcome = Tuner::default().tune(&sc);
+    let mut table = Table::new(
+        format!("Tuning {} @ batch {}", sc.model.name, sc.total_batch),
+        &["case", "phase", "weights", "CTD subset", "per-iteration (s)"],
+    );
+    for c in &outcome.cases {
+        table.row(vec![
+            c.case.id.to_string(),
+            c.case.phase.to_string(),
+            format!("{:?}", c.case.weights),
+            c.case
+                .subset
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "off".into()),
+            c.per_iteration_secs
+                .map(|t| format!("{t:.3}"))
+                .unwrap_or_else(|| "infeasible".into()),
+        ]);
+    }
+    print!("{}", table.render());
+    let best = &outcome.cases[outcome.best].case;
+    println!(
+        "winner: weights {:?}, CTD subset {} — rerun with:\n  fela run --model {} --batch {} --weights {}{}",
+        best.weights,
+        best.subset.map(|s| s.to_string()).unwrap_or_else(|| "off".into()),
+        common.model,
+        common.batch,
+        best.weights
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        best.subset
+            .map(|s| format!(" --ctd {s}"))
+            .unwrap_or_default()
+    );
+    Ok(())
+}
+
+fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
+    let sc = scenario_from(common)?;
+    eprintln!("tuning Fela first…");
+    let fela_config = Tuner::default().tune(&sc).best_config;
+    let runtimes: Vec<(&str, Box<dyn TrainingRuntime>)> = vec![
+        ("fela", Box::new(FelaRuntime::new(fela_config))),
+        ("dp", Box::new(DpRuntime::default())),
+        ("mp", Box::new(MpRuntime::default())),
+        ("hp", Box::new(HpRuntime)),
+    ];
+    let mut table = Table::new(
+        format!(
+            "{} @ batch {}, {} iterations{}",
+            sc.model.name,
+            sc.total_batch,
+            sc.iterations,
+            if sc.straggler.is_none() {
+                ""
+            } else {
+                " (stragglers injected)"
+            }
+        ),
+        &["runtime", "samples/s", "GPU util", "wire GB", "Fela speedup"],
+    );
+    let reports: Vec<_> = runtimes.iter().map(|(_, rt)| rt.run(&sc)).collect();
+    let fela_at = reports[0].average_throughput();
+    for ((name, _), report) in runtimes.iter().zip(&reports) {
+        table.row(vec![
+            (*name).to_owned(),
+            f2(report.average_throughput()),
+            f2(report.mean_utilization()),
+            f2(report.network_bytes as f64 / 1e9),
+            if *name == "fela" {
+                "-".into()
+            } else {
+                format_speedup(fela_at / report.average_throughput())
+            },
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv_refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+    let command = match args::parse(&argv_refs) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &command {
+        Command::Help => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Command::Models => {
+            cmd_models();
+            Ok(())
+        }
+        Command::Run(run) => cmd_run(run),
+        Command::Tune(common) => cmd_tune(common),
+        Command::Compare(common) => cmd_compare(common),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # fela-cluster — cluster assembly and straggler injection
+//!
+//! Binds the GPU model, the network model and the straggler scenarios into a
+//! [`Scenario`] that every runtime executes through the [`TrainingRuntime`]
+//! interface. The paper's testbed — 8 K40c nodes behind a 40GE switch with 10 Gbps
+//! NICs — is [`ClusterSpec::paper_testbed`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod scenario;
+mod straggler;
+
+pub use scenario::{ClusterSpec, Scenario, TrainingRuntime};
+pub use straggler::StragglerModel;

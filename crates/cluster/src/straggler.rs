@@ -1,0 +1,159 @@
+//! Straggler injection (§V-C2).
+//!
+//! The paper generates straggler effect "following the method in [10], [11]" by
+//! adding sleeping delays to workers' computation. Two scenarios are defined:
+//!
+//! * **Round-robin** — in iteration `k`, worker `k mod N` is slowed by `d` seconds;
+//! * **Probability-based** — in every iteration, each worker independently becomes
+//!   a straggler with probability `p` and is slowed by `d` seconds.
+//!
+//! A [`StragglerModel`] is a *pure function* of `(iteration, worker)`: the
+//! probabilistic scenario derives its coin flips by hashing `(seed, iteration,
+//! worker)`, so every runtime under comparison sees the *same* realisation of
+//! stragglers — exactly the controlled-experiment property the paper's testbed
+//! scripts enforce, and the reason DP/MP/HP/Fela numbers are comparable run to run.
+
+use fela_sim::{SimDuration, SimRng};
+use serde::Serialize;
+
+/// A deterministic straggler scenario.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+pub enum StragglerModel {
+    /// No stragglers (the Figure 8 scenario).
+    None,
+    /// Round-robin: worker `iteration % n` sleeps `delay` (Figure 9).
+    RoundRobin {
+        /// Sleep injected into the victim's compute.
+        delay: SimDuration,
+    },
+    /// Probability-based: each worker sleeps `delay` with probability `p` each
+    /// iteration (Figure 10).
+    Probabilistic {
+        /// Per-iteration straggler probability for each worker.
+        p: f64,
+        /// Sleep injected into a straggler's compute.
+        delay: SimDuration,
+        /// Seed defining the (shared) realisation.
+        seed: u64,
+    },
+}
+
+impl StragglerModel {
+    /// The sleep delay injected into `worker`'s computation during `iteration`.
+    pub fn delay_for(&self, iteration: u64, worker: usize, n_workers: usize) -> SimDuration {
+        match *self {
+            StragglerModel::None => SimDuration::ZERO,
+            StragglerModel::RoundRobin { delay } => {
+                if n_workers > 0 && iteration % n_workers as u64 == worker as u64 {
+                    delay
+                } else {
+                    SimDuration::ZERO
+                }
+            }
+            StragglerModel::Probabilistic { p, delay, seed } => {
+                // Stateless hash of (seed, iteration, worker) → one Bernoulli draw.
+                let mix = seed
+                    ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (worker as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                let mut rng = SimRng::seed_from_u64(mix);
+                if rng.chance(p) {
+                    delay
+                } else {
+                    SimDuration::ZERO
+                }
+            }
+        }
+    }
+
+    /// True if this scenario never injects delays.
+    pub fn is_none(&self) -> bool {
+        matches!(self, StragglerModel::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 8;
+    const D: SimDuration = SimDuration::from_secs(6);
+
+    #[test]
+    fn none_never_delays() {
+        let m = StragglerModel::None;
+        for it in 0..20 {
+            for w in 0..N {
+                assert!(m.delay_for(it, w, N).is_zero());
+            }
+        }
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn round_robin_hits_exactly_one_worker_per_iteration() {
+        let m = StragglerModel::RoundRobin { delay: D };
+        for it in 0..32 {
+            let victims: Vec<_> = (0..N)
+                .filter(|&w| !m.delay_for(it, w, N).is_zero())
+                .collect();
+            assert_eq!(victims, vec![(it % N as u64) as usize]);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let m = StragglerModel::RoundRobin { delay: D };
+        assert_eq!(m.delay_for(0, 0, N), D);
+        assert_eq!(m.delay_for(8, 0, N), D);
+        assert_eq!(m.delay_for(9, 1, N), D);
+        assert!(m.delay_for(9, 0, N).is_zero());
+    }
+
+    #[test]
+    fn probabilistic_is_deterministic_per_cell() {
+        let m = StragglerModel::Probabilistic {
+            p: 0.3,
+            delay: D,
+            seed: 42,
+        };
+        for it in 0..10 {
+            for w in 0..N {
+                assert_eq!(m.delay_for(it, w, N), m.delay_for(it, w, N));
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_rate_approximates_p() {
+        let m = StragglerModel::Probabilistic {
+            p: 0.3,
+            delay: D,
+            seed: 7,
+        };
+        let trials = 20_000u64;
+        let hits = (0..trials)
+            .flat_map(|it| (0..N).map(move |w| (it, w)))
+            .filter(|&(it, w)| !m.delay_for(it, w, N).is_zero())
+            .count();
+        let rate = hits as f64 / (trials as usize * N) as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn probabilistic_seeds_differ() {
+        let a = StragglerModel::Probabilistic {
+            p: 0.5,
+            delay: D,
+            seed: 1,
+        };
+        let b = StragglerModel::Probabilistic {
+            p: 0.5,
+            delay: D,
+            seed: 2,
+        };
+        let differs = (0..100).any(|it| {
+            (0..N).any(|w| a.delay_for(it, w, N).is_zero() != b.delay_for(it, w, N).is_zero())
+        });
+        assert!(differs);
+    }
+}

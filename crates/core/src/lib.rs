@@ -1,0 +1,30 @@
+//! # fela-core — the Fela runtime
+//!
+//! The paper's primary contribution: token-based, elastically tuned hybrid-parallel
+//! training (§III). The crate decomposes as:
+//!
+//! * [`FelaConfig`] — parallelism weights, ADS/HF/CTD policy toggles, control-plane
+//!   overhead constants;
+//! * [`TokenPlan`] — how one BSP iteration decomposes into tokens per level
+//!   (§III-B, §IV-B);
+//! * [`TokenServer`] — Token Generator + Token Distributor + Token Bucket/STBs +
+//!   Info Mapping, with the ADS (§III-D), HF (§III-E) and CTD (§III-F) policies as
+//!   pure, unit-tested scheduling logic;
+//! * [`FelaRuntime`] — the discrete-event world tying the server to workers, the
+//!   GPU compute model, the flow-level network and straggler injection; implements
+//!   [`fela_cluster::TrainingRuntime`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod plan;
+mod runtime;
+mod server;
+mod token;
+
+pub use config::{CtdConfig, FelaConfig};
+pub use plan::{LevelPlan, PlanError, TokenPlan};
+pub use runtime::FelaRuntime;
+pub use server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};
+pub use token::{Token, TokenId};

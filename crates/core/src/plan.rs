@@ -1,0 +1,286 @@
+//! The token plan: how one BSP iteration decomposes into tokens (§III-B, §IV-B).
+//!
+//! Given a partition into `M` sub-models, a weight vector `w` and the total batch,
+//! the plan fixes, per level `i`:
+//!
+//! * `n_i` — tokens per iteration: `n_0 = pow2_ceil(max(⌈B/threshold_0⌉, N))`
+//!   and `n_i = n_0 / w_i` (DESIGN.md §3 documents why `n_i` *divides* rather than
+//!   multiplies — deeper sub-models need larger per-token batches, as in Figure 3);
+//! * `batch_i = B / n_i` — samples per token;
+//! * `ratio_i = n_{i-1} / n_i` — how many level-(i−1) completions generate one
+//!   level-`i` token.
+//!
+//! Rounding `n_0` up to a power of two keeps every quantity integral for the
+//! power-of-two batch sizes the paper sweeps, mirroring its §IV-B divisibility
+//! concerns.
+
+use serde::Serialize;
+
+use crate::config::FelaConfig;
+use fela_model::Partition;
+
+/// Per-level token arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub struct LevelPlan {
+    /// Sub-model index.
+    pub level: usize,
+    /// Tokens per iteration (`n_i`).
+    pub tokens_per_iteration: u64,
+    /// Samples per token (`batch_i`).
+    pub batch_per_token: u64,
+    /// Level-(i−1) completions per generated level-i token (1 for level 0).
+    pub gen_ratio: u64,
+}
+
+/// The complete decomposition of an iteration into tokens.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+pub struct TokenPlan {
+    /// Per-level plans, index = sub-model index.
+    pub levels: Vec<LevelPlan>,
+    /// Total batch size per iteration.
+    pub total_batch: u64,
+}
+
+/// Errors from [`TokenPlan::build`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// Weight vector length does not match the partition's sub-model count.
+    WeightCountMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of sub-models in the partition.
+        sub_models: usize,
+    },
+    /// The total batch is too small to give every worker a token.
+    BatchTooSmall {
+        /// Total batch requested.
+        total_batch: u64,
+        /// Minimum viable (`n_0`).
+        minimum: u64,
+    },
+    /// A weight exceeds `n_0`, which would leave level `i` with zero tokens.
+    WeightTooLarge {
+        /// Offending level.
+        level: usize,
+        /// Its weight.
+        weight: u64,
+        /// Root token count.
+        n0: u64,
+    },
+    /// Total batch must be a power of two (§V sweeps 64…1024; integrality of
+    /// every `batch_i` requires it under power-of-two weights).
+    BatchNotPow2 {
+        /// Total batch requested.
+        total_batch: u64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::WeightCountMismatch { weights, sub_models } => write!(
+                f,
+                "weight vector has {weights} entries but the partition has {sub_models} sub-models"
+            ),
+            PlanError::BatchTooSmall { total_batch, minimum } => write!(
+                f,
+                "total batch {total_batch} is smaller than the minimum {minimum} (one token per worker)"
+            ),
+            PlanError::WeightTooLarge { level, weight, n0 } => write!(
+                f,
+                "weight {weight} at level {level} exceeds the root token count {n0}"
+            ),
+            PlanError::BatchNotPow2 { total_batch } => {
+                write!(f, "total batch {total_batch} must be a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl TokenPlan {
+    /// Builds the plan.
+    ///
+    /// `config.weights` must already satisfy [`FelaConfig::validate`].
+    pub fn build(
+        partition: &Partition,
+        config: &FelaConfig,
+        total_batch: u64,
+        n_workers: usize,
+    ) -> Result<TokenPlan, PlanError> {
+        let m = partition.len();
+        if config.weights.len() != m {
+            return Err(PlanError::WeightCountMismatch {
+                weights: config.weights.len(),
+                sub_models: m,
+            });
+        }
+        if !total_batch.is_power_of_two() {
+            return Err(PlanError::BatchNotPow2 { total_batch });
+        }
+        let threshold0 = partition.sub_models()[0].threshold_batch.max(1);
+        let raw_n0 = total_batch.div_ceil(threshold0).max(n_workers as u64);
+        let n0 = raw_n0.next_power_of_two();
+        if n0 > total_batch {
+            return Err(PlanError::BatchTooSmall {
+                total_batch,
+                minimum: n0,
+            });
+        }
+        let mut levels = Vec::with_capacity(m);
+        let mut prev_n = n0;
+        for (i, &w) in config.weights.iter().enumerate() {
+            if w > n0 {
+                return Err(PlanError::WeightTooLarge {
+                    level: i,
+                    weight: w,
+                    n0,
+                });
+            }
+            let n_i = n0 / w;
+            let ratio = if i == 0 { 1 } else { prev_n / n_i };
+            levels.push(LevelPlan {
+                level: i,
+                tokens_per_iteration: n_i,
+                batch_per_token: total_batch / n_i,
+                gen_ratio: ratio,
+            });
+            prev_n = n_i;
+        }
+        Ok(TokenPlan {
+            levels,
+            total_batch,
+        })
+    }
+
+    /// Number of sub-models.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total tokens per iteration across all levels.
+    pub fn tokens_per_iteration(&self) -> u64 {
+        self.levels.iter().map(|l| l.tokens_per_iteration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fela_model::{bin_partition, zoo, PartitionOptions, ThresholdProfile};
+
+    fn vgg_partition() -> Partition {
+        bin_partition(
+            &zoo::vgg19(),
+            &ThresholdProfile::k40c(),
+            PartitionOptions::default(),
+        )
+    }
+
+    #[test]
+    fn figure3_shape_with_weights_1_2_4() {
+        // Figure 3: total batch 128 → 8 T-1 tokens (batch 16), 4 T-2 (batch 32),
+        // 2 T-3 (batch 64), generation ratios 2 and 2.
+        let p = vgg_partition();
+        let cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]);
+        let plan = TokenPlan::build(&p, &cfg, 128, 8).unwrap();
+        let n: Vec<_> = plan.levels.iter().map(|l| l.tokens_per_iteration).collect();
+        let b: Vec<_> = plan.levels.iter().map(|l| l.batch_per_token).collect();
+        let r: Vec<_> = plan.levels.iter().map(|l| l.gen_ratio).collect();
+        assert_eq!(n, vec![8, 4, 2]);
+        assert_eq!(b, vec![16, 32, 64]);
+        assert_eq!(r, vec![1, 2, 2]);
+        assert_eq!(plan.tokens_per_iteration(), 14);
+    }
+
+    #[test]
+    fn unit_weights_give_uniform_tokens() {
+        let p = vgg_partition();
+        let cfg = FelaConfig::new(3);
+        let plan = TokenPlan::build(&p, &cfg, 256, 8).unwrap();
+        for l in &plan.levels {
+            assert_eq!(l.tokens_per_iteration, plan.levels[0].tokens_per_iteration);
+            assert_eq!(l.gen_ratio, 1);
+            assert_eq!(
+                l.batch_per_token * l.tokens_per_iteration,
+                256,
+                "every level covers the full batch"
+            );
+        }
+    }
+
+    #[test]
+    fn n0_floor_guarantees_token_per_worker() {
+        // Batch 64 with threshold 24: ⌈64/24⌉ = 3 < 8 workers → n_0 = 8.
+        let p = vgg_partition();
+        let plan = TokenPlan::build(&p, &FelaConfig::new(3), 64, 8).unwrap();
+        assert_eq!(plan.levels[0].tokens_per_iteration, 8);
+        assert_eq!(plan.levels[0].batch_per_token, 8);
+    }
+
+    #[test]
+    fn n0_rounds_up_to_pow2_for_divisibility() {
+        // Batch 256, threshold 24: ⌈256/24⌉ = 11 → n_0 = 16, batch 16.
+        let p = vgg_partition();
+        let plan = TokenPlan::build(&p, &FelaConfig::new(3), 256, 8).unwrap();
+        assert_eq!(plan.levels[0].tokens_per_iteration, 16);
+        assert_eq!(plan.levels[0].batch_per_token, 16);
+    }
+
+    #[test]
+    fn batch_too_small_is_reported() {
+        let p = vgg_partition();
+        let err = TokenPlan::build(&p, &FelaConfig::new(3), 4, 8).unwrap_err();
+        assert!(matches!(err, PlanError::BatchTooSmall { .. }), "{err}");
+    }
+
+    #[test]
+    fn weight_count_mismatch_is_reported() {
+        let p = vgg_partition();
+        let err = TokenPlan::build(&p, &FelaConfig::new(2), 128, 8).unwrap_err();
+        assert!(matches!(err, PlanError::WeightCountMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_pow2_batch_rejected() {
+        let p = vgg_partition();
+        let err = TokenPlan::build(&p, &FelaConfig::new(3), 100, 8).unwrap_err();
+        assert!(matches!(err, PlanError::BatchNotPow2 { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_weight_rejected() {
+        let p = vgg_partition();
+        // n_0 for batch 64 is 8; weight 8 is fine (one token), larger would not be
+        // a valid config anyway, so force the error with a tiny cluster/batch.
+        let cfg = FelaConfig::new(3).with_weights(vec![1, 8, 8]);
+        let plan = TokenPlan::build(&p, &cfg, 64, 8).unwrap();
+        assert_eq!(plan.levels[2].tokens_per_iteration, 1);
+        assert_eq!(plan.levels[2].batch_per_token, 64);
+        // weight 8 with n0 = 8 is the edge; weight larger than n0 errors.
+        let cfg_bad = FelaConfig::new(3).with_weights(vec![1, 8, 16]);
+        let err = TokenPlan::build(&p, &cfg_bad, 64, 8).unwrap_err();
+        assert!(matches!(err, PlanError::WeightTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn every_level_covers_total_batch() {
+        let p = vgg_partition();
+        for batch in [64u64, 128, 256, 512, 1024] {
+            for w in [[1u64, 1, 1], [1, 2, 4], [1, 8, 8], [2, 4, 8]] {
+                let cfg = FelaConfig::new(3).with_weights(w.to_vec());
+                let plan = TokenPlan::build(&p, &cfg, batch, 8).unwrap();
+                for l in &plan.levels {
+                    assert_eq!(l.batch_per_token * l.tokens_per_iteration, batch);
+                }
+                // Generation ratios multiply out: n_0 = n_{M-1} · Π ratios.
+                let prod: u64 = plan.levels.iter().map(|l| l.gen_ratio).product();
+                assert_eq!(
+                    plan.levels[0].tokens_per_iteration,
+                    plan.levels.last().unwrap().tokens_per_iteration * prod
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! The Fela runtime: TS + workers + network + GPU, wired into the discrete-event
+//! simulator (§III-A workflow).
+//!
+//! Event flow per token:
+//!
+//! ```text
+//! worker idle ──RPC──▶ RequestArrive @TS ──RPC(+conflict penalty)──▶ GrantArrive
+//!      ▲                                                            │
+//!      │                         dependency flows (from holders) ───┤
+//!      │                                                            ▼
+//! ReportArrive @TS ◀──RPC── ComputeDone ◀── compute(+straggler) ── start
+//! ```
+//!
+//! Reports piggyback the next request (§III-D "Fela combines report and request").
+//! When a level's last token completes, its parameters ring-all-reduce among the
+//! sync group *without blocking trainers* (§III-A); the BSP barrier closes an
+//! iteration once all tokens are trained and all syncs have drained.
+
+use fela_cluster::{Scenario, TrainingRuntime};
+use fela_metrics::RunReport;
+use fela_model::{bin_partition, Partition, PartitionOptions};
+use fela_net::{FlowSpec, Network, NodeId, RingAllReduce};
+use fela_sim::{BusyTracker, Engine, EventId, Scheduler, SimDuration, SimTime, Trace, World};
+
+use crate::config::FelaConfig;
+use crate::plan::TokenPlan;
+use crate::server::{Grant, LevelMeta, SyncSpec, TokenServer};
+use crate::token::TokenId;
+
+/// Tag namespace for network flows: dependency fetches carry the token id,
+/// sync flows carry the level.
+const TAG_DEP: u64 = 1 << 62;
+const TAG_SYNC: u64 = 2 << 62;
+
+fn dep_tag(token: TokenId) -> u64 {
+    TAG_DEP | token.0
+}
+
+fn sync_tag(level: usize, iteration: u64) -> u64 {
+    // Under SSP staleness two syncs of one level can be in flight concurrently,
+    // so the tag carries both coordinates.
+    TAG_SYNC | ((level as u64) << 40) | (iteration & 0xFF_FFFF_FFFF)
+}
+
+enum Ev {
+    /// A worker's token request reaches the TS.
+    RequestArrive { worker: usize },
+    /// A grant reaches the worker.
+    GrantArrive { worker: usize, grant: Grant },
+    /// The worker's GPU finishes a token.
+    ComputeDone { worker: usize },
+    /// A completion report (with piggybacked request) reaches the TS.
+    ReportArrive { worker: usize, token: TokenId },
+    /// The network has one or more flows completing now.
+    NetWake,
+}
+
+struct WorkerState {
+    current: Option<Grant>,
+    pending_fetches: usize,
+}
+
+struct ActiveSync {
+    level: usize,
+    iteration: u64,
+    collective: RingAllReduce,
+}
+
+struct FelaWorld {
+    trace: Trace,
+    scenario: Scenario,
+    partition: Partition,
+    server: TokenServer,
+    net: Network,
+    net_ev: Option<EventId>,
+    workers: Vec<WorkerState>,
+    syncs: Vec<ActiveSync>,
+    busy: Vec<BusyTracker>,
+    /// Start instant of each released iteration (straggler floors).
+    iter_starts: Vec<SimTime>,
+    /// Completion instant of each fully synced iteration.
+    iter_done: Vec<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+impl FelaWorld {
+    fn rpc(&self) -> SimDuration {
+        self.server.config().rpc_latency
+    }
+
+    fn reschedule_net(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        if let Some(ev) = self.net_ev.take() {
+            sched.cancel(ev);
+        }
+        if let Some(t) = self.net.next_completion() {
+            // A flow can "complete" marginally in the past after float rounding;
+            // clamp to now.
+            let at = t.max(sched.now());
+            self.net_ev = Some(sched.schedule_at(at, Ev::NetWake));
+        }
+    }
+
+    fn schedule_grant(&mut self, worker: usize, grant: Grant, sched: &mut Scheduler<'_, Ev>) {
+        let mut delay = self.rpc();
+        if grant.conflict {
+            delay += self.server.config().conflict_penalty;
+        }
+        sched.schedule_in(delay, Ev::GrantArrive { worker, grant });
+    }
+
+    fn serve_waiting(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        while let Some((worker, grant)) = self.server.pop_ready_grant(sched.now()) {
+            self.schedule_grant(worker, grant, sched);
+        }
+    }
+
+    fn start_compute(&mut self, worker: usize, sched: &mut Scheduler<'_, Ev>) {
+        let grant = self.workers[worker]
+            .current
+            .as_ref()
+            .expect("compute without a grant");
+        let sm = &self.partition.sub_models()[grant.token.level];
+        let secs = self.scenario.cluster.compute_secs(
+            &self.scenario.model,
+            sm.unit_start,
+            sm.unit_end,
+            grant.token.batch,
+            worker,
+        );
+        // Straggler sleep (§V-C2): the worker cannot start computing before
+        // its iteration's start + d, so the sleep overlaps any scheduling idle
+        // time (and overlapping iterations each charge their own sleep).
+        let iter = grant.token.iteration;
+        let floor = self.iter_starts[iter as usize] + self.scenario.straggler_delay(iter, worker);
+        let start = sched.now().max(floor);
+        self.busy[worker].begin(start);
+        sched.schedule_at(
+            start + SimDuration::from_secs_f64(secs),
+            Ev::ComputeDone { worker },
+        );
+    }
+
+    fn start_syncs(&mut self, specs: Vec<SyncSpec>, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        for spec in specs {
+            self.trace.record(now, "sync", || {
+                format!(
+                    "all-reduce level {} iter {} ({} MB among {:?})",
+                    spec.level + 1,
+                    spec.iteration,
+                    spec.bytes / 1_000_000,
+                    spec.participants
+                )
+            });
+            let participants = spec.participants.iter().map(|&w| NodeId(w)).collect();
+            let collective = RingAllReduce::start(
+                &mut self.net,
+                now,
+                participants,
+                spec.bytes,
+                sync_tag(spec.level, spec.iteration),
+            );
+            debug_assert!(!collective.is_done(), "server filters degenerate syncs");
+            self.syncs.push(ActiveSync {
+                level: spec.level,
+                iteration: spec.iteration,
+                collective,
+            });
+        }
+    }
+
+    /// Reconciles with the server after any state change: records newly released
+    /// iterations (for straggler floors), newly completed iterations, serves
+    /// waiting workers, and detects run completion.
+    fn after_server_change(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        while (self.iter_starts.len() as u64) < self.server.released_root_iterations() {
+            self.iter_starts.push(now);
+        }
+        while (self.iter_done.len() as u64) < self.server.completed_iterations() {
+            self.iter_done.push(now);
+        }
+        self.serve_waiting(sched);
+        if self.server.run_complete() {
+            self.finished_at = Some(now);
+        }
+    }
+
+    fn on_flow_done(&mut self, id: fela_net::FlowId, spec: FlowSpec, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        if spec.tag & TAG_DEP != 0 {
+            let token = TokenId(spec.tag & !TAG_DEP);
+            let worker = spec.dst.0;
+            let state = &mut self.workers[worker];
+            let waiting_for_this = state
+                .current
+                .as_ref()
+                .is_some_and(|g| g.token.id == token && state.pending_fetches > 0);
+            assert!(
+                waiting_for_this,
+                "dep flow for token {token:?} arrived at worker {worker} unexpectedly"
+            );
+            state.pending_fetches -= 1;
+            if state.pending_fetches == 0 {
+                self.start_compute(worker, sched);
+            }
+        } else {
+            debug_assert!(spec.tag & TAG_SYNC != 0, "unknown flow tag {}", spec.tag);
+            let mut finished: Vec<(usize, u64)> = Vec::new();
+            for sync in &mut self.syncs {
+                if sync.collective.tag() == spec.tag {
+                    use fela_net::CollectiveProgress as P;
+                    match sync.collective.on_flow_complete(&mut self.net, now, id) {
+                        P::Done => finished.push((sync.level, sync.iteration)),
+                        P::NotMine => unreachable!("tag matched but flow not owned"),
+                        P::InProgress | P::RoundStarted => {}
+                    }
+                    break;
+                }
+            }
+            for (level, iteration) in finished {
+                self.syncs
+                    .retain(|s| !(s.level == level && s.iteration == iteration));
+                self.server.sync_finished(level, iteration);
+                self.after_server_change(sched);
+            }
+        }
+    }
+}
+
+impl World for FelaWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        match event {
+            Ev::RequestArrive { worker } => {
+                if let Some(grant) = self.server.request(worker, now) {
+                    self.schedule_grant(worker, grant, sched);
+                }
+            }
+            Ev::GrantArrive { worker, grant } => {
+                self.trace.record(now, "ts", || {
+                    format!(
+                        "grant token {} (level {}, iter {}, batch {}) to worker {} ({} fetches{})",
+                        grant.token.id.0,
+                        grant.token.level + 1,
+                        grant.token.iteration,
+                        grant.token.batch,
+                        worker,
+                        grant.fetches.len(),
+                        if grant.conflict { ", conflicted" } else { "" }
+                    )
+                });
+                let fetches = grant.fetches.clone();
+                let token = grant.token.id;
+                let state = &mut self.workers[worker];
+                debug_assert!(state.current.is_none(), "worker {worker} double-granted");
+                state.current = Some(grant);
+                state.pending_fetches = fetches.len();
+                if fetches.is_empty() {
+                    self.start_compute(worker, sched);
+                } else {
+                    for (holder, bytes) in fetches {
+                        self.net.start_flow(
+                            now,
+                            FlowSpec {
+                                src: NodeId(holder),
+                                dst: NodeId(worker),
+                                bytes,
+                                tag: dep_tag(token),
+                            },
+                        );
+                    }
+                    self.reschedule_net(sched);
+                }
+            }
+            Ev::ComputeDone { worker } => {
+                self.trace.record(now, "worker", || {
+                    let g = self.workers[worker].current.as_ref().expect("grant");
+                    format!(
+                        "worker {} finished token {} (level {})",
+                        worker,
+                        g.token.id.0,
+                        g.token.level + 1
+                    )
+                });
+                self.busy[worker].end(now);
+                let grant = self.workers[worker]
+                    .current
+                    .take()
+                    .expect("compute done without grant");
+                sched.schedule_in(
+                    self.rpc(),
+                    Ev::ReportArrive {
+                        worker,
+                        token: grant.token.id,
+                    },
+                );
+            }
+            Ev::ReportArrive { worker, token } => {
+                let syncs = self.server.report(worker, token);
+                if !syncs.is_empty() {
+                    self.start_syncs(syncs, sched);
+                    self.reschedule_net(sched);
+                }
+                // Piggybacked request for the reporter, then any other waiters.
+                if let Some(grant) = self.server.request(worker, now) {
+                    self.schedule_grant(worker, grant, sched);
+                }
+                self.after_server_change(sched);
+            }
+            Ev::NetWake => {
+                self.net_ev = None;
+                let completions = self.net.take_completions(now);
+                for (id, spec) in completions {
+                    self.on_flow_done(id, spec, sched);
+                }
+                self.reschedule_net(sched);
+            }
+        }
+    }
+}
+
+/// The Fela training runtime (implements [`TrainingRuntime`]).
+pub struct FelaRuntime {
+    /// Scheduling/tuning configuration.
+    pub config: FelaConfig,
+    /// Partitioning options (defaults reproduce the paper's 3-way splits).
+    pub partition_options: PartitionOptions,
+}
+
+impl FelaRuntime {
+    /// A runtime with the given configuration and default partitioning.
+    pub fn new(config: FelaConfig) -> Self {
+        FelaRuntime {
+            config,
+            partition_options: PartitionOptions::default(),
+        }
+    }
+
+    /// Builds the partition this runtime would use for a scenario's model.
+    pub fn partition_for(&self, scenario: &Scenario) -> Partition {
+        bin_partition(
+            &scenario.model,
+            &scenario.cluster.compute.profile,
+            self.partition_options,
+        )
+    }
+}
+
+impl FelaRuntime {
+    /// Runs a scenario with schedule tracing enabled, returning the report and
+    /// the recorded trace (grants, completions and syncs with virtual
+    /// timestamps). Tracing costs formatting time, so [`TrainingRuntime::run`]
+    /// leaves it off.
+    pub fn run_traced(&self, scenario: &Scenario) -> (RunReport, Trace) {
+        self.run_impl(scenario, Trace::enabled())
+    }
+
+    fn run_impl(&self, scenario: &Scenario, trace: Trace) -> (RunReport, Trace) {
+        scenario.cluster.validate();
+        let partition = self.partition_for(scenario);
+        let plan = TokenPlan::build(
+            &partition,
+            &self.config,
+            scenario.total_batch,
+            scenario.cluster.nodes,
+        )
+        .expect("scenario must admit a token plan");
+        let meta: Vec<LevelMeta> = partition
+            .sub_models()
+            .iter()
+            .map(|s| LevelMeta {
+                param_bytes: s.param_bytes,
+                output_bytes_per_sample: s.output_bytes_per_sample,
+                input_bytes_per_sample: s.input_bytes_per_sample,
+                comm_intensive: s.comm_intensive,
+            })
+            .collect();
+        let n = scenario.cluster.nodes;
+        let server = TokenServer::new(plan, self.config.clone(), meta, n, scenario.iterations);
+        let world = FelaWorld {
+            trace,
+            scenario: scenario.clone(),
+            partition,
+            server,
+            net: Network::new(scenario.cluster.network),
+            net_ev: None,
+            workers: (0..n)
+                .map(|_| WorkerState {
+                    current: None,
+                    pending_fetches: 0,
+                })
+                .collect(),
+            syncs: Vec::new(),
+            busy: vec![BusyTracker::new(); n],
+            iter_starts: vec![SimTime::ZERO],
+            iter_done: Vec::new(),
+            finished_at: None,
+        };
+        let mut engine = Engine::new(world);
+        // Every worker fires its first request at t=0 (arrives after one RPC).
+        for worker in 0..n {
+            engine.prime_at(
+                SimTime::ZERO + self.config.rpc_latency,
+                Ev::RequestArrive { worker },
+            );
+        }
+        let outcome = engine.run(1 << 32);
+        assert_eq!(
+            outcome,
+            fela_sim::RunOutcome::Drained,
+            "Fela simulation hit the step backstop"
+        );
+        let (world, _) = engine.into_world();
+        let end = world
+            .finished_at
+            .expect("simulation drained before completing all iterations");
+
+        let mut report = RunReport::new("fela", &scenario.model.name, scenario.total_batch);
+        report.iterations = world.iter_done.len() as u64;
+        report.total_time_secs = end.as_secs_f64();
+        // Per-iteration times are the gaps between successive iteration-complete
+        // instants (iterations overlap, so these are pipeline-steady-state gaps).
+        report.per_iteration_secs = world
+            .iter_done
+            .iter()
+            .scan(SimTime::ZERO, |prev, &t| {
+                let dt = t.since(*prev).as_secs_f64();
+                *prev = t;
+                Some(dt)
+            })
+            .collect();
+        report.network_bytes = world.net.bytes_delivered();
+        report.worker_busy_secs = world
+            .busy
+            .iter()
+            .map(|b| b.busy_time().as_secs_f64())
+            .collect();
+        let stats = world.server.stats();
+        report.bump("grants", stats.grants);
+        report.bump("local_grants", stats.local_grants);
+        report.bump("steals", stats.steals);
+        report.bump("conflicts", stats.conflicts);
+        report.bump("remote_fetch_bytes", stats.remote_fetch_bytes);
+        report.bump("starved_requests", stats.starved_requests);
+        for (w, &count) in world.server.trained_per_worker().iter().enumerate() {
+            report.bump(&format!("tokens_worker{w}"), count);
+        }
+        (report, world.trace)
+    }
+}
+
+impl TrainingRuntime for FelaRuntime {
+    fn name(&self) -> &'static str {
+        "fela"
+    }
+
+    fn run(&self, scenario: &Scenario) -> RunReport {
+        self.run_impl(scenario, Trace::disabled()).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fela_cluster::StragglerModel;
+    use fela_model::zoo;
+
+    fn quick_scenario(batch: u64) -> Scenario {
+        Scenario::paper(zoo::vgg19(), batch).with_iterations(3)
+    }
+
+    fn runtime(weights: Vec<u64>) -> FelaRuntime {
+        FelaRuntime::new(FelaConfig::new(3).with_weights(weights))
+    }
+
+    #[test]
+    fn completes_all_iterations() {
+        let r = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.per_iteration_secs.len(), 3);
+        assert!(r.total_time_secs > 0.0);
+        assert!(r.average_throughput() > 0.0);
+    }
+
+    #[test]
+    fn token_conservation() {
+        let r = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        // 8 + 4 + 2 tokens per iteration × 3 iterations.
+        assert_eq!(r.counter("grants"), 14 * 3);
+        let per_worker: u64 = (0..8).map(|w| r.counter(&format!("tokens_worker{w}"))).sum();
+        assert_eq!(per_worker, 14 * 3);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let b = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        assert_eq!(a.total_time_secs, b.total_time_secs);
+        assert_eq!(a.network_bytes, b.network_bytes);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn stragglers_slow_the_run_down() {
+        let base = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let slow = runtime(vec![1, 2, 4]).run(
+            &quick_scenario(128).with_straggler(StragglerModel::RoundRobin {
+                delay: SimDuration::from_secs(2),
+            }),
+        );
+        assert!(slow.total_time_secs > base.total_time_secs);
+        // Token counts unchanged — only timing shifts.
+        assert_eq!(slow.counter("grants"), base.counter("grants"));
+    }
+
+    #[test]
+    fn straggler_delay_mostly_absorbed() {
+        // With token stealing, one 2 s straggler per iteration should cost the
+        // 8-worker cluster well under the full 2 s per iteration.
+        let base = runtime(vec![1, 2, 4]).run(&quick_scenario(256));
+        let slow = runtime(vec![1, 2, 4]).run(
+            &quick_scenario(256).with_straggler(StragglerModel::RoundRobin {
+                delay: SimDuration::from_secs(2),
+            }),
+        );
+        let pid = (slow.total_time_secs - base.total_time_secs) / 3.0;
+        assert!(pid < 2.0, "per-iteration delay {pid} should be < full sleep");
+        assert!(pid > 0.0);
+    }
+
+    #[test]
+    fn hf_off_causes_conflicts_and_remote_fetches() {
+        let on = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let off = FelaRuntime::new(
+            FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_hf(false),
+        )
+        .run(&quick_scenario(128));
+        assert!(off.counter("conflicts") > on.counter("conflicts"));
+        assert!(
+            off.counter("remote_fetch_bytes") > on.counter("remote_fetch_bytes"),
+            "global bucket loses sample affinity"
+        );
+        assert!(off.total_time_secs >= on.total_time_secs);
+    }
+
+    #[test]
+    fn ctd_reduces_network_bytes() {
+        let no_ctd = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let ctd = FelaRuntime::new(
+            FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_ctd(2),
+        )
+        .run(&quick_scenario(128));
+        // FC params sync among 2 instead of 8 → fewer sync bytes on the wire.
+        assert!(ctd.network_bytes < no_ctd.network_bytes);
+    }
+
+    #[test]
+    fn utilization_is_sane() {
+        let r = runtime(vec![1, 2, 4]).run(&quick_scenario(1024));
+        let u = r.mean_utilization();
+        assert!(u > 0.05 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn pipelining_improves_throughput() {
+        let sc = quick_scenario(128).with_iterations(6);
+        let piped = runtime(vec![1, 2, 4]).run(&sc);
+        let barrier = FelaRuntime::new(
+            FelaConfig::new(3)
+                .with_weights(vec![1, 2, 4])
+                .with_pipelining(false),
+        )
+        .run(&sc);
+        assert!(
+            piped.average_throughput() > barrier.average_throughput(),
+            "pipelined {} vs barrier {}",
+            piped.average_throughput(),
+            barrier.average_throughput()
+        );
+        // Both process identical token counts.
+        assert_eq!(piped.counter("grants"), barrier.counter("grants"));
+    }
+
+    #[test]
+    fn ssp_staleness_tolerates_stragglers_better() {
+        let sc = quick_scenario(128)
+            .with_iterations(6)
+            .with_straggler(StragglerModel::RoundRobin {
+                delay: SimDuration::from_secs(4),
+            });
+        let bsp = runtime(vec![1, 2, 4]).run(&sc);
+        let ssp = FelaRuntime::new(
+            FelaConfig::new(3)
+                .with_weights(vec![1, 2, 4])
+                .with_staleness(1),
+        )
+        .run(&sc);
+        assert!(
+            ssp.average_throughput() >= bsp.average_throughput(),
+            "SSP {} must not lose to BSP {} under stragglers",
+            ssp.average_throughput(),
+            bsp.average_throughput()
+        );
+        assert_eq!(ssp.counter("grants"), bsp.counter("grants"));
+    }
+
+    #[test]
+    fn googlenet_runs_too() {
+        let scenario = Scenario::paper(zoo::googlenet(), 256).with_iterations(2);
+        let r = runtime(vec![1, 1, 2]).run(&scenario);
+        assert_eq!(r.iterations, 2);
+        assert!(r.total_time_secs > 0.0);
+    }
+}

@@ -1,0 +1,1104 @@
+//! The Token Server (§III): Token Generator, Token Distributor, Token Bucket /
+//! sub-Token Buckets (STBs) and Info Mapping, plus the three scheduling policies —
+//! ADS (§III-D), HF (§III-E) and CTD (§III-F).
+//!
+//! The server is *pure scheduling state*: it knows nothing about virtual time
+//! except the instants the runtime passes in for lock-conflict detection. That
+//! keeps every policy decision unit-testable without a simulation.
+//!
+//! ## How the pieces map to the paper
+//!
+//! * **Token Generator** — root (T-1) tokens are seeded per iteration;
+//!   [`TokenServer::report`] groups completed level-`i` tokens in completion order
+//!   (as in Figure 3) and generates one level-`i+1` token per `ratio` completions,
+//!   with the group as its dependency set.
+//! * **Info Mapping** — the `holder` map (which worker holds a completed token's
+//!   output); locality scores (Equation 1) are computed from it.
+//! * **Token Distributor** — [`TokenServer::request`] / the waiting queue. With HF
+//!   on, each worker owns an STB and steals only when its own STB is empty
+//!   (becoming a *helper*, §III-E); with HF off there is one global bucket and
+//!   every grant contends for the lock.
+//! * **ADS** — level order is highest-first (Principle 1) and, within a level, the
+//!   token with the highest locality score towards the requester wins, ties to the
+//!   smallest token id (Principle 2). With ADS off (ablation), levels go
+//!   lowest-first and tokens in id order, ignoring locality.
+//! * **CTD** — communication-intensive levels are only granted to the subset `S`
+//!   (workers `0..subset_size`), with priority cond > rest-descending for members
+//!   and cond levels skipped for non-members.
+//!
+//! ## Work conservation across iterations
+//!
+//! BSP correctness is a *per-sub-model dataflow* property: level `l` tokens of
+//! iteration `k+1` need (a) level `l`'s parameters synced from iteration `k` and
+//! (b) their input dependencies from iteration `k+1` itself. They do **not** wait
+//! for deeper sub-models of iteration `k`. The server therefore releases each
+//! level's next iteration as soon as that level's sync drains, letting SM-1 of
+//! iteration `k+1` fill the bubbles while SM-3 of iteration `k` still trains —
+//! the "Work Conservation ✓" column Fela earns in Table II, with no staleness:
+//! every gradient still enters the very next update of its own sub-model.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use fela_sim::SimTime;
+use serde::Serialize;
+
+use crate::config::FelaConfig;
+use crate::plan::TokenPlan;
+use crate::token::{Token, TokenId};
+
+/// Static per-level facts the scheduler needs (derived from the partition).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LevelMeta {
+    /// Trainable parameter bytes of the sub-model (sync volume).
+    pub param_bytes: u64,
+    /// Per-sample output activation bytes (dependency transfer volume).
+    pub output_bytes_per_sample: u64,
+    /// Per-sample input bytes (for level 0: raw sample bytes).
+    pub input_bytes_per_sample: u64,
+    /// Whether the level is communication-intensive (CTD target).
+    pub comm_intensive: bool,
+}
+
+/// A token grant handed to a worker.
+#[derive(Clone, Debug)]
+pub struct Grant {
+    /// The granted token.
+    pub token: Token,
+    /// Remote inputs to fetch before compute starts: `(holder, bytes)`.
+    pub fetches: Vec<(usize, u64)>,
+    /// The grant hit a fetching conflict (§III-E) — the runtime adds the penalty.
+    pub conflict: bool,
+}
+
+/// A parameter-synchronisation request emitted when a level's last token of an
+/// iteration completes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SyncSpec {
+    /// Level whose parameters to all-reduce.
+    pub level: usize,
+    /// Iteration the sync belongs to.
+    pub iteration: u64,
+    /// Participating workers.
+    pub participants: Vec<usize>,
+    /// Bytes to all-reduce.
+    pub bytes: u64,
+}
+
+/// Counters the server accumulates for the run report.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct ServerStats {
+    /// Tokens granted in total.
+    pub grants: u64,
+    /// Grants served from the requester's own STB.
+    pub local_grants: u64,
+    /// Grants that stole from another worker's STB (helper grants).
+    pub steals: u64,
+    /// Grants that hit a lock conflict.
+    pub conflicts: u64,
+    /// Bytes fetched from remote workers for dependencies.
+    pub remote_fetch_bytes: u64,
+    /// Token requests that found the bucket empty (the §III-D "locking problem").
+    pub starved_requests: u64,
+}
+
+struct LevelState {
+    /// Contiguous iterations synced from 0 (`synced_upto = k` ⇒ iterations
+    /// `0..k` are fully synced at this level).
+    synced_upto: u64,
+    /// Syncs finished out of contiguous order (possible under SSP staleness,
+    /// where two iterations of one level may be in flight at once).
+    synced_out_of_order: BTreeSet<u64>,
+    /// Completions counted per in-flight iteration.
+    completed: BTreeMap<u64, u64>,
+    /// Generation groups accumulating per iteration (completion order within an
+    /// iteration, as in Figure 3).
+    gen_buffer: BTreeMap<u64, Vec<TokenId>>,
+    /// Generated tokens gated on this level's sync/staleness bound: `(token id,
+    /// preferred bucket)`.
+    pending: VecDeque<(TokenId, usize)>,
+}
+
+impl LevelState {
+    /// Highest iteration whose tokens may currently run at this level.
+    fn release_bound(&self, staleness: u64) -> u64 {
+        self.synced_upto + staleness
+    }
+}
+
+/// The Token Server.
+pub struct TokenServer {
+    plan: TokenPlan,
+    cfg: FelaConfig,
+    meta: Vec<LevelMeta>,
+    n_workers: usize,
+    max_iterations: u64,
+    /// Iterations whose root tokens have been released (0..count).
+    released_roots: u64,
+    next_token_id: u64,
+    tokens: HashMap<TokenId, Token>,
+    /// `stbs[worker][level]` — distributable tokens. With HF off only `stbs[0]`
+    /// is used (the global bucket).
+    stbs: Vec<Vec<VecDeque<TokenId>>>,
+    /// Completed-token outputs: token → holding worker (Info Mapping).
+    holder: HashMap<TokenId, usize>,
+    levels: Vec<LevelState>,
+    /// Last grant instant per bucket, for lock-conflict detection.
+    last_grant_at: Vec<Option<SimTime>>,
+    /// Helpers currently assisting each STB (decayed on root release).
+    helpers: Vec<u64>,
+    waiting: VecDeque<usize>,
+    stats: ServerStats,
+    /// Tokens trained per worker (for load-balance reporting).
+    trained_per_worker: Vec<u64>,
+}
+
+impl TokenServer {
+    /// Creates a server and releases iteration 0's root tokens.
+    ///
+    /// # Panics
+    /// Panics if `meta` length differs from the plan's level count or the config
+    /// is invalid for the cluster size.
+    pub fn new(
+        plan: TokenPlan,
+        cfg: FelaConfig,
+        meta: Vec<LevelMeta>,
+        n_workers: usize,
+        max_iterations: u64,
+    ) -> Self {
+        assert_eq!(
+            meta.len(),
+            plan.num_levels(),
+            "level metadata must match plan levels"
+        );
+        assert!(max_iterations > 0, "need at least one iteration");
+        cfg.validate(n_workers);
+        let m = plan.num_levels();
+        let buckets = if cfg.hf { n_workers } else { 1 };
+        let mut server = TokenServer {
+            plan,
+            cfg,
+            meta,
+            n_workers,
+            max_iterations,
+            released_roots: 0,
+            next_token_id: 0,
+            tokens: HashMap::new(),
+            stbs: vec![vec![VecDeque::new(); m]; buckets],
+            holder: HashMap::new(),
+            levels: (0..m)
+                .map(|_| LevelState {
+                    synced_upto: 0,
+                    synced_out_of_order: BTreeSet::new(),
+                    completed: BTreeMap::new(),
+                    gen_buffer: BTreeMap::new(),
+                    pending: VecDeque::new(),
+                })
+                .collect(),
+            last_grant_at: vec![None; buckets],
+            helpers: vec![0; buckets],
+            waiting: VecDeque::new(),
+            stats: ServerStats::default(),
+            trained_per_worker: vec![0; n_workers],
+        };
+        server.release_due_roots();
+        server
+    }
+
+    /// Run configuration (read access).
+    pub fn config(&self) -> &FelaConfig {
+        &self.cfg
+    }
+
+    /// The token plan (read access).
+    pub fn plan(&self) -> &TokenPlan {
+        &self.plan
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Tokens trained per worker so far.
+    pub fn trained_per_worker(&self) -> &[u64] {
+        &self.trained_per_worker
+    }
+
+    /// Iterations whose root tokens have been released (the runtime records their
+    /// start times for straggler floors).
+    pub fn released_root_iterations(&self) -> u64 {
+        self.released_roots
+    }
+
+    /// Iterations fully finished: every level's sync for that iteration drained.
+    pub fn completed_iterations(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.synced_upto)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// True once all `max_iterations` iterations are fully synced.
+    pub fn run_complete(&self) -> bool {
+        self.completed_iterations() == self.max_iterations
+    }
+
+    /// Whether `worker` belongs to the CTD subset `S`.
+    pub fn in_ctd_subset(&self, worker: usize) -> bool {
+        match self.cfg.ctd {
+            Some(ctd) => worker < ctd.subset_size,
+            None => true,
+        }
+    }
+
+    fn is_cond_level(&self, level: usize) -> bool {
+        self.cfg.ctd.is_some() && self.meta[level].comm_intensive
+    }
+
+    /// Releases root tokens for every iteration currently allowed by the level-0
+    /// sync state, staleness bound and pipelining mode (called at construction
+    /// and whenever a sync drains). Root token `seq` draws its samples from
+    /// worker `seq % N`'s local shard and (with HF) starts in that worker's STB —
+    /// the sample affinity that makes HF's first stage transfer-free.
+    fn release_due_roots(&mut self) {
+        loop {
+            let bound = if self.cfg.pipelining {
+                self.levels[0].release_bound(self.cfg.staleness)
+            } else {
+                // Strict barrier: iteration k+1 starts only once iteration k is
+                // fully synced at every level.
+                self.completed_iterations() + self.cfg.staleness
+            };
+            if self.released_roots >= self.max_iterations || self.released_roots > bound {
+                return;
+            }
+            self.release_one_root_iteration();
+        }
+    }
+
+    fn release_one_root_iteration(&mut self) {
+        let iter = self.released_roots;
+        self.released_roots += 1;
+        // A fresh wave of local work arrived for everyone: helper counts from the
+        // previous wave no longer describe the new contention picture.
+        for h in &mut self.helpers {
+            *h = 0;
+        }
+        let n0 = self.plan.levels[0].tokens_per_iteration;
+        let batch = self.plan.levels[0].batch_per_token;
+        for seq in 0..n0 {
+            let owner = (seq % self.n_workers as u64) as usize;
+            let id = TokenId(self.next_token_id);
+            self.next_token_id += 1;
+            let token = Token {
+                id,
+                level: 0,
+                iteration: iter,
+                seq,
+                batch,
+                deps: vec![],
+                sample_owner: Some(owner),
+            };
+            self.tokens.insert(id, token);
+            let bucket = if self.cfg.hf { owner } else { 0 };
+            self.stbs[bucket][0].push_back(id);
+        }
+    }
+
+    /// A worker asks for a token at `now`. Returns the grant, or `None` — in which
+    /// case the worker is queued and will be returned later by
+    /// [`TokenServer::pop_ready_grant`].
+    pub fn request(&mut self, worker: usize, now: SimTime) -> Option<Grant> {
+        match self.try_grant(worker, now) {
+            Some(grant) => Some(grant),
+            None => {
+                self.stats.starved_requests += 1;
+                if !self.waiting.contains(&worker) {
+                    self.waiting.push_back(worker);
+                }
+                None
+            }
+        }
+    }
+
+    /// After bucket contents changed (report / sync / release), serves the
+    /// longest-waiting worker that can now be granted. Call in a loop until `None`.
+    pub fn pop_ready_grant(&mut self, now: SimTime) -> Option<(usize, Grant)> {
+        for idx in 0..self.waiting.len() {
+            let worker = self.waiting[idx];
+            if let Some(grant) = self.try_grant(worker, now) {
+                self.waiting.remove(idx);
+                return Some((worker, grant));
+            }
+        }
+        None
+    }
+
+    /// Core distribution: pick a token for `worker` per HF/ADS/CTD.
+    fn try_grant(&mut self, worker: usize, now: SimTime) -> Option<Grant> {
+        let (bucket, stolen) = self.pick_bucket(worker)?;
+        let (level, pos) = self.pick_token(bucket, worker)?;
+        let id = self.stbs[bucket][level].remove(pos).expect("valid position");
+        // Lock-conflict detection: with HF, only steals contend (owners access
+        // their STB lock-free); with the global bucket every grant contends.
+        let contends = stolen || !self.cfg.hf;
+        let mut conflict = false;
+        if contends {
+            if let Some(last) = self.last_grant_at[bucket] {
+                if now.saturating_since(last) < self.cfg.lock_window {
+                    conflict = true;
+                    self.stats.conflicts += 1;
+                }
+            }
+            self.last_grant_at[bucket] = Some(now);
+        }
+        if stolen {
+            self.stats.steals += 1;
+            self.helpers[bucket] += 1;
+        } else {
+            self.stats.local_grants += 1;
+        }
+        self.stats.grants += 1;
+        let token = self.tokens[&id].clone();
+        let fetches = self.fetches_for(&token, worker);
+        for &(_, bytes) in &fetches {
+            self.stats.remote_fetch_bytes += bytes;
+        }
+        Some(Grant {
+            token,
+            fetches,
+            conflict,
+        })
+    }
+
+    /// Chooses which bucket to draw from: own STB, else the most deserving
+    /// straggler's STB (helper prioritisation, §III-E). Returns
+    /// `(bucket, stolen)`.
+    fn pick_bucket(&self, worker: usize) -> Option<(usize, bool)> {
+        if !self.cfg.hf {
+            let has = self.bucket_has_grantable(0, worker);
+            return has.then_some((0, false));
+        }
+        if self.bucket_has_grantable(worker, worker) {
+            return Some((worker, false));
+        }
+        // Helper mode: prefer the straggler with the fewest helpers, then the most
+        // remaining tokens (slowest progress), then the lowest id.
+        let mut best: Option<(u64, std::cmp::Reverse<usize>, usize)> = None;
+        let mut best_bucket = None;
+        for b in 0..self.n_workers {
+            if b == worker || !self.bucket_has_grantable(b, worker) {
+                continue;
+            }
+            let remaining: usize = self.stbs[b].iter().map(VecDeque::len).sum();
+            let key = (self.helpers[b], std::cmp::Reverse(remaining), b);
+            if best.is_none() || key < best.unwrap() {
+                best = Some(key);
+                best_bucket = Some(b);
+            }
+        }
+        best_bucket.map(|b| (b, true))
+    }
+
+    /// Whether `bucket` holds at least one token grantable to `worker` under CTD.
+    fn bucket_has_grantable(&self, bucket: usize, worker: usize) -> bool {
+        self.stbs[bucket].iter().enumerate().any(|(level, q)| {
+            !q.is_empty() && (self.in_ctd_subset(worker) || !self.is_cond_level(level))
+        })
+    }
+
+    /// Picks `(level, position)` inside a bucket per ADS/CTD.
+    fn pick_token(&self, bucket: usize, worker: usize) -> Option<(usize, usize)> {
+        let m = self.plan.num_levels();
+        let member = self.in_ctd_subset(worker);
+        // Build the level preference order.
+        let mut order: Vec<usize> = Vec::with_capacity(m);
+        if self.cfg.ctd.is_some() && member {
+            // Conditional levels first (T-2 > T-3 > T-1 in the paper's example).
+            order.extend((0..m).filter(|&l| self.is_cond_level(l)));
+        }
+        let mut rest: Vec<usize> = (0..m).filter(|l| !order.contains(l)).collect();
+        if self.cfg.ads {
+            rest.sort_unstable_by(|a, b| b.cmp(a)); // highest level first
+        } else {
+            rest.sort_unstable(); // ablation: lowest level first
+        }
+        order.extend(rest);
+
+        for level in order {
+            if !member && self.is_cond_level(level) {
+                continue;
+            }
+            let q = &self.stbs[bucket][level];
+            if q.is_empty() {
+                continue;
+            }
+            // The global bucket (HF off) is locality-blind: scanning every
+            // token's dependency holders under the single global lock is exactly
+            // the serialization §III-E says the STBs exist to avoid, so the
+            // distributor degrades to sequential (smallest-id) assignment.
+            let pos = if self.cfg.ads && self.cfg.hf {
+                // Principle 2: max locality score, tie → smallest token id.
+                let mut best_pos = 0;
+                let mut best_key = (f64::NEG_INFINITY, TokenId(u64::MAX));
+                for (pos, &id) in q.iter().enumerate() {
+                    let score = self.locality_score(worker, id);
+                    let better = score > best_key.0 + 1e-12
+                        || ((score - best_key.0).abs() <= 1e-12 && id < best_key.1);
+                    if better {
+                        best_key = (score, id);
+                        best_pos = pos;
+                    }
+                }
+                best_pos
+            } else {
+                // Ablation: smallest token id.
+                q.iter()
+                    .enumerate()
+                    .min_by_key(|(_, &id)| id)
+                    .map(|(pos, _)| pos)
+                    .expect("queue non-empty")
+            };
+            return Some((level, pos));
+        }
+        None
+    }
+
+    /// Equation 1: fraction of a token's dependencies whose outputs `worker`
+    /// already holds. Root tokens have an empty dependency set and score 0 — the
+    /// paper distributes them "randomly (or sequentially)"; their *sample*
+    /// affinity is expressed only through STB placement (§III-E), which is
+    /// exactly why HF matters so much for them.
+    pub fn locality_score(&self, worker: usize, token: TokenId) -> f64 {
+        let t = &self.tokens[&token];
+        if t.deps.is_empty() {
+            return 0.0;
+        }
+        let held = t
+            .deps
+            .iter()
+            .filter(|d| self.holder.get(d) == Some(&worker))
+            .count();
+        held as f64 / t.deps.len() as f64
+    }
+
+    /// Remote inputs `worker` must fetch to run `token`.
+    fn fetches_for(&self, token: &Token, worker: usize) -> Vec<(usize, u64)> {
+        if token.level == 0 {
+            let owner = token.sample_owner.expect("root tokens have sample owners");
+            if owner != worker {
+                let bytes = token.batch * self.meta[0].input_bytes_per_sample;
+                return vec![(owner, bytes)];
+            }
+            return vec![];
+        }
+        let per_sample = self.meta[token.level].input_bytes_per_sample;
+        let mut fetches = Vec::new();
+        for dep in &token.deps {
+            let holder = *self.holder.get(dep).expect("dep completed");
+            if holder != worker {
+                let dep_batch = self.tokens[dep].batch;
+                fetches.push((holder, dep_batch * per_sample));
+            }
+        }
+        fetches
+    }
+
+    /// A worker reports a completed token. Records the holder, possibly generates
+    /// the next-level token, and returns any sync requests that became due.
+    pub fn report(&mut self, worker: usize, token: TokenId) -> Vec<SyncSpec> {
+        let (level, iteration) = {
+            let t = &self.tokens[&token];
+            (t.level, t.iteration)
+        };
+        debug_assert!(
+            !self.holder.contains_key(&token),
+            "token reported twice: {token:?}"
+        );
+        self.holder.insert(token, worker);
+        self.trained_per_worker[worker] += 1;
+        // Token generation: group completions in completion order, per iteration
+        // (under SSP staleness two iterations of a level can be in flight, so the
+        // buffers are keyed by iteration — the token's "age" attribute of §VI).
+        if level + 1 < self.plan.num_levels() {
+            let ratio = self.plan.levels[level + 1].gen_ratio as usize;
+            let buffer = self.levels[level].gen_buffer.entry(iteration).or_default();
+            buffer.push(token);
+            if buffer.len() == ratio {
+                let deps: Vec<TokenId> = self.levels[level]
+                    .gen_buffer
+                    .remove(&iteration)
+                    .expect("buffer exists");
+                self.generate_token(level + 1, iteration, deps, worker);
+            }
+        }
+        // Completion accounting + sync trigger for this level.
+        let mut syncs = Vec::new();
+        let lp = self.plan.levels[level];
+        let count = {
+            let ls = &mut self.levels[level];
+            let c = ls.completed.entry(iteration).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count == lp.tokens_per_iteration {
+            self.levels[level].completed.remove(&iteration);
+            let participants: Vec<usize> = if self.is_cond_level(level) {
+                (0..self.cfg.ctd.expect("cond implies ctd").subset_size).collect()
+            } else {
+                (0..self.n_workers).collect()
+            };
+            if participants.len() <= 1 || self.meta[level].param_bytes == 0 {
+                // Degenerate sync completes instantly.
+                self.finish_sync(level, iteration);
+            } else {
+                syncs.push(SyncSpec {
+                    level,
+                    iteration,
+                    participants,
+                    bytes: self.meta[level].param_bytes,
+                });
+            }
+        }
+        syncs
+    }
+
+    /// Marks a level's parameter sync for `iteration` finished, releasing the
+    /// level's next iteration (root generation for level 0, pending generated
+    /// tokens for deeper levels).
+    pub fn sync_finished(&mut self, level: usize, iteration: u64) {
+        self.finish_sync(level, iteration);
+    }
+
+    fn finish_sync(&mut self, level: usize, iteration: u64) {
+        {
+            let ls = &mut self.levels[level];
+            debug_assert!(
+                iteration >= ls.synced_upto && !ls.synced_out_of_order.contains(&iteration),
+                "duplicate sync completion for level {level} iteration {iteration}"
+            );
+            ls.synced_out_of_order.insert(iteration);
+            while ls.synced_out_of_order.remove(&ls.synced_upto) {
+                ls.synced_upto += 1;
+            }
+        }
+        // Release gated generated tokens for this level (pending tokens are not
+        // necessarily in iteration order under staleness, so scan the deque).
+        let bound = self.levels[level].release_bound(self.cfg.staleness);
+        let mut still_pending = VecDeque::new();
+        while let Some((id, bucket)) = self.levels[level].pending.pop_front() {
+            if self.tokens[&id].iteration <= bound {
+                self.stbs[bucket][level].push_back(id);
+            } else {
+                still_pending.push_back((id, bucket));
+            }
+        }
+        self.levels[level].pending = still_pending;
+        self.release_due_roots();
+    }
+
+    fn generate_token(&mut self, level: usize, iteration: u64, deps: Vec<TokenId>, reporter: usize) {
+        let lp = self.plan.levels[level];
+        let seq = {
+            let generated = self
+                .tokens
+                .values()
+                .filter(|t| t.level == level && t.iteration == iteration)
+                .count() as u64;
+            generated
+        };
+        debug_assert!(seq < lp.tokens_per_iteration, "over-generation at {level}");
+        let id = TokenId(self.next_token_id);
+        self.next_token_id += 1;
+        let token = Token {
+            id,
+            level,
+            iteration,
+            seq,
+            batch: lp.batch_per_token,
+            deps,
+            sample_owner: None,
+        };
+        self.tokens.insert(id, token);
+        // Placement: the reporter's STB (it holds ≥ 1/ratio of the deps —
+        // Principle 1's locality argument); conditional tokens go to a subset
+        // member instead (the one with the fewest queued conditional tokens).
+        let bucket = if !self.cfg.hf {
+            0
+        } else if self.is_cond_level(level) && !self.in_ctd_subset(reporter) {
+            let subset = self.cfg.ctd.expect("cond implies ctd").subset_size;
+            (0..subset)
+                .min_by_key(|&w| (self.stbs[w][level].len(), w))
+                .expect("non-empty subset")
+        } else {
+            reporter
+        };
+        // Gate on this level's sync/staleness bound.
+        if iteration <= self.levels[level].release_bound(self.cfg.staleness) {
+            self.stbs[bucket][level].push_back(id);
+        } else {
+            self.levels[level].pending.push_back((id, bucket));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TokenPlan;
+    use fela_model::{bin_partition, zoo, PartitionOptions, ThresholdProfile};
+
+    const N: usize = 8;
+
+    fn meta_from_vgg() -> (TokenPlan, Vec<LevelMeta>) {
+        let p = bin_partition(
+            &zoo::vgg19(),
+            &ThresholdProfile::k40c(),
+            PartitionOptions::default(),
+        );
+        let cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]);
+        let plan = TokenPlan::build(&p, &cfg, 128, N).unwrap();
+        let meta = p
+            .sub_models()
+            .iter()
+            .map(|s| LevelMeta {
+                param_bytes: s.param_bytes,
+                output_bytes_per_sample: s.output_bytes_per_sample,
+                input_bytes_per_sample: s.input_bytes_per_sample,
+                comm_intensive: s.comm_intensive,
+            })
+            .collect();
+        (plan, meta)
+    }
+
+    fn server(cfg_mod: impl FnOnce(FelaConfig) -> FelaConfig) -> TokenServer {
+        let (plan, meta) = meta_from_vgg();
+        let cfg = cfg_mod(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
+        TokenServer::new(plan, cfg, meta, N, 100)
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    /// Runs synchronously until `target` iterations have fully completed: every
+    /// granted token completes immediately; emitted syncs finish immediately.
+    /// Granted-but-unreported tokens are always drained before returning, so the
+    /// helper can be called repeatedly. Returns emitted sync specs.
+    fn drain_until(ts: &mut TokenServer, clock: &mut u64, target: u64) -> Vec<SyncSpec> {
+        let mut all_syncs = Vec::new();
+        let mut active: VecDeque<(usize, Grant)> = VecDeque::new();
+        loop {
+            let done = ts.completed_iterations() >= target;
+            if done && active.is_empty() {
+                return all_syncs;
+            }
+            if active.is_empty() {
+                // Kick every worker once; at least one grant must emerge.
+                for w in 0..N {
+                    *clock += 500;
+                    if let Some(g) = ts.request(w, t(*clock)) {
+                        active.push_back((w, g));
+                    }
+                }
+                assert!(!active.is_empty(), "drain stalled with no grantable work");
+                continue;
+            }
+            let (w, g) = active.pop_front().expect("non-empty");
+            *clock += 500;
+            let syncs = ts.report(w, g.token.id);
+            for s in &syncs {
+                ts.sync_finished(s.level, s.iteration);
+            }
+            all_syncs.extend(syncs);
+            if ts.completed_iterations() < target {
+                if let Some(g2) = ts.request(w, t(*clock)) {
+                    active.push_back((w, g2));
+                }
+                while let Some((w2, g2)) = ts.pop_ready_grant(t(*clock)) {
+                    active.push_back((w2, g2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roots_are_spread_across_stbs() {
+        let ts = server(|c| c);
+        for w in 0..N {
+            assert_eq!(ts.stbs[w][0].len(), 1, "worker {w} STB");
+        }
+        assert_eq!(ts.released_root_iterations(), 1);
+    }
+
+    #[test]
+    fn own_stb_grant_is_local_and_conflict_free() {
+        let mut ts = server(|c| c);
+        let g = ts.request(3, t(0)).expect("token available");
+        assert_eq!(g.token.level, 0);
+        assert_eq!(g.token.sample_owner, Some(3));
+        assert!(g.fetches.is_empty(), "own shard → no sample fetch");
+        assert!(!g.conflict);
+        assert_eq!(ts.stats().local_grants, 1);
+    }
+
+    #[test]
+    fn generation_follows_figure3_ratios() {
+        let mut ts = server(|c| c);
+        let g0 = ts.request(0, t(0)).unwrap();
+        let g1 = ts.request(1, t(1)).unwrap();
+        assert!(ts.report(0, g0.token.id).is_empty());
+        let lvl1_before: usize = ts.stbs.iter().map(|s| s[1].len()).sum();
+        assert_eq!(lvl1_before, 0);
+        ts.report(1, g1.token.id);
+        let lvl1_after: usize = ts.stbs.iter().map(|s| s[1].len()).sum();
+        assert_eq!(lvl1_after, 1, "2 T-1 completions generate 1 T-2 token");
+        let id = ts.stbs.iter().flat_map(|s| s[1].iter()).next().copied().unwrap();
+        assert_eq!(ts.tokens[&id].deps, vec![g0.token.id, g1.token.id]);
+        assert_eq!(ts.stbs[1][1].len(), 1, "token placed in the reporter's STB");
+    }
+
+    #[test]
+    fn ads_prefers_highest_level() {
+        let mut ts = server(|c| c);
+        let g0 = ts.request(0, t(0)).unwrap();
+        ts.report(0, g0.token.id);
+        let g1 = ts.request(0, t(10_000)).unwrap(); // steals from worker 1's STB
+        assert_eq!(g1.token.sample_owner, Some(1));
+        ts.report(0, g1.token.id);
+        let g2 = ts.request(0, t(20_000)).unwrap();
+        assert_eq!(g2.token.level, 1, "ADS grants the deeper token first");
+        assert!(g2.fetches.is_empty(), "reporter holds both deps");
+    }
+
+    #[test]
+    fn ads_off_prefers_lowest_level() {
+        let mut ts = server(|c| c.with_ads(false).with_hf(false));
+        let g0 = ts.request(0, t(0)).unwrap();
+        ts.report(0, g0.token.id);
+        let g1 = ts.request(0, t(10_000)).unwrap();
+        ts.report(0, g1.token.id);
+        let g2 = ts.request(0, t(20_000)).unwrap();
+        assert_eq!(g2.token.level, 0, "ADS-off picks remaining T-1 first");
+    }
+
+    /// White-box construction of the §III-D Principle-2 example: two same-level
+    /// tokens in one bucket with different/equal locality towards the requester.
+    #[test]
+    fn principle2_locality_and_tie_break() {
+        let mut ts = server(|c| c);
+        let mk = |id: u64, level: usize, deps: Vec<TokenId>| Token {
+            id: TokenId(id),
+            level,
+            iteration: 0,
+            seq: 0,
+            batch: 32,
+            deps,
+            sample_owner: if level == 0 { Some(0) } else { None },
+        };
+        for id in [20u64, 21, 22, 23] {
+            ts.tokens.insert(TokenId(id), mk(id, 0, vec![]));
+        }
+        ts.holder.insert(TokenId(20), 0);
+        ts.holder.insert(TokenId(21), 0);
+        ts.holder.insert(TokenId(22), 4);
+        ts.holder.insert(TokenId(23), 4);
+        let t9 = mk(29, 1, vec![TokenId(20), TokenId(21)]);
+        let t10 = mk(30, 1, vec![TokenId(22), TokenId(23)]);
+        ts.tokens.insert(TokenId(29), t9);
+        ts.tokens.insert(TokenId(30), t10);
+        ts.stbs[0][0].clear();
+        ts.stbs[0][1].push_back(TokenId(30)); // deliberately out of id order
+        ts.stbs[0][1].push_back(TokenId(29));
+        assert_eq!(ts.locality_score(0, TokenId(29)), 1.0);
+        assert_eq!(ts.locality_score(0, TokenId(30)), 0.0);
+        let g = ts.request(0, t(0)).unwrap();
+        assert_eq!(g.token.id, TokenId(29));
+        assert!(g.fetches.is_empty(), "all deps local");
+        for w in 0..N {
+            ts.stbs[w][0].clear();
+        }
+        let g3 = ts.request(4, t(2_000_000)).unwrap();
+        assert_eq!(g3.token.id, TokenId(30), "score 1 beats score 0");
+        assert!(g3.fetches.is_empty());
+        ts.stbs[0][1].push_back(TokenId(29));
+        ts.stbs[0][1].push_back(TokenId(30));
+        let g4 = ts.request(6, t(3_000_000)).unwrap();
+        assert_eq!(
+            g4.token.id,
+            TokenId(29),
+            "equal scores tie-break to the smallest token id"
+        );
+        assert_eq!(g4.fetches.len(), 2);
+        assert!(g4.fetches.iter().all(|&(h, _)| h == 0), "deps held by worker 0");
+    }
+
+    #[test]
+    fn helper_steals_when_own_stb_empty() {
+        let mut ts = server(|c| c);
+        let g = ts.request(0, t(0)).unwrap();
+        ts.report(0, g.token.id);
+        let g2 = ts.request(0, t(1_000_000)).unwrap();
+        assert_eq!(g2.token.sample_owner, Some(1));
+        assert_eq!(ts.stats().steals, 1);
+        assert_eq!(g2.fetches.len(), 1);
+        assert_eq!(g2.fetches[0].0, 1);
+        assert!(g2.fetches[0].1 > 0, "stolen roots fetch their samples");
+    }
+
+    #[test]
+    fn helper_prioritizes_least_helped_then_slowest_stb() {
+        let mut ts = server(|c| c);
+        let all_roots: Vec<TokenId> = (0..N)
+            .flat_map(|w| ts.stbs[w][0].drain(..).collect::<Vec<_>>())
+            .collect();
+        ts.stbs[1][0].extend([all_roots[0], all_roots[1]]);
+        ts.stbs[2][0].push_back(all_roots[2]);
+        ts.stbs[3][0].extend([all_roots[3], all_roots[4], all_roots[5]]);
+        ts.helpers[1] = 1;
+        let g = ts.request(0, t(0)).unwrap();
+        assert!(ts.stbs[3][0].len() == 2, "token stolen from STB 3: {g:?}");
+        let g2 = ts.request(4, t(1_000_000)).unwrap();
+        assert!(ts.stbs[2][0].is_empty(), "second steal hits STB 2: {g2:?}");
+    }
+
+    #[test]
+    fn conflicts_detected_within_lock_window() {
+        let mut ts = server(|c| c.with_hf(false));
+        let g1 = ts.request(0, t(0)).unwrap();
+        assert!(!g1.conflict, "first grant cannot conflict");
+        let g2 = ts.request(1, t(10)).unwrap();
+        assert!(g2.conflict);
+        let g3 = ts.request(2, t(10_000)).unwrap();
+        assert!(!g3.conflict);
+        assert_eq!(ts.stats().conflicts, 1);
+    }
+
+    #[test]
+    fn hf_owners_never_conflict() {
+        let mut ts = server(|c| c);
+        let g1 = ts.request(0, t(0)).unwrap();
+        let g2 = ts.request(1, t(1)).unwrap();
+        assert!(!g1.conflict && !g2.conflict);
+        assert_eq!(ts.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn global_bucket_ignores_sample_affinity() {
+        let mut ts = server(|c| c.with_hf(false));
+        let g = ts.request(5, t(0)).unwrap();
+        assert_eq!(g.token.sample_owner, Some(0));
+        assert_eq!(g.fetches.len(), 1);
+        assert_eq!(g.fetches[0].0, 0);
+    }
+
+    #[test]
+    fn starved_request_queues_and_pops_later() {
+        let mut ts = server(|c| c);
+        let mut granted = Vec::new();
+        for w in 0..N {
+            granted.push(ts.request(w, t(w as u64 * 1000)).unwrap());
+        }
+        assert!(ts.request(0, t(9_000)).is_none());
+        assert_eq!(ts.stats().starved_requests, 1);
+        assert!(ts.pop_ready_grant(t(10_000)).is_none());
+        ts.report(0, granted[0].token.id);
+        ts.report(1, granted[1].token.id);
+        let (w, g) = ts.pop_ready_grant(t(11_000)).expect("worker served");
+        assert_eq!(w, 0);
+        assert_eq!(g.token.level, 1);
+    }
+
+    #[test]
+    fn sync_emitted_when_level_completes() {
+        let mut ts = server(|c| c);
+        let mut syncs = Vec::new();
+        for w in 0..N {
+            let g = ts.request(w, t(w as u64)).unwrap();
+            syncs.extend(ts.report(w, g.token.id));
+        }
+        assert_eq!(syncs.len(), 1);
+        assert_eq!(syncs[0].level, 0);
+        assert_eq!(syncs[0].iteration, 0);
+        assert_eq!(syncs[0].participants.len(), N);
+        assert!(syncs[0].bytes > 0);
+        assert_eq!(ts.completed_iterations(), 0);
+    }
+
+    #[test]
+    fn level0_sync_releases_next_iterations_roots() {
+        let mut ts = server(|c| c);
+        let mut grants = Vec::new();
+        for w in 0..N {
+            grants.push(ts.request(w, t(w as u64)).unwrap());
+        }
+        let mut syncs = Vec::new();
+        for (w, g) in grants.iter().enumerate() {
+            syncs.extend(ts.report(w, g.token.id));
+        }
+        assert_eq!(ts.released_root_iterations(), 1, "gated until sync");
+        ts.sync_finished(0, 0);
+        assert_eq!(
+            ts.released_root_iterations(),
+            2,
+            "iteration 1 roots flow while deeper levels of iteration 0 still train"
+        );
+        // The new roots are distributable right away (worker 2's STB holds only
+        // its fresh root; odd-numbered workers also hold generated T-2 tokens,
+        // which ADS would prefer).
+        let g = ts.request(2, t(1_000_000)).unwrap();
+        assert_eq!((g.token.level, g.token.iteration), (0, 1));
+    }
+
+    #[test]
+    fn deeper_levels_gate_on_their_own_sync() {
+        let mut ts = server(|c| c);
+        let mut clock = 0u64;
+        // Drain iteration 0 fully (all syncs finish instantly in the helper).
+        drain_until(&mut ts, &mut clock, 1);
+        assert_eq!(ts.completed_iterations(), 1);
+        // Iteration 1 roots already released by the level-0 sync.
+        assert!(ts.released_root_iterations() >= 2);
+    }
+
+    #[test]
+    fn run_completes_after_max_iterations() {
+        let (plan, meta) = meta_from_vgg();
+        let cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]);
+        let mut ts = TokenServer::new(plan, cfg, meta, N, 3);
+        let mut clock = 0u64;
+        for k in 1..=3u64 {
+            drain_until(&mut ts, &mut clock, k);
+            assert_eq!(ts.completed_iterations(), k);
+        }
+        assert!(ts.run_complete());
+        // No further tokens exist.
+        assert!(ts.request(0, t(clock * 1000 + 1_000_000)).is_none());
+        // Token conservation across the run.
+        let total: u64 = ts.trained_per_worker().iter().sum();
+        assert_eq!(total, ts.plan().tokens_per_iteration() * 3);
+    }
+
+    #[test]
+    fn ctd_restricts_cond_level_to_subset() {
+        let mut ts = server(|c| c.with_ctd(2));
+        let mut inflight: VecDeque<Grant> = VecDeque::new();
+        for w in 0..N {
+            inflight.push_back(ts.request(w, t(w as u64)).unwrap());
+        }
+        let mut clock = 1000u64;
+        while let Some(g) = inflight.pop_front() {
+            for s in ts.report(7, g.token.id) {
+                ts.sync_finished(s.level, s.iteration);
+            }
+            clock += 1000;
+            if let Some(g2) = ts.request(7, t(clock)) {
+                assert_ne!(g2.token.level, 2, "non-member granted conditional token");
+                // Stop chasing into iteration 1 — we only care about iteration 0.
+                if g2.token.iteration == 0 {
+                    inflight.push_back(g2);
+                }
+            }
+        }
+        let cond_tokens: usize = (0..2).map(|w| ts.stbs[w][2].len()).sum();
+        let cond_elsewhere: usize = (2..N).map(|w| ts.stbs[w][2].len()).sum();
+        assert_eq!(cond_elsewhere, 0);
+        assert!(cond_tokens > 0);
+        let g = ts.request(0, t(clock + 1000)).unwrap();
+        assert_eq!(g.token.level, 2, "subset member takes conditional tokens first");
+    }
+
+    #[test]
+    fn ctd_sync_participants_are_subset() {
+        let mut ts = server(|c| c.with_ctd(2));
+        let mut clock = 0u64;
+        let syncs = drain_until(&mut ts, &mut clock, 1);
+        let fc_sync = syncs.iter().find(|s| s.level == 2).expect("FC sync");
+        assert_eq!(fc_sync.participants, vec![0, 1], "CTD shrinks the sync group");
+        let conv_sync = syncs.iter().find(|s| s.level == 0).unwrap();
+        assert_eq!(conv_sync.participants.len(), N);
+        assert_eq!(ts.completed_iterations(), 1);
+    }
+
+    #[test]
+    fn barrier_mode_holds_next_iteration_until_full_completion() {
+        let (plan, meta) = meta_from_vgg();
+        let cfg = FelaConfig::new(3)
+            .with_weights(vec![1, 2, 4])
+            .with_pipelining(false);
+        let mut ts = TokenServer::new(plan, cfg, meta, N, 10);
+        // Complete all 8 root tokens and finish the level-0 sync.
+        let mut grants = Vec::new();
+        for w in 0..N {
+            grants.push(ts.request(w, t(w as u64)).unwrap());
+        }
+        let mut syncs = Vec::new();
+        for (w, g) in grants.iter().enumerate() {
+            syncs.extend(ts.report(w, g.token.id));
+        }
+        for sp in &syncs {
+            ts.sync_finished(sp.level, sp.iteration);
+        }
+        // Pipelining would release iteration 1 here; the barrier must not.
+        assert_eq!(
+            ts.released_root_iterations(),
+            1,
+            "barrier mode gates iteration 1 on the whole of iteration 0"
+        );
+        let mut clock = 1_000_000u64;
+        drain_until(&mut ts, &mut clock, 1);
+        assert!(ts.released_root_iterations() >= 2, "released after the barrier");
+    }
+
+    #[test]
+    fn staleness_releases_iterations_ahead() {
+        let (plan, meta) = meta_from_vgg();
+        let cfg = FelaConfig::new(3)
+            .with_weights(vec![1, 2, 4])
+            .with_staleness(2);
+        let ts = TokenServer::new(plan, cfg, meta, N, 10);
+        // With staleness 2, iterations 0..=2 are released before any sync.
+        assert_eq!(ts.released_root_iterations(), 3);
+        // Every worker's STB holds 3 root tokens (one per released iteration).
+        for w in 0..N {
+            assert_eq!(ts.stbs[w][0].len(), 3, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn staleness_zero_is_bsp() {
+        let (plan, meta) = meta_from_vgg();
+        let cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_staleness(0);
+        let ts = TokenServer::new(plan, cfg, meta, N, 10);
+        assert_eq!(ts.released_root_iterations(), 1);
+    }
+
+    #[test]
+    fn out_of_order_syncs_reconcile() {
+        let (plan, meta) = meta_from_vgg();
+        let cfg = FelaConfig::new(3)
+            .with_weights(vec![1, 2, 4])
+            .with_staleness(1);
+        let mut ts = TokenServer::new(plan, cfg, meta, N, 10);
+        // Drive two iterations' worth of work; syncs may interleave. The helper
+        // finishes syncs immediately, so just check the contiguity accounting by
+        // feeding finish_sync out of order on level 0 state directly.
+        ts.levels[0].synced_out_of_order.clear();
+        ts.finish_sync(0, 1); // iteration 1 first
+        assert_eq!(ts.levels[0].synced_upto, 0, "gap at 0 blocks advancement");
+        ts.finish_sync(0, 0);
+        assert_eq!(ts.levels[0].synced_upto, 2, "both reconcile once 0 lands");
+    }
+
+    #[test]
+    fn ctd_subset_one_needs_no_sync() {
+        let mut ts = server(|c| c.with_ctd(1));
+        let mut clock = 0u64;
+        let syncs = drain_until(&mut ts, &mut clock, 1);
+        assert!(
+            syncs.iter().all(|s| s.level != 2),
+            "single-member subset syncs degenerately (for free)"
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! Token-scheduled training vs. the serial reference — the reproducibility proof.
+//!
+//! The paper's Table II credits Fela with *algorithm reproducibility*: unlike
+//! ASP/SSP systems, its token scheduling is a pure re-ordering of the same BSP
+//! computation. This module makes that claim checkable:
+//!
+//! * [`TokenExecutor::step`] trains one iteration by splitting the model into
+//!   sub-models and the batch into tokens per a [`SplitPlan`], executing tokens in
+//!   an arbitrary caller-supplied schedule (any topological order of the token
+//!   DAG), and reducing gradients in canonical token-sequence order;
+//! * [`serial_step`] trains the same iteration conventionally (one full-batch
+//!   pass).
+//!
+//! Two token schedules produce **bit-identical** parameters (asserted in tests and
+//! property tests): per-sample forward independence plus canonical reduction order
+//! make the result schedule-invariant. Against the serial reference, results are
+//! identical in exact arithmetic and agree to floating-point regrouping tolerance
+//! (the partial sums associate differently) — with one token the match is exact.
+
+use crate::network::EngineNet;
+use crate::tensor::Tensor;
+
+/// How a model and batch decompose into tokens.
+#[derive(Clone, Debug)]
+pub struct SplitPlan {
+    /// Sub-model boundaries: `levels[l] = (start_layer, end_layer)`.
+    pub levels: Vec<(usize, usize)>,
+    /// Tokens per level; `tokens[l]` must divide `tokens[0]` (nondecreasing
+    /// per-token batches, as in the paper).
+    pub tokens: Vec<usize>,
+}
+
+impl SplitPlan {
+    /// Validates against a network and batch size.
+    ///
+    /// # Panics
+    /// Panics if boundaries do not tile the network, token counts are invalid, or
+    /// the batch does not divide evenly.
+    pub fn validate(&self, net: &EngineNet, batch: usize) {
+        assert_eq!(self.levels.len(), self.tokens.len());
+        assert!(!self.levels.is_empty());
+        assert_eq!(self.levels[0].0, 0, "first sub-model starts at layer 0");
+        assert_eq!(
+            self.levels.last().unwrap().1,
+            net.len(),
+            "last sub-model ends at the last layer"
+        );
+        for w in self.levels.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "sub-models must tile the network");
+        }
+        for (l, &t) in self.tokens.iter().enumerate() {
+            assert!(t > 0, "level {l} has zero tokens");
+            assert_eq!(
+                self.tokens[0] % t,
+                0,
+                "level {l} token count must divide the root count"
+            );
+            assert_eq!(batch % t, 0, "batch must divide into level {l} tokens");
+        }
+    }
+
+    /// All `(level, index)` pairs — the token DAG's nodes.
+    pub fn all_tokens(&self) -> Vec<(usize, usize)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .flat_map(|(l, &n)| (0..n).map(move |j| (l, j)))
+            .collect()
+    }
+
+    /// Dependencies of token `(level, j)`: the level-`(l−1)` tokens covering the
+    /// same sample rows.
+    pub fn deps(&self, level: usize, j: usize) -> Vec<(usize, usize)> {
+        if level == 0 {
+            return vec![];
+        }
+        let ratio = self.tokens[level - 1] / self.tokens[level];
+        (0..ratio).map(|k| (level - 1, j * ratio + k)).collect()
+    }
+}
+
+/// Mean-squared-error gradient: `d/dy ½·mean‖y − t‖²` per element, scaled by the
+/// *full* batch size so token splitting keeps the same objective.
+fn mse_grad(y: &Tensor, target: &Tensor, full_batch: usize) -> Tensor {
+    assert_eq!(y.shape(), target.shape());
+    let scale = 1.0 / (full_batch as f32);
+    let data = y
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(a, b)| (a - b) * scale)
+        .collect();
+    Tensor::from_vec(y.shape(), data)
+}
+
+/// MSE loss value (for convergence tests).
+pub fn mse_loss(y: &Tensor, target: &Tensor) -> f32 {
+    let n = y.shape()[0] as f32;
+    y.data()
+        .iter()
+        .zip(target.data())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / (2.0 * n)
+}
+
+/// One conventional full-batch SGD step (the reference).
+pub fn serial_step(net: &mut EngineNet, x: &Tensor, target: &Tensor, lr: f32) {
+    let (inputs, y) = net.forward_range(0, net.len(), x);
+    let grad = mse_grad(&y, target, x.shape()[0]);
+    let grads = net.backward_range(0, net.len(), &inputs, &grad);
+    net.apply_range(0, &grads.per_layer, lr);
+}
+
+/// Token-scheduled executor over one network.
+pub struct TokenExecutor {
+    /// The decomposition in force.
+    pub plan: SplitPlan,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+impl TokenExecutor {
+    /// Trains one iteration executing tokens in `schedule` order.
+    ///
+    /// `schedule` must be a permutation of [`SplitPlan::all_tokens`] that respects
+    /// dependencies (checked).
+    ///
+    /// # Panics
+    /// Panics if the schedule is not a valid topological order of the token DAG.
+    pub fn step(
+        &self,
+        net: &mut EngineNet,
+        x: &Tensor,
+        target: &Tensor,
+        schedule: &[(usize, usize)],
+    ) {
+        let batch = x.shape()[0];
+        self.plan.validate(net, batch);
+        let m = self.plan.levels.len();
+        assert_eq!(
+            schedule.len(),
+            self.plan.all_tokens().len(),
+            "schedule must cover every token exactly once"
+        );
+
+        // Forward phase, in schedule order.
+        let mut outputs: Vec<Vec<Option<Tensor>>> =
+            self.plan.tokens.iter().map(|&n| vec![None; n]).collect();
+        let mut stored_inputs: Vec<Vec<Option<Vec<Tensor>>>> =
+            self.plan.tokens.iter().map(|&n| vec![None; n]).collect();
+        for &(level, j) in schedule {
+            assert!(
+                outputs[level][j].is_none(),
+                "token ({level},{j}) scheduled twice"
+            );
+            let (start, end) = self.plan.levels[level];
+            let input = if level == 0 {
+                let per = batch / self.plan.tokens[0];
+                x.slice_rows(j * per, (j + 1) * per)
+            } else {
+                let parts: Vec<&Tensor> = self
+                    .plan
+                    .deps(level, j)
+                    .into_iter()
+                    .map(|(dl, dj)| {
+                        outputs[dl][dj]
+                            .as_ref()
+                            .expect("schedule violates token dependencies")
+                    })
+                    .collect();
+                Tensor::cat_rows(&parts)
+            };
+            let (inputs, out) = net.forward_range(start, end, &input);
+            stored_inputs[level][j] = Some(inputs);
+            outputs[level][j] = Some(out);
+        }
+
+        // Backward phase: top level down, tokens in sequence order; gradients
+        // reduce canonically so the result is schedule-invariant.
+        let mut grad_out: Vec<Vec<Option<Tensor>>> =
+            self.plan.tokens.iter().map(|&n| vec![None; n]).collect();
+        let last = m - 1;
+        let per_last = batch / self.plan.tokens[last];
+        for j in 0..self.plan.tokens[last] {
+            let y = outputs[last][j].as_ref().expect("all tokens ran");
+            let t = target.slice_rows(j * per_last, (j + 1) * per_last);
+            grad_out[last][j] = Some(mse_grad(y, &t, batch));
+        }
+        for level in (0..m).rev() {
+            let (start, end) = self.plan.levels[level];
+            // Canonical accumulator per layer of this level.
+            let mut acc: Option<Vec<(Tensor, Tensor)>> = None;
+            for j in 0..self.plan.tokens[level] {
+                let inputs = stored_inputs[level][j].as_ref().expect("token ran");
+                let go = grad_out[level][j].as_ref().expect("grad available");
+                let grads = net.backward_range(start, end, inputs, go);
+                match &mut acc {
+                    None => acc = Some(grads.per_layer.clone()),
+                    Some(a) => {
+                        for ((aw, ab), (gw, gb)) in a.iter_mut().zip(&grads.per_layer) {
+                            if !gw.is_empty() {
+                                aw.add_assign(gw);
+                                ab.add_assign(gb);
+                            }
+                        }
+                    }
+                }
+                // Split the input gradient back to the dependency tokens.
+                if level > 0 {
+                    let deps = self.plan.deps(level, j);
+                    let dep_rows = grads.input.shape()[0] / deps.len();
+                    for (k, (dl, dj)) in deps.into_iter().enumerate() {
+                        let mut slice =
+                            grads.input.slice_rows(k * dep_rows, (k + 1) * dep_rows);
+                        // Match the stored output shape of the dep (conv layers keep
+                        // 4-D shapes; the flatten boundary reshapes lazily).
+                        let dep_shape = outputs[dl][dj].as_ref().expect("ran").shape().to_vec();
+                        if slice.shape() != dep_shape.as_slice() {
+                            slice = Tensor::from_vec(&dep_shape, slice.data().to_vec());
+                        }
+                        grad_out[dl][dj] = Some(slice);
+                    }
+                }
+            }
+            net.apply_range(start, &acc.expect("level has tokens"), self.lr);
+        }
+    }
+}
+
+/// Builds a valid topological schedule from a permutation seed: repeatedly picks
+/// the next ready token, choosing among ready ones pseudo-randomly.
+pub fn seeded_schedule(plan: &SplitPlan, seed: u64) -> Vec<(usize, usize)> {
+    let mut ready: Vec<(usize, usize)> = Vec::new();
+    let mut done: Vec<Vec<bool>> = plan.tokens.iter().map(|&n| vec![false; n]).collect();
+    let mut remaining: Vec<(usize, usize)> = plan.all_tokens();
+    let mut out = Vec::with_capacity(remaining.len());
+    let mut state = seed;
+    let mut next_rand = |bound: usize| {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % bound
+    };
+    while !remaining.is_empty() || !ready.is_empty() {
+        // Move newly ready tokens out of `remaining`.
+        let mut i = 0;
+        while i < remaining.len() {
+            let (l, j) = remaining[i];
+            if plan.deps(l, j).iter().all(|&(dl, dj)| done[dl][dj]) {
+                ready.push(remaining.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        assert!(!ready.is_empty(), "token DAG has a cycle?!");
+        let pick = next_rand(ready.len());
+        let (l, j) = ready.swap_remove(pick);
+        done[l][j] = true;
+        out.push((l, j));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlp_plan() -> (EngineNet, SplitPlan) {
+        let net = EngineNet::mlp(&[6, 8, 8, 4], 17);
+        // Layers: dense relu dense relu dense = 5 units; split 0..2, 2..4, 4..5.
+        let plan = SplitPlan {
+            levels: vec![(0, 2), (2, 4), (4, 5)],
+            tokens: vec![4, 2, 1],
+        };
+        (net, plan)
+    }
+
+    fn data(batch: usize) -> (Tensor, Tensor) {
+        (
+            Tensor::seeded(&[batch, 6], 100, 1.0),
+            Tensor::seeded(&[batch, 4], 200, 1.0),
+        )
+    }
+
+    #[test]
+    fn schedules_are_topological() {
+        let (_, plan) = mlp_plan();
+        for seed in 0..10 {
+            let sched = seeded_schedule(&plan, seed);
+            assert_eq!(sched.len(), 7);
+            let mut seen = std::collections::HashSet::new();
+            for (l, j) in sched {
+                for dep in plan.deps(l, j) {
+                    assert!(seen.contains(&dep), "dep {dep:?} after ({l},{j})");
+                }
+                seen.insert((l, j));
+            }
+        }
+    }
+
+    #[test]
+    fn different_schedules_bit_identical() {
+        let (net0, plan) = mlp_plan();
+        let (x, t) = data(8);
+        let exec = TokenExecutor {
+            plan: plan.clone(),
+            lr: 0.05,
+        };
+        let mut results = Vec::new();
+        for seed in [1u64, 7, 42, 1337] {
+            let mut net = net0.clone();
+            for _ in 0..3 {
+                let sched = seeded_schedule(&plan, seed);
+                exec.step(&mut net, &x, &t, &sched);
+            }
+            results.push(net);
+        }
+        for r in &results[1..] {
+            assert_eq!(
+                r, &results[0],
+                "token scheduling must not change the trained model bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn single_token_plan_equals_serial_exactly() {
+        let net0 = EngineNet::mlp(&[5, 7, 3], 3);
+        let plan = SplitPlan {
+            levels: vec![(0, 2), (2, 3)],
+            tokens: vec![1, 1],
+        };
+        let (x, t) = (
+            Tensor::seeded(&[4, 5], 300, 1.0),
+            Tensor::seeded(&[4, 3], 301, 1.0),
+        );
+        let mut serial = net0.clone();
+        let mut tokened = net0.clone();
+        let exec = TokenExecutor {
+            plan: plan.clone(),
+            lr: 0.1,
+        };
+        for _ in 0..5 {
+            serial_step(&mut serial, &x, &t, 0.1);
+            let sched = seeded_schedule(&plan, 9);
+            exec.step(&mut tokened, &x, &t, &sched);
+        }
+        assert_eq!(serial, tokened, "one token per level is literally serial BSP");
+    }
+
+    #[test]
+    fn token_split_matches_serial_within_fp_regrouping() {
+        let (net0, plan) = mlp_plan();
+        let (x, t) = data(8);
+        let mut serial = net0.clone();
+        let mut tokened = net0.clone();
+        let exec = TokenExecutor {
+            plan: plan.clone(),
+            lr: 0.05,
+        };
+        for step in 0..3 {
+            serial_step(&mut serial, &x, &t, 0.05);
+            exec.step(&mut tokened, &x, &t, &seeded_schedule(&plan, step));
+        }
+        // Same computation up to floating-point re-association of the gradient
+        // partial sums: agreement to ~1e-5 relative.
+        for (a, b) in serial.layers().iter().zip(tokened.layers().iter()) {
+            if let (
+                crate::layers::EngineLayer::Dense { weight: wa, .. },
+                crate::layers::EngineLayer::Dense { weight: wb, .. },
+            ) = (a, b)
+            {
+                for (va, vb) in wa.data().iter().zip(wb.data()) {
+                    assert!(
+                        (va - vb).abs() <= 1e-4 * (1.0 + va.abs()),
+                        "{va} vs {vb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn training_converges() {
+        let (net0, plan) = mlp_plan();
+        let (x, t) = data(8);
+        let exec = TokenExecutor {
+            plan: plan.clone(),
+            lr: 0.2,
+        };
+        let mut net = net0;
+        let initial = {
+            let (_, y) = net.forward_range(0, net.len(), &x);
+            mse_loss(&y, &t)
+        };
+        for step in 0..50 {
+            exec.step(&mut net, &x, &t, &seeded_schedule(&plan, step));
+        }
+        let final_loss = {
+            let (_, y) = net.forward_range(0, net.len(), &x);
+            mse_loss(&y, &t)
+        };
+        assert!(
+            final_loss < 0.5 * initial,
+            "loss {initial} → {final_loss}: token-scheduled SGD must converge"
+        );
+    }
+
+    #[test]
+    fn cnn_token_training_is_schedule_invariant() {
+        let net0 = EngineNet::small_cnn(1, 4, 4, 2, 51);
+        let plan = SplitPlan {
+            levels: vec![(0, 2), (2, 4), (4, 5)],
+            tokens: vec![2, 2, 1],
+        };
+        let x = Tensor::seeded(&[4, 1, 4, 4], 400, 1.0);
+        let t = Tensor::seeded(&[4, 2], 401, 1.0);
+        let exec = TokenExecutor {
+            plan: plan.clone(),
+            lr: 0.05,
+        };
+        let mut a = net0.clone();
+        let mut b = net0.clone();
+        exec.step(&mut a, &x, &t, &seeded_schedule(&plan, 1));
+        exec.step(&mut b, &x, &t, &seeded_schedule(&plan, 99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled twice")]
+    fn duplicate_schedule_rejected() {
+        let (mut net, plan) = mlp_plan();
+        let (x, t) = data(8);
+        let exec = TokenExecutor {
+            plan: plan.clone(),
+            lr: 0.1,
+        };
+        let mut sched = seeded_schedule(&plan, 0);
+        let first = sched[0];
+        sched[1] = first;
+        exec.step(&mut net, &x, &t, &sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "must tile")]
+    fn plan_validation_catches_gaps() {
+        let (net, _) = mlp_plan();
+        let bad = SplitPlan {
+            levels: vec![(0, 2), (3, 5)],
+            tokens: vec![1, 1],
+        };
+        bad.validate(&net, 8);
+    }
+}

@@ -1,0 +1,51 @@
+//! GPU device profiles.
+
+use serde::Serialize;
+
+/// Static description of a GPU device.
+///
+/// The compute model derives a layer's peak training throughput from
+/// `effective_flops()` and the layer's per-sample FLOPs; the memory model checks
+/// batch feasibility against `mem_bytes`.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeviceProfile {
+    /// Marketing name, e.g. `"Tesla K40c"`.
+    pub name: &'static str,
+    /// Peak single-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Fraction of peak a well-tuned dense kernel sustains (cuDNN-era convolutions
+    /// on Kepler sit in the 30–40% range).
+    pub efficiency: f64,
+    /// Device memory in bytes.
+    pub mem_bytes: u64,
+}
+
+impl DeviceProfile {
+    /// The NVIDIA Tesla K40c used throughout the paper: 4.29 TFLOP/s fp32, 12 GB.
+    pub fn k40c() -> Self {
+        DeviceProfile {
+            name: "Tesla K40c",
+            peak_flops: 4.29e12,
+            efficiency: 0.35,
+            mem_bytes: 12 * (1 << 30),
+        }
+    }
+
+    /// Sustained FLOP/s available to dense training kernels.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40c_profile_values() {
+        let d = DeviceProfile::k40c();
+        assert_eq!(d.name, "Tesla K40c");
+        assert_eq!(d.mem_bytes, 12_884_901_888);
+        assert!((d.effective_flops() - 4.29e12 * 0.35).abs() < 1e6);
+    }
+}

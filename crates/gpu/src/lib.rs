@@ -1,0 +1,23 @@
+//! # fela-gpu — analytic GPU compute and memory model
+//!
+//! The hardware substitute for the paper's NVIDIA Tesla K40c (see DESIGN.md §1):
+//!
+//! * [`DeviceProfile`] — peak FLOP/s, sustained efficiency, memory size;
+//! * [`ComputeModel`] — per-layer/per-sub-model training time as a function of
+//!   batch size, reproducing the saturation curves of Figure 1;
+//! * [`MemoryModel`] — batch feasibility, reproducing the "VGG19 fits at batch 32,
+//!   not above" constraint of §II-B footnote 3.
+//!
+//! Everything here is pure shape/size arithmetic — deterministic, unit-testable,
+//! and independent of the simulator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compute;
+mod device;
+mod memory;
+
+pub use compute::{ComputeModel, TRAIN_TO_FORWARD_FLOPS};
+pub use device::DeviceProfile;
+pub use memory::{MemoryModel, ACTIVATION_FACTOR};

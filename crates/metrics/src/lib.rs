@@ -1,0 +1,17 @@
+//! # fela-metrics — metrics, statistics and reporting
+//!
+//! The shared vocabulary of the evaluation: [`RunReport`] (what every runtime
+//! returns), the paper's Equation 3 ([`RunReport::average_throughput`]) and
+//! Equation 4 ([`per_iteration_delay`]), the Figure 6 normalisation helpers in
+//! [`stats`], and the ASCII/CSV [`Table`] renderer used by every experiment binary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod stats;
+
+mod report;
+mod table;
+
+pub use report::{format_speedup, per_iteration_delay, speedup, RunReport};
+pub use table::{f2, f3, Table};

@@ -1,0 +1,202 @@
+//! Run reports and the paper's two headline metrics.
+//!
+//! Every runtime (Fela, DP, MP, HP) produces a [`RunReport`]. The comparison
+//! metrics are exactly the paper's:
+//!
+//! * **Average throughput** (Equation 3):
+//!   `AT = total_batch_size × iter_n / total_time`;
+//! * **Per-iteration delay** (Equation 4):
+//!   `PID = (total_time_s − total_time_0) / iter_n`, where `total_time_s` is the
+//!   straggler-scenario time and `total_time_0` the non-straggler time of the same
+//!   runtime and workload.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one training run (fixed number of iterations, as in §V-A).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Runtime that produced the run (`"fela"`, `"dp"`, `"mp"`, `"hp"`).
+    pub runtime: String,
+    /// Benchmark model name.
+    pub model: String,
+    /// Total batch size per iteration.
+    pub total_batch: u64,
+    /// Number of iterations executed.
+    pub iterations: u64,
+    /// Wall time to complete all iterations, in (virtual) seconds.
+    pub total_time_secs: f64,
+    /// Per-iteration completion times in seconds (length = `iterations`).
+    pub per_iteration_secs: Vec<f64>,
+    /// Total bytes moved across the network.
+    pub network_bytes: u64,
+    /// Per-worker GPU busy time in seconds.
+    pub worker_busy_secs: Vec<f64>,
+    /// Runtime-specific counters (tokens trained, conflicts, remote fetches…).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunReport {
+    /// Creates an empty report skeleton.
+    pub fn new(runtime: impl Into<String>, model: impl Into<String>, total_batch: u64) -> Self {
+        RunReport {
+            runtime: runtime.into(),
+            model: model.into(),
+            total_batch,
+            iterations: 0,
+            total_time_secs: 0.0,
+            per_iteration_secs: Vec::new(),
+            network_bytes: 0,
+            worker_busy_secs: Vec::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Average throughput in samples/second (Equation 3).
+    ///
+    /// Returns 0 for a zero-length run.
+    pub fn average_throughput(&self) -> f64 {
+        if self.total_time_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.total_batch * self.iterations) as f64 / self.total_time_secs
+    }
+
+    /// Mean per-iteration time in seconds.
+    pub fn mean_iteration_secs(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.total_time_secs / self.iterations as f64
+    }
+
+    /// Mean GPU utilisation across workers over the run, in `[0, 1]` — the
+    /// work-conservation measure behind Table II's comparison.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.worker_busy_secs.is_empty() || self.total_time_secs <= 0.0 {
+            return 0.0;
+        }
+        let mean_busy: f64 =
+            self.worker_busy_secs.iter().sum::<f64>() / self.worker_busy_secs.len() as f64;
+        mean_busy / self.total_time_secs
+    }
+
+    /// Increment a named counter.
+    pub fn bump(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Read a named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Per-iteration delay in seconds (Equation 4).
+///
+/// # Panics
+/// Panics if the two reports ran different iteration counts — the metric is only
+/// defined for equal-length runs.
+pub fn per_iteration_delay(straggler_run: &RunReport, baseline_run: &RunReport) -> f64 {
+    assert_eq!(
+        straggler_run.iterations, baseline_run.iterations,
+        "PID requires equal iteration counts"
+    );
+    assert!(straggler_run.iterations > 0, "PID of an empty run");
+    (straggler_run.total_time_secs - baseline_run.total_time_secs)
+        / straggler_run.iterations as f64
+}
+
+/// Speedup of `ours` over `baseline` in average throughput, expressed the way the
+/// paper does: values below 2 read as a percentage improvement ("+28.6%"), values
+/// of 2 or more as a multiplier ("3.23×").
+pub fn speedup(ours: &RunReport, baseline: &RunReport) -> f64 {
+    let b = baseline.average_throughput();
+    if b <= 0.0 {
+        return f64::INFINITY;
+    }
+    ours.average_throughput() / b
+}
+
+/// Formats a speedup ratio in the paper's style: `1.286` → `"28.6%"`,
+/// `3.23` → `"3.23×"` (improvements of less than 2× print as percentages).
+pub fn format_speedup(ratio: f64) -> String {
+    if ratio >= 2.0 {
+        format!("{ratio:.2}×")
+    } else {
+        format!("{:.2}%", (ratio - 1.0) * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(secs: f64, iters: u64, batch: u64) -> RunReport {
+        let mut r = RunReport::new("fela", "VGG19", batch);
+        r.iterations = iters;
+        r.total_time_secs = secs;
+        r.per_iteration_secs = (0..iters).map(|_| secs / iters as f64).collect();
+        r
+    }
+
+    #[test]
+    fn equation3_average_throughput() {
+        // 128 samples × 100 iters / 50 s = 256 samples/s.
+        let r = report(50.0, 100, 128);
+        assert!((r.average_throughput() - 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_throughput_is_zero() {
+        assert_eq!(report(0.0, 0, 128).average_throughput(), 0.0);
+    }
+
+    #[test]
+    fn equation4_per_iteration_delay() {
+        let base = report(50.0, 100, 128);
+        let slow = report(80.0, 100, 128);
+        assert!((per_iteration_delay(&slow, &base) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal iteration counts")]
+    fn pid_rejects_mismatched_runs() {
+        per_iteration_delay(&report(1.0, 10, 8), &report(1.0, 20, 8));
+    }
+
+    #[test]
+    fn speedup_and_formatting() {
+        let fast = report(25.0, 100, 128);
+        let slow = report(80.75, 100, 128);
+        let s = speedup(&fast, &slow);
+        assert!((s - 3.23).abs() < 1e-9);
+        assert_eq!(format_speedup(s), "3.23×");
+        assert_eq!(format_speedup(1.286), "28.60%");
+    }
+
+    #[test]
+    fn utilization_mean() {
+        let mut r = report(10.0, 10, 64);
+        r.worker_busy_secs = vec![10.0, 5.0];
+        assert!((r.mean_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_bump_and_read() {
+        let mut r = report(1.0, 1, 1);
+        assert_eq!(r.counter("conflicts"), 0);
+        r.bump("conflicts", 2);
+        r.bump("conflicts", 3);
+        assert_eq!(r.counter("conflicts"), 5);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = report(1.0, 2, 3);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.iterations, 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! ASCII-table and CSV rendering for experiment output.
+//!
+//! Every experiment binary prints the same rows/series the paper reports, using
+//! this tiny renderer, and optionally dumps machine-readable CSV/JSON next to it so
+//! EXPERIMENTS.md stays regenerable.
+
+use std::fmt::Write as _;
+
+/// A simple right-padded ASCII table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, "| {cell:<w$} ");
+            }
+            line.push('|');
+            line
+        };
+        let head = fmt_row(&self.header, &widths);
+        let rule: String = head
+            .chars()
+            .map(|c| if c == '|' { '+' } else { '-' })
+            .collect();
+        let _ = writeln!(out, "{rule}");
+        let _ = writeln!(out, "{head}");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        let _ = writeln!(out, "{rule}");
+        out
+    }
+
+    /// Renders as CSV (header + rows, comma-separated, quotes around cells that
+    /// contain commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimal places (the paper's usual precision).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 22.5  |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new("x", &["a", "b"]).row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["plain".into(), "with, comma".into()]);
+        t.row(vec!["with \"quote\"".into(), "x".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("plain,\"with, comma\""));
+        assert!(csv.contains("\"with \"\"quote\"\"\",x"));
+    }
+
+    #[test]
+    fn float_formatters() {
+        assert_eq!(f2(3.139), "3.14");
+        assert_eq!(f3(2.0), "2.000");
+    }
+}

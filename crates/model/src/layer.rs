@@ -1,0 +1,395 @@
+//! Layer descriptors and per-layer cost accounting.
+//!
+//! Models are sequences of [`Layer`]s. A layer knows its parameter count, its
+//! per-sample forward FLOPs and its per-sample output activation size — the three
+//! quantities every timing model in the workspace is built from. Contents of tensors
+//! never matter here (see DESIGN.md §1); only shapes do.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element for fp32 training, the precision used throughout the paper.
+pub const BYTES_PER_ELEM: u64 = 4;
+
+/// Spatial input of a convolutional stage: `channels × height × width`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct SpatialShape {
+    /// Number of channels.
+    pub channels: u64,
+    /// Feature-map height in pixels.
+    pub height: u64,
+    /// Feature-map width in pixels.
+    pub width: u64,
+}
+
+impl SpatialShape {
+    /// Creates a shape.
+    pub const fn new(channels: u64, height: u64, width: u64) -> Self {
+        SpatialShape {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Number of elements per sample.
+    pub const fn elems(&self) -> u64 {
+        self.channels * self.height * self.width
+    }
+}
+
+/// One branch of an inception block: a 1×1 reduction followed by an optional
+/// larger convolution, described by output channel counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct InceptionBranch {
+    /// Output channels of the 1×1 reduction (0 = branch has no reduction conv).
+    pub reduce: u64,
+    /// Kernel size of the main convolution (1 for the pure 1×1 branch).
+    pub kernel: u64,
+    /// Output channels of the main convolution (0 = branch is pooling-projection
+    /// only and `reduce` gives the projection width).
+    pub out: u64,
+}
+
+/// What a layer computes.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution with square kernel.
+    Conv2d {
+        /// Input spatial shape.
+        input: SpatialShape,
+        /// Output channels.
+        out_channels: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Stride (same in both dimensions).
+        stride: u64,
+        /// Symmetric zero padding.
+        padding: u64,
+    },
+    /// Fully connected layer.
+    Linear {
+        /// Input features.
+        in_features: u64,
+        /// Output features.
+        out_features: u64,
+    },
+    /// Max/avg pooling (parameter-free, cheap; tracked for shape propagation).
+    Pool2d {
+        /// Input spatial shape.
+        input: SpatialShape,
+        /// Square window size.
+        kernel: u64,
+        /// Stride.
+        stride: u64,
+    },
+    /// A GoogLeNet inception block, treated as one schedulable unit whose cost is
+    /// the sum of its branches. `weighted_depth` of an inception block is 2 (the
+    /// deepest branch: reduce + main conv), matching the 22-layer count of Table I.
+    Inception {
+        /// Input spatial shape.
+        input: SpatialShape,
+        /// The four branches (1×1, 3×3, 5×5, pool-proj).
+        branches: [InceptionBranch; 4],
+    },
+}
+
+/// A named layer in a model.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name, e.g. `"conv3_2"`.
+    pub name: String,
+    /// The computation performed.
+    pub kind: LayerKind,
+}
+
+impl LayerKind {
+    /// Output spatial size of a convolution given input extent, kernel, stride and
+    /// padding. Saturates at 1 when the window no longer fits (kernels larger than
+    /// the padded input clamp, mirroring ceil-mode pooling on tiny feature maps —
+    /// GoogLeNet with the paper's 32×32 CIFAR input reaches 1×1 maps mid-network).
+    fn conv_out_extent(extent: u64, kernel: u64, stride: u64, padding: u64) -> u64 {
+        (extent + 2 * padding).saturating_sub(kernel) / stride + 1
+    }
+
+    /// Per-sample output shape expressed as element count.
+    pub fn output_elems(&self) -> u64 {
+        match *self {
+            LayerKind::Conv2d {
+                input,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
+                let h = Self::conv_out_extent(input.height, kernel, stride, padding);
+                let w = Self::conv_out_extent(input.width, kernel, stride, padding);
+                out_channels * h * w
+            }
+            LayerKind::Linear { out_features, .. } => out_features,
+            LayerKind::Pool2d {
+                input,
+                kernel,
+                stride,
+            } => {
+                let h = Self::conv_out_extent(input.height, kernel, stride, 0);
+                let w = Self::conv_out_extent(input.width, kernel, stride, 0);
+                input.channels * h * w
+            }
+            LayerKind::Inception { input, branches } => {
+                // All branches preserve spatial extent (stride 1, same padding);
+                // output channels are the concat of branch outputs.
+                let out_ch: u64 = branches
+                    .iter()
+                    .map(|b| if b.out > 0 { b.out } else { b.reduce })
+                    .sum();
+                out_ch * input.height * input.width
+            }
+        }
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    pub fn param_count(&self) -> u64 {
+        match *self {
+            LayerKind::Conv2d {
+                input,
+                out_channels,
+                kernel,
+                ..
+            } => input.channels * out_channels * kernel * kernel + out_channels,
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => in_features * out_features + out_features,
+            LayerKind::Pool2d { .. } => 0,
+            LayerKind::Inception { input, branches } => {
+                let mut params = 0;
+                for b in branches.iter() {
+                    if b.out > 0 && b.reduce > 0 {
+                        // reduce conv (1x1) then main conv.
+                        params += input.channels * b.reduce + b.reduce;
+                        params += b.reduce * b.out * b.kernel * b.kernel + b.out;
+                    } else if b.out > 0 {
+                        // direct conv from input (the 1x1 branch).
+                        params += input.channels * b.out * b.kernel * b.kernel + b.out;
+                    } else {
+                        // pool projection: 1x1 conv to `reduce` channels.
+                        params += input.channels * b.reduce + b.reduce;
+                    }
+                }
+                params
+            }
+        }
+    }
+
+    /// Forward multiply–accumulate FLOPs per sample (2 FLOPs per MAC).
+    pub fn forward_flops(&self) -> u64 {
+        match *self {
+            LayerKind::Conv2d {
+                input,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
+                let h = Self::conv_out_extent(input.height, kernel, stride, padding);
+                let w = Self::conv_out_extent(input.width, kernel, stride, padding);
+                2 * input.channels * out_channels * kernel * kernel * h * w
+            }
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => 2 * in_features * out_features,
+            LayerKind::Pool2d {
+                input,
+                kernel,
+                stride,
+            } => {
+                let h = Self::conv_out_extent(input.height, kernel, stride, 0);
+                let w = Self::conv_out_extent(input.width, kernel, stride, 0);
+                input.channels * h * w * kernel * kernel
+            }
+            LayerKind::Inception { input, branches } => {
+                let hw = input.height * input.width;
+                let mut flops = 0;
+                for b in branches.iter() {
+                    if b.out > 0 && b.reduce > 0 {
+                        flops += 2 * input.channels * b.reduce * hw;
+                        flops += 2 * b.reduce * b.out * b.kernel * b.kernel * hw;
+                    } else if b.out > 0 {
+                        flops += 2 * input.channels * b.out * b.kernel * b.kernel * hw;
+                    } else {
+                        flops += 2 * input.channels * b.reduce * hw;
+                    }
+                }
+                flops
+            }
+        }
+    }
+
+    /// How many weighted layers this unit contributes to the "layer number" counts
+    /// of Table I (pooling contributes zero; an inception block contributes two —
+    /// its deepest weighted path).
+    pub fn weighted_depth(&self) -> u64 {
+        match self {
+            LayerKind::Conv2d { .. } | LayerKind::Linear { .. } => 1,
+            LayerKind::Pool2d { .. } => 0,
+            LayerKind::Inception { .. } => 2,
+        }
+    }
+
+    /// True for layers whose synchronisation cost dominates their compute cost
+    /// (FC layers in the paper's §III-F discussion).
+    pub fn is_fc(&self) -> bool {
+        matches!(self, LayerKind::Linear { .. })
+    }
+
+    /// Number of GPU kernel launches one forward pass of this unit issues
+    /// (an inception block launches one kernel per branch convolution). Used by
+    /// the compute model's fixed-overhead term.
+    pub fn kernel_count(&self) -> u64 {
+        match self {
+            LayerKind::Conv2d { .. } | LayerKind::Linear { .. } | LayerKind::Pool2d { .. } => 1,
+            LayerKind::Inception { branches, .. } => branches
+                .iter()
+                .map(|b| 1 + u64::from(b.out > 0 && b.reduce > 0))
+                .sum(),
+        }
+    }
+}
+
+impl Layer {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Trainable parameter bytes (fp32).
+    pub fn param_bytes(&self) -> u64 {
+        self.kind.param_count() * BYTES_PER_ELEM
+    }
+
+    /// Per-sample output activation bytes (fp32).
+    pub fn activation_bytes(&self) -> u64 {
+        self.kind.output_elems() * BYTES_PER_ELEM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(c_in: u64, c_out: u64, hw: u64) -> LayerKind {
+        LayerKind::Conv2d {
+            input: SpatialShape::new(c_in, hw, hw),
+            out_channels: c_out,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    #[test]
+    fn conv_param_count_matches_formula() {
+        // 3x3 conv 64->64: 64*64*9 + 64 bias.
+        assert_eq!(conv(64, 64, 224).param_count(), 64 * 64 * 9 + 64);
+    }
+
+    #[test]
+    fn conv_preserves_shape_with_same_padding() {
+        assert_eq!(conv(64, 64, 224).output_elems(), 64 * 224 * 224);
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        // 2 * Cin * Cout * k^2 * Hout * Wout
+        assert_eq!(
+            conv(3, 64, 224).forward_flops(),
+            2 * 3 * 64 * 9 * 224 * 224
+        );
+    }
+
+    #[test]
+    fn strided_conv_shrinks_output() {
+        let k = LayerKind::Conv2d {
+            input: SpatialShape::new(3, 224, 224),
+            out_channels: 96,
+            kernel: 11,
+            stride: 4,
+            padding: 0,
+        };
+        // AlexNet conv1: (224 - 11)/4 + 1 = 54.
+        assert_eq!(k.output_elems(), 96 * 54 * 54);
+    }
+
+    #[test]
+    fn linear_accounting() {
+        let k = LayerKind::Linear {
+            in_features: 4096,
+            out_features: 4096,
+        };
+        assert_eq!(k.param_count(), 4096 * 4096 + 4096);
+        assert_eq!(k.forward_flops(), 2 * 4096 * 4096);
+        assert_eq!(k.output_elems(), 4096);
+        assert!(k.is_fc());
+    }
+
+    #[test]
+    fn pool_has_no_params_and_halves_extent() {
+        let k = LayerKind::Pool2d {
+            input: SpatialShape::new(64, 224, 224),
+            kernel: 2,
+            stride: 2,
+        };
+        assert_eq!(k.param_count(), 0);
+        assert_eq!(k.output_elems(), 64 * 112 * 112);
+        assert_eq!(k.weighted_depth(), 0);
+        assert!(!k.is_fc());
+    }
+
+    #[test]
+    fn inception_concatenates_branches() {
+        // GoogLeNet inception 3a: 64 + 128 + 32 + 32 = 256 output channels.
+        let k = LayerKind::Inception {
+            input: SpatialShape::new(192, 28, 28),
+            branches: [
+                InceptionBranch {
+                    reduce: 0,
+                    kernel: 1,
+                    out: 64,
+                },
+                InceptionBranch {
+                    reduce: 96,
+                    kernel: 3,
+                    out: 128,
+                },
+                InceptionBranch {
+                    reduce: 16,
+                    kernel: 5,
+                    out: 32,
+                },
+                InceptionBranch {
+                    reduce: 32,
+                    kernel: 1,
+                    out: 0,
+                },
+            ],
+        };
+        assert_eq!(k.output_elems(), 256 * 28 * 28);
+        assert_eq!(k.weighted_depth(), 2);
+        assert!(k.param_count() > 0);
+        assert!(k.forward_flops() > 0);
+    }
+
+    #[test]
+    fn layer_byte_helpers() {
+        let layer = Layer::new("fc6", LayerKind::Linear {
+            in_features: 25088,
+            out_features: 4096,
+        });
+        assert_eq!(layer.param_bytes(), (25088 * 4096 + 4096) * 4);
+        assert_eq!(layer.activation_bytes(), 4096 * 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fela-model — model zoo, cost accounting and bin partitioning
+//!
+//! Everything the Fela reproduction knows about neural networks lives here:
+//!
+//! * [`Layer`]/[`LayerKind`] — shape-level layer descriptors with parameter, FLOP
+//!   and activation accounting (tensor *contents* never matter to the paper's
+//!   metrics, only shapes and sizes do);
+//! * [`zoo`] — builders for the models of Table I, including the two evaluation
+//!   benchmarks [`zoo::vgg19`] (224×224 input) and [`zoo::googlenet`] (32×32 input,
+//!   as in §V-A);
+//! * [`ThresholdProfile`] — the per-shape-class *threshold batch size* repository
+//!   of §IV-A, calibrated to the paper's Figure 1 anchor measurements on a K40c;
+//! * [`bin_partition`] — the offline bin-partitioned model splitting of §IV-A,
+//!   which reproduces Figure 5's three-way VGG19 split.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod layer;
+mod model;
+pub mod partition;
+pub mod profile;
+pub mod zoo;
+
+pub use layer::{InceptionBranch, Layer, LayerKind, SpatialShape, BYTES_PER_ELEM};
+pub use model::Model;
+pub use partition::{bin_partition, Partition, PartitionOptions, SubModel};
+pub use profile::{saturation_fraction, ClassOverride, ThresholdProfile};

@@ -1,0 +1,295 @@
+//! Ring all-reduce as a flow-level collective.
+//!
+//! Every runtime in the workspace synchronises parameters with the bandwidth-optimal
+//! ring all-reduce (the algorithm Gloo uses, which the paper's prototypes run on):
+//! `K` participants exchange `2·(K−1)` rounds of `bytes/K`-sized chunks with their
+//! ring neighbours — a reduce-scatter phase followed by an all-gather phase. Each
+//! round is a set of concurrent flows; rounds are serialised by the data dependency.
+//!
+//! [`RingAllReduce`] is a passive state machine: the owning simulation world starts
+//! it, forwards flow completions to it, and asks it to launch the next round when a
+//! round drains. Because rounds become real [`Network`] flows, synchronisation
+//! contends with everything else on the wire — the effect behind the paper's DP/HP
+//! crossover in Figure 8.
+
+use fela_sim::SimTime;
+use serde::Serialize;
+
+use crate::network::{FlowId, FlowSpec, Network, NodeId};
+
+/// Progress report from [`RingAllReduce::on_flow_complete`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum CollectiveProgress {
+    /// The flow did not belong to this collective.
+    NotMine,
+    /// The flow was absorbed; the current round is still draining.
+    InProgress,
+    /// A round finished and the next one was started.
+    RoundStarted,
+    /// All rounds finished — the collective is complete.
+    Done,
+}
+
+/// A flow-level ring all-reduce.
+#[derive(Clone, Debug)]
+pub struct RingAllReduce {
+    participants: Vec<NodeId>,
+    chunk_bytes: u64,
+    rounds_total: usize,
+    rounds_done: usize,
+    inflight: Vec<FlowId>,
+    tag: u64,
+    done: bool,
+}
+
+impl RingAllReduce {
+    /// Creates the collective and launches its first round on `net`.
+    ///
+    /// `tag` is stamped on every flow the collective starts, so owners can route
+    /// completions. A single participant (or zero bytes) completes immediately
+    /// without touching the network.
+    ///
+    /// # Panics
+    /// Panics if `participants` is empty or contains duplicates.
+    pub fn start(
+        net: &mut Network,
+        now: SimTime,
+        participants: Vec<NodeId>,
+        total_bytes: u64,
+        tag: u64,
+    ) -> Self {
+        assert!(!participants.is_empty(), "all-reduce needs participants");
+        let mut sorted = participants.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            participants.len(),
+            "duplicate participants in all-reduce"
+        );
+        let k = participants.len();
+        let rounds_total = if k > 1 { 2 * (k - 1) } else { 0 };
+        let chunk_bytes = if k > 1 { total_bytes / k as u64 } else { 0 };
+        let mut ar = RingAllReduce {
+            participants,
+            chunk_bytes,
+            rounds_total,
+            rounds_done: 0,
+            inflight: Vec::new(),
+            tag,
+            done: rounds_total == 0 || total_bytes == 0,
+        };
+        if !ar.done {
+            ar.launch_round(net, now);
+        }
+        ar
+    }
+
+    /// Whether the collective has finished all rounds.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The tag stamped on this collective's flows.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Rounds completed so far (of `2·(K−1)`).
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    fn launch_round(&mut self, net: &mut Network, now: SimTime) {
+        debug_assert!(self.inflight.is_empty());
+        let k = self.participants.len();
+        for (i, &src) in self.participants.iter().enumerate() {
+            let dst = self.participants[(i + 1) % k];
+            let id = net.start_flow(
+                now,
+                FlowSpec {
+                    src,
+                    dst,
+                    bytes: self.chunk_bytes,
+                    tag: self.tag,
+                },
+            );
+            self.inflight.push(id);
+        }
+    }
+
+    /// Notifies the collective that `flow` completed at `now`. If that drains the
+    /// current round, the next round is launched (or the collective completes).
+    pub fn on_flow_complete(
+        &mut self,
+        net: &mut Network,
+        now: SimTime,
+        flow: FlowId,
+    ) -> CollectiveProgress {
+        let Some(pos) = self.inflight.iter().position(|&f| f == flow) else {
+            return CollectiveProgress::NotMine;
+        };
+        self.inflight.swap_remove(pos);
+        if !self.inflight.is_empty() {
+            return CollectiveProgress::InProgress;
+        }
+        self.rounds_done += 1;
+        if self.rounds_done == self.rounds_total {
+            self.done = true;
+            CollectiveProgress::Done
+        } else {
+            self.launch_round(net, now);
+            CollectiveProgress::RoundStarted
+        }
+    }
+
+    /// Analytic lower bound on the collective's duration with no competing
+    /// traffic: `2·(K−1) · (chunk_time + latency)`. Used by tests and by quick
+    /// estimators; the simulated time can only be larger under contention.
+    pub fn ideal_duration_secs(
+        participants: usize,
+        total_bytes: u64,
+        bandwidth: f64,
+        latency_secs: f64,
+    ) -> f64 {
+        if participants <= 1 || total_bytes == 0 {
+            return 0.0;
+        }
+        let k = participants as f64;
+        let chunk = total_bytes as f64 / k;
+        2.0 * (k - 1.0) * (chunk / bandwidth + latency_secs)
+    }
+}
+
+/// Completion-map helper: drives collectives to completion synchronously when the
+/// network carries nothing else. Returns the finish time. Test/estimation utility —
+/// real runtimes interleave collectives with other traffic through their own event
+/// loops.
+pub fn run_allreduce_alone(
+    net: &mut Network,
+    start: SimTime,
+    participants: Vec<NodeId>,
+    total_bytes: u64,
+) -> SimTime {
+    let mut ar = RingAllReduce::start(net, start, participants, total_bytes, 0);
+    let mut now = start;
+    while !ar.is_done() {
+        let t = net
+            .next_completion()
+            .expect("active collective implies pending flows");
+        now = t;
+        net.take_completions(now);
+        ar.reconcile(net, now);
+    }
+    now
+}
+
+impl RingAllReduce {
+    /// Reconciles with the network after completions were consumed elsewhere:
+    /// drops in-flight ids the network no longer tracks and advances rounds.
+    /// Returns `true` if the collective finished. Prefer
+    /// [`RingAllReduce::on_flow_complete`] when flow ids are routed explicitly.
+    pub fn reconcile(&mut self, net: &mut Network, now: SimTime) -> bool {
+        if self.done {
+            return true;
+        }
+        // A round's flows all start together; the round ends when none remain.
+        if net.active_flows() == 0 {
+            self.inflight.clear();
+            self.rounds_done += 1;
+            if self.rounds_done == self.rounds_total {
+                self.done = true;
+            } else {
+                self.launch_round(net, now);
+            }
+        }
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use fela_sim::SimDuration;
+
+    fn net(nodes: usize) -> Network {
+        Network::new(NetworkConfig {
+            nodes,
+            link_bandwidth: 1e9,
+            latency: SimDuration::from_micros(10),
+        })
+    }
+
+    #[test]
+    fn single_participant_is_immediate() {
+        let mut n = net(4);
+        let ar = RingAllReduce::start(&mut n, SimTime::ZERO, vec![NodeId(0)], 1 << 30, 1);
+        assert!(ar.is_done());
+        assert_eq!(n.active_flows(), 0);
+    }
+
+    #[test]
+    fn zero_bytes_is_immediate() {
+        let mut n = net(4);
+        let ar = RingAllReduce::start(
+            &mut n,
+            SimTime::ZERO,
+            vec![NodeId(0), NodeId(1)],
+            0,
+            1,
+        );
+        assert!(ar.is_done());
+    }
+
+    #[test]
+    fn ring_duration_matches_ideal_without_contention() {
+        let mut n = net(8);
+        let participants: Vec<_> = (0..8).map(NodeId).collect();
+        let bytes = 800_000_000u64; // 100 MB chunks
+        let end = run_allreduce_alone(&mut n, SimTime::ZERO, participants, bytes);
+        let ideal = RingAllReduce::ideal_duration_secs(8, bytes, 1e9, 10e-6);
+        assert!(
+            (end.as_secs_f64() - ideal).abs() / ideal < 1e-3,
+            "simulated {end} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn rounds_count_is_2k_minus_2() {
+        let mut n = net(4);
+        let participants: Vec<_> = (0..4).map(NodeId).collect();
+        let mut ar = RingAllReduce::start(&mut n, SimTime::ZERO, participants, 4_000, 7);
+        let mut rounds = 0;
+        while !ar.is_done() {
+            let t = n.next_completion().unwrap();
+            n.take_completions(t);
+            if ar.reconcile(&mut n, t) || ar.rounds_done() > rounds {
+                rounds = ar.rounds_done();
+            }
+        }
+        assert_eq!(ar.rounds_done(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate participants")]
+    fn duplicates_rejected() {
+        let mut n = net(4);
+        let _ = RingAllReduce::start(
+            &mut n,
+            SimTime::ZERO,
+            vec![NodeId(0), NodeId(0)],
+            10,
+            0,
+        );
+    }
+
+    #[test]
+    fn ideal_duration_scales_with_participants() {
+        // Ring all-reduce total traffic per node ≈ 2·bytes regardless of K, so
+        // duration is nearly K-independent for large transfers (the DP property).
+        let d4 = RingAllReduce::ideal_duration_secs(4, 1 << 30, 1e9, 0.0);
+        let d8 = RingAllReduce::ideal_duration_secs(8, 1 << 30, 1e9, 0.0);
+        assert!((d4 / d8 - (2.0 * 3.0 / 4.0) / (2.0 * 7.0 / 8.0)).abs() < 1e-9);
+    }
+}

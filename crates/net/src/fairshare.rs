@@ -1,0 +1,236 @@
+//! Max–min fair bandwidth allocation (progressive filling / water-filling).
+//!
+//! The cluster is a star: every node has one egress link and one ingress link of
+//! fixed capacity into a non-blocking switch (the paper's 8 nodes on a 40GE switch
+//! with 10 Gbps NICs — the switch fabric is never the bottleneck, the NICs are).
+//! A flow consumes its source's egress and its destination's ingress; rates are the
+//! classic max–min fair allocation:
+//!
+//! 1. every unfrozen flow grows at the same rate;
+//! 2. when a link fills, all flows through it freeze at their current rate;
+//! 3. repeat until all flows are frozen.
+//!
+//! The implementation is the standard iterative bottleneck-link algorithm, O(L·F)
+//! worst case, with deterministic tie-breaking (lowest link index first).
+
+/// A flow's endpoints for allocation purposes, as link indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowLinks {
+    /// Egress link index of the source node.
+    pub egress: usize,
+    /// Ingress link index of the destination node.
+    pub ingress: usize,
+}
+
+/// Computes max–min fair rates.
+///
+/// `egress_cap[i]` / `ingress_cap[i]` are link capacities in bytes/second; each
+/// flow `f` uses `egress_cap[f.egress]` and `ingress_cap[f.ingress]`. Returns one
+/// rate per flow, in input order.
+///
+/// # Panics
+/// Panics if any referenced link index is out of bounds or any capacity is
+/// non-positive.
+pub fn max_min_rates(
+    egress_cap: &[f64],
+    ingress_cap: &[f64],
+    flows: &[FlowLinks],
+) -> Vec<f64> {
+    assert!(
+        egress_cap.iter().chain(ingress_cap).all(|&c| c > 0.0),
+        "link capacities must be positive"
+    );
+    let ne = egress_cap.len();
+    let n_links = ne + ingress_cap.len();
+    // Link id space: [0, ne) egress, [ne, ne+ni) ingress.
+    let link_cap = |l: usize| {
+        if l < ne {
+            egress_cap[l]
+        } else {
+            ingress_cap[l - ne]
+        }
+    };
+    for f in flows {
+        assert!(f.egress < ne, "egress link {} out of bounds", f.egress);
+        assert!(
+            f.ingress < ingress_cap.len(),
+            "ingress link {} out of bounds",
+            f.ingress
+        );
+    }
+
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut residual: Vec<f64> = (0..n_links).map(link_cap).collect();
+    let mut active_on_link = vec![0usize; n_links];
+    for f in flows {
+        active_on_link[f.egress] += 1;
+        active_on_link[ne + f.ingress] += 1;
+    }
+
+    let mut remaining = flows.len();
+    while remaining > 0 {
+        // Find the bottleneck link: smallest fair share among links with active
+        // flows; ties resolved by lowest link index for determinism.
+        let mut bottleneck = None;
+        let mut best_share = f64::INFINITY;
+        for l in 0..n_links {
+            if active_on_link[l] > 0 {
+                let share = residual[l] / active_on_link[l] as f64;
+                if share < best_share {
+                    best_share = share;
+                    bottleneck = Some(l);
+                }
+            }
+        }
+        let bottleneck = bottleneck.expect("active flows imply an active link");
+        // Freeze every flow through the bottleneck at its current rate + share.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let uses = f.egress == bottleneck || ne + f.ingress == bottleneck;
+            if uses {
+                let rate = best_share;
+                rates[i] = rate;
+                frozen[i] = true;
+                remaining -= 1;
+                // Release capacity on the flow's links.
+                residual[f.egress] -= rate;
+                residual[ne + f.ingress] -= rate;
+                active_on_link[f.egress] -= 1;
+                active_on_link[ne + f.ingress] -= 1;
+            }
+        }
+        // Numerical hygiene: residuals can dip epsilon-negative.
+        for r in &mut residual {
+            if *r < 0.0 {
+                *r = 0.0;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BW: f64 = 1e9;
+
+    fn caps(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (vec![BW; n], vec![BW; n])
+    }
+
+    fn fl(e: usize, i: usize) -> FlowLinks {
+        FlowLinks {
+            egress: e,
+            ingress: i,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_full_bandwidth() {
+        let (e, i) = caps(2);
+        let rates = max_min_rates(&e, &i, &[fl(0, 1)]);
+        assert_eq!(rates, vec![BW]);
+    }
+
+    #[test]
+    fn shared_egress_splits_evenly() {
+        let (e, i) = caps(3);
+        let rates = max_min_rates(&e, &i, &[fl(0, 1), fl(0, 2)]);
+        assert!((rates[0] - BW / 2.0).abs() < 1.0);
+        assert!((rates[1] - BW / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn incast_splits_ingress() {
+        // The HP baseline's FC hot-spot: 7 senders into 1 receiver.
+        let (e, i) = caps(8);
+        let flows: Vec<_> = (1..8).map(|s| fl(s, 0)).collect();
+        let rates = max_min_rates(&e, &i, &flows);
+        for r in rates {
+            assert!((r - BW / 7.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let (e, i) = caps(4);
+        let rates = max_min_rates(&e, &i, &[fl(0, 1), fl(2, 3)]);
+        assert_eq!(rates, vec![BW, BW]);
+    }
+
+    #[test]
+    fn water_filling_respects_per_link_fairness() {
+        // Flow A: 0→1 alone on egress 0. Flows B, C: 2→1 and 3→1. Ingress 1 carries
+        // A, B, C → each gets BW/3; then egress 0, 2, 3 are slack.
+        let (e, i) = caps(4);
+        let rates = max_min_rates(&e, &i, &[fl(0, 1), fl(2, 1), fl(3, 1)]);
+        for r in &rates {
+            assert!((r - BW / 3.0).abs() < 1.0, "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn unfrozen_flows_absorb_released_capacity() {
+        // Two flows share egress 0; one of them is also squeezed at ingress 1 by
+        // two other senders. Max-min: flow(0→1) frozen at BW/3 via ingress 1;
+        // flow(0→2) then takes the rest of egress 0 = 2BW/3.
+        let (e, i) = caps(4);
+        let flows = [fl(0, 1), fl(0, 2), fl(2, 1), fl(3, 1)];
+        let rates = max_min_rates(&e, &i, &flows);
+        assert!((rates[0] - BW / 3.0).abs() < 1.0, "{rates:?}");
+        assert!((rates[1] - 2.0 * BW / 3.0).abs() < 1.0, "{rates:?}");
+        assert!((rates[2] - BW / 3.0).abs() < 1.0);
+        assert!((rates[3] - BW / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn total_link_load_never_exceeds_capacity() {
+        let (e, i) = caps(5);
+        // A messy pattern.
+        let flows = [
+            fl(0, 1),
+            fl(0, 2),
+            fl(0, 3),
+            fl(1, 2),
+            fl(2, 2),
+            fl(3, 4),
+            fl(4, 0),
+            fl(1, 0),
+        ];
+        let rates = max_min_rates(&e, &i, &flows);
+        let mut eg = [0.0; 5];
+        let mut ing = [0.0; 5];
+        for (f, r) in flows.iter().zip(&rates) {
+            eg[f.egress] += r;
+            ing[f.ingress] += r;
+            assert!(*r > 0.0, "every flow gets a positive rate");
+        }
+        for l in 0..5 {
+            assert!(eg[l] <= BW * 1.000001, "egress {l} over capacity");
+            assert!(ing[l] <= BW * 1.000001, "ingress {l} over capacity");
+        }
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        let (e, i) = caps(2);
+        assert!(max_min_rates(&e, &i, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must be positive")]
+    fn zero_capacity_rejected() {
+        max_min_rates(&[0.0], &[1.0], &[]);
+    }
+
+    #[test]
+    fn asymmetric_capacities() {
+        // Slow receiver bottlenecks the flow.
+        let rates = max_min_rates(&[1e9, 1e9], &[1e8, 1e9], &[fl(1, 0)]);
+        assert!((rates[0] - 1e8).abs() < 1.0);
+    }
+}

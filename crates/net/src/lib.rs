@@ -1,0 +1,25 @@
+//! # fela-net — flow-level network simulator
+//!
+//! The communication substrate of the reproduction: the paper's 8 nodes with
+//! 10 Gbps NICs behind a non-blocking 40GE switch become a star of ingress/egress
+//! links with **max–min fair sharing** ([`fairshare`]), a flow state machine with
+//! exact completion instants ([`Network`]), and a flow-level **ring all-reduce**
+//! collective ([`RingAllReduce`]) used by every runtime for parameter
+//! synchronisation.
+//!
+//! Why flow-level (not packet-level): every communication claim in the paper —
+//! DP's all-reduce volume, HP's FC-worker incast, MP's boundary transfers, Fela's
+//! locality savings — is a bandwidth-sharing effect on NIC links, which max–min
+//! fairness captures; packet dynamics would add cost and noise without changing
+//! the comparisons.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fairshare;
+
+mod collective;
+mod network;
+
+pub use collective::{run_allreduce_alone, CollectiveProgress, RingAllReduce};
+pub use network::{FlowId, FlowSpec, Network, NetworkConfig, NodeId};

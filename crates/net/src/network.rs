@@ -1,0 +1,395 @@
+//! The flow-level network state machine.
+//!
+//! [`Network`] tracks active transfers ([`Flow`]s) between cluster nodes. Rates are
+//! recomputed by max–min fair sharing every time the flow set changes; between
+//! changes, each flow drains linearly, so completion instants are exact. The owner
+//! (a simulation [`fela_sim::World`]) drives it with three calls:
+//!
+//! 1. [`Network::start_flow`] whenever a transfer begins;
+//! 2. [`Network::next_completion`] after any change, to (re)schedule a single
+//!    "network completion" event at the right virtual time;
+//! 3. [`Network::take_completions`] when that event fires, to learn which transfers
+//!    finished.
+//!
+//! Latency is modelled as a fixed startup delay before a flow's bytes begin to
+//! drain (it still occupies its fair share from the start, which slightly
+//! overweights tiny control messages — conservative for Fela, whose token RPCs are
+//! "at most hundreds of bytes").
+
+use std::collections::BTreeMap;
+
+use fela_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+use crate::fairshare::{max_min_rates, FlowLinks};
+
+/// A cluster node index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize)]
+pub struct NodeId(pub usize);
+
+/// Identifier of an active or completed flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize)]
+pub struct FlowId(u64);
+
+/// A transfer request.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FlowSpec {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Caller-defined tag returned on completion (e.g. "params for token 12").
+    pub tag: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Flow {
+    spec: FlowSpec,
+    remaining: f64,
+    rate: f64,
+    /// Bytes start draining here (start + latency).
+    ready_at: SimTime,
+    /// Exact completion estimate under the current rates.
+    est_done: SimTime,
+}
+
+/// Configuration of the star network.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct NetworkConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-NIC bandwidth in bytes/second (both directions).
+    pub link_bandwidth: f64,
+    /// One-way latency added before a flow's bytes drain.
+    pub latency: SimDuration,
+}
+
+impl NetworkConfig {
+    /// The paper's testbed: 10 Gbps NICs on a non-blocking 40GE switch, ~50 µs
+    /// one-way software+fabric latency. Goodput is derated to 70% of line rate —
+    /// what Gloo's TCP transport sustains after framing, kernel copies and
+    /// congestion-control ramp-up.
+    pub fn paper_testbed(nodes: usize) -> Self {
+        NetworkConfig {
+            nodes,
+            link_bandwidth: 0.70 * 10.0e9 / 8.0,
+            latency: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// The flow-level network simulator.
+#[derive(Clone, Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    last_update: SimTime,
+    /// Total bytes delivered, for experiment reporting.
+    bytes_delivered: f64,
+}
+
+impl Network {
+    /// Creates an idle network.
+    ///
+    /// # Panics
+    /// Panics if the configuration has no nodes or non-positive bandwidth.
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(config.nodes > 0, "network needs at least one node");
+        assert!(config.link_bandwidth > 0.0, "bandwidth must be positive");
+        Network {
+            config,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            last_update: SimTime::ZERO,
+            bytes_delivered: 0.0,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes delivered so far (for reporting).
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered as u64
+    }
+
+    /// Starts a transfer at `now`; returns its id.
+    ///
+    /// Same-node transfers (`src == dst`) never touch a NIC: they complete after
+    /// the latency alone.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or `now` precedes the last update.
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowId {
+        assert!(spec.src.0 < self.config.nodes, "src out of range");
+        assert!(spec.dst.0 < self.config.nodes, "dst out of range");
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let ready_at = now + self.config.latency;
+        self.flows.insert(
+            id,
+            Flow {
+                spec,
+                remaining: spec.bytes as f64,
+                rate: 0.0,
+                ready_at,
+                est_done: SimTime::MAX,
+            },
+        );
+        self.recompute(now);
+        id
+    }
+
+    /// Advances all flows' remaining bytes to `now`. Idempotent.
+    fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_update,
+            "network driven backwards: {now} < {}",
+            self.last_update
+        );
+        for flow in self.flows.values_mut() {
+            let from = if flow.ready_at > self.last_update {
+                flow.ready_at
+            } else {
+                self.last_update
+            };
+            if now > from && flow.rate > 0.0 {
+                let dt = now.since(from).as_secs_f64();
+                let drained = (flow.rate * dt).min(flow.remaining);
+                flow.remaining -= drained;
+                self.bytes_delivered += drained;
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Recomputes fair rates and completion estimates. Call after the flow set
+    /// changes (start or completion).
+    fn recompute(&mut self, now: SimTime) {
+        let n = self.config.nodes;
+        let caps = vec![self.config.link_bandwidth; n];
+        // Local (same-node) flows bypass the NIC entirely.
+        let netted: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.spec.src != f.spec.dst)
+            .map(|(&id, _)| id)
+            .collect();
+        let links: Vec<FlowLinks> = netted
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                FlowLinks {
+                    egress: f.spec.src.0,
+                    ingress: f.spec.dst.0,
+                }
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &caps, &links);
+        for (id, rate) in netted.iter().zip(rates) {
+            let flow = self.flows.get_mut(id).expect("flow exists");
+            flow.rate = rate;
+        }
+        for flow in self.flows.values_mut() {
+            if flow.spec.src == flow.spec.dst {
+                // Latency-only local delivery.
+                flow.est_done = flow.ready_at;
+                flow.remaining = 0.0;
+                continue;
+            }
+            let drain_start = if flow.ready_at > now { flow.ready_at } else { now };
+            if flow.remaining <= 0.0 {
+                flow.est_done = drain_start;
+            } else if flow.rate > 0.0 {
+                flow.est_done =
+                    drain_start + SimDuration::from_secs_f64(flow.remaining / flow.rate);
+            } else {
+                flow.est_done = SimTime::MAX;
+            }
+        }
+    }
+
+    /// Earliest completion instant among active flows, if any. The owner should
+    /// keep exactly one pending completion event at this time, cancelling and
+    /// rescheduling whenever the value changes.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.flows.values().map(|f| f.est_done).min()
+    }
+
+    /// Removes and returns all flows completing at or before `now`, in FlowId
+    /// order. Recomputes the remaining flows' rates.
+    pub fn take_completions(&mut self, now: SimTime) -> Vec<(FlowId, FlowSpec)> {
+        self.advance(now);
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.est_done <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut specs = Vec::with_capacity(done.len());
+        for id in done {
+            let flow = self.flows.remove(&id).expect("listed flow exists");
+            // Account any residual rounding error as delivered.
+            self.bytes_delivered += flow.remaining.max(0.0);
+            specs.push((id, flow.spec));
+        }
+        if !specs.is_empty() {
+            self.recompute(now);
+        }
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(nodes: usize) -> Network {
+        // 1 GB/s, 1 ms latency for round numbers.
+        Network::new(NetworkConfig {
+            nodes,
+            link_bandwidth: 1e9,
+            latency: SimDuration::from_millis(1),
+        })
+    }
+
+    fn spec(src: usize, dst: usize, bytes: u64) -> FlowSpec {
+        FlowSpec {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            bytes,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn single_flow_timing() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 1_000_000_000));
+        // 1 GB at 1 GB/s + 1 ms latency.
+        let done = n.next_completion().unwrap();
+        assert_eq!(done, SimTime::from_secs(1) + SimDuration::from_millis(1));
+        let finished = n.take_completions(done);
+        assert_eq!(finished.len(), 1);
+        assert_eq!(n.active_flows(), 0);
+        assert_eq!(n.bytes_delivered(), 1_000_000_000);
+    }
+
+    #[test]
+    fn local_flow_is_latency_only() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(1, 1, u64::MAX / 4));
+        assert_eq!(n.next_completion(), Some(SimTime::from_nanos(1_000_000)));
+        assert_eq!(n.take_completions(SimTime::from_nanos(1_000_000)).len(), 1);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let mut n = net(3);
+        // Both use node 0's egress: share 0.5 GB/s each.
+        n.start_flow(SimTime::ZERO, spec(0, 1, 500_000_000));
+        n.start_flow(SimTime::ZERO, spec(0, 2, 1_000_000_000));
+        // Flow 1 finishes at 1ms + 0.5GB/0.5GBps = ~1.001 s.
+        let t1 = n.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 1.001).abs() < 1e-6);
+        n.take_completions(t1);
+        // Flow 2 drained 0.5 GB so far, then gets the full 1 GB/s: +0.5 s.
+        let t2 = n.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 1.501).abs() < 1e-6, "{t2}");
+        assert_eq!(n.take_completions(t2).len(), 1);
+    }
+
+    #[test]
+    fn incast_seven_to_one() {
+        // The HP hot-spot: 7 equal flows into node 0 take 7× longer than one.
+        let mut n = net(8);
+        for s in 1..8 {
+            n.start_flow(SimTime::ZERO, spec(s, 0, 100_000_000));
+        }
+        let done = n.next_completion().unwrap();
+        assert!((done.as_secs_f64() - (0.7 + 0.001)).abs() < 1e-6);
+        assert_eq!(n.take_completions(done).len(), 7);
+    }
+
+    #[test]
+    fn later_arrival_slows_existing_flow() {
+        let mut n = net(3);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 1_000_000_000));
+        // At t=0.501s the first flow has ~0.5 GB left; a competitor arrives.
+        let t_mid = SimTime::from_nanos(501_000_000);
+        n.start_flow(t_mid, spec(0, 2, 250_000_000));
+        // First flow now drains at 0.5 GB/s: needs 1 more second.
+        let next = n.next_completion().unwrap();
+        // Competitor: ready at 0.502, 0.25GB at 0.5GB/s → done ≈ 1.002.
+        assert!((next.as_secs_f64() - 1.002).abs() < 1e-6, "{next}");
+        let first = n.take_completions(next);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].1.dst, NodeId(2));
+    }
+
+    #[test]
+    fn completion_batches_simultaneous_flows() {
+        let mut n = net(4);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 1_000_000));
+        n.start_flow(SimTime::ZERO, spec(2, 3, 1_000_000));
+        let t = n.next_completion().unwrap();
+        assert_eq!(n.take_completions(t).len(), 2);
+        assert!(n.next_completion().is_none());
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_latency() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 0));
+        assert_eq!(n.next_completion(), Some(SimTime::from_nanos(1_000_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "driven backwards")]
+    fn time_travel_rejected() {
+        let mut n = net(2);
+        n.start_flow(SimTime::from_secs(5), spec(0, 1, 10));
+        n.take_completions(SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_rejected() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 7, 10));
+    }
+
+    #[test]
+    fn paper_testbed_profile() {
+        let c = NetworkConfig::paper_testbed(8);
+        assert_eq!(c.nodes, 8);
+        assert!((c.link_bandwidth - 0.875e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        let mut n = net(2);
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 8,
+                tag: 0xDEAD,
+            },
+        );
+        let t = n.next_completion().unwrap();
+        assert_eq!(n.take_completions(t)[0].1.tag, 0xDEAD);
+    }
+}

@@ -1,0 +1,58 @@
+//! # fela-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the execution substrate for the Fela reproduction: a sequential,
+//! fully deterministic discrete-event simulator. Every higher-level component — the
+//! GPU compute model, the flow-level network, the Fela token runtime and the DP/MP/HP
+//! baselines — is expressed as a [`World`] whose state advances only when the
+//! [`Engine`] delivers events from the [`EventQueue`].
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism.** Integer nanosecond time ([`SimTime`]), sequence-number
+//!    tie-breaking in the queue, and explicit seeded randomness ([`SimRng`]) make
+//!    every run byte-reproducible. The paper's central qualitative claim is that Fela
+//!    preserves algorithm reproducibility; the test suite leans on simulator
+//!    determinism to check it.
+//! 2. **Cancellation.** Flow-level network simulation re-plans transfer completions
+//!    whenever bandwidth shares change, so the queue supports O(log n) lazy
+//!    cancellation by [`EventId`].
+//! 3. **Observability.** [`Trace`] records schedules for assertion-style tests;
+//!    [`BusyTracker`] accounts GPU busy time so experiments can report work
+//!    conservation.
+//!
+//! ## Example
+//!
+//! ```
+//! use fela_sim::{Engine, Scheduler, SimDuration, SimTime, World};
+//!
+//! struct Countdown(u32);
+//! impl World for Countdown {
+//!     type Event = ();
+//!     fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+//!         if self.0 > 0 {
+//!             self.0 -= 1;
+//!             sched.schedule_in(SimDuration::from_secs(1), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Countdown(3));
+//! engine.prime(());
+//! engine.run_to_completion();
+//! assert_eq!(engine.now(), SimTime::from_secs(3));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod queue;
+mod rng;
+mod time;
+mod trace;
+
+pub use engine::{Engine, RunOutcome, Scheduler, World};
+pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
+pub use trace::{BusyTracker, Trace, TraceEvent};

@@ -1,0 +1,193 @@
+//! The pending-event set of the simulator.
+//!
+//! [`EventQueue`] is a priority queue keyed on `(time, sequence)`. The sequence number
+//! is assigned at scheduling time, so events scheduled earlier fire earlier among
+//! same-timestamp events — a total, deterministic order that never depends on heap
+//! internals or hash iteration.
+//!
+//! Events can be cancelled by [`EventId`]; cancellation is lazy (a tombstone set), so
+//! it is O(log n) amortised rather than requiring heap surgery. The network simulator
+//! uses this to retract flow-completion events whenever fair shares are recomputed.
+
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct HeapEntry<E> {
+    time: SimTime,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, id) pops first.
+        (other.time, other.id).cmp(&(self.time, self.id))
+    }
+}
+
+/// A deterministic time-ordered event queue with lazy cancellation.
+pub struct EventQueue<E> {
+    entries: BinaryHeap<HeapEntry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            entries: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`; returns its id.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.entries.push(HeapEntry { time, id, event });
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the id was issued by
+    /// this queue and had not already been cancelled. Cancelling an event that has
+    /// already fired is a silent no-op (its tombstone is never consulted again and is
+    /// dropped on the next reconciliation pass through the heap head).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the next live event as `(time, id, event)`.
+    pub fn pop_next(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.entries.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.id, entry.event));
+        }
+        None
+    }
+
+    /// Time of the next live event, if any, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let top = self.entries.peek()?;
+            if self.cancelled.contains(&top.id) {
+                let entry = self.entries.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(top.time);
+        }
+    }
+
+    /// Number of live events currently pending.
+    pub fn len(&mut self) -> usize {
+        // Cancelled entries still in the heap are exactly the live tombstones.
+        self.entries.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(t(3), "c");
+        q.schedule_at(t(1), "a");
+        q.schedule_at(t(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(t(1), "a");
+        q.schedule_at(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_next().map(|(_, _, e)| e), Some("b"));
+        assert!(q.pop_next().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(t(1), "a");
+        q.schedule_at(t(7), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert!(!q.is_empty());
+        q.pop_next();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(t(10), 10u32);
+        q.schedule_at(t(1), 1u32);
+        let (time, _, ev) = q.pop_next().unwrap();
+        assert_eq!((time, ev), (t(1), 1));
+        // Schedule something between the popped event and the remaining one.
+        q.schedule_at(t(1) + SimDuration::from_millis(1), 2u32);
+        assert_eq!(q.pop_next().unwrap().2, 2);
+        assert_eq!(q.pop_next().unwrap().2, 10);
+    }
+}

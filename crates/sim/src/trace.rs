@@ -1,0 +1,224 @@
+//! Execution tracing and utilization accounting.
+//!
+//! Experiments need two kinds of observability: an ordered record of interesting
+//! events ([`Trace`]) for debugging and assertions, and per-resource busy-time
+//! accounting ([`BusyTracker`]) to report GPU utilization / work conservation, which
+//! the paper argues is Fela's advantage over pipeline parallelism.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Component that emitted it (e.g. `"worker3"`, `"token-server"`).
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.source, self.message)
+    }
+}
+
+/// An append-only, optionally disabled, event trace.
+///
+/// Tracing is off by default so hot simulation loops pay a single branch; tests that
+/// assert on schedules enable it.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled. `message` is built lazily so disabled traces pay
+    /// no formatting cost.
+    pub fn record(&mut self, time: SimTime, source: &str, message: impl FnOnce() -> String) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                time,
+                source: source.to_owned(),
+                message: message(),
+            });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose source matches `source` exactly.
+    pub fn from_source<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.source == source)
+    }
+
+    /// Events whose message contains `needle`.
+    pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.message.contains(needle))
+    }
+}
+
+/// Accumulates busy intervals for one resource (e.g. one worker's GPU).
+///
+/// The tracker tolerates only sequential, non-overlapping busy intervals — a GPU in
+/// this model executes one token at a time — and panics on overlap, which would mean
+/// the runtime double-booked the device.
+#[derive(Clone, Debug, Default)]
+pub struct BusyTracker {
+    busy: SimDuration,
+    busy_since: Option<SimTime>,
+    last_end: SimTime,
+}
+
+impl BusyTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        BusyTracker::default()
+    }
+
+    /// Marks the resource busy starting at `now`.
+    ///
+    /// # Panics
+    /// Panics if the resource is already busy or if `now` precedes the end of the
+    /// previous busy interval.
+    pub fn begin(&mut self, now: SimTime) {
+        assert!(
+            self.busy_since.is_none(),
+            "resource marked busy while already busy (double booking at {now})"
+        );
+        assert!(
+            now >= self.last_end,
+            "busy interval starting at {now} overlaps previous interval ending at {}",
+            self.last_end
+        );
+        self.busy_since = Some(now);
+    }
+
+    /// Marks the resource idle at `now`, accumulating the elapsed busy time.
+    ///
+    /// # Panics
+    /// Panics if the resource was not busy.
+    pub fn end(&mut self, now: SimTime) {
+        let since = self
+            .busy_since
+            .take()
+            .expect("resource marked idle while not busy");
+        self.busy += now.since(since);
+        self.last_end = now;
+    }
+
+    /// Whether the resource is currently busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy_since.is_some()
+    }
+
+    /// Total accumulated busy time (not counting an open interval).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Utilization over `[0, horizon]` as a fraction in `[0, 1]`.
+    ///
+    /// Returns 0 for a zero horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace = Trace::disabled();
+        trace.record(t(1), "x", || "should not appear".into());
+        assert!(trace.events().is_empty());
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let mut trace = Trace::enabled();
+        trace.record(t(1), "worker0", || "train token 3".into());
+        trace.record(t(2), "ts", || "generate token 8".into());
+        trace.record(t(3), "worker0", || "report token 3".into());
+        assert_eq!(trace.events().len(), 3);
+        assert_eq!(trace.from_source("worker0").count(), 2);
+        assert_eq!(trace.containing("token 8").count(), 1);
+        let shown = trace.events()[0].to_string();
+        assert!(shown.contains("worker0") && shown.contains("train token 3"));
+    }
+
+    #[test]
+    fn busy_tracker_accumulates() {
+        let mut tracker = BusyTracker::new();
+        tracker.begin(t(0));
+        assert!(tracker.is_busy());
+        tracker.end(t(10));
+        tracker.begin(t(20));
+        tracker.end(t(25));
+        assert_eq!(tracker.busy_time(), SimDuration::from_millis(15));
+        assert!((tracker.utilization(t(30)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_zero_horizon_is_zero() {
+        assert_eq!(BusyTracker::new().utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double booking")]
+    fn double_begin_panics() {
+        let mut tracker = BusyTracker::new();
+        tracker.begin(t(0));
+        tracker.begin(t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not busy")]
+    fn end_while_idle_panics() {
+        BusyTracker::new().end(t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps previous")]
+    fn overlapping_intervals_panic() {
+        let mut tracker = BusyTracker::new();
+        tracker.begin(t(0));
+        tracker.end(t(10));
+        tracker.begin(t(5));
+    }
+}

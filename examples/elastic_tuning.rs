@@ -1,0 +1,68 @@
+//! Elastic tuning: run the §IV-B two-phase configuration search for a workload
+//! and inspect the landscape it navigates.
+//!
+//! ```text
+//! cargo run --release -p fela-examples --bin elastic_tuning
+//! ```
+
+use fela_cluster::{Scenario, TrainingRuntime};
+use fela_core::FelaRuntime;
+use fela_metrics::{f3, Table};
+use fela_model::zoo;
+use fela_tuning::Tuner;
+
+fn main() {
+    let scenario = Scenario::paper(zoo::vgg19(), 512).with_iterations(20);
+    let tuner = Tuner::default(); // 5 profiling iterations per case, as in §IV-B
+
+    println!("Tuning VGG19 @ total batch 512 on 8×K40c…\n");
+    let outcome = tuner.tune(&scenario);
+
+    let mut table = Table::new(
+        "Search landscape (13 cases: 10 weight vectors + 3 CTD subsets)",
+        &["case", "phase", "weights", "CTD subset", "per-iteration (s)"],
+    );
+    for c in &outcome.cases {
+        table.row(vec![
+            c.case.id.to_string(),
+            c.case.phase.to_string(),
+            format!("{:?}", c.case.weights),
+            c.case
+                .subset
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "8 (off)".into()),
+            c.per_iteration_secs
+                .map(f3)
+                .unwrap_or_else(|| "infeasible".into()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let best = &outcome.cases[outcome.best].case;
+    println!(
+        "Winner: case {} — weights {:?}, CTD subset {:?}",
+        best.id, best.weights, best.subset
+    );
+    println!(
+        "Best-vs-worst savings: Phase 1 {:.1}%, Phase 2 {:.1}%, overall {:.1}%",
+        outcome.phase1_saving() * 100.0,
+        outcome.phase2_saving() * 100.0,
+        outcome.overall_saving() * 100.0
+    );
+    println!(
+        "Warm-up cost: {} cases × {} iterations = {} profiled iterations \
+         (\"trivial\" beside the ~10⁵ iterations of a real training job, §IV-B).",
+        outcome.cases.len(),
+        outcome.profile_iterations,
+        outcome.cases.len() as u64 * outcome.profile_iterations
+    );
+
+    // Train with the winner.
+    let report = FelaRuntime::new(outcome.best_config.clone()).run(&scenario);
+    println!(
+        "\nTrained 20 iterations with the tuned configuration: {:.1} samples/s, \
+         GPU utilisation {:.2}.",
+        report.average_throughput(),
+        report.mean_utilization()
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: train VGG19 on the paper's 8-node testbed with Fela and compare
+//! against the three baselines.
+//!
+//! ```text
+//! cargo run --release -p fela-examples --bin quickstart
+//! ```
+
+use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
+use fela_cluster::{Scenario, TrainingRuntime};
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_metrics::{f2, format_speedup, Table};
+use fela_model::zoo;
+
+fn main() {
+    // 1. Pick a model and a workload: VGG19, total batch 256, 20 iterations.
+    let model = zoo::vgg19();
+    let scenario = Scenario::paper(model, 256).with_iterations(20);
+
+    // 2. Configure Fela: three sub-models (the default bin partition), weight
+    //    vector {1, 2, 4} as in the paper's Figure 3, CTD subset of 2 for the
+    //    FC sub-model.
+    let config = FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_ctd(2);
+    let fela = FelaRuntime::new(config);
+
+    // 3. Run Fela and the baselines on the identical scenario.
+    let runtimes: Vec<(&str, Box<dyn TrainingRuntime>)> = vec![
+        ("Fela", Box::new(fela)),
+        ("DP (data-parallel)", Box::new(DpRuntime::default())),
+        ("MP (pipeline)", Box::new(MpRuntime::default())),
+        ("HP (Stanza)", Box::new(HpRuntime)),
+    ];
+    let mut table = Table::new(
+        "Quickstart — VGG19, batch 256, 8×K40c, 10 GbE",
+        &["runtime", "samples/s", "GPU util", "wire GB"],
+    );
+    let mut reports = Vec::new();
+    for (name, rt) in &runtimes {
+        let report = rt.run(&scenario);
+        table.row(vec![
+            (*name).to_owned(),
+            f2(report.average_throughput()),
+            f2(report.mean_utilization()),
+            f2(report.network_bytes as f64 / 1e9),
+        ]);
+        reports.push(report);
+    }
+    print!("{}", table.render());
+    for (i, (name, _)) in runtimes.iter().enumerate().skip(1) {
+        println!(
+            "Fela vs {}: {}",
+            name,
+            format_speedup(
+                reports[0].average_throughput() / reports[i].average_throughput()
+            )
+        );
+    }
+    println!(
+        "\nFela counters: {} tokens granted, {} stolen by helpers, {} lock conflicts",
+        reports[0].counter("grants"),
+        reports[0].counter("steals"),
+        reports[0].counter("conflicts"),
+    );
+}

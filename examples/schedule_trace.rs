@@ -1,0 +1,36 @@
+//! Schedule trace: watch the token-based scheduling of §III-B happen, event by
+//! event, on a small scenario — grants, completions, helper steals and
+//! per-sub-model syncs with virtual timestamps.
+//!
+//! ```text
+//! cargo run --release -p fela-examples --bin schedule_trace
+//! ```
+
+use fela_cluster::{Scenario, StragglerModel};
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_model::zoo;
+use fela_sim::SimDuration;
+
+fn main() {
+    // Two iterations of VGG19 at batch 128 → Figure 3's token structure:
+    // 8 T-1, 4 T-2, 2 T-3 tokens per iteration; worker 5 sleeps in iteration 0.
+    let scenario = Scenario::paper(zoo::vgg19(), 128)
+        .with_iterations(2)
+        .with_straggler(StragglerModel::RoundRobin {
+            delay: SimDuration::from_secs(5),
+        });
+    let runtime = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
+    let (report, trace) = runtime.run_traced(&scenario);
+
+    println!("event log ({} events):", trace.events().len());
+    for ev in trace.events() {
+        println!("  {ev}");
+    }
+    println!(
+        "\n{} tokens trained in {:.2}s ({} stolen by helpers — look for grants of\n\
+         worker 0's sample-owner tokens to other workers while it sleeps).",
+        report.counter("grants"),
+        report.total_time_secs,
+        report.counter("steals"),
+    );
+}

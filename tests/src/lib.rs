@@ -1,0 +1,2 @@
+//! Shared helpers for Fela integration tests live here; the tests themselves
+//! are in `tests/tests/`.

@@ -1,0 +1,188 @@
+//! Cross-runtime integration tests: every runtime executes the same scenarios
+//! and must satisfy the invariants the paper's comparison rests on.
+
+use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
+use fela_cluster::{Scenario, StragglerModel, TrainingRuntime};
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_metrics::RunReport;
+use fela_model::zoo;
+use fela_sim::SimDuration;
+
+fn runtimes() -> Vec<Box<dyn TrainingRuntime>> {
+    vec![
+        Box::new(FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]))),
+        Box::new(DpRuntime::default()),
+        Box::new(MpRuntime::default()),
+        Box::new(HpRuntime),
+    ]
+}
+
+fn scenario(batch: u64, iters: u64) -> Scenario {
+    Scenario::paper(zoo::vgg19(), batch).with_iterations(iters)
+}
+
+#[test]
+fn every_runtime_completes_the_same_scenario() {
+    let sc = scenario(128, 3);
+    for rt in runtimes() {
+        let r = rt.run(&sc);
+        assert_eq!(r.iterations, 3, "{} iterations", rt.name());
+        assert_eq!(r.per_iteration_secs.len(), 3, "{}", rt.name());
+        assert!(r.total_time_secs > 0.0, "{}", rt.name());
+        assert!(r.average_throughput() > 0.0, "{}", rt.name());
+        let sum: f64 = r.per_iteration_secs.iter().sum();
+        assert!(
+            (sum - r.total_time_secs).abs() < 1e-6 * r.total_time_secs,
+            "{}: per-iteration times must add up to the total",
+            rt.name()
+        );
+    }
+}
+
+#[test]
+fn every_runtime_is_deterministic() {
+    let sc = scenario(128, 2).with_straggler(StragglerModel::Probabilistic {
+        p: 0.3,
+        delay: SimDuration::from_secs(2),
+        seed: 99,
+    });
+    for rt in runtimes() {
+        let a = rt.run(&sc);
+        let b = rt.run(&sc);
+        assert_eq!(a.total_time_secs, b.total_time_secs, "{}", rt.name());
+        assert_eq!(a.network_bytes, b.network_bytes, "{}", rt.name());
+        assert_eq!(a.per_iteration_secs, b.per_iteration_secs, "{}", rt.name());
+    }
+}
+
+#[test]
+fn stragglers_never_speed_anything_up() {
+    let base = scenario(128, 4);
+    let slow = base.clone().with_straggler(StragglerModel::RoundRobin {
+        delay: SimDuration::from_secs(3),
+    });
+    for rt in runtimes() {
+        let b = rt.run(&base);
+        let s = rt.run(&slow);
+        assert!(
+            s.total_time_secs >= b.total_time_secs - 1e-9,
+            "{}: straggler run faster than baseline?!",
+            rt.name()
+        );
+    }
+}
+
+#[test]
+fn fela_beats_every_baseline_on_the_paper_workloads() {
+    // The headline of Figure 8, checked at one representative point per model.
+    for (model, batch) in [(zoo::vgg19(), 256), (zoo::googlenet(), 256)] {
+        let sc = Scenario::paper(model, batch).with_iterations(5);
+        let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 1, 2]))
+            .run(&sc)
+            .average_throughput();
+        for rt in [
+            Box::new(DpRuntime::default()) as Box<dyn TrainingRuntime>,
+            Box::new(MpRuntime::default()),
+            Box::new(HpRuntime),
+        ] {
+            let at = rt.run(&sc).average_throughput();
+            assert!(
+                fela > at,
+                "{}: Fela {fela} must beat {} {at}",
+                sc.model.name,
+                rt.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hp_dp_crossover_matches_figure8() {
+    // HP beats DP at small batch; DP overtakes at large batch (§V-C1).
+    let small = scenario(64, 3);
+    let large = scenario(1024, 3);
+    let hp_small = HpRuntime.run(&small).average_throughput();
+    let dp_small = DpRuntime::default().run(&small).average_throughput();
+    let hp_large = HpRuntime.run(&large).average_throughput();
+    let dp_large = DpRuntime::default().run(&large).average_throughput();
+    assert!(hp_small > dp_small, "HP {hp_small} vs DP {dp_small} at batch 64");
+    assert!(dp_large > hp_large, "DP {dp_large} vs HP {hp_large} at batch 1024");
+}
+
+#[test]
+fn mp_is_last_under_bsp() {
+    let sc = scenario(256, 3);
+    let mp = MpRuntime::default().run(&sc).average_throughput();
+    for rt in [
+        Box::new(DpRuntime::default()) as Box<dyn TrainingRuntime>,
+        Box::new(HpRuntime),
+    ] {
+        assert!(rt.run(&sc).average_throughput() > mp, "{} vs MP", rt.name());
+    }
+}
+
+#[test]
+fn fela_pid_beats_dp_and_hp_under_stragglers() {
+    let base = scenario(256, 5);
+    let slow = base.clone().with_straggler(StragglerModel::RoundRobin {
+        delay: SimDuration::from_secs(6),
+    });
+    let pid = |rt: &dyn TrainingRuntime| {
+        let b: RunReport = rt.run(&base);
+        let s = rt.run(&slow);
+        fela_metrics::per_iteration_delay(&s, &b)
+    };
+    let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
+    let fela_pid = pid(&fela);
+    assert!(fela_pid < pid(&DpRuntime::default()), "Fela PID {fela_pid} vs DP");
+    assert!(fela_pid < pid(&HpRuntime), "Fela PID {fela_pid} vs HP");
+}
+
+#[test]
+fn network_traffic_ordering_matches_the_paper_story() {
+    // Fela with CTD ships fewer bytes than DP's full-model all-reduce. (MP ships
+    // no parameters at all, but its per-micro-batch boundary activations on a
+    // FLOP-balanced VGG19 split are enormous — a known pipeline-parallel cost —
+    // so no MP-vs-DP byte ordering is asserted.)
+    let sc = scenario(256, 3);
+    let dp = DpRuntime::default().run(&sc).network_bytes;
+    let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_ctd(2))
+        .run(&sc)
+        .network_bytes;
+    assert!(fela < dp, "Fela {fela} vs DP {dp}");
+    // DP's traffic is batch-independent; MP's grows with the batch.
+    let sc_small = scenario(64, 3);
+    let mp_small = MpRuntime::default().run(&sc_small).network_bytes;
+    let mp_large = MpRuntime::default().run(&sc).network_bytes;
+    assert!(mp_large > 3 * mp_small, "MP traffic must scale with batch");
+}
+
+#[test]
+fn equal_samples_processed_by_all_runtimes() {
+    // Token conservation: Fela trains exactly total_batch samples per iteration
+    // at every level.
+    let sc = scenario(128, 4);
+    let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
+    let r = fela.run(&sc);
+    // n = (8, 4, 2) tokens/iter → 14 per iteration.
+    assert_eq!(r.counter("grants"), 14 * 4);
+    let trained: u64 = (0..8).map(|w| r.counter(&format!("tokens_worker{w}"))).sum();
+    assert_eq!(trained, 14 * 4);
+}
+
+#[test]
+fn heterogeneous_cluster_is_supported() {
+    // A persistently 2× slower node: Fela redistributes, DP just waits for it.
+    let mut sc = scenario(256, 4);
+    sc.cluster.speed_factors[3] = 2.0;
+    let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4])).run(&sc);
+    let dp = DpRuntime::default().run(&sc);
+    assert!(fela.average_throughput() > dp.average_throughput());
+    // The slow worker trains fewer tokens than the fast ones.
+    let slow = fela.counter("tokens_worker3");
+    let fast = fela.counter("tokens_worker0");
+    assert!(
+        slow < fast,
+        "slow worker trained {slow} tokens vs fast {fast} — no rebalancing?"
+    );
+}

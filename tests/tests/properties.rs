@@ -1,0 +1,168 @@
+//! Property-based tests on the workspace's core invariants (proptest).
+
+use fela_core::{FelaConfig, TokenPlan};
+use fela_engine::{seeded_schedule, EngineNet, SplitPlan, Tensor, TokenExecutor};
+use fela_metrics::stats;
+use fela_model::{bin_partition, zoo, PartitionOptions, ThresholdProfile};
+use fela_net::fairshare::{max_min_rates, FlowLinks};
+use proptest::prelude::*;
+
+fn pow2_weight() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]
+}
+
+proptest! {
+    /// Token plans conserve the batch at every level and their generation ratios
+    /// compose exactly.
+    #[test]
+    fn token_plan_conserves_batch(
+        batch_exp in 6u32..12, // 64..=2048
+        w2 in pow2_weight(),
+        w3 in pow2_weight(),
+    ) {
+        let total = 1u64 << batch_exp;
+        let (w2, w3) = (w2.min(w3), w2.max(w3));
+        let p = bin_partition(
+            &zoo::vgg19(),
+            &ThresholdProfile::k40c(),
+            PartitionOptions::default(),
+        );
+        let cfg = FelaConfig::new(3).with_weights(vec![1, w2, w3]);
+        if let Ok(plan) = TokenPlan::build(&p, &cfg, total, 8) {
+            for l in &plan.levels {
+                prop_assert_eq!(l.batch_per_token * l.tokens_per_iteration, total);
+                prop_assert!(l.batch_per_token >= 1);
+            }
+            let ratio_product: u64 = plan.levels.iter().map(|l| l.gen_ratio).product();
+            prop_assert_eq!(
+                plan.levels[0].tokens_per_iteration,
+                plan.levels.last().unwrap().tokens_per_iteration * ratio_product
+            );
+            // Tokens per level never increase with depth (w nondecreasing).
+            let counts: Vec<u64> =
+                plan.levels.iter().map(|l| l.tokens_per_iteration).collect();
+            prop_assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    /// Max–min fairness never oversubscribes a link and never starves a flow.
+    #[test]
+    fn fairshare_feasible_and_positive(
+        flows in prop::collection::vec((0usize..6, 0usize..6), 1..24),
+    ) {
+        let caps = vec![1e9f64; 6];
+        let links: Vec<FlowLinks> = flows
+            .iter()
+            .map(|&(src, dst)| FlowLinks { egress: src, ingress: dst })
+            .collect();
+        let rates = max_min_rates(&caps, &caps, &links);
+        prop_assert_eq!(rates.len(), links.len());
+        let mut eg = [0.0f64; 6];
+        let mut ing = [0.0f64; 6];
+        for (f, r) in links.iter().zip(&rates) {
+            prop_assert!(*r > 0.0, "no flow may starve");
+            eg[f.egress] += r;
+            ing[f.ingress] += r;
+        }
+        for l in 0..6 {
+            prop_assert!(eg[l] <= 1e9 * 1.0001, "egress {} oversubscribed", l);
+            prop_assert!(ing[l] <= 1e9 * 1.0001, "ingress {} oversubscribed", l);
+        }
+    }
+
+    /// Max–min rates are scale-invariant: doubling every capacity doubles every
+    /// rate.
+    #[test]
+    fn fairshare_scales_linearly(
+        flows in prop::collection::vec((0usize..4, 0usize..4), 1..12),
+    ) {
+        let links: Vec<FlowLinks> = flows
+            .iter()
+            .map(|&(s, d)| FlowLinks { egress: s, ingress: d })
+            .collect();
+        let r1 = max_min_rates(&[1e9; 4], &[1e9; 4], &links);
+        let r2 = max_min_rates(&[2e9; 4], &[2e9; 4], &links);
+        for (a, b) in r1.iter().zip(&r2) {
+            prop_assert!((b / a - 2.0).abs() < 1e-9);
+        }
+    }
+
+    /// Bin partitioning covers every unit exactly once for any target count and
+    /// preserves total parameters, for every buildable zoo model.
+    #[test]
+    fn partition_always_tiles(target in 1usize..8, model_idx in 0usize..5) {
+        let model = match model_idx {
+            0 => zoo::vgg19(),
+            1 => zoo::vgg16(),
+            2 => zoo::googlenet(),
+            3 => zoo::alexnet(),
+            _ => zoo::resnet152(),
+        };
+        let p = bin_partition(
+            &model,
+            &ThresholdProfile::k40c(),
+            PartitionOptions { bin_width: 16, target_max: Some(target) },
+        );
+        prop_assert!(p.len() <= target.max(1));
+        let mut next = 0usize;
+        for s in p.sub_models() {
+            prop_assert_eq!(s.unit_start, next);
+            prop_assert!(s.unit_end > s.unit_start);
+            next = s.unit_end;
+        }
+        prop_assert_eq!(next, model.len());
+        prop_assert_eq!(p.total_param_bytes(), model.param_bytes());
+    }
+
+    /// The engine's reproducibility theorem, property-tested: any two valid
+    /// schedules of any seeded MLP/token split train to bit-identical models.
+    #[test]
+    fn token_schedules_always_bit_identical(
+        net_seed in 0u64..1000,
+        sched_a in 0u64..1000,
+        sched_b in 0u64..1000,
+        tokens0_exp in 0u32..3, // 1, 2, or 4 root tokens
+    ) {
+        let tokens0 = 1usize << tokens0_exp;
+        let net0 = EngineNet::mlp(&[6, 10, 4], net_seed);
+        let plan = SplitPlan {
+            levels: vec![(0, 2), (2, 3)],
+            tokens: vec![tokens0, 1],
+        };
+        let batch = tokens0 * 2;
+        let x = Tensor::seeded(&[batch, 6], net_seed ^ 0xAB, 1.0);
+        let t = Tensor::seeded(&[batch, 4], net_seed ^ 0xCD, 1.0);
+        let exec = TokenExecutor { plan: plan.clone(), lr: 0.05 };
+        let mut a = net0.clone();
+        let mut b = net0;
+        exec.step(&mut a, &x, &t, &seeded_schedule(&plan, sched_a));
+        exec.step(&mut b, &x, &t, &seeded_schedule(&plan, sched_b));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Normalisation maps any series into [0, 1] with the extremes attained.
+    #[test]
+    fn normalize_unit_bounds(xs in prop::collection::vec(0.0f64..1e6, 2..40)) {
+        let n = stats::normalize_unit(&xs);
+        prop_assert_eq!(n.len(), xs.len());
+        for v in &n {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        let spread = stats::max(&xs).unwrap() - stats::min(&xs).unwrap();
+        if spread > 0.0 {
+            prop_assert!(n.contains(&0.0));
+            prop_assert!(n.contains(&1.0));
+        }
+    }
+
+    /// Saturation curves are monotone and bounded for arbitrary thresholds.
+    #[test]
+    fn saturation_curve_monotone(threshold in 1u64..10_000, b1 in 1u64..100_000, b2 in 1u64..100_000) {
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        let f_lo = fela_model::saturation_fraction(lo, threshold);
+        let f_hi = fela_model::saturation_fraction(hi, threshold);
+        prop_assert!(f_lo <= f_hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!((0.0..=1.0).contains(&f_hi));
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration tests for the tuner and the scheduling policies, end to end.
+
+use fela_cluster::{Scenario, StragglerModel, TrainingRuntime};
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_model::zoo;
+use fela_sim::SimDuration;
+use fela_tuning::Tuner;
+
+#[test]
+fn tuned_config_is_at_least_as_good_as_every_probed_case() {
+    let scenario = Scenario::paper(zoo::googlenet(), 256);
+    let tuner = Tuner {
+        profile_iterations: 3,
+    };
+    let outcome = tuner.tune(&scenario);
+    let best_time = outcome.cases[outcome.best]
+        .per_iteration_secs
+        .expect("best is feasible");
+    for c in &outcome.cases {
+        if let Some(t) = c.per_iteration_secs {
+            assert!(
+                best_time <= t + 1e-12,
+                "case {:?} beat the declared winner",
+                c.case
+            );
+        }
+    }
+}
+
+#[test]
+fn tuner_finds_different_configs_for_different_batches() {
+    // Figure 6's point: the optimum moves with the workload. Checked across the
+    // full sweep — at least two distinct winners must appear.
+    let tuner = Tuner {
+        profile_iterations: 2,
+    };
+    let mut winners = Vec::new();
+    for batch in [64u64, 256, 1024] {
+        let outcome = tuner.tune(&Scenario::paper(zoo::vgg19(), batch));
+        let c = &outcome.cases[outcome.best].case;
+        winners.push((c.weights.clone(), c.subset));
+    }
+    let all_same = winners.iter().all(|w| w == &winners[0]);
+    assert!(
+        !all_same,
+        "tuning landscape should not be flat across a 16× batch range: {winners:?}"
+    );
+}
+
+#[test]
+fn ctd_reduces_fc_sync_traffic_monotonically() {
+    let sc = Scenario::paper(zoo::vgg19(), 256).with_iterations(3);
+    let mut last_bytes = u64::MAX;
+    for subset in [8usize, 4, 2, 1] {
+        let mut cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]);
+        if subset < 8 {
+            cfg = cfg.with_ctd(subset);
+        }
+        let r = FelaRuntime::new(cfg).run(&sc);
+        assert!(
+            r.network_bytes <= last_bytes,
+            "subset {subset} increased traffic: {} > {last_bytes}",
+            r.network_bytes
+        );
+        last_bytes = r.network_bytes;
+    }
+}
+
+#[test]
+fn helpers_only_steal_under_imbalance() {
+    // Homogeneous non-straggler runs steal rarely; straggler runs steal a lot.
+    let base = Scenario::paper(zoo::vgg19(), 256).with_iterations(5);
+    let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
+    let calm = fela.run(&base);
+    let stormy = fela.run(&base.clone().with_straggler(StragglerModel::RoundRobin {
+        delay: SimDuration::from_secs(6),
+    }));
+    assert!(
+        stormy.counter("steals") > calm.counter("steals"),
+        "stragglers must trigger more helping: {} vs {}",
+        stormy.counter("steals"),
+        calm.counter("steals")
+    );
+}
+
+#[test]
+fn transient_stragglers_favour_reactive_scheduling() {
+    // §III-C: probability-based (transient) stragglers switch rapidly; Fela's
+    // pull-based distribution absorbs part of each sleep.
+    let base = Scenario::paper(zoo::vgg19(), 256).with_iterations(6);
+    let straggler = StragglerModel::Probabilistic {
+        p: 0.4,
+        delay: SimDuration::from_secs(6),
+        seed: 5,
+    };
+    let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
+    let fela_base = fela.run(&base);
+    let fela_slow = fela.run(&base.clone().with_straggler(straggler));
+    let fela_pid = fela_metrics::per_iteration_delay(&fela_slow, &fela_base);
+
+    let dp = fela_baselines::DpRuntime::default();
+    let dp_base = dp.run(&base);
+    let dp_slow = dp.run(&base.with_straggler(straggler));
+    let dp_pid = fela_metrics::per_iteration_delay(&dp_slow, &dp_base);
+
+    assert!(
+        fela_pid < 0.85 * dp_pid,
+        "Fela PID {fela_pid} should be well below DP's {dp_pid}"
+    );
+}
+
+#[test]
+fn larger_clusters_scale_throughput() {
+    // Not a paper figure, but a sanity property of the whole stack: 16 nodes
+    // outrun 4 nodes on the same workload.
+    let mut small = Scenario::paper(zoo::vgg19(), 512).with_iterations(3);
+    small.cluster = fela_cluster::ClusterSpec::k40c_cluster(4);
+    let mut large = small.clone();
+    large.cluster = fela_cluster::ClusterSpec::k40c_cluster(16);
+    let fela4 = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
+    let at4 = fela4.run(&small).average_throughput();
+    let at16 = fela4.run(&large).average_throughput();
+    assert!(
+        at16 > at4,
+        "16 nodes ({at16}) should outrun 4 nodes ({at4})"
+    );
+}
+
+#[test]
+fn rpc_latency_matters_but_modestly() {
+    // The paper claims the TS control plane is lightweight; a 10× latency bump
+    // should cost well under 50% of throughput.
+    let sc = Scenario::paper(zoo::vgg19(), 256).with_iterations(3);
+    let mut slow_cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]);
+    slow_cfg.rpc_latency = SimDuration::from_millis(1);
+    let fast = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4])).run(&sc);
+    let slow = FelaRuntime::new(slow_cfg).run(&sc);
+    let ratio = fast.average_throughput() / slow.average_throughput();
+    assert!(ratio < 1.5, "10× RPC latency cost {ratio}× — TS too hot");
+    assert!(ratio >= 1.0 - 1e-9);
+}
