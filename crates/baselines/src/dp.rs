@@ -152,10 +152,7 @@ impl World for DpWorld {
                         .straggler_delay(self.iteration, worker)
                         .as_secs_f64();
                     self.busy[worker].begin(now);
-                    sched.schedule_in(
-                        SimDuration::from_secs_f64(secs),
-                        Ev::ComputeDone { worker },
-                    );
+                    sched.schedule_in(SimDuration::from_secs_f64(secs), Ev::ComputeDone { worker });
                 }
             }
             Ev::ComputeDone { worker } => {
@@ -356,9 +353,7 @@ mod tests {
         // DP's defining property (§V-C1): sync volume does not grow with batch.
         let small = DpRuntime::default().run(&scenario(64, 2));
         let large = DpRuntime::default().run(&scenario(1024, 2));
-        assert!(
-            (small.network_bytes as f64 / large.network_bytes as f64 - 1.0).abs() < 0.01
-        );
+        assert!((small.network_bytes as f64 / large.network_bytes as f64 - 1.0).abs() < 0.01);
         // But compute time does grow.
         assert!(large.total_time_secs > small.total_time_secs);
     }

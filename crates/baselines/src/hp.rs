@@ -217,10 +217,7 @@ impl World for HpWorld {
                             );
                             let start = now.max(self.compute_floor(fc));
                             self.busy[fc].begin(start);
-                            sched.schedule_at(
-                                start + SimDuration::from_secs_f64(secs),
-                                Ev::FcDone,
-                            );
+                            sched.schedule_at(start + SimDuration::from_secs_f64(secs), Ev::FcDone);
                         }
                     } else {
                         debug_assert_eq!(kind, TAG_GRAD);
@@ -338,13 +335,14 @@ mod tests {
         // ΔB samples cost 2·ΔB·boundary bytes per iteration (acts + grads).
         let small = HpRuntime.run(&scenario(64, 2));
         let large = HpRuntime.run(&scenario(1024, 2));
-        let boundary = zoo::vgg19().boundary_bytes(
-            zoo::vgg19().first_fc_index().unwrap() - 1,
-        );
+        let boundary = zoo::vgg19().boundary_bytes(zoo::vgg19().first_fc_index().unwrap() - 1);
         let expected_delta = 2 * 2 * (1024 - 64) * boundary; // iters × 2·ΔB·boundary
         let delta = large.network_bytes - small.network_bytes;
         let ratio = delta as f64 / expected_delta as f64;
-        assert!((0.95..1.05).contains(&ratio), "delta {delta} vs {expected_delta}");
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "delta {delta} vs {expected_delta}"
+        );
     }
 
     #[test]
@@ -371,11 +369,11 @@ mod tests {
     fn fc_worker_straggler_not_absorbed() {
         // A sleep on the FC worker extends the critical path 1:1.
         let base = HpRuntime.run(&scenario(128, 4));
-        let slow = HpRuntime.run(&scenario(128, 4).with_straggler(
-            StragglerModel::RoundRobin {
+        let slow = HpRuntime.run(
+            &scenario(128, 4).with_straggler(StragglerModel::RoundRobin {
                 delay: SimDuration::from_secs(4),
-            },
-        ));
+            }),
+        );
         let pid = (slow.total_time_secs - base.total_time_secs) / 4.0;
         assert!(pid > 2.0, "HP PID {pid} should be near d");
     }

@@ -162,8 +162,7 @@ impl MpWorld {
         // A straggler cannot start computing before iteration_start + d; the
         // sleep overlaps with the stage's ramp-up bubble (§V-C2's explanation of
         // MP's small per-iteration delay).
-        let floor =
-            self.iteration_start + self.scenario.straggler_delay(self.iteration, worker);
+        let floor = self.iteration_start + self.scenario.straggler_delay(self.iteration, worker);
         let start = sched.now().max(floor);
         self.period_busy[stage] += secs + start.since(sched.now()).as_secs_f64();
         self.busy[worker].begin(start);
@@ -271,8 +270,7 @@ impl World for MpWorld {
                             // Loss computed locally; turn straight into backward.
                             self.ready[stage].push_back(Task::Bwd(j));
                         } else {
-                            let bytes =
-                                self.stages[stage].out_bytes_per_sample * self.micro_batch;
+                            let bytes = self.stages[stage].out_bytes_per_sample * self.micro_batch;
                             self.net.start_flow(
                                 now,
                                 FlowSpec {
@@ -294,8 +292,8 @@ impl World for MpWorld {
                             }
                         } else {
                             // Gradient w.r.t. the boundary activations flows back.
-                            let bytes = self.stages[stage - 1].out_bytes_per_sample
-                                * self.micro_batch;
+                            let bytes =
+                                self.stages[stage - 1].out_bytes_per_sample * self.micro_batch;
                             self.net.start_flow(
                                 now,
                                 FlowSpec {
@@ -493,7 +491,10 @@ mod tests {
             },
         ));
         let pid = (slow.total_time_secs - base.total_time_secs) / 4.0;
-        assert!(pid < 4.0, "PID {pid} must be partially hidden by the bubble");
+        assert!(
+            pid < 4.0,
+            "PID {pid} must be partially hidden by the bubble"
+        );
         assert!(pid >= 0.0);
     }
 

@@ -19,7 +19,10 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q = EventQueue::new();
             for i in 0..10_000u64 {
                 // Scatter times to exercise heap reordering.
-                q.schedule_at(SimTime::from_nanos(i.wrapping_mul(2654435761) % 1_000_000), i);
+                q.schedule_at(
+                    SimTime::from_nanos(i.wrapping_mul(2654435761) % 1_000_000),
+                    i,
+                );
             }
             let mut sum = 0u64;
             while let Some((_, _, v)) = q.pop_next() {

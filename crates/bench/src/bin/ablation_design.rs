@@ -1,114 +1,6 @@
-//! Design ablations beyond the paper's own (DESIGN.md §3/§6): the
-//! cross-iteration pipelining that gives Fela its work conservation, the SSP
-//! extension the paper sketches in §VI (token age / staleness bound), and the
-//! centralized parameter-server bottleneck it attributes to PS-based designs.
-
-use fela_baselines::DpRuntime;
-use fela_bench::{save_json, scenario};
-use fela_cluster::{StragglerModel, TrainingRuntime};
-use fela_core::{FelaConfig, FelaRuntime};
-use fela_metrics::{f2, Table};
-use fela_model::zoo;
-use fela_sim::SimDuration;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Out {
-    pipelining: Vec<(u64, f64, f64)>,
-    ssp: Vec<(u64, f64, f64)>,
-    ps: Vec<(usize, f64)>,
-}
-
-fn fela(cfg: FelaConfig) -> FelaRuntime {
-    FelaRuntime::new(cfg)
-}
-
-fn base_cfg() -> FelaConfig {
-    FelaConfig::new(3).with_weights(vec![1, 2, 4])
-}
+//! Design ablations beyond the paper's own. Thin wrapper over
+//! [`fela_bench::figures::ablation`].
 
 fn main() {
-    let mut out = Out {
-        pipelining: Vec::new(),
-        ssp: Vec::new(),
-        ps: Vec::new(),
-    };
-
-    // 1. Cross-iteration pipelining: the work-conservation mechanism.
-    let mut t1 = Table::new(
-        "Ablation — cross-iteration pipelining (VGG19)",
-        &["batch", "AT pipelined", "AT barrier", "gain", "util piped", "util barrier"],
-    );
-    for batch in [64u64, 256, 1024] {
-        let sc = scenario(zoo::vgg19(), batch);
-        let piped = fela(base_cfg()).run(&sc);
-        let barrier = fela(base_cfg().with_pipelining(false)).run(&sc);
-        t1.row(vec![
-            batch.to_string(),
-            f2(piped.average_throughput()),
-            f2(barrier.average_throughput()),
-            format!(
-                "{}%",
-                f2((piped.average_throughput() / barrier.average_throughput() - 1.0) * 100.0)
-            ),
-            f2(piped.mean_utilization()),
-            f2(barrier.mean_utilization()),
-        ]);
-        out.pipelining.push((
-            batch,
-            piped.average_throughput(),
-            barrier.average_throughput(),
-        ));
-    }
-    print!("{}", t1.render());
-
-    // 2. SSP staleness under transient stragglers (§VI extension).
-    let mut t2 = Table::new(
-        "Extension — SSP staleness under probabilistic stragglers (VGG19, batch 256, p=0.3, d=6s)",
-        &["staleness", "AT (samples/s)", "vs BSP"],
-    );
-    let straggle = StragglerModel::Probabilistic {
-        p: 0.3,
-        delay: SimDuration::from_secs(6),
-        seed: 11,
-    };
-    let sc = scenario(zoo::vgg19(), 256).with_straggler(straggle);
-    let mut bsp_at = 0.0;
-    for staleness in [0u64, 1, 2] {
-        let r = fela(base_cfg().with_staleness(staleness)).run(&sc);
-        if staleness == 0 {
-            bsp_at = r.average_throughput();
-        }
-        t2.row(vec![
-            staleness.to_string(),
-            f2(r.average_throughput()),
-            format!("{}%", f2((r.average_throughput() / bsp_at - 1.0) * 100.0)),
-        ]);
-        out.ssp.push((staleness, r.average_throughput(), bsp_at));
-    }
-    print!("{}", t2.render());
-
-    // 3. DP sync algorithm: ring vs sharded parameter servers.
-    let mut t3 = Table::new(
-        "Ablation — DP gradient synchronisation (VGG19, batch 256)",
-        &["sync", "AT (samples/s)"],
-    );
-    let sc = scenario(zoo::vgg19(), 256);
-    let ring = DpRuntime::default().run(&sc).average_throughput();
-    t3.row(vec!["ring all-reduce".into(), f2(ring)]);
-    for servers in [1usize, 2, 4, 8] {
-        let at = DpRuntime::parameter_server(servers)
-            .run(&sc)
-            .average_throughput();
-        t3.row(vec![format!("PS × {servers}"), f2(at)]);
-        out.ps.push((servers, at));
-    }
-    print!("{}", t3.render());
-    println!(
-        "Pipelining is most of Fela's work-conservation edge at small batches;\n\
-         a staleness bound buys extra straggler tolerance at the cost of BSP\n\
-         semantics (§VI); a single PS shard shows the centralized bottleneck of\n\
-         §II-D, which sharding progressively dissolves."
-    );
-    save_json("ablation_design", &out);
+    fela_bench::figures::ablation::run(fela_harness::default_jobs());
 }

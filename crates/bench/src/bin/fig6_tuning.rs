@@ -1,137 +1,6 @@
-//! Figure 6 — the configuration-tuning landscape: (a) normalized per-iteration
-//! time across the 13 search cases for each total batch size; (b) best-vs-worst
-//! savings for Phase 1, Phase 2 and overall.
-
-use fela_bench::{save_json, tuning_iterations, BATCHES};
-use fela_cluster::Scenario;
-use fela_metrics::{f2, f3, Table};
-use fela_model::zoo;
-use fela_tuning::Tuner;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct TuneOut {
-    batch: u64,
-    cases: Vec<CaseOut>,
-    best_case: usize,
-    best_weights: Vec<u64>,
-    best_subset: Option<usize>,
-    phase1_saving: f64,
-    phase2_saving: f64,
-    overall_saving: f64,
-}
-
-#[derive(Serialize)]
-struct CaseOut {
-    id: usize,
-    phase: u8,
-    weights: Vec<u64>,
-    subset: Option<usize>,
-    per_iteration_secs: Option<f64>,
-    normalized: Option<f64>,
-}
+//! Figure 6 — the configuration-tuning landscape. Thin wrapper over
+//! [`fela_bench::figures::fig6`].
 
 fn main() {
-    let tuner = Tuner {
-        profile_iterations: tuning_iterations(),
-    };
-    let mut all = Vec::new();
-    let mut fig6a = Table::new(
-        "Figure 6(a) — normalized per-iteration time per tuning case (VGG19)",
-        &[
-            "case", "phase", "weights", "subset", "b=64", "b=128", "b=256", "b=512", "b=1024",
-        ],
-    );
-    for &batch in &BATCHES {
-        let scenario = Scenario::paper(zoo::vgg19(), batch);
-        let outcome = tuner.tune(&scenario);
-        let norms = outcome.normalized_times();
-        let mut norm_iter = norms.into_iter();
-        let cases: Vec<CaseOut> = outcome
-            .cases
-            .iter()
-            .map(|c| CaseOut {
-                id: c.case.id,
-                phase: c.case.phase,
-                weights: c.case.weights.clone(),
-                subset: c.case.subset,
-                per_iteration_secs: c.per_iteration_secs,
-                normalized: c.per_iteration_secs.is_some().then(|| {
-                    norm_iter.next().expect("one norm per feasible case")
-                }),
-            })
-            .collect();
-        let best = &outcome.cases[outcome.best].case;
-        println!(
-            "batch {batch:4}: best = case {} (w={:?}, subset={}), \
-             Phase-1 saving {:.2}%, Phase-2 {:.2}%, overall {:.2}%",
-            outcome.best,
-            best.weights,
-            best.subset
-                .map(|s| s.to_string())
-                .unwrap_or_else(|| "8 (no CTD)".into()),
-            outcome.phase1_saving() * 100.0,
-            outcome.phase2_saving() * 100.0,
-            outcome.overall_saving() * 100.0,
-        );
-        all.push(TuneOut {
-            batch,
-            best_case: outcome.best,
-            best_weights: best.weights.clone(),
-            best_subset: best.subset,
-            phase1_saving: outcome.phase1_saving(),
-            phase2_saving: outcome.phase2_saving(),
-            overall_saving: outcome.overall_saving(),
-            cases,
-        });
-    }
-
-    // Assemble the Figure 6(a) matrix: 13 cases × 5 batch columns.
-    let n_cases = all[0].cases.len();
-    for i in 0..n_cases {
-        let c = &all[0].cases[i];
-        let mut row = vec![
-            i.to_string(),
-            c.phase.to_string(),
-            // Phase-2 rows reuse each batch's own Phase-1 winner, which differs
-            // across batches — label them generically.
-            if c.phase == 1 {
-                format!("{:?}", c.weights)
-            } else {
-                "phase-1 best".into()
-            },
-            c.subset
-                .map(|s| s.to_string())
-                .unwrap_or_else(|| "-".into()),
-        ];
-        for b in &all {
-            row.push(
-                b.cases[i]
-                    .normalized
-                    .map(f3)
-                    .unwrap_or_else(|| "n/a".into()),
-            );
-        }
-        fig6a.row(row);
-    }
-    print!("{}", fig6a.render());
-
-    let mut fig6b = Table::new(
-        "Figure 6(b) — best-vs-worst per-iteration-time savings (VGG19)",
-        &["batch", "Phase 1", "Phase 2", "Overall"],
-    );
-    for b in &all {
-        fig6b.row(vec![
-            b.batch.to_string(),
-            format!("{}%", f2(b.phase1_saving * 100.0)),
-            format!("{}%", f2(b.phase2_saving * 100.0)),
-            format!("{}%", f2(b.overall_saving * 100.0)),
-        ]);
-    }
-    print!("{}", fig6b.render());
-    println!(
-        "Paper ranges: Phase 1 8.51–51.69%, Phase 2 5.31–41.25%, overall 8.51–66.78%;\n\
-         the best case differs per batch (e.g. {{1,1,4}} at 64 vs {{1,8,8}} at 1024)."
-    );
-    save_json("fig6_tuning", &all);
+    fela_bench::figures::fig6::run(fela_harness::default_jobs());
 }

@@ -1,116 +1,6 @@
-//! Figure 7 / Table III — ablation of the scheduling policies: throughput with
-//! and without ADS and HF (plus the tuning/CTD savings summarised from Figure 6),
-//! across batch sizes and both benchmarks.
-
-use fela_bench::{save_json, scenario, BATCHES};
-use fela_cluster::TrainingRuntime;
-use fela_core::{FelaConfig, FelaRuntime, TokenPlan};
-use fela_metrics::{f2, Table};
-use fela_model::{zoo, Model};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct AblationRow {
-    model: String,
-    batch: u64,
-    at_full: f64,
-    at_no_ads: f64,
-    at_no_hf: f64,
-    ads_gain_pct: f64,
-    hf_gain_pct: f64,
-}
-
-fn weights_for(model: &Model, batch: u64) -> Vec<u64> {
-    // A representative mid-search configuration (the ablation isolates ADS/HF, so
-    // a fixed reasonable weight vector is applied to every variant, as §V-B
-    // applies "the tuned configurations to the comparative cases").
-    let sc = scenario(model.clone(), batch);
-    for w in [vec![1u64, 2, 4], vec![1, 1, 2], vec![1, 1, 1]] {
-        let cfg = FelaConfig::new(3).with_weights(w.clone());
-        let runtime = FelaRuntime::new(cfg.clone());
-        if TokenPlan::build(&runtime.partition_for(&sc), &cfg, batch, 8).is_ok() {
-            return w;
-        }
-    }
-    vec![1, 1, 1]
-}
+//! Figure 7 / Table III — ADS and HF ablation. Thin wrapper over
+//! [`fela_bench::figures::fig7`].
 
 fn main() {
-    let mut rows = Vec::new();
-    for model in [zoo::vgg19(), zoo::googlenet()] {
-        let mut table = Table::new(
-            format!("Figure 7 — ablation of ADS and HF ({})", model.name),
-            &[
-                "batch",
-                "AT full (samples/s)",
-                "AT no-ADS",
-                "AT no-HF",
-                "ADS gain",
-                "HF gain",
-            ],
-        );
-        for &batch in &BATCHES {
-            let sc = scenario(model.clone(), batch);
-            let w = weights_for(&model, batch);
-            let full = FelaRuntime::new(FelaConfig::new(3).with_weights(w.clone())).run(&sc);
-            let no_ads = FelaRuntime::new(
-                FelaConfig::new(3).with_weights(w.clone()).with_ads(false),
-            )
-            .run(&sc);
-            let no_hf = FelaRuntime::new(
-                FelaConfig::new(3).with_weights(w.clone()).with_hf(false),
-            )
-            .run(&sc);
-            let at = full.average_throughput();
-            let ads_gain = (at / no_ads.average_throughput() - 1.0) * 100.0;
-            let hf_gain = (at / no_hf.average_throughput() - 1.0) * 100.0;
-            table.row(vec![
-                batch.to_string(),
-                f2(at),
-                f2(no_ads.average_throughput()),
-                f2(no_hf.average_throughput()),
-                format!("{}%", f2(ads_gain)),
-                format!("{}%", f2(hf_gain)),
-            ]);
-            rows.push(AblationRow {
-                model: model.name.clone(),
-                batch,
-                at_full: at,
-                at_no_ads: no_ads.average_throughput(),
-                at_no_hf: no_hf.average_throughput(),
-                ads_gain_pct: ads_gain,
-                hf_gain_pct: hf_gain,
-            });
-        }
-        print!("{}", table.render());
-    }
-
-    // Table III summary.
-    let ads: Vec<f64> = rows.iter().map(|r| r.ads_gain_pct).collect();
-    let hf: Vec<f64> = rows.iter().map(|r| r.hf_gain_pct).collect();
-    let range = |xs: &[f64]| {
-        format!(
-            "{}% ~ {}%",
-            f2(xs.iter().cloned().fold(f64::INFINITY, f64::min)),
-            f2(xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
-        )
-    };
-    let mut t3 = Table::new(
-        "Table III — Summary of Ablation Study (measured here)",
-        &["Strategy/Policy", "Performance Improvement", "Paper's range"],
-    );
-    t3.row(vec![
-        "Parallelism Degree Tuning".into(),
-        "see fig6_tuning Phase-1 column".into(),
-        "8.51% ~ 51.69%".into(),
-    ]);
-    t3.row(vec!["ADS Policy".into(), range(&ads), "1.64% ~ 8.21%".into()]);
-    t3.row(vec!["HF Policy".into(), range(&hf), "44.80% ~ 96.30%".into()]);
-    t3.row(vec![
-        "CTD Policy".into(),
-        "see fig6_tuning Phase-2 column".into(),
-        "5.31% ~ 41.25%".into(),
-    ]);
-    print!("{}", t3.render());
-    save_json("fig7_ablation", &rows);
+    fela_bench::figures::fig7::run(fela_harness::default_jobs());
 }

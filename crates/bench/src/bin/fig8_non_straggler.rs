@@ -1,77 +1,6 @@
-//! Figure 8 — average-throughput comparison in the non-straggler scenario:
-//! Fela (tuned) vs DP, MP and HP on VGG19 and GoogLeNet across batch sizes.
-
-use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
-use fela_bench::{improvement, run_tuned_fela, save_json, scenario, BATCHES};
-use fela_cluster::TrainingRuntime;
-use fela_metrics::{f2, Table};
-use fela_model::zoo;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    model: String,
-    batch: u64,
-    fela: f64,
-    dp: f64,
-    mp: f64,
-    hp: f64,
-}
+//! Figure 8 — non-straggler throughput comparison. Thin wrapper over
+//! [`fela_bench::figures::fig8`].
 
 fn main() {
-    let mut rows = Vec::new();
-    for model in [zoo::vgg19(), zoo::googlenet()] {
-        let mut table = Table::new(
-            format!("Figure 8 — AT in the non-straggler scenario ({})", model.name),
-            &["batch", "Fela", "DP", "MP", "HP", "vs DP", "vs MP", "vs HP"],
-        );
-        for &batch in &BATCHES {
-            let sc = scenario(model.clone(), batch);
-            let fela = run_tuned_fela(&sc).average_throughput();
-            let dp = DpRuntime::default().run(&sc).average_throughput();
-            let mp = MpRuntime::default().run(&sc).average_throughput();
-            let hp = HpRuntime.run(&sc).average_throughput();
-            table.row(vec![
-                batch.to_string(),
-                f2(fela),
-                f2(dp),
-                f2(mp),
-                f2(hp),
-                improvement(fela, dp),
-                improvement(fela, mp),
-                improvement(fela, hp),
-            ]);
-            rows.push(Row {
-                model: model.name.clone(),
-                batch,
-                fela,
-                dp,
-                mp,
-                hp,
-            });
-        }
-        print!("{}", table.render());
-        // Per-model speedup ranges, the numbers §V-C1 quotes.
-        let model_rows: Vec<&Row> = rows.iter().filter(|r| r.model == model.name).collect();
-        let range = |f: &dyn Fn(&Row) -> f64| {
-            let ratios: Vec<f64> = model_rows.iter().map(|r| f(r)).collect();
-            format!(
-                "{} ~ {}",
-                improvement(ratios.iter().cloned().fold(f64::INFINITY, f64::min), 1.0),
-                improvement(ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 1.0)
-            )
-        };
-        println!(
-            "{}: Fela outperforms DP by {}, MP by {}, HP by {}\n",
-            model.name,
-            range(&|r| r.fela / r.dp),
-            range(&|r| r.fela / r.mp),
-            range(&|r| r.fela / r.hp),
-        );
-    }
-    println!(
-        "Paper shape checks: MP worst under BSP; HP beats DP at small batch and\n\
-         falls behind as the batch grows (the FC-worker incast); Fela wins throughout."
-    );
-    save_json("fig8_non_straggler", &rows);
+    fela_bench::figures::fig8::run(fela_harness::default_jobs());
 }

@@ -1,43 +1,6 @@
-//! Figure 9 — AT and PID in the round-robin straggler scenario: worker `k mod N`
-//! is slowed by `d` seconds in iteration `k`. VGG19 sweeps d ∈ {2,4,6,8,10} s,
-//! GoogLeNet d ∈ {1..5} s (§V-C2).
-
-use fela_bench::{print_straggler_tables, save_json, straggler_experiment};
-use fela_cluster::StragglerModel;
-use fela_model::zoo;
-use fela_sim::SimDuration;
-
-/// Batch size for the straggler experiments (mid-sweep; the paper fixes one).
-const BATCH: u64 = 256;
+//! Figure 9 — round-robin straggler scenario. Thin wrapper over
+//! [`fela_bench::figures::fig9`].
 
 fn main() {
-    let mut all = Vec::new();
-    for (model, delays) in [
-        (zoo::vgg19(), vec![2u64, 4, 6, 8, 10]),
-        (zoo::googlenet(), vec![1, 2, 3, 4, 5]),
-    ] {
-        let settings: Vec<(String, StragglerModel)> = delays
-            .iter()
-            .map(|&d| {
-                (
-                    format!("d={d}s"),
-                    StragglerModel::RoundRobin {
-                        delay: SimDuration::from_secs(d),
-                    },
-                )
-            })
-            .collect();
-        let rows = straggler_experiment(&model, BATCH, &settings);
-        print_straggler_tables(
-            &format!("Figure 9 — round-robin stragglers ({})", model.name),
-            &rows,
-        );
-        all.extend(rows);
-    }
-    println!(
-        "Paper shape checks: Fela's PID stays well below DP's and HP's (token\n\
-         stealing absorbs the sleep); MP's PID can undercut Fela's because the\n\
-         sleep overlaps its pipeline bubbles — but MP's AT remains the lowest."
-    );
-    save_json("fig9_round_robin", &all);
+    fela_bench::figures::fig9::run(fela_harness::default_jobs());
 }

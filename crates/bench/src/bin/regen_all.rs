@@ -1,0 +1,19 @@
+//! Regenerates every figure and table of the paper in one command.
+//!
+//! Runs each experiment from [`fela_bench::figures::ALL`] in DESIGN.md §4
+//! order; each experiment parallelises internally across `FELA_JOBS` worker
+//! threads (default: available parallelism). Combine with `FELA_QUICK=1` for
+//! a fast smoke regeneration.
+
+fn main() {
+    let jobs = fela_harness::default_jobs();
+    eprintln!(
+        "regenerating {} experiments with {jobs} worker threads",
+        fela_bench::figures::ALL.len()
+    );
+    for (name, run) in fela_bench::figures::ALL {
+        println!("=== {name} ===");
+        run(jobs);
+        println!();
+    }
+}

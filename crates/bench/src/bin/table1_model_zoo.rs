@@ -1,58 +1,6 @@
-//! Table I — growing neural-network layer numbers, with each buildable row
-//! verified against the constructed model's weighted depth.
-
-use fela_bench::save_json;
-use fela_metrics::Table;
-use fela_model::zoo::{build_by_name, TABLE_I};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    model: &'static str,
-    year: u32,
-    layer_number: u64,
-    verified: bool,
-    params: Option<u64>,
-    forward_gflops: Option<f64>,
-}
+//! Table I — model zoo layer numbers. Thin wrapper over
+//! [`fela_bench::figures::table1`].
 
 fn main() {
-    let mut table = Table::new(
-        "Table I — Growing Neural Network Layer Numbers",
-        &["Model", "Year", "Layer Number", "Built & Verified", "Params", "Fwd GFLOP"],
-    );
-    let mut rows = Vec::new();
-    for info in TABLE_I {
-        let built = build_by_name(info.name);
-        let verified = built
-            .as_ref()
-            .map(|m| m.weighted_depth() == info.layer_number)
-            .unwrap_or(false);
-        let params = built.as_ref().map(|m| m.param_count());
-        let gflops = built.as_ref().map(|m| m.forward_flops() as f64 / 1e9);
-        table.row(vec![
-            info.name.to_owned(),
-            info.year.to_string(),
-            info.layer_number.to_string(),
-            if verified {
-                "yes".into()
-            } else if info.buildable {
-                "MISMATCH".into()
-            } else {
-                "metadata only".into()
-            },
-            params.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
-            gflops.map(|g| format!("{g:.2}")).unwrap_or_else(|| "-".into()),
-        ]);
-        rows.push(Row {
-            model: info.name,
-            year: info.year,
-            layer_number: info.layer_number,
-            verified,
-            params,
-            forward_gflops: gflops,
-        });
-    }
-    print!("{}", table.render());
-    save_json("table1_model_zoo", &rows);
+    fela_bench::figures::table1::run(fela_harness::default_jobs());
 }

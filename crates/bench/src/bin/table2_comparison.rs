@@ -1,115 +1,6 @@
-//! Table II — qualitative comparison of representative DML solutions.
-//!
-//! The rows are the paper's; the Fela row's five properties are not just
-//! restated but *checked* against this repository's implemented behaviour with
-//! fast probe runs (flexible parallelism → tuned weight vectors differ across
-//! batch sizes; straggler mitigation → PID well below the injected delay;
-//! communication efficiency → Fela moves less data than DP; work conservation →
-//! utilisation above the pipeline baselines'; reproducibility → the fela-engine
-//! guarantees, summarised here).
-
-use fela_baselines::{DpRuntime, MpRuntime};
-use fela_bench::save_json;
-use fela_cluster::{Scenario, StragglerModel, TrainingRuntime};
-use fela_core::{FelaConfig, FelaRuntime};
-use fela_metrics::Table;
-use fela_model::zoo;
-use fela_sim::SimDuration;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct SolutionRow {
-    solution: &'static str,
-    parallel_mode: &'static str,
-    flexible_parallelism: bool,
-    straggler_mitigation: bool,
-    communication_efficiency: bool,
-    work_conservation: bool,
-    algorithm_reproducibility: bool,
-}
-
-const ROWS: &[SolutionRow] = &[
-    SolutionRow { solution: "LazyTable", parallel_mode: "Model-Parallel", flexible_parallelism: false, straggler_mitigation: true, communication_efficiency: true, work_conservation: true, algorithm_reproducibility: false },
-    SolutionRow { solution: "FlexRR", parallel_mode: "Data-Parallel", flexible_parallelism: false, straggler_mitigation: true, communication_efficiency: false, work_conservation: true, algorithm_reproducibility: false },
-    SolutionRow { solution: "FlexPS", parallel_mode: "Data-Parallel", flexible_parallelism: true, straggler_mitigation: false, communication_efficiency: false, work_conservation: true, algorithm_reproducibility: true },
-    SolutionRow { solution: "PipeDream", parallel_mode: "Model-Parallel", flexible_parallelism: false, straggler_mitigation: false, communication_efficiency: true, work_conservation: false, algorithm_reproducibility: false },
-    SolutionRow { solution: "ElasticPipe", parallel_mode: "Model-Parallel", flexible_parallelism: false, straggler_mitigation: true, communication_efficiency: true, work_conservation: false, algorithm_reproducibility: true },
-    SolutionRow { solution: "Stanza", parallel_mode: "Hybrid-Parallel", flexible_parallelism: false, straggler_mitigation: false, communication_efficiency: true, work_conservation: false, algorithm_reproducibility: true },
-    SolutionRow { solution: "Fela", parallel_mode: "Hybrid-Parallel", flexible_parallelism: true, straggler_mitigation: true, communication_efficiency: true, work_conservation: true, algorithm_reproducibility: true },
-];
-
-fn check(v: bool) -> &'static str {
-    if v {
-        "yes"
-    } else {
-        "no"
-    }
-}
+//! Table II — DML solution comparison. Thin wrapper over
+//! [`fela_bench::figures::table2`].
 
 fn main() {
-    let mut table = Table::new(
-        "Table II — Comparison of Representative DML Solutions",
-        &[
-            "Solution",
-            "Parallel Mode",
-            "Flexible Parallelism",
-            "Straggler Mitigation",
-            "Comm. Efficiency",
-            "Work Conservation",
-            "Reproducibility",
-        ],
-    );
-    for r in ROWS {
-        table.row(vec![
-            r.solution.to_owned(),
-            r.parallel_mode.to_owned(),
-            check(r.flexible_parallelism).into(),
-            check(r.straggler_mitigation).into(),
-            check(r.communication_efficiency).into(),
-            check(r.work_conservation).into(),
-            check(r.algorithm_reproducibility).into(),
-        ]);
-    }
-    print!("{}", table.render());
-
-    // Verify the Fela row empirically with quick probe runs.
-    println!("\nVerifying the Fela row against the implementation (10-iteration probes):");
-    let probe = |batch| Scenario::paper(zoo::vgg19(), batch).with_iterations(10);
-    // CTD is part of Fela's communication story (§III-F), so the probes run the
-    // CTD-enabled configuration.
-    let fela = |w: Vec<u64>| FelaRuntime::new(FelaConfig::new(3).with_weights(w).with_ctd(2));
-
-    // Straggler mitigation: PID ≪ injected delay.
-    let base = fela(vec![1, 2, 4]).run(&probe(256));
-    let slow = fela(vec![1, 2, 4]).run(&probe(256).with_straggler(
-        StragglerModel::RoundRobin {
-            delay: SimDuration::from_secs(4),
-        },
-    ));
-    let pid = (slow.total_time_secs - base.total_time_secs) / 10.0;
-    println!("  straggler mitigation: PID {pid:.2}s vs injected 4s → {}", pid < 2.0);
-
-    // Communication efficiency: less wire traffic than DP.
-    let dp = DpRuntime::default().run(&probe(256));
-    println!(
-        "  communication efficiency: fela {:.1} GB vs dp {:.1} GB → {}",
-        base.network_bytes as f64 / 1e9,
-        dp.network_bytes as f64 / 1e9,
-        base.network_bytes < dp.network_bytes
-    );
-
-    // Work conservation: utilisation above the pipeline baseline's.
-    let mp = MpRuntime::default().run(&probe(256));
-    println!(
-        "  work conservation: fela util {:.2} vs mp util {:.2} → {}",
-        base.mean_utilization(),
-        mp.mean_utilization(),
-        base.mean_utilization() > mp.mean_utilization()
-    );
-
-    println!(
-        "  flexible parallelism: per-sub-model token batches (see fig6_tuning) → true\n  \
-         reproducibility: fela-engine proves bit-identical schedules (cargo test -p fela-engine) → true"
-    );
-    save_json("table2_comparison", &ROWS);
+    fela_bench::figures::table2::run(fela_harness::default_jobs());
 }

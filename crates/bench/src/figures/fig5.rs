@@ -1,0 +1,88 @@
+//! Figure 5 — threshold batch sizes of VGG19's layers in network order, and the
+//! resulting bin-partitioned sub-models (plus the GoogLeNet grouping of §IV-A).
+
+use fela_metrics::Table;
+use fela_model::{bin_partition, zoo, PartitionOptions, ThresholdProfile};
+use serde::Serialize;
+
+use crate::save_json;
+
+#[derive(Serialize)]
+struct PartitionOut {
+    model: String,
+    layer_thresholds: Vec<(String, u64)>,
+    sub_models: Vec<SubOut>,
+}
+
+#[derive(Serialize)]
+struct SubOut {
+    index: usize,
+    weighted_layers: (u64, u64),
+    threshold_batch: u64,
+    param_mb: f64,
+    forward_gflops_per_sample: f64,
+    comm_intensive: bool,
+}
+
+/// Prints the threshold/partition tables (analytic; no training runs).
+pub fn run(_jobs: usize) {
+    let profile = ThresholdProfile::k40c();
+    let mut out = Vec::new();
+    for model in [zoo::vgg19(), zoo::googlenet()] {
+        let mut thr_table = Table::new(
+            format!("Figure 5 — threshold batch sizes ({})", model.name),
+            &["layer", "threshold batch"],
+        );
+        let mut layer_thresholds = Vec::new();
+        for layer in model.layers() {
+            if let Some(t) = profile.threshold_for(layer) {
+                thr_table.row(vec![layer.name.clone(), t.to_string()]);
+                layer_thresholds.push((layer.name.clone(), t));
+            }
+        }
+        print!("{}", thr_table.render());
+
+        let p = bin_partition(&model, &profile, PartitionOptions::default());
+        let mut part_table = Table::new(
+            format!("Bin partition (bin width 16, target 3) — {}", model.name),
+            &[
+                "sub-model",
+                "weighted layers",
+                "threshold batch",
+                "params (MB)",
+                "fwd GFLOP/sample",
+                "comm-intensive",
+            ],
+        );
+        let mut subs = Vec::new();
+        for s in p.sub_models() {
+            part_table.row(vec![
+                format!("SM-{}", s.index + 1),
+                format!("{}~{}", s.first_weighted, s.last_weighted),
+                s.threshold_batch.to_string(),
+                format!("{:.1}", s.param_bytes as f64 / 1e6),
+                format!("{:.2}", s.forward_flops as f64 / 1e9),
+                if s.comm_intensive { "yes" } else { "no" }.into(),
+            ]);
+            subs.push(SubOut {
+                index: s.index,
+                weighted_layers: (s.first_weighted, s.last_weighted),
+                threshold_batch: s.threshold_batch,
+                param_mb: s.param_bytes as f64 / 1e6,
+                forward_gflops_per_sample: s.forward_flops as f64 / 1e9,
+                comm_intensive: s.comm_intensive,
+            });
+        }
+        print!("{}", part_table.render());
+        out.push(PartitionOut {
+            model: model.name.clone(),
+            layer_thresholds,
+            sub_models: subs,
+        });
+    }
+    println!(
+        "Paper check: VGG19 → layers 1~8 / 9~16 / 17~19 (FC); GoogLeNet → \
+         {{stem+3*}} / {{4*}} / {{5*+FC}}."
+    );
+    save_json("fig5_bin_partition", &out);
+}

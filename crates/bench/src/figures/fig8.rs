@@ -1,0 +1,103 @@
+//! Figure 8 — average-throughput comparison in the non-straggler scenario:
+//! Fela (tuned) vs DP, MP and HP on VGG19 and GoogLeNet across batch sizes.
+//!
+//! The whole 4-runtime × 10-scenario grid is one harness sweep; Fela's §IV-B
+//! tuning runs inside each of its jobs, so every batch size gets its own
+//! winning configuration.
+
+use fela_harness::SweepSpec;
+use fela_metrics::{f2, Table};
+use fela_model::zoo;
+use serde::Serialize;
+
+use crate::{improvement, save_json, scenario, tuned_fela_factory, with_baselines, BATCHES};
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    batch: u64,
+    fela: f64,
+    dp: f64,
+    mp: f64,
+    hp: f64,
+}
+
+/// Runs the Figure 8 sweep on `jobs` worker threads.
+pub fn run(jobs: usize) {
+    let models = [zoo::vgg19(), zoo::googlenet()];
+    let mut spec = with_baselines(
+        SweepSpec::new("fig8_non_straggler").runtime_factory("fela", tuned_fela_factory()),
+    );
+    for model in &models {
+        for &batch in &BATCHES {
+            spec = spec.scenario(
+                format!("{}/b{batch}", model.name),
+                scenario(model.clone(), batch),
+            );
+        }
+    }
+    let result = spec.run(jobs);
+    if let Err(e) = result.write_artifacts() {
+        eprintln!("warning: cannot write fig8 artifacts: {e}");
+    }
+
+    let mut rows = Vec::new();
+    for model in &models {
+        let mut table = Table::new(
+            format!(
+                "Figure 8 — AT in the non-straggler scenario ({})",
+                model.name
+            ),
+            &["batch", "Fela", "DP", "MP", "HP", "vs DP", "vs MP", "vs HP"],
+        );
+        for &batch in &BATCHES {
+            let label = format!("{}/b{batch}", model.name);
+            let at = |rt: &str| result.report(rt, &label).average_throughput();
+            let (fela, dp, mp, hp) = (at("fela"), at("dp"), at("mp"), at("hp"));
+            table.row(vec![
+                batch.to_string(),
+                f2(fela),
+                f2(dp),
+                f2(mp),
+                f2(hp),
+                improvement(fela, dp),
+                improvement(fela, mp),
+                improvement(fela, hp),
+            ]);
+            rows.push(Row {
+                model: model.name.clone(),
+                batch,
+                fela,
+                dp,
+                mp,
+                hp,
+            });
+        }
+        print!("{}", table.render());
+        // Per-model speedup ranges, the numbers §V-C1 quotes.
+        let model_rows: Vec<&Row> = rows.iter().filter(|r| r.model == model.name).collect();
+        let range = |f: &dyn Fn(&Row) -> f64| {
+            let ratios: Vec<f64> = model_rows.iter().map(|r| f(r)).collect();
+            format!(
+                "{} ~ {}",
+                improvement(ratios.iter().cloned().fold(f64::INFINITY, f64::min), 1.0),
+                improvement(
+                    ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    1.0
+                )
+            )
+        };
+        println!(
+            "{}: Fela outperforms DP by {}, MP by {}, HP by {}\n",
+            model.name,
+            range(&|r| r.fela / r.dp),
+            range(&|r| r.fela / r.mp),
+            range(&|r| r.fela / r.hp),
+        );
+    }
+    println!(
+        "Paper shape checks: MP worst under BSP; HP beats DP at small batch and\n\
+         falls behind as the batch grows (the FC-worker incast); Fela wins throughout."
+    );
+    save_json("fig8_non_straggler", &rows);
+}

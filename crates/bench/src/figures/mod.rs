@@ -1,0 +1,35 @@
+//! Library implementations of every figure/table experiment.
+//!
+//! Each submodule exposes `run(jobs: usize)`: it declares its runs (as a
+//! [`fela_harness::SweepSpec`] when the experiment executes training
+//! runtimes), runs them on `jobs` worker threads, prints the paper-style
+//! tables and writes artifacts under `results/`. The `src/bin/` binaries are
+//! thin wrappers; `regen_all` chains every experiment in one command.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+/// An experiment entry point: takes the worker-thread count.
+pub type Experiment = fn(usize);
+
+/// Every experiment in DESIGN.md §4 order: `(name, entry point)`.
+pub const ALL: [(&str, Experiment); 10] = [
+    ("table1_model_zoo", table1::run),
+    ("table2_comparison", table2::run),
+    ("fig1_layer_throughput", fig1::run),
+    ("fig5_bin_partition", fig5::run),
+    ("fig6_tuning", fig6::run),
+    ("fig7_ablation", fig7::run),
+    ("fig8_non_straggler", fig8::run),
+    ("fig9_round_robin", fig9::run),
+    ("fig10_probabilistic", fig10::run),
+    ("ablation_design", ablation::run),
+];

@@ -1,27 +1,34 @@
-//! # fela-bench — experiment harnesses
+//! # fela-bench — experiment drivers
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §4 for the index).
-//! Each binary prints the same rows/series the paper reports and writes a
-//! machine-readable JSON copy under `results/` so EXPERIMENTS.md stays
-//! regenerable.
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the index);
+//! each binary is a thin wrapper over the matching [`figures`] module, which
+//! declares its runs as a [`fela_harness::SweepSpec`] and executes them through
+//! the harness — in parallel, with per-run [`fela_harness::RunRecord`] JSONL
+//! artifacts under `results/` next to the ASCII tables and JSON summaries.
 //!
 //! Environment knobs:
 //!
 //! * `FELA_ITERS` — iterations per measured run (default 100, as in §V-A);
-//! * `FELA_QUICK=1` — shorthand for a 10-iteration smoke run of every experiment.
+//! * `FELA_QUICK=1` — shorthand for a 10-iteration smoke run of every experiment;
+//! * `FELA_JOBS` — worker threads per sweep (default: available parallelism);
+//! * `FELA_RESULTS_DIR` — artifact directory (default `results/`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::fs;
-use std::path::PathBuf;
+pub mod figures;
 
-use fela_cluster::{Scenario, TrainingRuntime};
+use std::fs;
+
+use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
+use fela_cluster::Scenario;
 use fela_core::{FelaConfig, FelaRuntime};
+use fela_harness::{RuntimeFactory, SweepSpec};
 use fela_metrics::RunReport;
 use fela_model::Model;
 use fela_tuning::Tuner;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Iterations per measured run (`FELA_ITERS`, `FELA_QUICK`, default 100).
 pub fn iterations() -> u64 {
@@ -46,10 +53,10 @@ pub fn tuning_iterations() -> u64 {
 /// The batch sizes the evaluation sweeps.
 pub const BATCHES: [u64; 5] = [64, 128, 256, 512, 1024];
 
-/// Writes `value` as pretty JSON to `results/<name>.json` (creating the
-/// directory), and reports the path on stdout.
+/// Writes `value` as pretty JSON to `<results_dir>/<name>.json` (creating the
+/// directory, honouring `FELA_RESULTS_DIR`), and reports the path on stdout.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("results");
+    let dir = fela_harness::results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create results dir: {e}");
         return;
@@ -71,16 +78,45 @@ pub fn scenario(model: Model, batch: u64) -> Scenario {
 
 /// Tunes Fela for a scenario (the §IV-B two-phase search) and returns the
 /// winning configuration.
+///
+/// Profiling runs sequentially: this helper is typically called *inside* a
+/// harness job, where sweep-level parallelism already saturates the machine.
 pub fn tuned_fela(scenario: &Scenario) -> FelaConfig {
     let tuner = Tuner {
         profile_iterations: tuning_iterations(),
     };
-    tuner.tune(scenario).best_config
+    tuner.tune_with_jobs(scenario, 1).best_config
 }
 
 /// Runs tuned Fela on a scenario.
 pub fn run_tuned_fela(scenario: &Scenario) -> RunReport {
+    use fela_cluster::TrainingRuntime as _;
     FelaRuntime::new(tuned_fela(scenario)).run(scenario)
+}
+
+/// Harness factory for tuned Fela: the §IV-B search runs *per job*, so each
+/// scenario in a sweep gets its own winning configuration (as in Figure 8,
+/// where the tuned weight vector differs across batch sizes).
+pub fn tuned_fela_factory() -> RuntimeFactory {
+    Arc::new(|sc: &Scenario| Box::new(FelaRuntime::new(tuned_fela(sc))))
+}
+
+/// Harness factory for Fela with a fixed, pre-tuned configuration.
+pub fn fixed_fela_factory(config: FelaConfig) -> RuntimeFactory {
+    Arc::new(move |_: &Scenario| Box::new(FelaRuntime::new(config.clone())))
+}
+
+/// Adds the three baseline runtimes (DP, MP, HP) to a sweep (builder style).
+#[must_use]
+pub fn with_baselines(spec: SweepSpec) -> SweepSpec {
+    spec.runtime("dp", |_| Box::new(DpRuntime::default()))
+        .runtime("mp", |_| Box::new(MpRuntime::default()))
+        .runtime("hp", |_| Box::new(HpRuntime))
+}
+
+/// Lower-case artifact label for a model, e.g. `"VGG19"` → `"vgg19"`.
+pub fn model_slug(name: &str) -> String {
+    name.to_lowercase()
 }
 
 /// Formats the paper's improvement style from a ratio (see
@@ -104,42 +140,65 @@ pub struct StragglerRow {
     pub pid: [f64; 4],
 }
 
+/// Label of the non-straggler reference scenario in straggler sweeps.
+const BASE_LABEL: &str = "base";
+
 /// Runs the four runtimes under each straggler setting and computes AT + PID
 /// against each runtime's own non-straggler baseline (Equation 4).
+///
+/// The whole grid — four runtimes × (base + every setting) — is declared as
+/// one [`SweepSpec`] named `experiment` and executed on `jobs` worker
+/// threads; the record stream lands in `results/<experiment>.jsonl`. Fela is
+/// tuned once on the non-straggler scenario (the paper applies the tuned
+/// configuration to every straggler case), so tuning happens before the sweep.
 pub fn straggler_experiment(
+    experiment: &str,
     model: &Model,
     batch: u64,
     settings: &[(String, fela_cluster::StragglerModel)],
+    jobs: usize,
 ) -> Vec<StragglerRow> {
-    use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
     let base_scenario = scenario(model.clone(), batch);
     let fela_config = tuned_fela(&base_scenario);
-    let runtimes: Vec<Box<dyn TrainingRuntime>> = vec![
-        Box::new(FelaRuntime::new(fela_config)),
-        Box::new(DpRuntime::default()),
-        Box::new(MpRuntime::default()),
-        Box::new(HpRuntime),
-    ];
-    let baselines: Vec<RunReport> = runtimes.iter().map(|r| r.run(&base_scenario)).collect();
-    let mut rows = Vec::new();
+    let mut spec = with_baselines(
+        SweepSpec::new(experiment).runtime_factory("fela", fixed_fela_factory(fela_config)),
+    )
+    .scenario(BASE_LABEL, base_scenario.clone());
     for (label, straggler) in settings {
-        let sc = base_scenario.clone().with_straggler(*straggler);
-        let mut at = [0.0; 4];
-        let mut pid = [0.0; 4];
-        for (i, rt) in runtimes.iter().enumerate() {
-            let report = rt.run(&sc);
-            at[i] = report.average_throughput();
-            pid[i] = fela_metrics::per_iteration_delay(&report, &baselines[i]);
-        }
-        rows.push(StragglerRow {
-            model: model.name.clone(),
-            batch,
-            setting: label.clone(),
-            at,
-            pid,
-        });
+        spec = spec.scenario(
+            label.clone(),
+            base_scenario.clone().with_straggler(*straggler),
+        );
     }
-    rows
+    let result = spec.run(jobs);
+    if let Err(e) = result.write_artifacts() {
+        eprintln!("warning: cannot write {experiment} artifacts: {e}");
+    }
+
+    const RUNTIMES: [&str; 4] = ["fela", "dp", "mp", "hp"];
+    let baselines: Vec<&RunReport> = RUNTIMES
+        .iter()
+        .map(|rt| result.report(rt, BASE_LABEL))
+        .collect();
+    settings
+        .iter()
+        .map(|(label, _)| {
+            let mut at = [0.0; 4];
+            let mut pid = [0.0; 4];
+            for (i, rt) in RUNTIMES.iter().enumerate() {
+                let report = result.report(rt, label);
+                at[i] = report.average_throughput();
+                pid[i] = fela_metrics::per_iteration_delay(report, baselines[i]);
+            }
+            StragglerRow {
+                model: model.name.clone(),
+                batch,
+                setting: label.clone(),
+                at,
+                pid,
+            }
+        })
+        .collect()
 }
 
 /// Prints AT and PID tables for straggler rows and the Fela-vs-baseline summary.
@@ -176,7 +235,10 @@ pub fn print_straggler_tables(title: &str, rows: &[StragglerRow]) {
         format!(
             "{} ~ {}",
             improvement(ratios.iter().cloned().fold(f64::INFINITY, f64::min), 1.0),
-            improvement(ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 1.0)
+            improvement(
+                ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                1.0
+            )
         )
     };
     println!(

@@ -31,6 +31,10 @@ pub struct CommonArgs {
     pub nodes: usize,
     /// Straggler injection.
     pub straggler: StragglerModel,
+    /// Seed override re-rooting the straggler realisation (`--seed`).
+    pub seed: Option<u64>,
+    /// Harness worker threads (`--jobs`); `None` = `FELA_JOBS`/auto.
+    pub jobs: Option<usize>,
 }
 
 impl Default for CommonArgs {
@@ -41,6 +45,8 @@ impl Default for CommonArgs {
             iters: 100,
             nodes: 8,
             straggler: StragglerModel::None,
+            seed: None,
+            jobs: None,
         }
     }
 }
@@ -146,6 +152,22 @@ fn parse_common<'a>(
                 .map_err(|_| ParseError("--nodes expects an integer".into()))?
         }
         "--straggler" => common.straggler = parse_straggler(take_value(flag, it)?)?,
+        "--seed" => {
+            common.seed = Some(
+                take_value(flag, it)?
+                    .parse()
+                    .map_err(|_| ParseError("--seed expects an integer".into()))?,
+            )
+        }
+        "--jobs" => {
+            let jobs: usize = take_value(flag, it)?
+                .parse()
+                .map_err(|_| ParseError("--jobs expects a positive integer".into()))?;
+            if jobs == 0 {
+                return err("--jobs must be at least 1");
+            }
+            common.jobs = Some(jobs);
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -189,8 +211,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 match flag {
                     "--weights" => {
                         let spec = take_value(flag, &mut it)?;
-                        let ws: Result<Vec<u64>, _> =
-                            spec.split(',').map(str::parse).collect();
+                        let ws: Result<Vec<u64>, _> = spec.split(',').map(str::parse).collect();
                         run.weights = Some(ws.map_err(|_| {
                             ParseError(format!("bad weight list '{spec}' (use e.g. 1,2,4)"))
                         })?);
@@ -201,9 +222,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                         })?)
                     }
                     "--staleness" => {
-                        run.staleness = take_value(flag, &mut it)?.parse().map_err(|_| {
-                            ParseError("--staleness expects an integer".into())
-                        })?
+                        run.staleness = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--staleness expects an integer".into()))?
                     }
                     "--no-pipelining" => run.no_pipelining = true,
                     "--json" => run.json = true,
@@ -228,6 +249,12 @@ USAGE:
   fela compare --model <name> --batch <n> [--iters <n>] [--straggler <spec>]
   fela models
   fela help
+
+COMMON FLAGS:
+  --seed <n>   re-root the straggler realisation (recorded in run artifacts)
+  --jobs <n>   worker threads for tuning/comparison sweeps
+               (default: FELA_JOBS or available parallelism; results are
+               identical for every value)
 
 STRAGGLER SPECS:
   none | round-robin:<delay_secs> | prob:<p>:<delay_secs>[:<seed>]
@@ -329,14 +356,28 @@ mod tests {
     }
 
     #[test]
+    fn seed_and_jobs_flags() {
+        let Command::Compare(c) = parse(&["compare", "--seed", "99", "--jobs", "4"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.seed, Some(99));
+        assert_eq!(c.jobs, Some(4));
+        let Command::Run(r) = parse(&["run", "--jobs", "2"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.common.jobs, Some(2));
+        assert!(parse(&["compare", "--jobs", "0"]).is_err());
+        assert!(parse(&["compare", "--seed", "x"]).is_err());
+    }
+
+    #[test]
     fn tune_and_compare_share_common_flags() {
         let Command::Tune(c) = parse(&["tune", "--batch", "64"]).unwrap() else {
             panic!()
         };
         assert_eq!(c.batch, 64);
-        let Command::Compare(c) =
-            parse(&["compare", "--straggler", "prob:0.2:3"]).unwrap()
-        else {
+        let Command::Compare(c) = parse(&["compare", "--straggler", "prob:0.2:3"]).unwrap() else {
             panic!()
         };
         assert!(matches!(c.straggler, StragglerModel::Probabilistic { .. }));

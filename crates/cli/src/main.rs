@@ -13,10 +13,16 @@ use args::{Command, CommonArgs, RunArgs, HELP};
 use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
 use fela_cluster::{ClusterSpec, Scenario, TrainingRuntime};
 use fela_core::{FelaConfig, FelaRuntime};
+use fela_harness::SweepSpec;
 use fela_metrics::{f2, format_speedup, Table};
 use fela_model::zoo;
 use fela_tuning::Tuner;
 use std::process::ExitCode;
+
+/// The worker-thread count for a command: `--jobs`, else `FELA_JOBS`/auto.
+fn jobs_from(common: &CommonArgs) -> usize {
+    common.jobs.unwrap_or_else(fela_harness::default_jobs)
+}
 
 fn model_by_cli_name(name: &str) -> Option<fela_model::Model> {
     let canonical = match name.to_ascii_lowercase().as_str() {
@@ -40,6 +46,9 @@ fn scenario_from(common: &CommonArgs) -> Result<Scenario, String> {
         sc.cluster = ClusterSpec::k40c_cluster(common.nodes);
     }
     sc.straggler = common.straggler;
+    if let Some(seed) = common.seed {
+        sc.straggler = sc.straggler.with_seed(seed);
+    }
     Ok(sc)
 }
 
@@ -85,7 +94,9 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
         }
         None => {
             eprintln!("no --weights given: running the two-phase tuner first…");
-            Tuner::default().tune(&sc).best_config
+            Tuner::default()
+                .tune_with_jobs(&sc, jobs_from(&run.common))
+                .best_config
         }
     };
     if let Some(ctd) = run.ctd {
@@ -119,27 +130,51 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
             .map(|c| c.subset_size.to_string())
             .unwrap_or_else(|| "off".into()),
     ]);
-    table.row(vec!["throughput (samples/s)".into(), f2(report.average_throughput())]);
+    table.row(vec![
+        "throughput (samples/s)".into(),
+        f2(report.average_throughput()),
+    ]);
     table.row(vec!["total time (s)".into(), f2(report.total_time_secs)]);
-    table.row(vec!["mean iteration (s)".into(), f2(report.mean_iteration_secs())]);
-    table.row(vec!["GPU utilisation".into(), f2(report.mean_utilization())]);
+    table.row(vec![
+        "mean iteration (s)".into(),
+        f2(report.mean_iteration_secs()),
+    ]);
+    table.row(vec![
+        "GPU utilisation".into(),
+        f2(report.mean_utilization()),
+    ]);
     table.row(vec![
         "network traffic (GB)".into(),
         f2(report.network_bytes as f64 / 1e9),
     ]);
-    table.row(vec!["tokens granted".into(), report.counter("grants").to_string()]);
-    table.row(vec!["helper steals".into(), report.counter("steals").to_string()]);
-    table.row(vec!["lock conflicts".into(), report.counter("conflicts").to_string()]);
+    table.row(vec![
+        "tokens granted".into(),
+        report.counter("grants").to_string(),
+    ]);
+    table.row(vec![
+        "helper steals".into(),
+        report.counter("steals").to_string(),
+    ]);
+    table.row(vec![
+        "lock conflicts".into(),
+        report.counter("conflicts").to_string(),
+    ]);
     print!("{}", table.render());
     Ok(())
 }
 
 fn cmd_tune(common: &CommonArgs) -> Result<(), String> {
     let sc = scenario_from(common)?;
-    let outcome = Tuner::default().tune(&sc);
+    let outcome = Tuner::default().tune_with_jobs(&sc, jobs_from(common));
     let mut table = Table::new(
         format!("Tuning {} @ batch {}", sc.model.name, sc.total_batch),
-        &["case", "phase", "weights", "CTD subset", "per-iteration (s)"],
+        &[
+            "case",
+            "phase",
+            "weights",
+            "CTD subset",
+            "per-iteration (s)",
+        ],
     );
     for c in &outcome.cases {
         table.row(vec![
@@ -177,14 +212,31 @@ fn cmd_tune(common: &CommonArgs) -> Result<(), String> {
 
 fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
     let sc = scenario_from(common)?;
+    let jobs = jobs_from(common);
     eprintln!("tuning Fela first…");
-    let fela_config = Tuner::default().tune(&sc).best_config;
-    let runtimes: Vec<(&str, Box<dyn TrainingRuntime>)> = vec![
-        ("fela", Box::new(FelaRuntime::new(fela_config))),
-        ("dp", Box::new(DpRuntime::default())),
-        ("mp", Box::new(MpRuntime::default())),
-        ("hp", Box::new(HpRuntime)),
-    ];
+    let fela_config = Tuner::default().tune_with_jobs(&sc, jobs).best_config;
+
+    // One harness sweep: four runtimes × this scenario. Labels come from each
+    // runtime's own name() so reports and artifacts agree with the runtimes.
+    let fela = FelaRuntime::new(fela_config);
+    let fela_label = fela.name();
+    let scenario_label = format!("{}/b{}", sc.model.name, sc.total_batch);
+    let result = SweepSpec::new("compare")
+        .runtime_factory(fela_label, fela_harness::sweep::share_runtime(fela))
+        .runtime(DpRuntime::default().name(), |_| {
+            Box::new(DpRuntime::default())
+        })
+        .runtime(MpRuntime::default().name(), |_| {
+            Box::new(MpRuntime::default())
+        })
+        .runtime(HpRuntime.name(), |_| Box::new(HpRuntime))
+        .scenario(scenario_label.clone(), sc.clone())
+        .with_seed(common.seed)
+        .run(jobs);
+    if let Err(e) = result.write_artifacts() {
+        eprintln!("warning: cannot write compare artifacts: {e}");
+    }
+
     let mut table = Table::new(
         format!(
             "{} @ batch {}, {} iterations{}",
@@ -197,17 +249,25 @@ fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
                 " (stragglers injected)"
             }
         ),
-        &["runtime", "samples/s", "GPU util", "wire GB", "Fela speedup"],
+        &[
+            "runtime",
+            "samples/s",
+            "GPU util",
+            "wire GB",
+            "Fela speedup",
+        ],
     );
-    let reports: Vec<_> = runtimes.iter().map(|(_, rt)| rt.run(&sc)).collect();
-    let fela_at = reports[0].average_throughput();
-    for ((name, _), report) in runtimes.iter().zip(&reports) {
+    let fela_at = result
+        .report(fela_label, &scenario_label)
+        .average_throughput();
+    for record in &result.records {
+        let report = &record.report;
         table.row(vec![
-            (*name).to_owned(),
+            record.runtime.clone(),
             f2(report.average_throughput()),
             f2(report.mean_utilization()),
             f2(report.network_bytes as f64 / 1e9),
-            if *name == "fela" {
+            if record.runtime == fela_label {
                 "-".into()
             } else {
                 format_speedup(fela_at / report.average_throughput())

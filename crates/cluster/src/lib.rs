@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod runtime;
 mod scenario;
 mod straggler;
 
-pub use scenario::{ClusterSpec, Scenario, TrainingRuntime};
+pub use runtime::TrainingRuntime;
+pub use scenario::{ClusterSpec, Scenario};
 pub use straggler::StragglerModel;

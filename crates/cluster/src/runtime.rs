@@ -1,0 +1,18 @@
+//! The runtime interface every training system implements.
+//!
+//! Separated from [`crate::scenario`] so that consumers that only dispatch
+//! runtimes (the experiment harness, the CLI) depend on a module whose job is
+//! exactly that: naming and executing a runtime against a [`Scenario`].
+
+use fela_metrics::RunReport;
+
+use crate::scenario::Scenario;
+
+/// A distributed-training runtime that can execute a scenario.
+pub trait TrainingRuntime {
+    /// Short identifier used in reports (`"fela"`, `"dp"`, `"mp"`, `"hp"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes the scenario and reports timing/counters.
+    fn run(&self, scenario: &Scenario) -> RunReport;
+}

@@ -1,12 +1,11 @@
-//! Experiment scenarios and the runtime interface.
+//! Experiment scenarios.
 //!
 //! A [`Scenario`] bundles everything an experiment run needs — model, total batch,
 //! iteration count, cluster hardware and straggler injection — so that Fela and the
-//! three baselines can be compared on byte-identical inputs. [`TrainingRuntime`] is
-//! the interface each of them implements.
+//! three baselines can be compared on byte-identical inputs. The interface each of
+//! them implements lives in [`crate::runtime`].
 
 use fela_gpu::{ComputeModel, MemoryModel};
-use fela_metrics::RunReport;
 use fela_model::Model;
 use fela_net::NetworkConfig;
 use fela_sim::SimDuration;
@@ -145,15 +144,6 @@ impl Scenario {
         self.straggler
             .delay_for(iteration, worker, self.cluster.nodes)
     }
-}
-
-/// A distributed-training runtime that can execute a scenario.
-pub trait TrainingRuntime {
-    /// Short identifier used in reports (`"fela"`, `"dp"`, `"mp"`, `"hp"`).
-    fn name(&self) -> &'static str;
-
-    /// Executes the scenario and reports timing/counters.
-    fn run(&self, scenario: &Scenario) -> RunReport;
 }
 
 #[cfg(test)]

@@ -14,10 +14,10 @@
 //! scripts enforce, and the reason DP/MP/HP/Fela numbers are comparable run to run.
 
 use fela_sim::{SimDuration, SimRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A deterministic straggler scenario.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub enum StragglerModel {
     /// No stragglers (the Figure 8 scenario).
     None,
@@ -68,6 +68,22 @@ impl StragglerModel {
     /// True if this scenario never injects delays.
     pub fn is_none(&self) -> bool {
         matches!(self, StragglerModel::None)
+    }
+
+    /// The same scenario re-rooted on `seed`.
+    ///
+    /// `None` and `RoundRobin` carry no randomness, so they are returned
+    /// unchanged; only `Probabilistic` picks a new realisation. Used by the
+    /// harness's `--seed` override so all runtimes under comparison still share
+    /// one straggler realisation.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            StragglerModel::Probabilistic { p, delay, .. } => {
+                StragglerModel::Probabilistic { p, delay, seed }
+            }
+            other => other,
+        }
     }
 }
 

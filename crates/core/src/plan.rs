@@ -239,7 +239,10 @@ mod tests {
     fn weight_count_mismatch_is_reported() {
         let p = vgg_partition();
         let err = TokenPlan::build(&p, &FelaConfig::new(2), 128, 8).unwrap_err();
-        assert!(matches!(err, PlanError::WeightCountMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, PlanError::WeightCountMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -186,7 +186,12 @@ impl FelaWorld {
         }
     }
 
-    fn on_flow_done(&mut self, id: fela_net::FlowId, spec: FlowSpec, sched: &mut Scheduler<'_, Ev>) {
+    fn on_flow_done(
+        &mut self,
+        id: fela_net::FlowId,
+        spec: FlowSpec,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         let now = sched.now();
         if spec.tag & TAG_DEP != 0 {
             let token = TokenId(spec.tag & !TAG_DEP);
@@ -489,7 +494,9 @@ mod tests {
         let r = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
         // 8 + 4 + 2 tokens per iteration × 3 iterations.
         assert_eq!(r.counter("grants"), 14 * 3);
-        let per_worker: u64 = (0..8).map(|w| r.counter(&format!("tokens_worker{w}"))).sum();
+        let per_worker: u64 = (0..8)
+            .map(|w| r.counter(&format!("tokens_worker{w}")))
+            .sum();
         assert_eq!(per_worker, 14 * 3);
     }
 
@@ -505,11 +512,11 @@ mod tests {
     #[test]
     fn stragglers_slow_the_run_down() {
         let base = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
-        let slow = runtime(vec![1, 2, 4]).run(
-            &quick_scenario(128).with_straggler(StragglerModel::RoundRobin {
+        let slow = runtime(vec![1, 2, 4]).run(&quick_scenario(128).with_straggler(
+            StragglerModel::RoundRobin {
                 delay: SimDuration::from_secs(2),
-            }),
-        );
+            },
+        ));
         assert!(slow.total_time_secs > base.total_time_secs);
         // Token counts unchanged — only timing shifts.
         assert_eq!(slow.counter("grants"), base.counter("grants"));
@@ -520,13 +527,16 @@ mod tests {
         // With token stealing, one 2 s straggler per iteration should cost the
         // 8-worker cluster well under the full 2 s per iteration.
         let base = runtime(vec![1, 2, 4]).run(&quick_scenario(256));
-        let slow = runtime(vec![1, 2, 4]).run(
-            &quick_scenario(256).with_straggler(StragglerModel::RoundRobin {
+        let slow = runtime(vec![1, 2, 4]).run(&quick_scenario(256).with_straggler(
+            StragglerModel::RoundRobin {
                 delay: SimDuration::from_secs(2),
-            }),
-        );
+            },
+        ));
         let pid = (slow.total_time_secs - base.total_time_secs) / 3.0;
-        assert!(pid < 2.0, "per-iteration delay {pid} should be < full sleep");
+        assert!(
+            pid < 2.0,
+            "per-iteration delay {pid} should be < full sleep"
+        );
         assert!(pid > 0.0);
     }
 
@@ -534,7 +544,9 @@ mod tests {
     fn hf_off_causes_conflicts_and_remote_fetches() {
         let on = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
         let off = FelaRuntime::new(
-            FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_hf(false),
+            FelaConfig::new(3)
+                .with_weights(vec![1, 2, 4])
+                .with_hf(false),
         )
         .run(&quick_scenario(128));
         assert!(off.counter("conflicts") > on.counter("conflicts"));
@@ -548,10 +560,8 @@ mod tests {
     #[test]
     fn ctd_reduces_network_bytes() {
         let no_ctd = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
-        let ctd = FelaRuntime::new(
-            FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_ctd(2),
-        )
-        .run(&quick_scenario(128));
+        let ctd = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_ctd(2))
+            .run(&quick_scenario(128));
         // FC params sync among 2 instead of 8 → fewer sync bytes on the wire.
         assert!(ctd.network_bytes < no_ctd.network_bytes);
     }
@@ -585,11 +595,12 @@ mod tests {
 
     #[test]
     fn ssp_staleness_tolerates_stragglers_better() {
-        let sc = quick_scenario(128)
-            .with_iterations(6)
-            .with_straggler(StragglerModel::RoundRobin {
-                delay: SimDuration::from_secs(4),
-            });
+        let sc =
+            quick_scenario(128)
+                .with_iterations(6)
+                .with_straggler(StragglerModel::RoundRobin {
+                    delay: SimDuration::from_secs(4),
+                });
         let bsp = runtime(vec![1, 2, 4]).run(&sc);
         let ssp = FelaRuntime::new(
             FelaConfig::new(3)

@@ -232,11 +232,7 @@ impl TokenServer {
 
     /// Iterations fully finished: every level's sync for that iteration drained.
     pub fn completed_iterations(&self) -> u64 {
-        self.levels
-            .iter()
-            .map(|l| l.synced_upto)
-            .min()
-            .unwrap_or(0)
+        self.levels.iter().map(|l| l.synced_upto).min().unwrap_or(0)
     }
 
     /// True once all `max_iterations` iterations are fully synced.
@@ -339,7 +335,9 @@ impl TokenServer {
     fn try_grant(&mut self, worker: usize, now: SimTime) -> Option<Grant> {
         let (bucket, stolen) = self.pick_bucket(worker)?;
         let (level, pos) = self.pick_token(bucket, worker)?;
-        let id = self.stbs[bucket][level].remove(pos).expect("valid position");
+        let id = self.stbs[bucket][level]
+            .remove(pos)
+            .expect("valid position");
         // Lock-conflict detection: with HF, only steals contend (owners access
         // their STB lock-free); with the global bucket every grant contends.
         let contends = stolen || !self.cfg.hf;
@@ -598,7 +596,13 @@ impl TokenServer {
         self.release_due_roots();
     }
 
-    fn generate_token(&mut self, level: usize, iteration: u64, deps: Vec<TokenId>, reporter: usize) {
+    fn generate_token(
+        &mut self,
+        level: usize,
+        iteration: u64,
+        deps: Vec<TokenId>,
+        reporter: usize,
+    ) {
         let lp = self.plan.levels[level];
         let seq = {
             let generated = self
@@ -754,7 +758,13 @@ mod tests {
         ts.report(1, g1.token.id);
         let lvl1_after: usize = ts.stbs.iter().map(|s| s[1].len()).sum();
         assert_eq!(lvl1_after, 1, "2 T-1 completions generate 1 T-2 token");
-        let id = ts.stbs.iter().flat_map(|s| s[1].iter()).next().copied().unwrap();
+        let id = ts
+            .stbs
+            .iter()
+            .flat_map(|s| s[1].iter())
+            .next()
+            .copied()
+            .unwrap();
         assert_eq!(ts.tokens[&id].deps, vec![g0.token.id, g1.token.id]);
         assert_eq!(ts.stbs[1][1].len(), 1, "token placed in the reporter's STB");
     }
@@ -831,7 +841,10 @@ mod tests {
             "equal scores tie-break to the smallest token id"
         );
         assert_eq!(g4.fetches.len(), 2);
-        assert!(g4.fetches.iter().all(|&(h, _)| h == 0), "deps held by worker 0");
+        assert!(
+            g4.fetches.iter().all(|&(h, _)| h == 0),
+            "deps held by worker 0"
+        );
     }
 
     #[test]
@@ -1006,7 +1019,10 @@ mod tests {
         assert_eq!(cond_elsewhere, 0);
         assert!(cond_tokens > 0);
         let g = ts.request(0, t(clock + 1000)).unwrap();
-        assert_eq!(g.token.level, 2, "subset member takes conditional tokens first");
+        assert_eq!(
+            g.token.level, 2,
+            "subset member takes conditional tokens first"
+        );
     }
 
     #[test]
@@ -1015,7 +1031,11 @@ mod tests {
         let mut clock = 0u64;
         let syncs = drain_until(&mut ts, &mut clock, 1);
         let fc_sync = syncs.iter().find(|s| s.level == 2).expect("FC sync");
-        assert_eq!(fc_sync.participants, vec![0, 1], "CTD shrinks the sync group");
+        assert_eq!(
+            fc_sync.participants,
+            vec![0, 1],
+            "CTD shrinks the sync group"
+        );
         let conv_sync = syncs.iter().find(|s| s.level == 0).unwrap();
         assert_eq!(conv_sync.participants.len(), N);
         assert_eq!(ts.completed_iterations(), 1);
@@ -1048,7 +1068,10 @@ mod tests {
         );
         let mut clock = 1_000_000u64;
         drain_until(&mut ts, &mut clock, 1);
-        assert!(ts.released_root_iterations() >= 2, "released after the barrier");
+        assert!(
+            ts.released_root_iterations() >= 2,
+            "released after the barrier"
+        );
     }
 
     #[test]
@@ -1069,7 +1092,9 @@ mod tests {
     #[test]
     fn staleness_zero_is_bsp() {
         let (plan, meta) = meta_from_vgg();
-        let cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_staleness(0);
+        let cfg = FelaConfig::new(3)
+            .with_weights(vec![1, 2, 4])
+            .with_staleness(0);
         let ts = TokenServer::new(plan, cfg, meta, N, 10);
         assert_eq!(ts.released_root_iterations(), 1);
     }

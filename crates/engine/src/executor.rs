@@ -211,8 +211,7 @@ impl TokenExecutor {
                     let deps = self.plan.deps(level, j);
                     let dep_rows = grads.input.shape()[0] / deps.len();
                     for (k, (dl, dj)) in deps.into_iter().enumerate() {
-                        let mut slice =
-                            grads.input.slice_rows(k * dep_rows, (k + 1) * dep_rows);
+                        let mut slice = grads.input.slice_rows(k * dep_rows, (k + 1) * dep_rows);
                         // Match the stored output shape of the dep (conv layers keep
                         // 4-D shapes; the flatten boundary reshapes lazily).
                         let dep_shape = outputs[dl][dj].as_ref().expect("ran").shape().to_vec();
@@ -347,7 +346,10 @@ mod tests {
             let sched = seeded_schedule(&plan, 9);
             exec.step(&mut tokened, &x, &t, &sched);
         }
-        assert_eq!(serial, tokened, "one token per level is literally serial BSP");
+        assert_eq!(
+            serial, tokened,
+            "one token per level is literally serial BSP"
+        );
     }
 
     #[test]
@@ -373,10 +375,7 @@ mod tests {
             ) = (a, b)
             {
                 for (va, vb) in wa.data().iter().zip(wb.data()) {
-                    assert!(
-                        (va - vb).abs() <= 1e-4 * (1.0 + va.abs()),
-                        "{va} vs {vb}"
-                    );
+                    assert!((va - vb).abs() <= 1e-4 * (1.0 + va.abs()), "{va} vs {vb}");
                 }
             }
         }

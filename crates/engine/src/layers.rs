@@ -96,8 +96,7 @@ impl EngineLayer {
                 y
             }
             EngineLayer::Conv2d { weight, bias } => {
-                let (b, c_in, h, w) =
-                    (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+                let (b, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
                 let (c_out, k) = (weight.shape()[0], weight.shape()[2]);
                 assert_eq!(c_in, weight.shape()[1], "conv channel mismatch");
                 let pad = k / 2;
@@ -120,8 +119,8 @@ impl EngineLayer {
                                                 continue;
                                             }
                                             let xv = x.data()[((i * c_in + ci) * h + iy) * w + ix];
-                                            let wv = weight.data()
-                                                [((co * c_in + ci) * k + ky) * k + kx];
+                                            let wv =
+                                                weight.data()[((co * c_in + ci) * k + ky) * k + kx];
                                             acc += xv * wv;
                                         }
                                     }
@@ -175,8 +174,7 @@ impl EngineLayer {
                 }
             }
             EngineLayer::Conv2d { weight, .. } => {
-                let (b, c_in, h, w) =
-                    (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+                let (b, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
                 let (c_out, k) = (weight.shape()[0], weight.shape()[2]);
                 let pad = k / 2;
                 let mut gw = Tensor::zeros(&[c_out, c_in, k, k]);
@@ -186,8 +184,7 @@ impl EngineLayer {
                     for co in 0..c_out {
                         for oy in 0..h {
                             for ox in 0..w {
-                                let go =
-                                    grad_out.data()[((i * c_out + co) * h + oy) * w + ox];
+                                let go = grad_out.data()[((i * c_out + co) * h + oy) * w + ox];
                                 gb.data_mut()[co] += go;
                                 for ci in 0..c_in {
                                     for ky in 0..k {

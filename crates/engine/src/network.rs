@@ -72,12 +72,7 @@ impl EngineNet {
     /// automatically when a dense layer follows.
     ///
     /// Returns the per-layer inputs (needed for backward) and the final output.
-    pub fn forward_range(
-        &self,
-        start: usize,
-        end: usize,
-        x: &Tensor,
-    ) -> (Vec<Tensor>, Tensor) {
+    pub fn forward_range(&self, start: usize, end: usize, x: &Tensor) -> (Vec<Tensor>, Tensor) {
         let mut inputs = Vec::with_capacity(end - start);
         let mut cur = x.clone();
         for layer in &self.layers[start..end] {

@@ -74,9 +74,8 @@ impl ComputeModel {
             return 0.0;
         }
         let flops_time = batch as f64 / self.layer_throughput(layer, batch);
-        let overhead = TRAIN_TO_FORWARD_FLOPS
-            * layer.kind.kernel_count() as f64
-            * self.kernel_overhead_secs;
+        let overhead =
+            TRAIN_TO_FORWARD_FLOPS * layer.kind.kernel_count() as f64 * self.kernel_overhead_secs;
         flops_time + overhead
     }
 
@@ -174,7 +173,10 @@ mod tests {
         let m = model();
         let back = layer(&m, "conv5_2"); // (512,512,14,14)
         let max = cm.layer_max_throughput(back);
-        assert!(cm.layer_throughput(back, 16) < 0.85 * max, "16 must not saturate");
+        assert!(
+            cm.layer_throughput(back, 16) < 0.85 * max,
+            "16 must not saturate"
+        );
         assert!(cm.layer_throughput(back, 64) >= 0.88 * max, "64 saturates");
     }
 
@@ -184,7 +186,10 @@ mod tests {
         let m = model();
         let fc = layer(&m, "fc7"); // (4096,4096)
         let max = cm.layer_max_throughput(fc);
-        assert!(cm.layer_throughput(fc, 64) < 0.4 * max, "64 far from saturating FC");
+        assert!(
+            cm.layer_throughput(fc, 64) < 0.4 * max,
+            "64 far from saturating FC"
+        );
         assert!(cm.layer_throughput(fc, 2048) >= 0.88 * max);
     }
 
@@ -235,8 +240,7 @@ mod tests {
         let cm = ComputeModel::k40c();
         let m = model();
         let total = cm.model_time(&m, 32);
-        let split: f64 =
-            cm.range_time(&m, 0, 10, 32) + cm.range_time(&m, 10, m.len(), 32);
+        let split: f64 = cm.range_time(&m, 0, 10, 32) + cm.range_time(&m, 10, m.len(), 32);
         assert!((total - split).abs() < 1e-9 * total);
     }
 
@@ -252,11 +256,7 @@ mod tests {
     fn sub_model_times_cover_model() {
         let cm = ComputeModel::k40c();
         let m = model();
-        let p = fela_model::bin_partition(
-            &m,
-            &cm.profile,
-            fela_model::PartitionOptions::default(),
-        );
+        let p = fela_model::bin_partition(&m, &cm.profile, fela_model::PartitionOptions::default());
         let sum: f64 = p
             .sub_models()
             .iter()

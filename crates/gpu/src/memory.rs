@@ -123,11 +123,8 @@ mod tests {
         let mm = MemoryModel::k40c();
         let cm = crate::ComputeModel::k40c();
         let vgg = zoo::vgg19();
-        let p = fela_model::bin_partition(
-            &vgg,
-            &cm.profile,
-            fela_model::PartitionOptions::default(),
-        );
+        let p =
+            fela_model::bin_partition(&vgg, &cm.profile, fela_model::PartitionOptions::default());
         for sm in p.sub_models() {
             assert!(
                 mm.sub_model_fits(&vgg, sm, sm.threshold_batch),

@@ -1,0 +1,154 @@
+//! Structured per-run artifacts.
+//!
+//! Every harness run produces one [`RunRecord`] — the scenario coordinates,
+//! a hash of the full configuration, the seed override, the complete
+//! [`RunReport`] and an optional pointer to a saved [`fela_sim::Trace`] file.
+//! Records are written as JSON Lines under the results directory, one file
+//! per experiment, so downstream tooling can join ASCII tables with raw data.
+//!
+//! Records deliberately contain **no wall-clock fields**: everything in a
+//! record is a deterministic function of the sweep spec, which is what makes
+//! parallel and sequential sweeps byte-identical. Wall-clock timing is
+//! reported separately on stderr.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use fela_cluster::{Scenario, StragglerModel};
+use fela_metrics::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// One experiment run, fully described.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Experiment (sweep) name, e.g. `"fig8"`.
+    pub experiment: String,
+    /// Runtime label, e.g. `"fela"` or `"dp"`.
+    pub runtime: String,
+    /// Scenario label within the sweep, e.g. `"vgg19/b256"`.
+    pub scenario: String,
+    /// FNV-1a hash of the full serialized scenario (model, batch, iterations,
+    /// cluster, straggler) — two records with equal hashes ran equal configs.
+    pub config_hash: u64,
+    /// Seed override applied to the scenario's straggler model, if any.
+    pub seed: Option<u64>,
+    /// Model name, e.g. `"VGG19"`.
+    pub model: String,
+    /// Total batch size.
+    pub total_batch: u64,
+    /// Iteration count.
+    pub iterations: u64,
+    /// Cluster node count.
+    pub nodes: usize,
+    /// Straggler scenario the run executed under.
+    pub straggler: StragglerModel,
+    /// Simulated makespan in seconds (copy of `report.total_time_secs`).
+    pub sim_time_secs: f64,
+    /// The runtime's full report.
+    pub report: RunReport,
+    /// Path to a saved simulator trace, when one was captured.
+    pub trace_path: Option<String>,
+}
+
+impl RunRecord {
+    /// Builds a record from a finished run.
+    pub fn new(
+        experiment: &str,
+        runtime: &str,
+        scenario_label: &str,
+        scenario: &Scenario,
+        seed: Option<u64>,
+        report: RunReport,
+    ) -> Self {
+        RunRecord {
+            experiment: experiment.to_owned(),
+            runtime: runtime.to_owned(),
+            scenario: scenario_label.to_owned(),
+            config_hash: config_hash(scenario),
+            seed,
+            model: scenario.model.name.clone(),
+            total_batch: scenario.total_batch,
+            iterations: scenario.iterations,
+            nodes: scenario.cluster.nodes,
+            straggler: scenario.straggler,
+            sim_time_secs: report.total_time_secs,
+            report,
+            trace_path: None,
+        }
+    }
+}
+
+/// FNV-1a hash of the scenario's serialized form.
+///
+/// The hash covers everything that affects a run's outcome — model
+/// architecture, batch, iterations, cluster spec (via its serializable
+/// summary) and straggler model — so equal hashes mean comparable runs.
+pub fn config_hash(scenario: &Scenario) -> u64 {
+    // ClusterSpec does not implement Serialize (its compute/memory models are
+    // closed types); hash its observable configuration instead.
+    let cluster_summary = (
+        scenario.cluster.nodes as u64,
+        scenario.cluster.network.nodes as u64,
+        &scenario.cluster.speed_factors,
+    );
+    let key = (
+        &scenario.model,
+        scenario.total_batch,
+        scenario.iterations,
+        cluster_summary,
+        scenario.straggler,
+    );
+    let json = serde_json::to_string(&key).expect("scenario serializes");
+    fnv1a(json.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The artifact directory: `$FELA_RESULTS_DIR`, defaulting to `results/`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FELA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Serializes records to JSON Lines (one compact JSON object per line).
+pub fn to_jsonl(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(r).expect("record serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `records` to `<results_dir>/<experiment>.jsonl`, returning the path.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write).
+pub fn write_jsonl(experiment: &str, records: &[RunRecord]) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    write_jsonl_to(&dir, experiment, records)
+}
+
+/// Like [`write_jsonl`] but with an explicit directory.
+///
+/// # Errors
+/// Propagates filesystem errors (directory creation, write).
+pub fn write_jsonl_to(
+    dir: &Path,
+    experiment: &str,
+    records: &[RunRecord],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}.jsonl"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(to_jsonl(records).as_bytes())?;
+    Ok(path)
+}

@@ -104,8 +104,7 @@ pub fn per_iteration_delay(straggler_run: &RunReport, baseline_run: &RunReport) 
         "PID requires equal iteration counts"
     );
     assert!(straggler_run.iterations > 0, "PID of an empty run");
-    (straggler_run.total_time_secs - baseline_run.total_time_secs)
-        / straggler_run.iterations as f64
+    (straggler_run.total_time_secs - baseline_run.total_time_secs) / straggler_run.iterations as f64
 }
 
 /// Speedup of `ours` over `baseline` in average throughput, expressed the way the

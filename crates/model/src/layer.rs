@@ -305,10 +305,7 @@ mod tests {
     #[test]
     fn conv_flops_formula() {
         // 2 * Cin * Cout * k^2 * Hout * Wout
-        assert_eq!(
-            conv(3, 64, 224).forward_flops(),
-            2 * 3 * 64 * 9 * 224 * 224
-        );
+        assert_eq!(conv(3, 64, 224).forward_flops(), 2 * 3 * 64 * 9 * 224 * 224);
     }
 
     #[test]
@@ -385,10 +382,13 @@ mod tests {
 
     #[test]
     fn layer_byte_helpers() {
-        let layer = Layer::new("fc6", LayerKind::Linear {
-            in_features: 25088,
-            out_features: 4096,
-        });
+        let layer = Layer::new(
+            "fc6",
+            LayerKind::Linear {
+                in_features: 25088,
+                out_features: 4096,
+            },
+        );
         assert_eq!(layer.param_bytes(), (25088 * 4096 + 4096) * 4);
         assert_eq!(layer.activation_bytes(), 4096 * 4);
     }

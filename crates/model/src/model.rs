@@ -87,10 +87,7 @@ impl Model {
 
     /// Parameter bytes of the sub-sequence `range` of layers.
     pub fn param_bytes_in(&self, range: std::ops::Range<usize>) -> u64 {
-        self.layers[range]
-            .iter()
-            .map(|l| l.param_bytes())
-            .sum()
+        self.layers[range].iter().map(|l| l.param_bytes()).sum()
     }
 
     /// Per-sample output activation bytes of layer `idx` — the boundary transfer
@@ -144,10 +141,7 @@ mod tests {
         let m = tiny();
         assert_eq!(m.len(), 3);
         assert_eq!(m.weighted_depth(), 2);
-        assert_eq!(
-            m.param_count(),
-            (3 * 4 * 9 + 4) + (64 * 10 + 10)
-        );
+        assert_eq!(m.param_count(), (3 * 4 * 9 + 4) + (64 * 10 + 10));
         assert_eq!(m.param_bytes(), m.param_count() * 4);
         assert!(m.forward_flops() > 0);
         assert_eq!(m.input_bytes(), 3 * 8 * 8 * 4);

@@ -277,7 +277,10 @@ mod tests {
         assert_eq!((sm[2].first_weighted, sm[2].last_weighted), (17, 19));
         assert!(!sm[0].comm_intensive);
         assert!(!sm[1].comm_intensive);
-        assert!(sm[2].comm_intensive, "FC sub-model is communication-intensive");
+        assert!(
+            sm[2].comm_intensive,
+            "FC sub-model is communication-intensive"
+        );
         // Thresholds echo Figure 3's 16/32-ish/64/2048 progression.
         assert_eq!(sm[0].threshold_batch, 24);
         assert_eq!(sm[1].threshold_batch, 64);
@@ -306,7 +309,12 @@ mod tests {
                 assert!(s.unit_end > s.unit_start);
                 next = s.unit_end;
             }
-            assert_eq!(next, model.len(), "trailing units uncovered in {}", model.name);
+            assert_eq!(
+                next,
+                model.len(),
+                "trailing units uncovered in {}",
+                model.name
+            );
             assert_eq!(p.total_param_bytes(), model.param_bytes());
         }
     }
@@ -320,7 +328,9 @@ mod tests {
         // Paper §IV-A: {stem + inception3*}, {inception4*}, {inception5* + FC}.
         let group_of = |name: &str| {
             let idx = model.layers().iter().position(|l| l.name == name).unwrap();
-            sm.iter().position(|s| (s.unit_start..s.unit_end).contains(&idx)).unwrap()
+            sm.iter()
+                .position(|s| (s.unit_start..s.unit_end).contains(&idx))
+                .unwrap()
         };
         assert_eq!(group_of("conv1"), 0);
         assert_eq!(group_of("inception3b"), 0);

@@ -342,8 +342,8 @@ mod tests {
         let p = ThresholdProfile::k40c();
         let front = conv(64, 64, 224); // threshold 16
         let back = conv(512, 512, 14); // threshold 64
-        // At batch 16 the front layer is ~saturated while the back one is not —
-        // the §II-B observation motivating flexible parallelism.
+                                       // At batch 16 the front layer is ~saturated while the back one is not —
+                                       // the §II-B observation motivating flexible parallelism.
         assert!(p.relative_throughput(&front, 16) > 0.94);
         assert!(p.relative_throughput(&back, 16) < 0.85);
     }

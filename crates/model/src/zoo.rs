@@ -27,15 +27,60 @@ pub struct ModelInfo {
 
 /// Table I of the paper, verbatim.
 pub const TABLE_I: &[ModelInfo] = &[
-    ModelInfo { name: "LeNet-5", year: 1998, layer_number: 5, buildable: true },
-    ModelInfo { name: "AlexNet", year: 2012, layer_number: 8, buildable: true },
-    ModelInfo { name: "ZF Net", year: 2013, layer_number: 8, buildable: true },
-    ModelInfo { name: "VGG16", year: 2014, layer_number: 16, buildable: true },
-    ModelInfo { name: "VGG19", year: 2014, layer_number: 19, buildable: true },
-    ModelInfo { name: "GoogleNet", year: 2014, layer_number: 22, buildable: true },
-    ModelInfo { name: "ResNet-152", year: 2015, layer_number: 152, buildable: true },
-    ModelInfo { name: "CUImage", year: 2016, layer_number: 1207, buildable: false },
-    ModelInfo { name: "SENet", year: 2017, layer_number: 154, buildable: false },
+    ModelInfo {
+        name: "LeNet-5",
+        year: 1998,
+        layer_number: 5,
+        buildable: true,
+    },
+    ModelInfo {
+        name: "AlexNet",
+        year: 2012,
+        layer_number: 8,
+        buildable: true,
+    },
+    ModelInfo {
+        name: "ZF Net",
+        year: 2013,
+        layer_number: 8,
+        buildable: true,
+    },
+    ModelInfo {
+        name: "VGG16",
+        year: 2014,
+        layer_number: 16,
+        buildable: true,
+    },
+    ModelInfo {
+        name: "VGG19",
+        year: 2014,
+        layer_number: 19,
+        buildable: true,
+    },
+    ModelInfo {
+        name: "GoogleNet",
+        year: 2014,
+        layer_number: 22,
+        buildable: true,
+    },
+    ModelInfo {
+        name: "ResNet-152",
+        year: 2015,
+        layer_number: 152,
+        buildable: true,
+    },
+    ModelInfo {
+        name: "CUImage",
+        year: 2016,
+        layer_number: 1207,
+        buildable: false,
+    },
+    ModelInfo {
+        name: "SENet",
+        year: 2017,
+        layer_number: 154,
+        buildable: false,
+    },
 ];
 
 /// Builds the Table I model with the given name, if it is buildable.
@@ -191,20 +236,96 @@ pub fn vgg19() -> Model {
 }
 
 const fn branch(reduce: u64, kernel: u64, out: u64) -> InceptionBranch {
-    InceptionBranch { reduce, kernel, out }
+    InceptionBranch {
+        reduce,
+        kernel,
+        out,
+    }
 }
 
 /// GoogLeNet inception configurations `(1x1, 3x3reduce/3x3, 5x5reduce/5x5, poolproj)`.
 const INCEPTIONS: &[(&str, [InceptionBranch; 4])] = &[
-    ("inception3a", [branch(0, 1, 64), branch(96, 3, 128), branch(16, 5, 32), branch(32, 1, 0)]),
-    ("inception3b", [branch(0, 1, 128), branch(128, 3, 192), branch(32, 5, 96), branch(64, 1, 0)]),
-    ("inception4a", [branch(0, 1, 192), branch(96, 3, 208), branch(16, 5, 48), branch(64, 1, 0)]),
-    ("inception4b", [branch(0, 1, 160), branch(112, 3, 224), branch(24, 5, 64), branch(64, 1, 0)]),
-    ("inception4c", [branch(0, 1, 128), branch(128, 3, 256), branch(24, 5, 64), branch(64, 1, 0)]),
-    ("inception4d", [branch(0, 1, 112), branch(144, 3, 288), branch(32, 5, 64), branch(64, 1, 0)]),
-    ("inception4e", [branch(0, 1, 256), branch(160, 3, 320), branch(32, 5, 128), branch(128, 1, 0)]),
-    ("inception5a", [branch(0, 1, 256), branch(160, 3, 320), branch(32, 5, 128), branch(128, 1, 0)]),
-    ("inception5b", [branch(0, 1, 384), branch(192, 3, 384), branch(48, 5, 128), branch(128, 1, 0)]),
+    (
+        "inception3a",
+        [
+            branch(0, 1, 64),
+            branch(96, 3, 128),
+            branch(16, 5, 32),
+            branch(32, 1, 0),
+        ],
+    ),
+    (
+        "inception3b",
+        [
+            branch(0, 1, 128),
+            branch(128, 3, 192),
+            branch(32, 5, 96),
+            branch(64, 1, 0),
+        ],
+    ),
+    (
+        "inception4a",
+        [
+            branch(0, 1, 192),
+            branch(96, 3, 208),
+            branch(16, 5, 48),
+            branch(64, 1, 0),
+        ],
+    ),
+    (
+        "inception4b",
+        [
+            branch(0, 1, 160),
+            branch(112, 3, 224),
+            branch(24, 5, 64),
+            branch(64, 1, 0),
+        ],
+    ),
+    (
+        "inception4c",
+        [
+            branch(0, 1, 128),
+            branch(128, 3, 256),
+            branch(24, 5, 64),
+            branch(64, 1, 0),
+        ],
+    ),
+    (
+        "inception4d",
+        [
+            branch(0, 1, 112),
+            branch(144, 3, 288),
+            branch(32, 5, 64),
+            branch(64, 1, 0),
+        ],
+    ),
+    (
+        "inception4e",
+        [
+            branch(0, 1, 256),
+            branch(160, 3, 320),
+            branch(32, 5, 128),
+            branch(128, 1, 0),
+        ],
+    ),
+    (
+        "inception5a",
+        [
+            branch(0, 1, 256),
+            branch(160, 3, 320),
+            branch(32, 5, 128),
+            branch(128, 1, 0),
+        ],
+    ),
+    (
+        "inception5b",
+        [
+            branch(0, 1, 384),
+            branch(192, 3, 384),
+            branch(48, 5, 128),
+            branch(128, 1, 0),
+        ],
+    ),
 ];
 
 fn inception_out_channels(branches: &[InceptionBranch; 4]) -> u64 {
@@ -241,7 +362,10 @@ pub fn googlenet_for(extent: u64) -> Model {
         if i == 1 || i == 6 {
             layers.push(pool(&format!("pool{}", i + 2), &mut s, 3, 2));
         } else if i == 8 {
-            { let k = s.height.max(1); layers.push(pool("avgpool", &mut s, k, 1)); }
+            {
+                let k = s.height.max(1);
+                layers.push(pool("avgpool", &mut s, k, 1));
+            }
         }
     }
     layers.push(linear("fc", s.elems(), 1000));
@@ -263,7 +387,8 @@ pub fn resnet152() -> Model {
     layers.push(conv("conv1", &mut s, 64, 7, 2, 3));
     layers.push(pool("pool1", &mut s, 3, 2));
     // (blocks, bottleneck width, output width) per stage.
-    let stages: [(usize, u64, u64); 4] = [(3, 64, 256), (8, 128, 512), (36, 256, 1024), (3, 512, 2048)];
+    let stages: [(usize, u64, u64); 4] =
+        [(3, 64, 256), (8, 128, 512), (36, 256, 1024), (3, 512, 2048)];
     for (stage_idx, &(blocks, mid, out)) in stages.iter().enumerate() {
         for b in 0..blocks {
             // First block of stages 2..4 downsamples spatially via the 3x3 conv.
@@ -274,7 +399,10 @@ pub fn resnet152() -> Model {
             layers.push(conv(&format!("{tag}_c"), &mut s, out, 1, 1, 0));
         }
     }
-    { let k = s.height.max(1); layers.push(pool("avgpool", &mut s, k, 1)); }
+    {
+        let k = s.height.max(1);
+        layers.push(pool("avgpool", &mut s, k, 1));
+    }
     layers.push(linear("fc", s.elems(), 1000));
     Model::new("ResNet-152", input, layers)
 }
@@ -330,7 +458,10 @@ mod tests {
             .filter(|l| !l.kind.is_fc())
             .map(|l| l.kind.forward_flops())
             .sum();
-        assert!(conv_flops * 10 > m.forward_flops() * 9, "CONV should hold >90% of FLOPs");
+        assert!(
+            conv_flops * 10 > m.forward_flops() * 9,
+            "CONV should hold >90% of FLOPs"
+        );
     }
 
     #[test]

@@ -232,13 +232,7 @@ mod tests {
     #[test]
     fn zero_bytes_is_immediate() {
         let mut n = net(4);
-        let ar = RingAllReduce::start(
-            &mut n,
-            SimTime::ZERO,
-            vec![NodeId(0), NodeId(1)],
-            0,
-            1,
-        );
+        let ar = RingAllReduce::start(&mut n, SimTime::ZERO, vec![NodeId(0), NodeId(1)], 0, 1);
         assert!(ar.is_done());
     }
 
@@ -275,13 +269,7 @@ mod tests {
     #[should_panic(expected = "duplicate participants")]
     fn duplicates_rejected() {
         let mut n = net(4);
-        let _ = RingAllReduce::start(
-            &mut n,
-            SimTime::ZERO,
-            vec![NodeId(0), NodeId(0)],
-            10,
-            0,
-        );
+        let _ = RingAllReduce::start(&mut n, SimTime::ZERO, vec![NodeId(0), NodeId(0)], 10, 0);
     }
 
     #[test]

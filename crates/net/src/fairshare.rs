@@ -31,11 +31,7 @@ pub struct FlowLinks {
 /// # Panics
 /// Panics if any referenced link index is out of bounds or any capacity is
 /// non-positive.
-pub fn max_min_rates(
-    egress_cap: &[f64],
-    ingress_cap: &[f64],
-    flows: &[FlowLinks],
-) -> Vec<f64> {
+pub fn max_min_rates(egress_cap: &[f64], ingress_cap: &[f64], flows: &[FlowLinks]) -> Vec<f64> {
     assert!(
         egress_cap.iter().chain(ingress_cap).all(|&c| c > 0.0),
         "link capacities must be positive"

@@ -208,7 +208,11 @@ impl Network {
                 flow.remaining = 0.0;
                 continue;
             }
-            let drain_start = if flow.ready_at > now { flow.ready_at } else { now };
+            let drain_start = if flow.ready_at > now {
+                flow.ready_at
+            } else {
+                now
+            };
             if flow.remaining <= 0.0 {
                 flow.est_done = drain_start;
             } else if flow.rate > 0.0 {

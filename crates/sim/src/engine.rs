@@ -130,7 +130,10 @@ impl<W: World> Engine<W> {
         let Some((time, _, event)) = self.queue.pop_next() else {
             return false;
         };
-        debug_assert!(time >= self.now, "event queue returned an event in the past");
+        debug_assert!(
+            time >= self.now,
+            "event queue returned an event in the past"
+        );
         self.now = time;
         self.steps += 1;
         let mut sched = Scheduler {

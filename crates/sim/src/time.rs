@@ -253,10 +253,7 @@ mod tests {
             t.since(SimTime::from_secs(1)),
             SimDuration::from_millis(500)
         );
-        assert_eq!(
-            SimTime::from_secs(1).saturating_since(t),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimTime::from_secs(1).saturating_since(t), SimDuration::ZERO);
     }
 
     #[test]

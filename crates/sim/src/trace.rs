@@ -79,7 +79,9 @@ impl Trace {
 
     /// Events whose message contains `needle`.
     pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.message.contains(needle))
+        self.events
+            .iter()
+            .filter(move |e| e.message.contains(needle))
     }
 }
 

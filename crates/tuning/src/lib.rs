@@ -166,6 +166,8 @@ impl Default for Tuner {
 }
 
 impl Tuner {
+    /// Profiles one candidate config for [`Tuner::profile_iterations`]
+    /// iterations; `None` if the config is infeasible for this workload.
     fn profile(&self, scenario: &Scenario, config: &FelaConfig) -> Option<f64> {
         let runtime = FelaRuntime::new(config.clone());
         let partition = runtime.partition_for(scenario);
@@ -184,27 +186,46 @@ impl Tuner {
 
     /// Runs the two-phase search on `scenario` (its iteration count is ignored;
     /// each case runs for [`Tuner::profile_iterations`]).
+    ///
+    /// Profiling parallelism defaults to the harness's job count; results are
+    /// identical for any job count (see [`Tuner::tune_with_jobs`]).
     pub fn tune(&self, scenario: &Scenario) -> TuningOutcome {
+        self.tune_with_jobs(scenario, fela_harness::default_jobs())
+    }
+
+    /// [`Tuner::tune`] with an explicit worker-thread count.
+    ///
+    /// Each phase's candidate set is profiled through the harness executor
+    /// ([`fela_harness::run_indexed`]), which preserves candidate order, so
+    /// the outcome is byte-identical for `jobs = 1` and `jobs = 32`. Phase 2
+    /// still starts only after Phase 1 completes — its candidates depend on
+    /// the Phase-1 winner.
+    pub fn tune_with_jobs(&self, scenario: &Scenario, jobs: usize) -> TuningOutcome {
         let n = scenario.cluster.nodes;
         let m = {
             let runtime = FelaRuntime::new(FelaConfig::new(1));
             runtime.partition_for(scenario).len()
         };
-        let mut cases = Vec::new();
-        // Phase 1.
-        for weights in phase1_candidates(m, n) {
-            let config = FelaConfig::new(m).with_weights(weights.clone());
-            let time = self.profile(scenario, &config);
-            cases.push(CaseResult {
+        // Phase 1: all weight-vector candidates are independent.
+        let phase1 = phase1_candidates(m, n);
+        let phase1_times = fela_harness::run_indexed(phase1.len(), jobs, |i| {
+            let config = FelaConfig::new(m).with_weights(phase1[i].clone());
+            self.profile(scenario, &config)
+        });
+        let mut cases: Vec<CaseResult> = phase1
+            .into_iter()
+            .zip(phase1_times)
+            .enumerate()
+            .map(|(id, (weights, time))| CaseResult {
                 case: TuningCase {
-                    id: cases.len(),
+                    id,
                     phase: 1,
                     weights,
                     subset: None,
                 },
                 per_iteration_secs: time,
-            });
-        }
+            })
+            .collect();
         let phase1_best = cases
             .iter()
             .enumerate()
@@ -213,22 +234,27 @@ impl Tuner {
             .map(|(i, _)| i)
             .expect("at least one feasible Phase-1 case (all-ones always is)");
         let best_weights = cases[phase1_best].case.weights.clone();
-        // Phase 2.
-        for subset in phase2_candidates(n) {
+        // Phase 2: subset candidates depend on the Phase-1 winner but are
+        // independent of one another.
+        let phase2 = phase2_candidates(n);
+        let phase2_times = fela_harness::run_indexed(phase2.len(), jobs, |i| {
             let config = FelaConfig::new(m)
                 .with_weights(best_weights.clone())
-                .with_ctd(subset);
-            let time = self.profile(scenario, &config);
-            cases.push(CaseResult {
+                .with_ctd(phase2[i]);
+            self.profile(scenario, &config)
+        });
+        let base = cases.len();
+        cases.extend(phase2.into_iter().zip(phase2_times).enumerate().map(
+            |(i, (subset, time))| CaseResult {
                 case: TuningCase {
-                    id: cases.len(),
+                    id: base + i,
                     phase: 2,
                     weights: best_weights.clone(),
                     subset: Some(subset),
                 },
                 per_iteration_secs: time,
-            });
-        }
+            },
+        ));
         let best = cases
             .iter()
             .enumerate()
@@ -278,7 +304,10 @@ mod tests {
     fn total_search_is_13_cases() {
         // 10 Phase-1 + 3 Phase-2 = 13 profiled cases; the paper counts the same
         // 13 by including the Phase-1 winner among 4 Phase-2 cases.
-        assert_eq!(phase1_candidates(3, 8).len() + phase2_candidates(8).len(), 13);
+        assert_eq!(
+            phase1_candidates(3, 8).len() + phase2_candidates(8).len(),
+            13
+        );
     }
 
     #[test]

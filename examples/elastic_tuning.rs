@@ -20,7 +20,13 @@ fn main() {
 
     let mut table = Table::new(
         "Search landscape (13 cases: 10 weight vectors + 3 CTD subsets)",
-        &["case", "phase", "weights", "CTD subset", "per-iteration (s)"],
+        &[
+            "case",
+            "phase",
+            "weights",
+            "CTD subset",
+            "per-iteration (s)",
+        ],
     );
     for c in &outcome.cases {
         table.row(vec![

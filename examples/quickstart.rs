@@ -49,9 +49,7 @@ fn main() {
         println!(
             "Fela vs {}: {}",
             name,
-            format_speedup(
-                reports[0].average_throughput() / reports[i].average_throughput()
-            )
+            format_speedup(reports[0].average_throughput() / reports[i].average_throughput())
         );
     }
     println!(

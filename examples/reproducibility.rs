@@ -54,7 +54,12 @@ fn main() {
     let mut single = net0.clone();
     for step in 0..10 {
         serial_step(&mut serial, &x, &target, 0.1);
-        serial_exec.step(&mut single, &x, &target, &seeded_schedule(&serial_plan, step));
+        serial_exec.step(
+            &mut single,
+            &x,
+            &target,
+            &seeded_schedule(&serial_plan, step),
+        );
     }
     println!(
         "  → single-token plan equals the serial reference exactly: {}",

@@ -39,7 +39,14 @@ fn main() {
 
     let mut table = Table::new(
         "Straggler rescue — VGG19, batch 256 (PID = per-iteration delay, Eq. 4)",
-        &["scenario", "Fela AT", "DP AT", "Fela PID (s)", "DP PID (s)", "PID saved"],
+        &[
+            "scenario",
+            "Fela AT",
+            "DP AT",
+            "Fela PID (s)",
+            "DP PID (s)",
+            "PID saved",
+        ],
     );
     for (label, straggler) in scenarios {
         let sc = base.clone().with_straggler(straggler);

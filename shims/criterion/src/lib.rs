@@ -1,0 +1,108 @@
+//! Local shim for `criterion`: just enough API to compile and run the
+//! workspace's micro-benchmarks (`Criterion::bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `criterion_group!`, `criterion_main!`).
+//!
+//! Each benchmark is timed with a fixed warm-up and a fixed measurement pass;
+//! the mean per-iteration time is printed. No statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint; the shim ignores the distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_ITERS: u64 = 20;
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = MEASURE_ITERS;
+    }
+
+    /// Times `routine` with a fresh `setup` input per iteration; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = MEASURE_ITERS;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.total.as_nanos() as f64 / b.iters as f64
+        } else {
+            0.0
+        };
+        println!("bench {id:<45} {:>12.0} ns/iter", per_iter);
+        self
+    }
+}
+
+/// Re-export so `use criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Groups benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,25 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.len.clone().sample(rng);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s of `elem`-generated values with a length in `len`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}

@@ -1,0 +1,62 @@
+//! Local shim for `proptest`: the subset of the API this workspace's property
+//! tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`,
+//! `Just`, numeric range strategies, tuple strategies and
+//! `prop::collection::vec`.
+//!
+//! Case generation is fully deterministic: the RNG is seeded from the test
+//! name, so a failure always reproduces. There is no shrinking — failures
+//! report the raw failing inputs via the panic message.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each function runs [`test_runner::CASES`] sampled
+/// cases of its argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(::core::stringify!($name));
+                for __case in 0..$crate::test_runner::CASES {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::core::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::core::assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::core::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::core::assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::core::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { ::core::assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Picks uniformly among the given strategies (all of the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(::std::vec![$($crate::strategy::boxed($s)),+])
+    };
+}

@@ -1,0 +1,9 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Namespaced access to strategy modules (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}

@@ -1,0 +1,17 @@
+//! Local shim for `serde`: the `Serialize`/`Deserialize` traits implemented
+//! over a self-contained JSON value model (see `shims/README.md`).
+//!
+//! Unlike real serde's visitor architecture, serialization here goes through
+//! [`value::Value`], which is all `serde_json`-style formatting needs. The
+//! `derive` feature provides `#[derive(Serialize, Deserialize)]` for plain
+//! structs and enums via the `serde_derive` shim.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,458 @@
+//! Local shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for plain (non-generic) structs and enums.
+//!
+//! The input token stream is parsed by hand — no `syn`/`quote` — which is
+//! enough because this workspace never uses `#[serde(...)]` attributes or
+//! generic serializable types. Supported shapes, matching real serde's JSON
+//! representation:
+//!
+//! * named-field structs → object;
+//! * newtype structs → the inner value;
+//! * tuple structs (n ≥ 2) → array;
+//! * unit structs → null;
+//! * enums: unit variants → `"Variant"`, newtype variants →
+//!   `{"Variant": value}`, tuple variants → `{"Variant": [..]}`,
+//!   struct variants → `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_item(input);
+    let body = match &data {
+        Data::Struct(fields) => struct_to_value(fields),
+        Data::Enum(variants) => enum_to_value(&name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_item(input);
+    let body = match &data {
+        Data::Struct(fields) => struct_from_value(&name, fields),
+        Data::Enum(variants) => enum_from_value(&name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::value::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing --
+
+fn parse_item(input: TokenStream) -> (String, Data) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (incl. doc comments) and visibility until struct/enum.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` — possibly followed by a `(crate)`-style group.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct/enum in derive input"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    // Generic parameters are not supported; skip a balanced <...> if present
+    // so the error (if any) surfaces in the generated impl instead.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    let data = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        }
+    };
+    (name, data)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("serde_derive: unexpected token in fields: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field `{name}`, got {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Consumes a type, stopping after a top-level `,` or at end of stream.
+/// Angle-bracket depth is tracked through raw puncts; `->` is handled so the
+/// `>` of a return arrow is not miscounted.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    ',' if depth == 0 => {
+                        count += 1;
+                        saw_tokens = false;
+                        prev_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_dash = c == '-';
+                saw_tokens = true;
+            }
+            _ => {
+                prev_dash = false;
+                saw_tokens = true;
+            }
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes, find the variant name.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("serde_derive: unexpected token in variants: {other:?}"),
+                None => break None,
+            }
+        };
+        let Some(name) = name else { break };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume any discriminant (`= expr`) and the trailing comma.
+        skip_type_until_comma(&mut iter);
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ----------------------------------------------------------- serialization --
+
+fn struct_to_value(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fs) => {
+            let entries: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => "::serde::value::Value::Null".to_owned(),
+    }
+}
+
+fn enum_to_value(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{v} => \
+                 ::serde::value::Value::Str(::std::string::String::from(\"{v}\")),"
+            ),
+            Fields::Named(fs) => {
+                let pat = fs.join(", ");
+                let entries: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {pat} }} => ::serde::value::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::value::Value::Object(::std::vec![{}]))]),",
+                    entries.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(__f0) => ::serde::value::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{v}\"), \
+                  ::serde::Serialize::to_value(__f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({}) => ::serde::value::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::value::Value::Array(::std::vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join("\n"))
+}
+
+// --------------------------------------------------------- deserialization --
+
+fn named_fields_ctor(path: &str, fs: &[String], obj_expr: &str) -> String {
+    let inits: Vec<String> = fs
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field({obj_expr}, \"{f}\")?,"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(" "))
+}
+
+fn struct_from_value(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fs) => {
+            let ctor = named_fields_ctor(name, fs, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!(
+            "if __v.is_null() {{ ::std::result::Result::Ok({name}) }} else {{ \
+             ::std::result::Result::Err(::serde::de::Error::custom(\
+             \"expected null for unit struct {name}\")) }}"
+        ),
+    }
+}
+
+fn enum_from_value(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .map(|(v, fields)| match fields {
+            Fields::Named(fs) => {
+                let ctor = named_fields_ctor(&format!("{name}::{v}"), fs, "__obj");
+                format!(
+                    "\"{v}\" => {{ let __obj = __inner.as_object().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected object for {name}::{v}\"))?;\n\
+                     ::std::result::Result::Ok({ctor}) }}"
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "\"{v}\" => ::std::result::Result::Ok(\
+                 {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+            ),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{ let __items = __inner.as_array().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected array for {name}::{v}\"))?;\n\
+                     if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::de::Error::custom(\"wrong tuple length for {name}::{v}\")); }}\n\
+                     ::std::result::Result::Ok({name}::{v}({})) }}",
+                    items.join(", ")
+                )
+            }
+            Fields::Unit => unreachable!(),
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+             ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 let __inner: &::serde::value::Value = __inner;\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                     {data}\n\
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"invalid value for enum {name}: {{__other:?}}\"))),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}

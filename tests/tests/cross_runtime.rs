@@ -10,7 +10,9 @@ use fela_sim::SimDuration;
 
 fn runtimes() -> Vec<Box<dyn TrainingRuntime>> {
     vec![
-        Box::new(FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]))),
+        Box::new(FelaRuntime::new(
+            FelaConfig::new(3).with_weights(vec![1, 2, 4]),
+        )),
         Box::new(DpRuntime::default()),
         Box::new(MpRuntime::default()),
         Box::new(HpRuntime),
@@ -105,8 +107,14 @@ fn hp_dp_crossover_matches_figure8() {
     let dp_small = DpRuntime::default().run(&small).average_throughput();
     let hp_large = HpRuntime.run(&large).average_throughput();
     let dp_large = DpRuntime::default().run(&large).average_throughput();
-    assert!(hp_small > dp_small, "HP {hp_small} vs DP {dp_small} at batch 64");
-    assert!(dp_large > hp_large, "DP {dp_large} vs HP {hp_large} at batch 1024");
+    assert!(
+        hp_small > dp_small,
+        "HP {hp_small} vs DP {dp_small} at batch 64"
+    );
+    assert!(
+        dp_large > hp_large,
+        "DP {dp_large} vs HP {hp_large} at batch 1024"
+    );
 }
 
 #[test]
@@ -134,7 +142,10 @@ fn fela_pid_beats_dp_and_hp_under_stragglers() {
     };
     let fela = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]));
     let fela_pid = pid(&fela);
-    assert!(fela_pid < pid(&DpRuntime::default()), "Fela PID {fela_pid} vs DP");
+    assert!(
+        fela_pid < pid(&DpRuntime::default()),
+        "Fela PID {fela_pid} vs DP"
+    );
     assert!(fela_pid < pid(&HpRuntime), "Fela PID {fela_pid} vs HP");
 }
 
@@ -166,7 +177,9 @@ fn equal_samples_processed_by_all_runtimes() {
     let r = fela.run(&sc);
     // n = (8, 4, 2) tokens/iter → 14 per iteration.
     assert_eq!(r.counter("grants"), 14 * 4);
-    let trained: u64 = (0..8).map(|w| r.counter(&format!("tokens_worker{w}"))).sum();
+    let trained: u64 = (0..8)
+        .map(|w| r.counter(&format!("tokens_worker{w}")))
+        .sum();
     assert_eq!(trained, 14 * 4);
 }
 
