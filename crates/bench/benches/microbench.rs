@@ -103,21 +103,21 @@ fn bench_token_server(c: &mut Criterion) {
                 let mut active: Vec<(usize, fela_core::Grant)> = Vec::new();
                 for w in 0..8 {
                     clock += 100_000;
-                    if let Some(g) = ts.request(w, SimTime::from_nanos(clock)) {
+                    if let Some(g) = ts.request(w, SimTime::from_nanos(clock)).unwrap() {
                         active.push((w, g));
                     }
                 }
                 while done < total {
                     let (w, g) = active.pop().expect("tokens available");
-                    for s in ts.report(w, g.token.id) {
-                        ts.sync_finished(s.level, s.iteration);
+                    for s in ts.report(w, g.token.id).unwrap() {
+                        ts.sync_finished(s.level, s.iteration).unwrap();
                     }
                     done += 1;
                     clock += 100_000;
-                    if let Some(g2) = ts.request(w, SimTime::from_nanos(clock)) {
+                    if let Some(g2) = ts.request(w, SimTime::from_nanos(clock)).unwrap() {
                         active.push((w, g2));
                     }
-                    while let Some(pair) = ts.pop_ready_grant(SimTime::from_nanos(clock)) {
+                    while let Some(pair) = ts.pop_ready_grant(SimTime::from_nanos(clock)).unwrap() {
                         active.push(pair);
                     }
                 }

@@ -85,7 +85,33 @@ pub fn tuned_fela(scenario: &Scenario) -> FelaConfig {
     let tuner = Tuner {
         profile_iterations: tuning_iterations(),
     };
-    tuner.tune_with_jobs(scenario, 1).best_config
+    let config = tuner.tune_with_jobs(scenario, 1).best_config;
+    verify_fela_config(&config, scenario);
+    config
+}
+
+/// Statically verifies a configuration's schedule DAG before it is used in a
+/// measured run; panics with the violation list if an invariant is broken.
+///
+/// Every configuration a bench binary measures flows through here (tuned or
+/// fixed), so a scheduling regression fails the experiment loudly instead of
+/// producing a plausible-looking but invalid result.
+pub fn verify_fela_config(config: &FelaConfig, scenario: &Scenario) {
+    let partition = FelaRuntime::new(FelaConfig::new(1)).partition_for(scenario);
+    if let Err(fela_check::CheckError::Dag(violations)) = fela_check::verify_config(
+        &partition,
+        config,
+        scenario.total_batch,
+        scenario.cluster.nodes,
+        1,
+    ) {
+        panic!(
+            "configuration {:?} fails schedule verification on {}: {:?}",
+            config.weights, scenario.model.name, violations
+        );
+    }
+    // A Plan error means the config is infeasible for this scenario; the
+    // runtime surfaces that itself, so only DAG violations are fatal here.
 }
 
 /// Runs tuned Fela on a scenario.
@@ -101,9 +127,14 @@ pub fn tuned_fela_factory() -> RuntimeFactory {
     Arc::new(|sc: &Scenario| Box::new(FelaRuntime::new(tuned_fela(sc))))
 }
 
-/// Harness factory for Fela with a fixed, pre-tuned configuration.
+/// Harness factory for Fela with a fixed, pre-tuned configuration. The config
+/// is re-verified against each scenario it is applied to (straggler sweeps
+/// reuse one tuned config across many scenarios).
 pub fn fixed_fela_factory(config: FelaConfig) -> RuntimeFactory {
-    Arc::new(move |_: &Scenario| Box::new(FelaRuntime::new(config.clone())))
+    Arc::new(move |sc: &Scenario| {
+        verify_fela_config(&config, sc);
+        Box::new(FelaRuntime::new(config.clone()))
+    })
 }
 
 /// Adds the three baseline runtimes (DP, MP, HP) to a sweep (builder style).

@@ -1,0 +1,133 @@
+//! `fela-lint` — the workspace lint gate.
+//!
+//! Walks every `crates/*/src` tree, applies the rules in
+//! [`fela_check::lint`], filters findings through `fela-lint.allow` at the
+//! workspace root, prints the survivors and exits non-zero if any remain.
+//!
+//! Usage: `fela-lint [workspace-root]` (default: the current directory, or its
+//! nearest ancestor containing `crates/`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fela_check::lint::{lint_source, Allowlist, LintFinding};
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects `.rs` files under `dir`, sorted for deterministic output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "fela-lint: no `crates/` directory found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let allow_path = root.join("fela-lint.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(content) => Allowlist::parse(&content),
+        Err(_) => Allowlist::default(),
+    };
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(e) => {
+            eprintln!("fela-lint: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    crate_dirs.sort();
+
+    let mut findings: Vec<LintFinding> = Vec::new();
+    let mut suppressed = 0usize;
+    let mut files_scanned = 0usize;
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let dir_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        // Crate package names are `fela-<dir>` throughout the workspace.
+        let crate_name = format!("fela-{dir_name}");
+        let mut files = Vec::new();
+        if let Err(e) = rust_files(&src, &mut files) {
+            eprintln!("fela-lint: cannot walk {}: {e}", src.display());
+            return ExitCode::from(2);
+        }
+        for file in files {
+            let content = match std::fs::read_to_string(&file) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("fela-lint: cannot read {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            };
+            files_scanned += 1;
+            let label = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .into_owned();
+            for finding in lint_source(&label, &crate_name, &content) {
+                if allow.permits(&finding) {
+                    suppressed += 1;
+                } else {
+                    findings.push(finding);
+                }
+            }
+        }
+    }
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!(
+        "fela-lint: {} file(s), {} finding(s), {} allowlisted",
+        files_scanned,
+        findings.len(),
+        suppressed
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

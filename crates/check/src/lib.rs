@@ -1,0 +1,114 @@
+//! # fela-check — static schedule verification, trace race detection and lint
+//!
+//! The workspace's analysis layer. Three independent checkers, all runnable
+//! without (or alongside) the simulator:
+//!
+//! * [`dag`] — builds the full token-dependency DAG of a run from a
+//!   [`fela_core::TokenPlan`] + [`fela_core::FelaConfig`] and statically
+//!   verifies the invariants the Fela schedule relies on (acyclicity, exact
+//!   coverage, gradient dominance, BSP/SSP barrier closure, CTD subset
+//!   validity, HF bucket partitioning). Seeded mutations prove each invariant's
+//!   diagnostic actually fires.
+//! * [`race`] — replays a simulator trace and rebuilds its happens-before
+//!   order with vector clocks, flagging parameter reads concurrent with
+//!   parameter commits (the premature-release race), unordered dependencies,
+//!   late gradients and misordered commits.
+//! * [`explore`] — exhaustively enumerates every Token Server schedule for a
+//!   small configuration (DPOR-style state memoization), checks per-transition
+//!   safety, and executes every schedule with `fela-engine`'s real token-split
+//!   SGD to prove they all converge to serial-BSP parameters.
+//! * [`lint`] — the source-level rules behind the determinism and crash-safety
+//!   arguments (`no-unwrap`, `no-wallclock`, `no-unseeded-rng`,
+//!   `hashmap-order`), enforced by the `fela-lint` binary and CI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dag;
+pub mod explore;
+pub mod lint;
+pub mod race;
+
+pub use dag::{DagNode, DagSummary, DagViolation, Mutation, ScheduleDag};
+pub use explore::{exhaustive_schedule_check, ExploreOutcome, ExploreViolation, Explorer};
+pub use race::{check_trace, HbAnalysis, RaceSummary, RaceViolation};
+
+use fela_core::{FelaConfig, PlanError, TokenPlan};
+use fela_model::Partition;
+
+/// Why a configuration failed verification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckError {
+    /// The plan itself is infeasible (not a schedule bug — the config cannot
+    /// produce a token plan at all).
+    Plan(PlanError),
+    /// The plan produced a DAG that violates schedule invariants.
+    Dag(Vec<DagViolation>),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Plan(e) => write!(f, "no feasible token plan: {e}"),
+            CheckError::Dag(violations) => {
+                writeln!(f, "{} schedule invariant violation(s):", violations.len())?;
+                for v in violations {
+                    writeln!(f, "  - {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// End-to-end static verification of one configuration: build the token plan,
+/// materialise `iterations` of its dependency DAG, and verify every invariant.
+///
+/// `cfg` must already satisfy [`FelaConfig::validate`]; plan infeasibility
+/// (batch too small, weight too large, …) is reported as [`CheckError::Plan`]
+/// so sweeps can distinguish "config impossible" from "schedule broken".
+pub fn verify_config(
+    partition: &Partition,
+    cfg: &FelaConfig,
+    total_batch: u64,
+    n_workers: usize,
+    iterations: u64,
+) -> Result<DagSummary, CheckError> {
+    let plan =
+        TokenPlan::build(partition, cfg, total_batch, n_workers).map_err(CheckError::Plan)?;
+    ScheduleDag::build(&plan, cfg, n_workers, iterations)
+        .verify()
+        .map_err(CheckError::Dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fela_model::{bin_partition, zoo, PartitionOptions, ThresholdProfile};
+
+    #[test]
+    fn verify_config_end_to_end() {
+        let p = bin_partition(
+            &zoo::vgg19(),
+            &ThresholdProfile::k40c(),
+            PartitionOptions::default(),
+        );
+        let cfg = FelaConfig::new(3).with_weights(vec![1, 2, 4]);
+        let summary = verify_config(&p, &cfg, 128, 8, 3).unwrap();
+        assert_eq!(summary.train_tokens, 14 * 3);
+    }
+
+    #[test]
+    fn infeasible_plan_is_distinguished() {
+        let p = bin_partition(
+            &zoo::vgg19(),
+            &ThresholdProfile::k40c(),
+            PartitionOptions::default(),
+        );
+        let cfg = FelaConfig::new(3);
+        let err = verify_config(&p, &cfg, 4, 8, 1).unwrap_err();
+        assert!(matches!(err, CheckError::Plan(_)), "{err}");
+    }
+}

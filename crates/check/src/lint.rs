@@ -1,0 +1,458 @@
+//! Workspace source lint: the rules the simulator's determinism and
+//! crash-safety arguments depend on.
+//!
+//! The rules are deliberately narrow — this is not a general style checker but
+//! a guard for three repository invariants:
+//!
+//! * **`no-unwrap`** — runtime crates (`core`, `sim`, `net`, `cluster`) must not
+//!   call `.unwrap()` / `.expect(...)` outside tests: scheduler faults must
+//!   surface as typed [`fela_core::ScheduleError`]s or deliberate
+//!   invariant-message panics, not anonymous option/result unwraps.
+//! * **`no-wallclock`** — `sim` and `core` must not read host time
+//!   (`SystemTime`, `Instant::now`): simulations are virtual-time-only, and a
+//!   wall-clock read silently breaks run-to-run reproducibility.
+//! * **`no-unseeded-rng`** — `sim` and `core` must not use ambient-entropy
+//!   randomness (`thread_rng`, `rand::random`, `from_entropy`); all randomness
+//!   flows from explicit seeds recorded in run artifacts.
+//! * **`hashmap-order`** — iterating a `HashMap`/`HashSet` local feeds
+//!   nondeterministic order into whatever consumes it; containers that are
+//!   iterated must be `BTreeMap`/`BTreeSet` (or the iteration must be
+//!   allowlisted with a justification).
+//!
+//! The checker is line-based and intentionally simple: it strips `//` comments
+//! and string literals, skips `#[cfg(test)]` modules by brace counting, and
+//! matches fixed patterns. False positives are handled by `fela-lint.allow`
+//! (see [`Allowlist`]), never by weakening a rule.
+
+use std::collections::BTreeSet;
+
+/// One lint finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LintFinding {
+    /// Rule identifier (e.g. `no-unwrap`).
+    pub rule: &'static str,
+    /// Path label the finding is reported under.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Crates whose non-test code must be free of `.unwrap()` / `.expect(...)`.
+pub const NO_UNWRAP_CRATES: &[&str] = &["fela-core", "fela-sim", "fela-net", "fela-cluster"];
+/// Crates that must not read wall-clock time or ambient entropy.
+pub const DETERMINISM_CRATES: &[&str] = &["fela-core", "fela-sim"];
+
+/// Parsed `fela-lint.allow` file: lines of `<rule> <path-suffix> [substring]`,
+/// `#`-comments and blanks ignored. A finding is suppressed when a rule+path
+/// entry matches and (if given) the substring occurs in the offending line.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, Option<String>)>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format.
+    pub fn parse(content: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in content.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            if let (Some(rule), Some(path)) = (parts.next(), parts.next()) {
+                entries.push((
+                    rule.to_owned(),
+                    path.to_owned(),
+                    parts.next().map(|s| s.trim().to_owned()),
+                ));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Whether `finding` is suppressed.
+    pub fn permits(&self, finding: &LintFinding) -> bool {
+        self.entries.iter().any(|(rule, path, needle)| {
+            rule == finding.rule
+                && finding.path.ends_with(path.as_str())
+                && needle
+                    .as_ref()
+                    .is_none_or(|n| finding.snippet.contains(n.as_str()))
+        })
+    }
+
+    /// Number of entries (for reporting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Strips `//` comments, string-literal contents and char literals from a
+/// line, so patterns never match inside them and brace counting is not
+/// confused by `'{'`-style literals. Keeps the double quotes so syntax still
+/// reads plausibly.
+fn scrubbed(line: &str) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => break,
+            '\'' => {
+                // Char literal: `'x'` or `'\x'`. Lifetime markers (`'a`) have
+                // no closing quote and pass through.
+                if chars.get(i + 1) == Some(&'\\') && chars.get(i + 3) == Some(&'\'') {
+                    i += 4;
+                } else if chars.get(i + 1).is_some() && chars.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lints one source file. `crate_name` selects which rules apply; `path` only
+/// labels findings.
+pub fn lint_source(path: &str, crate_name: &str, content: &str) -> Vec<LintFinding> {
+    let unwrap_rule = NO_UNWRAP_CRATES.contains(&crate_name);
+    let determinism_rule = DETERMINISM_CRATES.contains(&crate_name);
+    let mut findings = Vec::new();
+
+    // Pass 1: find `#[cfg(test)]`-gated regions by brace counting, and collect
+    // identifiers bound to hash containers.
+    let lines: Vec<&str> = content.lines().collect();
+    let scrubbed_lines: Vec<String> = lines.iter().map(|l| scrubbed(l)).collect();
+    let mut in_test = vec![false; lines.len()];
+    let mut pending_cfg_test = false;
+    let mut depth_stack: Vec<i64> = Vec::new(); // brace depth at which each test region opened
+    let mut depth: i64 = 0;
+    for (i, line) in scrubbed_lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        in_test[i] = !depth_stack.is_empty() || pending_cfg_test;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending_cfg_test {
+                        depth_stack.push(depth);
+                        pending_cfg_test = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if depth_stack.last() == Some(&depth) {
+                        depth_stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut hash_idents: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in scrubbed_lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        // `let seen: HashMap<...>` / `let seen = HashMap::new()` / struct
+        // fields `seen: HashMap<...>`; HashSet alike.
+        for container in ["HashMap", "HashSet"] {
+            if let Some(pos) = line.find(container) {
+                let before = &line[..pos];
+                if let Some(ident) = binding_ident(before) {
+                    hash_idents.insert(ident);
+                }
+            }
+        }
+    }
+
+    // Pass 2: per-line rules.
+    for (i, line) in scrubbed_lines.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let mut push = |rule: &'static str| {
+            findings.push(LintFinding {
+                rule,
+                path: path.to_owned(),
+                line: i + 1,
+                snippet: lines[i].trim().to_owned(),
+            });
+        };
+        if unwrap_rule && (line.contains(".unwrap()") || line.contains(".expect(")) {
+            push("no-unwrap");
+        }
+        if determinism_rule && (line.contains("SystemTime") || line.contains("Instant::now")) {
+            push("no-wallclock");
+        }
+        if determinism_rule
+            && (line.contains("thread_rng(")
+                || line.contains("rand::random")
+                || line.contains("from_entropy"))
+        {
+            push("no-unseeded-rng");
+        }
+        // Ordered iteration over a hash container local.
+        for method in [
+            ".iter()",
+            ".iter_mut()",
+            ".keys()",
+            ".values()",
+            ".values_mut()",
+            ".into_iter()",
+        ] {
+            if let Some(pos) = line.find(method) {
+                let receiver = receiver_ident(&line[..pos]);
+                if let Some(r) = receiver {
+                    if hash_idents.contains(&r) {
+                        push("hashmap-order");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Extracts the identifier being bound before a container type mention:
+/// `let foo: HashMap` / `foo = HashMap::new` / struct field `foo: HashMap<`.
+fn binding_ident(before: &str) -> Option<String> {
+    let before = before.trim_end();
+    let before = before
+        .strip_suffix(':')
+        .or_else(|| before.strip_suffix('='))
+        .unwrap_or(before)
+        .trim_end();
+    // Drop a type annotation between the name and `=`: `let x: Foo =`.
+    let name_part = before.split(':').next()?.trim_end();
+    let ident: String = name_part
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let ident = ident
+        .trim_start_matches(|c: char| c.is_numeric())
+        .to_owned();
+    if ident.is_empty() || ident == "mut" || ident == "let" {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Extracts the receiver identifier of a method call: `self.seen.iter()` → `seen`.
+fn receiver_ident(before: &str) -> Option<String> {
+    let ident: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[LintFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_in_runtime_crates_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules(&lint_source("a.rs", "fela-core", src)), ["no-unwrap"]);
+        assert!(lint_source("a.rs", "fela-bench", src).is_empty());
+    }
+
+    #[test]
+    fn expect_flagged() {
+        let src = "let v = map.get(&k).expect(\"present\");\n";
+        assert_eq!(rules(&lint_source("a.rs", "fela-sim", src)), ["no-unwrap"]);
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "\
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+fn also_ok() {}
+";
+        assert!(lint_source("a.rs", "fela-core", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+fn bad() { Some(1).unwrap(); }
+";
+        let findings = lint_source("a.rs", "fela-core", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_match() {
+        let src = "\
+// calling .unwrap() here would be bad
+let msg = \"never .unwrap() in prod\";
+";
+        assert!(lint_source("a.rs", "fela-core", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flagged_in_sim_and_core() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(
+            rules(&lint_source("a.rs", "fela-sim", src)),
+            ["no-wallclock"]
+        );
+        assert!(lint_source("a.rs", "fela-net", src).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_flagged() {
+        let src = "let mut rng = rand::thread_rng();\n";
+        assert_eq!(
+            rules(&lint_source("a.rs", "fela-core", src)),
+            ["no-unseeded-rng"]
+        );
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged() {
+        let src = "\
+use std::collections::HashMap;
+let mut seen: HashMap<u64, u64> = HashMap::new();
+for (k, v) in seen.iter() { out.push((k, v)); }
+";
+        let findings = lint_source("a.rs", "fela-metrics", src);
+        assert_eq!(rules(&findings), ["hashmap-order"]);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn hashset_membership_without_iteration_is_fine() {
+        let src = "\
+let mut seen: HashSet<u64> = HashSet::new();
+if seen.insert(x) { work(x); }
+";
+        assert!(lint_source("a.rs", "fela-metrics", src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "\
+let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+for (k, v) in seen.iter() { out.push((k, v)); }
+";
+        assert!(lint_source("a.rs", "fela-core", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_rule_path_and_substring() {
+        let finding = LintFinding {
+            rule: "no-unwrap",
+            path: "crates/sim/src/time.rs".into(),
+            line: 10,
+            snippet: "self.nanos.checked_add(d.nanos).expect(\"overflow\")".into(),
+        };
+        let allow = Allowlist::parse(
+            "# overflow guards are deliberate\nno-unwrap sim/src/time.rs checked_add\n",
+        );
+        assert_eq!(allow.len(), 1);
+        assert!(allow.permits(&finding));
+        // Different rule or non-matching substring: not suppressed.
+        let other = LintFinding {
+            rule: "no-wallclock",
+            ..finding.clone()
+        };
+        assert!(!allow.permits(&other));
+        let different_line = LintFinding {
+            snippet: "x.expect(\"other\")".into(),
+            ..finding
+        };
+        assert!(!allow.permits(&different_line));
+    }
+
+    #[test]
+    fn nested_test_module_brace_counting() {
+        let src = "\
+mod outer {
+    #[cfg(test)]
+    mod tests {
+        mod inner {
+            fn t() { Some(1).unwrap(); }
+        }
+    }
+    fn bad() { Some(1).unwrap(); }
+}
+";
+        let findings = lint_source("a.rs", "fela-core", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 8);
+    }
+}

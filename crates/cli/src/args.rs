@@ -12,10 +12,30 @@ pub enum Command {
     Tune(CommonArgs),
     /// `fela compare …` — Fela vs DP/MP/HP on one scenario.
     Compare(CommonArgs),
+    /// `fela check …` — static schedule verification + trace race detection.
+    Check(CheckArgs),
     /// `fela models` — the Table I zoo.
     Models,
     /// `fela help`.
     Help,
+}
+
+/// Options for `fela check`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckArgs {
+    /// Shared scenario options.
+    pub common: CommonArgs,
+    /// Policy preset: `full` (default), `ads`, `hf`, `ctd` or `none`.
+    pub policy: String,
+    /// Weight vector override (`--weights 1,2,4`); `None` = verify every
+    /// Phase-1 candidate vector.
+    pub weights: Option<Vec<u64>>,
+    /// CTD subset size override (with `--policy ctd`; default `nodes/2`).
+    pub ctd: Option<usize>,
+    /// SSP staleness bound for the barrier invariants.
+    pub staleness: u64,
+    /// Verify the whole model zoo × all policies × all candidate weights.
+    pub all: bool,
 }
 
 /// Options shared by every scenario-running subcommand.
@@ -233,6 +253,55 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
             }
             Ok(Command::Run(run))
         }
+        "check" => {
+            let mut check = CheckArgs {
+                common: CommonArgs {
+                    iters: 3,
+                    ..CommonArgs::default()
+                },
+                policy: "full".into(),
+                weights: None,
+                ctd: None,
+                staleness: 0,
+                all: false,
+            };
+            while let Some(flag) = it.next() {
+                if parse_common(&mut check.common, flag, &mut it)? {
+                    continue;
+                }
+                match flag {
+                    "--policy" => {
+                        let policy = take_value(flag, &mut it)?;
+                        if !["full", "ads", "hf", "ctd", "none"].contains(&policy) {
+                            return err(format!(
+                                "unknown policy '{policy}' (use full, ads, hf, ctd or none)"
+                            ));
+                        }
+                        check.policy = policy.to_owned();
+                    }
+                    "--weights" => {
+                        let spec = take_value(flag, &mut it)?;
+                        let ws: Result<Vec<u64>, _> = spec.split(',').map(str::parse).collect();
+                        check.weights = Some(ws.map_err(|_| {
+                            ParseError(format!("bad weight list '{spec}' (use e.g. 1,2,4)"))
+                        })?);
+                    }
+                    "--ctd" => {
+                        check.ctd = Some(take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--ctd expects an integer subset size".into())
+                        })?)
+                    }
+                    "--staleness" => {
+                        check.staleness = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--staleness expects an integer".into()))?
+                    }
+                    "--all" => check.all = true,
+                    other => return err(format!("unknown flag '{other}' for 'check'")),
+                }
+            }
+            Ok(Command::Check(check))
+        }
         other => err(format!("unknown command '{other}' (try 'fela help')")),
     }
 }
@@ -247,6 +316,11 @@ USAGE:
                (omit --weights to auto-tune first)
   fela tune    --model <name> --batch <n> [--iters <n>] [--nodes <n>]
   fela compare --model <name> --batch <n> [--iters <n>] [--straggler <spec>]
+  fela check   --model <name> [--policy full|ads|hf|ctd|none] [--batch <n>]
+               [--weights w1,w2,…] [--ctd <size>] [--staleness <s>]
+               (static DAG verification + race-checking a traced run;
+                omit --weights to verify every Phase-1 candidate vector)
+  fela check   --all   (verify the whole zoo × all policies × all candidates)
   fela models
   fela help
 
@@ -369,6 +443,46 @@ mod tests {
         assert_eq!(r.common.jobs, Some(2));
         assert!(parse(&["compare", "--jobs", "0"]).is_err());
         assert!(parse(&["compare", "--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn check_parses_policy_and_scope() {
+        let Command::Check(c) = parse(&["check", "--model", "vgg19", "--policy", "ads"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.common.model, "vgg19");
+        assert_eq!(c.policy, "ads");
+        assert_eq!(c.common.iters, 3, "check defaults to a short traced run");
+        assert!(!c.all);
+        assert!(c.weights.is_none());
+
+        let Command::Check(c) = parse(&["check", "--all"]).unwrap() else {
+            panic!()
+        };
+        assert!(c.all);
+
+        let Command::Check(c) = parse(&[
+            "check",
+            "--policy",
+            "ctd",
+            "--ctd",
+            "4",
+            "--weights",
+            "1,2,4",
+            "--staleness",
+            "1",
+        ])
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.policy, "ctd");
+        assert_eq!(c.ctd, Some(4));
+        assert_eq!(c.weights, Some(vec![1, 2, 4]));
+        assert_eq!(c.staleness, 1);
+
+        assert!(parse(&["check", "--policy", "fast"]).is_err());
+        assert!(parse(&["check", "--frobnicate"]).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 mod args;
 
-use args::{Command, CommonArgs, RunArgs, HELP};
+use args::{CheckArgs, Command, CommonArgs, RunArgs, HELP};
 use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
 use fela_cluster::{ClusterSpec, Scenario, TrainingRuntime};
 use fela_core::{FelaConfig, FelaRuntime};
@@ -278,6 +278,192 @@ fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Maps a `--policy` preset onto a configuration (weights applied separately).
+fn policy_config(policy: &str, m: usize, nodes: usize, ctd: Option<usize>) -> FelaConfig {
+    let base = FelaConfig::new(m);
+    match policy {
+        "none" => base.with_ads(false).with_hf(false),
+        "ads" => base.with_hf(false),
+        "hf" => base.with_ads(false),
+        "ctd" => {
+            // Default subset: the largest power of two ≤ half the cluster.
+            let subset = ctd.unwrap_or_else(|| {
+                let half = (nodes / 2).max(1);
+                1 << (usize::BITS - 1 - half.leading_zeros())
+            });
+            base.with_ctd(subset)
+        }
+        _ => base,
+    }
+}
+
+fn cmd_check(check: &CheckArgs) -> Result<(), String> {
+    if check.all {
+        return cmd_check_all(check);
+    }
+    let sc = scenario_from(&check.common)?;
+    let partition = FelaRuntime::new(FelaConfig::new(1)).partition_for(&sc);
+    let m = partition.len();
+    let nodes = sc.cluster.nodes;
+    let weight_sets: Vec<Vec<u64>> = match &check.weights {
+        Some(w) => {
+            if w.len() != m {
+                return Err(format!(
+                    "--weights needs {m} entries for this model's partition, got {}",
+                    w.len()
+                ));
+            }
+            vec![w.clone()]
+        }
+        None => fela_tuning::phase1_candidates(m, nodes),
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Schedule verification — {} @ batch {}, {} iterations, {} nodes, policy {}",
+            sc.model.name, sc.total_batch, sc.iterations, nodes, check.policy
+        ),
+        &["weights", "tokens", "edges", "verdict"],
+    );
+    let mut failures = 0usize;
+    let mut traced_cfg: Option<FelaConfig> = None;
+    for w in &weight_sets {
+        let cfg = policy_config(&check.policy, m, nodes, check.ctd)
+            .with_weights(w.clone())
+            .with_staleness(check.staleness);
+        cfg.validate(nodes);
+        match fela_check::verify_config(&partition, &cfg, sc.total_batch, nodes, sc.iterations) {
+            Ok(summary) => {
+                table.row(vec![
+                    format!("{w:?}"),
+                    summary.train_tokens.to_string(),
+                    summary.edges.to_string(),
+                    "ok".into(),
+                ]);
+                if traced_cfg.is_none() {
+                    traced_cfg = Some(cfg);
+                }
+            }
+            Err(fela_check::CheckError::Plan(e)) => {
+                table.row(vec![
+                    format!("{w:?}"),
+                    "-".into(),
+                    "-".into(),
+                    format!("infeasible: {e}"),
+                ]);
+            }
+            Err(fela_check::CheckError::Dag(violations)) => {
+                failures += violations.len();
+                table.row(vec![
+                    format!("{w:?}"),
+                    "-".into(),
+                    "-".into(),
+                    format!("{} violation(s)", violations.len()),
+                ]);
+                for v in &violations {
+                    eprintln!("  {w:?}: {v}");
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+
+    // Dynamic half: trace a real run under the first feasible config and
+    // race-check its happens-before order.
+    if let Some(cfg) = traced_cfg {
+        let (_, trace) = FelaRuntime::new(cfg).run_traced(&sc);
+        match fela_check::check_trace(&trace, check.staleness) {
+            Ok(s) => println!(
+                "race check: {} events ({} grants, {} completions, {} commits) across {} processes — clean",
+                s.events, s.grants, s.completions, s.commits, s.processes
+            ),
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("race: {v}");
+                }
+                return Err(format!(
+                    "{} happens-before violation(s) in the traced run",
+                    violations.len()
+                ));
+            }
+        }
+    } else {
+        println!("race check skipped: no feasible configuration to trace");
+    }
+    if failures > 0 {
+        return Err(format!("{failures} schedule invariant violation(s)"));
+    }
+    Ok(())
+}
+
+/// `fela check --all`: the CI gate. Verifies every zoo model × policy preset ×
+/// Phase-1 candidate weight vector statically, then exhausts the small-config
+/// schedule space dynamically.
+fn cmd_check_all(check: &CheckArgs) -> Result<(), String> {
+    let nodes = check.common.nodes;
+    let batch = check.common.batch;
+    let policies = ["none", "ads", "hf", "full", "ctd"];
+    let mut verified = 0usize;
+    let mut infeasible = 0usize;
+    let mut failures = 0usize;
+    for info in zoo::TABLE_I {
+        let Some(model) = zoo::build_by_name(info.name) else {
+            continue;
+        };
+        let name = model.name.clone();
+        let mut sc = Scenario::paper(model, batch).with_iterations(check.common.iters);
+        if nodes != 8 {
+            sc.cluster = ClusterSpec::k40c_cluster(nodes);
+        }
+        let partition = FelaRuntime::new(FelaConfig::new(1)).partition_for(&sc);
+        let m = partition.len();
+        for policy in policies {
+            for w in fela_tuning::phase1_candidates(m, nodes) {
+                let cfg = policy_config(policy, m, nodes, check.ctd)
+                    .with_weights(w.clone())
+                    .with_staleness(check.staleness);
+                cfg.validate(nodes);
+                match fela_check::verify_config(&partition, &cfg, batch, nodes, sc.iterations) {
+                    Ok(_) => verified += 1,
+                    Err(fela_check::CheckError::Plan(_)) => infeasible += 1,
+                    Err(fela_check::CheckError::Dag(violations)) => {
+                        failures += violations.len();
+                        for v in &violations {
+                            eprintln!("{name} / {policy} / {w:?}: {v}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "static: {verified} configuration(s) verified, {infeasible} infeasible skipped, {failures} violation(s)"
+    );
+
+    let outcome = fela_check::exhaustive_schedule_check(check.staleness);
+    println!(
+        "dynamic: {} schedule(s) over {} state(s) explored{}, {} violation(s)",
+        outcome.schedules.len(),
+        outcome.states_visited,
+        if outcome.truncated {
+            " (truncated)"
+        } else {
+            ""
+        },
+        outcome.violations.len()
+    );
+    for v in &outcome.violations {
+        eprintln!("explore: {v}");
+    }
+    if failures > 0 || !outcome.violations.is_empty() {
+        return Err(format!(
+            "check --all failed: {} violation(s)",
+            failures + outcome.violations.len()
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let argv_refs: Vec<&str> = argv.iter().map(String::as_str).collect();
@@ -298,6 +484,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Command::Run(run) => cmd_run(run),
+        Command::Check(check) => cmd_check(check),
         Command::Tune(common) => cmd_tune(common),
         Command::Compare(common) => cmd_compare(common),
     };

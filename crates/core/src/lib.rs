@@ -18,13 +18,15 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod error;
 mod plan;
 mod runtime;
 mod server;
 mod token;
 
 pub use config::{CtdConfig, FelaConfig};
+pub use error::ScheduleError;
 pub use plan::{LevelPlan, PlanError, TokenPlan};
 pub use runtime::FelaRuntime;
-pub use server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};
+pub use server::{Grant, LevelMeta, ServerSnapshot, ServerStats, SyncSpec, TokenServer};
 pub use token::{Token, TokenId};

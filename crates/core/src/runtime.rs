@@ -20,12 +20,24 @@ use fela_cluster::{Scenario, TrainingRuntime};
 use fela_metrics::RunReport;
 use fela_model::{bin_partition, Partition, PartitionOptions};
 use fela_net::{FlowSpec, Network, NodeId, RingAllReduce};
-use fela_sim::{BusyTracker, Engine, EventId, Scheduler, SimDuration, SimTime, Trace, World};
+use fela_sim::{
+    BusyTracker, Engine, EventId, EventKind, Scheduler, SimDuration, SimTime, Trace, World,
+};
 
 use crate::config::FelaConfig;
+use crate::error::ScheduleError;
 use crate::plan::TokenPlan;
 use crate::server::{Grant, LevelMeta, SyncSpec, TokenServer};
 use crate::token::TokenId;
+
+/// The simulation runtime treats any scheduling error as a fatal bug in the
+/// scheduler itself (a real deployment would abort the job the same way).
+fn sched_ok<T>(result: Result<T, ScheduleError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+    }
+}
 
 /// Tag namespace for network flows: dependency fetches carry the token id,
 /// sync flows carry the level.
@@ -109,16 +121,15 @@ impl FelaWorld {
     }
 
     fn serve_waiting(&mut self, sched: &mut Scheduler<'_, Ev>) {
-        while let Some((worker, grant)) = self.server.pop_ready_grant(sched.now()) {
+        while let Some((worker, grant)) = sched_ok(self.server.pop_ready_grant(sched.now())) {
             self.schedule_grant(worker, grant, sched);
         }
     }
 
     fn start_compute(&mut self, worker: usize, sched: &mut Scheduler<'_, Ev>) {
-        let grant = self.workers[worker]
-            .current
-            .as_ref()
-            .expect("compute without a grant");
+        let Some(grant) = self.workers[worker].current.as_ref() else {
+            panic!("worker {worker} started compute without a grant");
+        };
         let sm = &self.partition.sub_models()[grant.token.level];
         let secs = self.scenario.cluster.compute_secs(
             &self.scenario.model,
@@ -143,15 +154,44 @@ impl FelaWorld {
     fn start_syncs(&mut self, specs: Vec<SyncSpec>, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
         for spec in specs {
-            self.trace.record(now, "sync", || {
-                format!(
-                    "all-reduce level {} iter {} ({} MB among {:?})",
-                    spec.level + 1,
-                    spec.iteration,
-                    spec.bytes / 1_000_000,
-                    spec.participants
-                )
-            });
+            self.trace.record_kind(
+                now,
+                "sync",
+                EventKind::SyncStart {
+                    level: spec.level,
+                    iteration: spec.iteration,
+                },
+                || {
+                    format!(
+                        "all-reduce level {} iter {} ({} MB among {:?})",
+                        spec.level + 1,
+                        spec.iteration,
+                        spec.bytes / 1_000_000,
+                        spec.participants
+                    )
+                },
+            );
+            if spec.is_degenerate() {
+                // Nothing crosses the wire: the update commits instantly, but the
+                // commit point still appears in the trace for checkers.
+                self.trace.record_kind(
+                    now,
+                    "sync",
+                    EventKind::SyncDone {
+                        level: spec.level,
+                        iteration: spec.iteration,
+                    },
+                    || {
+                        format!(
+                            "degenerate sync level {} iter {} committed for free",
+                            spec.level + 1,
+                            spec.iteration
+                        )
+                    },
+                );
+                sched_ok(self.server.sync_finished(spec.level, spec.iteration));
+                continue;
+            }
             let participants = spec.participants.iter().map(|&w| NodeId(w)).collect();
             let collective = RingAllReduce::start(
                 &mut self.net,
@@ -160,7 +200,7 @@ impl FelaWorld {
                 spec.bytes,
                 sync_tag(spec.level, spec.iteration),
             );
-            debug_assert!(!collective.is_done(), "server filters degenerate syncs");
+            debug_assert!(!collective.is_done(), "non-degenerate syncs move bytes");
             self.syncs.push(ActiveSync {
                 level: spec.level,
                 iteration: spec.iteration,
@@ -226,7 +266,13 @@ impl FelaWorld {
             for (level, iteration) in finished {
                 self.syncs
                     .retain(|s| !(s.level == level && s.iteration == iteration));
-                self.server.sync_finished(level, iteration);
+                self.trace.record_kind(
+                    now,
+                    "sync",
+                    EventKind::SyncDone { level, iteration },
+                    || format!("all-reduce level {} iter {} done", level + 1, iteration),
+                );
+                sched_ok(self.server.sync_finished(level, iteration));
                 self.after_server_change(sched);
             }
         }
@@ -239,13 +285,23 @@ impl World for FelaWorld {
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
         match event {
             Ev::RequestArrive { worker } => {
-                if let Some(grant) = self.server.request(worker, now) {
+                if let Some(grant) = sched_ok(self.server.request(worker, now)) {
                     self.schedule_grant(worker, grant, sched);
                 }
             }
             Ev::GrantArrive { worker, grant } => {
-                self.trace.record(now, "ts", || {
-                    format!(
+                self.trace.record_kind(
+                    now,
+                    "ts",
+                    EventKind::Grant {
+                        worker,
+                        token: grant.token.id.0,
+                        level: grant.token.level,
+                        iteration: grant.token.iteration,
+                        deps: grant.token.deps.iter().map(|d| d.0).collect(),
+                    },
+                    || {
+                        format!(
                         "grant token {} (level {}, iter {}, batch {}) to worker {} ({} fetches{})",
                         grant.token.id.0,
                         grant.token.level + 1,
@@ -255,7 +311,8 @@ impl World for FelaWorld {
                         grant.fetches.len(),
                         if grant.conflict { ", conflicted" } else { "" }
                     )
-                });
+                    },
+                );
                 let fetches = grant.fetches.clone();
                 let token = grant.token.id;
                 let state = &mut self.workers[worker];
@@ -280,20 +337,28 @@ impl World for FelaWorld {
                 }
             }
             Ev::ComputeDone { worker } => {
-                self.trace.record(now, "worker", || {
-                    let g = self.workers[worker].current.as_ref().expect("grant");
-                    format!(
-                        "worker {} finished token {} (level {})",
+                let Some(grant) = self.workers[worker].current.take() else {
+                    panic!("worker {worker} finished compute without a grant");
+                };
+                self.trace.record_kind(
+                    now,
+                    "worker",
+                    EventKind::Complete {
                         worker,
-                        g.token.id.0,
-                        g.token.level + 1
-                    )
-                });
+                        token: grant.token.id.0,
+                        level: grant.token.level,
+                        iteration: grant.token.iteration,
+                    },
+                    || {
+                        format!(
+                            "worker {} finished token {} (level {})",
+                            worker,
+                            grant.token.id.0,
+                            grant.token.level + 1
+                        )
+                    },
+                );
                 self.busy[worker].end(now);
-                let grant = self.workers[worker]
-                    .current
-                    .take()
-                    .expect("compute done without grant");
                 sched.schedule_in(
                     self.rpc(),
                     Ev::ReportArrive {
@@ -303,13 +368,13 @@ impl World for FelaWorld {
                 );
             }
             Ev::ReportArrive { worker, token } => {
-                let syncs = self.server.report(worker, token);
+                let syncs = sched_ok(self.server.report(worker, token));
                 if !syncs.is_empty() {
                     self.start_syncs(syncs, sched);
                     self.reschedule_net(sched);
                 }
                 // Piggybacked request for the reporter, then any other waiters.
-                if let Some(grant) = self.server.request(worker, now) {
+                if let Some(grant) = sched_ok(self.server.request(worker, now)) {
                     self.schedule_grant(worker, grant, sched);
                 }
                 self.after_server_change(sched);
@@ -365,13 +430,15 @@ impl FelaRuntime {
     fn run_impl(&self, scenario: &Scenario, trace: Trace) -> (RunReport, Trace) {
         scenario.cluster.validate();
         let partition = self.partition_for(scenario);
-        let plan = TokenPlan::build(
+        let plan = match TokenPlan::build(
             &partition,
             &self.config,
             scenario.total_batch,
             scenario.cluster.nodes,
-        )
-        .expect("scenario must admit a token plan");
+        ) {
+            Ok(plan) => plan,
+            Err(e) => panic!("scenario must admit a token plan: {e}"),
+        };
         let meta: Vec<LevelMeta> = partition
             .sub_models()
             .iter()
@@ -418,9 +485,9 @@ impl FelaRuntime {
             "Fela simulation hit the step backstop"
         );
         let (world, _) = engine.into_world();
-        let end = world
-            .finished_at
-            .expect("simulation drained before completing all iterations");
+        let Some(end) = world.finished_at else {
+            panic!("simulation drained before completing all iterations");
+        };
 
         let mut report = RunReport::new("fela", &scenario.model.name, scenario.total_batch);
         report.iterations = world.iter_done.len() as u64;

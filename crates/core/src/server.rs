@@ -36,13 +36,23 @@
 //! iteration `k+1` fill the bubbles while SM-3 of iteration `k` still trains —
 //! the "Work Conservation ✓" column Fela earns in Table II, with no staleness:
 //! every gradient still enters the very next update of its own sub-model.
+//!
+//! ## Errors and determinism
+//!
+//! Every internal invariant breach surfaces as a typed
+//! [`ScheduleError`](crate::ScheduleError) instead of a panic, so callers (the
+//! simulation runtime, the `fela-check` verifier, tests) decide how to react.
+//! Scheduling state lives in ordered containers (`BTreeMap`/`VecDeque`) only:
+//! no code path's observable behaviour can depend on hash-iteration order,
+//! which keeps emitted reports and artifacts byte-identical across runs.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use fela_sim::SimTime;
 use serde::Serialize;
 
 use crate::config::FelaConfig;
+use crate::error::ScheduleError;
 use crate::plan::TokenPlan;
 use crate::token::{Token, TokenId};
 
@@ -72,6 +82,12 @@ pub struct Grant {
 
 /// A parameter-synchronisation request emitted when a level's last token of an
 /// iteration completes.
+///
+/// Every completed `(level, iteration)` emits exactly one spec — including
+/// *degenerate* ones (a single participant or zero parameter bytes), which cost
+/// nothing on the wire but still mark the update commit. The caller must call
+/// [`TokenServer::sync_finished`] for each spec, immediately for degenerate
+/// ones; this keeps every parameter-update commit observable to checkers.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct SyncSpec {
     /// Level whose parameters to all-reduce.
@@ -82,6 +98,14 @@ pub struct SyncSpec {
     pub participants: Vec<usize>,
     /// Bytes to all-reduce.
     pub bytes: u64,
+}
+
+impl SyncSpec {
+    /// True if the sync needs no wire traffic (single participant or no bytes)
+    /// and can be finished immediately.
+    pub fn is_degenerate(&self) -> bool {
+        self.participants.len() <= 1 || self.bytes == 0
+    }
 }
 
 /// Counters the server accumulates for the run report.
@@ -101,6 +125,7 @@ pub struct ServerStats {
     pub starved_requests: u64,
 }
 
+#[derive(Clone)]
 struct LevelState {
     /// Contiguous iterations synced from 0 (`synced_upto = k` ⇒ iterations
     /// `0..k` are fully synced at this level).
@@ -125,7 +150,41 @@ impl LevelState {
     }
 }
 
+/// A canonical, totally ordered view of the server's scheduling state.
+///
+/// Two servers with equal snapshots will emit identical schedules for
+/// identical future inputs (timing-only state — lock-conflict instants and
+/// counters — is deliberately excluded). `fela-check`'s interleaving explorer
+/// uses snapshots to prune its state space; tests use them to assert replay
+/// equivalence.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ServerSnapshot {
+    /// Iterations whose root tokens have been released.
+    pub released_roots: u64,
+    /// Next token id to be generated.
+    pub next_token_id: u64,
+    /// STB contents: `stbs[bucket][level]` → token ids in queue order.
+    pub stbs: Vec<Vec<Vec<u64>>>,
+    /// Sync-gated generated tokens per level: `(token id, preferred bucket)`.
+    pub pending: Vec<Vec<(u64, usize)>>,
+    /// Contiguously synced iteration count per level.
+    pub synced_upto: Vec<u64>,
+    /// Out-of-order finished syncs per level.
+    pub synced_out_of_order: Vec<Vec<u64>>,
+    /// Per-level in-flight completion counts: `(iteration, count)`.
+    pub completed: Vec<Vec<(u64, u64)>>,
+    /// Per-level generation buffers: `(iteration, completed token ids)`.
+    pub gen_buffers: Vec<Vec<(u64, Vec<u64>)>>,
+    /// Info Mapping: `(token id, holding worker)`.
+    pub holder: Vec<(u64, usize)>,
+    /// Workers queued for a token.
+    pub waiting: Vec<usize>,
+    /// Helper counts per bucket.
+    pub helpers: Vec<u64>,
+}
+
 /// The Token Server.
+#[derive(Clone)]
 pub struct TokenServer {
     plan: TokenPlan,
     cfg: FelaConfig,
@@ -135,12 +194,14 @@ pub struct TokenServer {
     /// Iterations whose root tokens have been released (0..count).
     released_roots: u64,
     next_token_id: u64,
-    tokens: HashMap<TokenId, Token>,
+    /// All generated tokens. Ordered map: scheduling decisions and artifacts
+    /// must never depend on hash-iteration order.
+    tokens: BTreeMap<TokenId, Token>,
     /// `stbs[worker][level]` — distributable tokens. With HF off only `stbs[0]`
     /// is used (the global bucket).
     stbs: Vec<Vec<VecDeque<TokenId>>>,
     /// Completed-token outputs: token → holding worker (Info Mapping).
-    holder: HashMap<TokenId, usize>,
+    holder: BTreeMap<TokenId, usize>,
     levels: Vec<LevelState>,
     /// Last grant instant per bucket, for lock-conflict detection.
     last_grant_at: Vec<Option<SimTime>>,
@@ -182,9 +243,9 @@ impl TokenServer {
             max_iterations,
             released_roots: 0,
             next_token_id: 0,
-            tokens: HashMap::new(),
+            tokens: BTreeMap::new(),
             stbs: vec![vec![VecDeque::new(); m]; buckets],
-            holder: HashMap::new(),
+            holder: BTreeMap::new(),
             levels: (0..m)
                 .map(|_| LevelState {
                     synced_upto: 0,
@@ -212,6 +273,21 @@ impl TokenServer {
     /// The token plan (read access).
     pub fn plan(&self) -> &TokenPlan {
         &self.plan
+    }
+
+    /// Cluster size the server schedules for.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Total iterations this run trains.
+    pub fn max_iterations(&self) -> u64 {
+        self.max_iterations
+    }
+
+    /// A generated token by id (introspection for checkers).
+    pub fn token(&self, id: TokenId) -> Option<&Token> {
+        self.tokens.get(&id)
     }
 
     /// Accumulated counters.
@@ -246,6 +322,62 @@ impl TokenServer {
             Some(ctd) => worker < ctd.subset_size,
             None => true,
         }
+    }
+
+    /// A canonical snapshot of the scheduling state (see [`ServerSnapshot`]).
+    pub fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            released_roots: self.released_roots,
+            next_token_id: self.next_token_id,
+            stbs: self
+                .stbs
+                .iter()
+                .map(|b| {
+                    b.iter()
+                        .map(|q| q.iter().map(|id| id.0).collect())
+                        .collect()
+                })
+                .collect(),
+            pending: self
+                .levels
+                .iter()
+                .map(|l| l.pending.iter().map(|&(id, b)| (id.0, b)).collect())
+                .collect(),
+            synced_upto: self.levels.iter().map(|l| l.synced_upto).collect(),
+            synced_out_of_order: self
+                .levels
+                .iter()
+                .map(|l| l.synced_out_of_order.iter().copied().collect())
+                .collect(),
+            completed: self
+                .levels
+                .iter()
+                .map(|l| l.completed.iter().map(|(&k, &v)| (k, v)).collect())
+                .collect(),
+            gen_buffers: self
+                .levels
+                .iter()
+                .map(|l| {
+                    l.gen_buffer
+                        .iter()
+                        .map(|(&k, v)| (k, v.iter().map(|id| id.0).collect()))
+                        .collect()
+                })
+                .collect(),
+            holder: self.holder.iter().map(|(&t, &w)| (t.0, w)).collect(),
+            waiting: self.waiting.iter().copied().collect(),
+            helpers: self.helpers.clone(),
+        }
+    }
+
+    fn check_worker(&self, worker: usize) -> Result<(), ScheduleError> {
+        if worker >= self.n_workers {
+            return Err(ScheduleError::InvalidWorker {
+                worker,
+                n_workers: self.n_workers,
+            });
+        }
+        Ok(())
     }
 
     fn is_cond_level(&self, level: usize) -> bool {
@@ -302,42 +434,55 @@ impl TokenServer {
         }
     }
 
-    /// A worker asks for a token at `now`. Returns the grant, or `None` — in which
-    /// case the worker is queued and will be returned later by
+    /// A worker asks for a token at `now`. Returns the grant, or `Ok(None)` — in
+    /// which case the worker is queued and will be returned later by
     /// [`TokenServer::pop_ready_grant`].
-    pub fn request(&mut self, worker: usize, now: SimTime) -> Option<Grant> {
-        match self.try_grant(worker, now) {
-            Some(grant) => Some(grant),
+    pub fn request(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
+        self.check_worker(worker)?;
+        match self.try_grant(worker, now)? {
+            Some(grant) => Ok(Some(grant)),
             None => {
                 self.stats.starved_requests += 1;
                 if !self.waiting.contains(&worker) {
                     self.waiting.push_back(worker);
                 }
-                None
+                Ok(None)
             }
         }
     }
 
     /// After bucket contents changed (report / sync / release), serves the
-    /// longest-waiting worker that can now be granted. Call in a loop until `None`.
-    pub fn pop_ready_grant(&mut self, now: SimTime) -> Option<(usize, Grant)> {
+    /// longest-waiting worker that can now be granted. Call in a loop until
+    /// `Ok(None)`.
+    pub fn pop_ready_grant(
+        &mut self,
+        now: SimTime,
+    ) -> Result<Option<(usize, Grant)>, ScheduleError> {
         for idx in 0..self.waiting.len() {
             let worker = self.waiting[idx];
-            if let Some(grant) = self.try_grant(worker, now) {
+            if let Some(grant) = self.try_grant(worker, now)? {
                 self.waiting.remove(idx);
-                return Some((worker, grant));
+                return Ok(Some((worker, grant)));
             }
         }
-        None
+        Ok(None)
     }
 
     /// Core distribution: pick a token for `worker` per HF/ADS/CTD.
-    fn try_grant(&mut self, worker: usize, now: SimTime) -> Option<Grant> {
-        let (bucket, stolen) = self.pick_bucket(worker)?;
-        let (level, pos) = self.pick_token(bucket, worker)?;
+    fn try_grant(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
+        let Some((bucket, stolen)) = self.pick_bucket(worker) else {
+            return Ok(None);
+        };
+        let Some((level, pos)) = self.pick_token(bucket, worker)? else {
+            return Ok(None);
+        };
         let id = self.stbs[bucket][level]
             .remove(pos)
-            .expect("valid position");
+            .ok_or(ScheduleError::CorruptBucket {
+                bucket,
+                level,
+                position: pos,
+            })?;
         // Lock-conflict detection: with HF, only steals contend (owners access
         // their STB lock-free); with the global bucket every grant contends.
         let contends = stolen || !self.cfg.hf;
@@ -358,16 +503,20 @@ impl TokenServer {
             self.stats.local_grants += 1;
         }
         self.stats.grants += 1;
-        let token = self.tokens[&id].clone();
-        let fetches = self.fetches_for(&token, worker);
+        let token = self
+            .tokens
+            .get(&id)
+            .ok_or(ScheduleError::UnknownToken { token: id })?
+            .clone();
+        let fetches = self.fetches_for(&token, worker)?;
         for &(_, bytes) in &fetches {
             self.stats.remote_fetch_bytes += bytes;
         }
-        Some(Grant {
+        Ok(Some(Grant {
             token,
             fetches,
             conflict,
-        })
+        }))
     }
 
     /// Chooses which bucket to draw from: own STB, else the most deserving
@@ -391,7 +540,7 @@ impl TokenServer {
             }
             let remaining: usize = self.stbs[b].iter().map(VecDeque::len).sum();
             let key = (self.helpers[b], std::cmp::Reverse(remaining), b);
-            if best.is_none() || key < best.unwrap() {
+            if best.map_or(true, |b| key < b) {
                 best = Some(key);
                 best_bucket = Some(b);
             }
@@ -407,7 +556,11 @@ impl TokenServer {
     }
 
     /// Picks `(level, position)` inside a bucket per ADS/CTD.
-    fn pick_token(&self, bucket: usize, worker: usize) -> Option<(usize, usize)> {
+    fn pick_token(
+        &self,
+        bucket: usize,
+        worker: usize,
+    ) -> Result<Option<(usize, usize)>, ScheduleError> {
         let m = self.plan.num_levels();
         let member = self.in_ctd_subset(worker);
         // Build the level preference order.
@@ -441,7 +594,7 @@ impl TokenServer {
                 let mut best_pos = 0;
                 let mut best_key = (f64::NEG_INFINITY, TokenId(u64::MAX));
                 for (pos, &id) in q.iter().enumerate() {
-                    let score = self.locality_score(worker, id);
+                    let score = self.locality_score(worker, id)?;
                     let better = score > best_key.0 + 1e-12
                         || ((score - best_key.0).abs() <= 1e-12 && id < best_key.1);
                     if better {
@@ -452,15 +605,20 @@ impl TokenServer {
                 best_pos
             } else {
                 // Ablation: smallest token id.
-                q.iter()
-                    .enumerate()
-                    .min_by_key(|(_, &id)| id)
-                    .map(|(pos, _)| pos)
-                    .expect("queue non-empty")
+                let mut min: Option<(usize, TokenId)> = None;
+                for (pos, &id) in q.iter().enumerate() {
+                    if min.map_or(true, |(_, m)| id < m) {
+                        min = Some((pos, id));
+                    }
+                }
+                match min {
+                    Some((pos, _)) => pos,
+                    None => continue,
+                }
             };
-            return Some((level, pos));
+            return Ok(Some((level, pos)));
         }
-        None
+        Ok(None)
     }
 
     /// Equation 1: fraction of a token's dependencies whose outputs `worker`
@@ -468,52 +626,81 @@ impl TokenServer {
     /// paper distributes them "randomly (or sequentially)"; their *sample*
     /// affinity is expressed only through STB placement (§III-E), which is
     /// exactly why HF matters so much for them.
-    pub fn locality_score(&self, worker: usize, token: TokenId) -> f64 {
-        let t = &self.tokens[&token];
+    pub fn locality_score(&self, worker: usize, token: TokenId) -> Result<f64, ScheduleError> {
+        let t = self
+            .tokens
+            .get(&token)
+            .ok_or(ScheduleError::UnknownToken { token })?;
         if t.deps.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         let held = t
             .deps
             .iter()
             .filter(|d| self.holder.get(d) == Some(&worker))
             .count();
-        held as f64 / t.deps.len() as f64
+        Ok(held as f64 / t.deps.len() as f64)
     }
 
     /// Remote inputs `worker` must fetch to run `token`.
-    fn fetches_for(&self, token: &Token, worker: usize) -> Vec<(usize, u64)> {
+    fn fetches_for(
+        &self,
+        token: &Token,
+        worker: usize,
+    ) -> Result<Vec<(usize, u64)>, ScheduleError> {
         if token.level == 0 {
-            let owner = token.sample_owner.expect("root tokens have sample owners");
+            let owner = token
+                .sample_owner
+                .ok_or(ScheduleError::MissingSampleOwner { token: token.id })?;
             if owner != worker {
                 let bytes = token.batch * self.meta[0].input_bytes_per_sample;
-                return vec![(owner, bytes)];
+                return Ok(vec![(owner, bytes)]);
             }
-            return vec![];
+            return Ok(vec![]);
         }
         let per_sample = self.meta[token.level].input_bytes_per_sample;
         let mut fetches = Vec::new();
         for dep in &token.deps {
-            let holder = *self.holder.get(dep).expect("dep completed");
+            let holder = *self
+                .holder
+                .get(dep)
+                .ok_or(ScheduleError::MissingDependencyHolder {
+                    token: token.id,
+                    dep: *dep,
+                })?;
             if holder != worker {
-                let dep_batch = self.tokens[dep].batch;
+                let dep_batch = self
+                    .tokens
+                    .get(dep)
+                    .ok_or(ScheduleError::UnknownToken { token: *dep })?
+                    .batch;
                 fetches.push((holder, dep_batch * per_sample));
             }
         }
-        fetches
+        Ok(fetches)
     }
 
     /// A worker reports a completed token. Records the holder, possibly generates
     /// the next-level token, and returns any sync requests that became due.
-    pub fn report(&mut self, worker: usize, token: TokenId) -> Vec<SyncSpec> {
+    ///
+    /// Degenerate syncs (see [`SyncSpec::is_degenerate`]) are returned too; the
+    /// caller finishes them immediately via [`TokenServer::sync_finished`].
+    pub fn report(
+        &mut self,
+        worker: usize,
+        token: TokenId,
+    ) -> Result<Vec<SyncSpec>, ScheduleError> {
+        self.check_worker(worker)?;
         let (level, iteration) = {
-            let t = &self.tokens[&token];
+            let t = self
+                .tokens
+                .get(&token)
+                .ok_or(ScheduleError::UnknownToken { token })?;
             (t.level, t.iteration)
         };
-        debug_assert!(
-            !self.holder.contains_key(&token),
-            "token reported twice: {token:?}"
-        );
+        if self.holder.contains_key(&token) {
+            return Err(ScheduleError::DuplicateReport { token });
+        }
         self.holder.insert(token, worker);
         self.trained_per_worker[worker] += 1;
         // Token generation: group completions in completion order, per iteration
@@ -523,12 +710,13 @@ impl TokenServer {
             let ratio = self.plan.levels[level + 1].gen_ratio as usize;
             let buffer = self.levels[level].gen_buffer.entry(iteration).or_default();
             buffer.push(token);
-            if buffer.len() == ratio {
-                let deps: Vec<TokenId> = self.levels[level]
-                    .gen_buffer
-                    .remove(&iteration)
-                    .expect("buffer exists");
-                self.generate_token(level + 1, iteration, deps, worker);
+            let deps = if buffer.len() >= ratio {
+                self.levels[level].gen_buffer.remove(&iteration)
+            } else {
+                None
+            };
+            if let Some(deps) = deps {
+                self.generate_token(level + 1, iteration, deps, worker)?;
             }
         }
         // Completion accounting + sync trigger for this level.
@@ -543,39 +731,39 @@ impl TokenServer {
         if count == lp.tokens_per_iteration {
             self.levels[level].completed.remove(&iteration);
             let participants: Vec<usize> = if self.is_cond_level(level) {
-                (0..self.cfg.ctd.expect("cond implies ctd").subset_size).collect()
+                let ctd = self
+                    .cfg
+                    .ctd
+                    .ok_or(ScheduleError::CtdConfigMissing { level })?;
+                (0..ctd.subset_size).collect()
             } else {
                 (0..self.n_workers).collect()
             };
-            if participants.len() <= 1 || self.meta[level].param_bytes == 0 {
-                // Degenerate sync completes instantly.
-                self.finish_sync(level, iteration);
-            } else {
-                syncs.push(SyncSpec {
-                    level,
-                    iteration,
-                    participants,
-                    bytes: self.meta[level].param_bytes,
-                });
-            }
+            syncs.push(SyncSpec {
+                level,
+                iteration,
+                participants,
+                bytes: self.meta[level].param_bytes,
+            });
         }
-        syncs
+        Ok(syncs)
     }
 
     /// Marks a level's parameter sync for `iteration` finished, releasing the
     /// level's next iteration (root generation for level 0, pending generated
     /// tokens for deeper levels).
-    pub fn sync_finished(&mut self, level: usize, iteration: u64) {
-        self.finish_sync(level, iteration);
-    }
-
-    fn finish_sync(&mut self, level: usize, iteration: u64) {
+    pub fn sync_finished(&mut self, level: usize, iteration: u64) -> Result<(), ScheduleError> {
+        if level >= self.levels.len() {
+            return Err(ScheduleError::LevelOutOfRange {
+                level,
+                levels: self.levels.len(),
+            });
+        }
         {
             let ls = &mut self.levels[level];
-            debug_assert!(
-                iteration >= ls.synced_upto && !ls.synced_out_of_order.contains(&iteration),
-                "duplicate sync completion for level {level} iteration {iteration}"
-            );
+            if iteration < ls.synced_upto || ls.synced_out_of_order.contains(&iteration) {
+                return Err(ScheduleError::DuplicateSync { level, iteration });
+            }
             ls.synced_out_of_order.insert(iteration);
             while ls.synced_out_of_order.remove(&ls.synced_upto) {
                 ls.synced_upto += 1;
@@ -586,7 +774,12 @@ impl TokenServer {
         let bound = self.levels[level].release_bound(self.cfg.staleness);
         let mut still_pending = VecDeque::new();
         while let Some((id, bucket)) = self.levels[level].pending.pop_front() {
-            if self.tokens[&id].iteration <= bound {
+            let token_iter = self
+                .tokens
+                .get(&id)
+                .ok_or(ScheduleError::UnknownToken { token: id })?
+                .iteration;
+            if token_iter <= bound {
                 self.stbs[bucket][level].push_back(id);
             } else {
                 still_pending.push_back((id, bucket));
@@ -594,6 +787,7 @@ impl TokenServer {
         }
         self.levels[level].pending = still_pending;
         self.release_due_roots();
+        Ok(())
     }
 
     fn generate_token(
@@ -602,17 +796,16 @@ impl TokenServer {
         iteration: u64,
         deps: Vec<TokenId>,
         reporter: usize,
-    ) {
+    ) -> Result<(), ScheduleError> {
         let lp = self.plan.levels[level];
-        let seq = {
-            let generated = self
-                .tokens
-                .values()
-                .filter(|t| t.level == level && t.iteration == iteration)
-                .count() as u64;
-            generated
-        };
-        debug_assert!(seq < lp.tokens_per_iteration, "over-generation at {level}");
+        let seq = self
+            .tokens
+            .values()
+            .filter(|t| t.level == level && t.iteration == iteration)
+            .count() as u64;
+        if seq >= lp.tokens_per_iteration {
+            return Err(ScheduleError::OverGeneration { level, iteration });
+        }
         let id = TokenId(self.next_token_id);
         self.next_token_id += 1;
         let token = Token {
@@ -631,10 +824,13 @@ impl TokenServer {
         let bucket = if !self.cfg.hf {
             0
         } else if self.is_cond_level(level) && !self.in_ctd_subset(reporter) {
-            let subset = self.cfg.ctd.expect("cond implies ctd").subset_size;
-            (0..subset)
+            let ctd = self
+                .cfg
+                .ctd
+                .ok_or(ScheduleError::CtdConfigMissing { level })?;
+            (0..ctd.subset_size)
                 .min_by_key(|&w| (self.stbs[w][level].len(), w))
-                .expect("non-empty subset")
+                .ok_or(ScheduleError::EmptyCtdSubset { level })?
         } else {
             reporter
         };
@@ -644,6 +840,7 @@ impl TokenServer {
         } else {
             self.levels[level].pending.push_back((id, bucket));
         }
+        Ok(())
     }
 }
 
@@ -702,7 +899,7 @@ mod tests {
                 // Kick every worker once; at least one grant must emerge.
                 for w in 0..N {
                     *clock += 500;
-                    if let Some(g) = ts.request(w, t(*clock)) {
+                    if let Some(g) = ts.request(w, t(*clock)).unwrap() {
                         active.push_back((w, g));
                     }
                 }
@@ -711,16 +908,16 @@ mod tests {
             }
             let (w, g) = active.pop_front().expect("non-empty");
             *clock += 500;
-            let syncs = ts.report(w, g.token.id);
+            let syncs = ts.report(w, g.token.id).unwrap();
             for s in &syncs {
-                ts.sync_finished(s.level, s.iteration);
+                ts.sync_finished(s.level, s.iteration).unwrap();
             }
             all_syncs.extend(syncs);
             if ts.completed_iterations() < target {
-                if let Some(g2) = ts.request(w, t(*clock)) {
+                if let Some(g2) = ts.request(w, t(*clock)).unwrap() {
                     active.push_back((w, g2));
                 }
-                while let Some((w2, g2)) = ts.pop_ready_grant(t(*clock)) {
+                while let Some((w2, g2)) = ts.pop_ready_grant(t(*clock)).unwrap() {
                     active.push_back((w2, g2));
                 }
             }
@@ -739,7 +936,7 @@ mod tests {
     #[test]
     fn own_stb_grant_is_local_and_conflict_free() {
         let mut ts = server(|c| c);
-        let g = ts.request(3, t(0)).expect("token available");
+        let g = ts.request(3, t(0)).unwrap().expect("token available");
         assert_eq!(g.token.level, 0);
         assert_eq!(g.token.sample_owner, Some(3));
         assert!(g.fetches.is_empty(), "own shard → no sample fetch");
@@ -750,12 +947,12 @@ mod tests {
     #[test]
     fn generation_follows_figure3_ratios() {
         let mut ts = server(|c| c);
-        let g0 = ts.request(0, t(0)).unwrap();
-        let g1 = ts.request(1, t(1)).unwrap();
-        assert!(ts.report(0, g0.token.id).is_empty());
+        let g0 = ts.request(0, t(0)).unwrap().unwrap();
+        let g1 = ts.request(1, t(1)).unwrap().unwrap();
+        assert!(ts.report(0, g0.token.id).unwrap().is_empty());
         let lvl1_before: usize = ts.stbs.iter().map(|s| s[1].len()).sum();
         assert_eq!(lvl1_before, 0);
-        ts.report(1, g1.token.id);
+        ts.report(1, g1.token.id).unwrap();
         let lvl1_after: usize = ts.stbs.iter().map(|s| s[1].len()).sum();
         assert_eq!(lvl1_after, 1, "2 T-1 completions generate 1 T-2 token");
         let id = ts
@@ -772,12 +969,12 @@ mod tests {
     #[test]
     fn ads_prefers_highest_level() {
         let mut ts = server(|c| c);
-        let g0 = ts.request(0, t(0)).unwrap();
-        ts.report(0, g0.token.id);
-        let g1 = ts.request(0, t(10_000)).unwrap(); // steals from worker 1's STB
+        let g0 = ts.request(0, t(0)).unwrap().unwrap();
+        ts.report(0, g0.token.id).unwrap();
+        let g1 = ts.request(0, t(10_000)).unwrap().unwrap(); // steals from worker 1's STB
         assert_eq!(g1.token.sample_owner, Some(1));
-        ts.report(0, g1.token.id);
-        let g2 = ts.request(0, t(20_000)).unwrap();
+        ts.report(0, g1.token.id).unwrap();
+        let g2 = ts.request(0, t(20_000)).unwrap().unwrap();
         assert_eq!(g2.token.level, 1, "ADS grants the deeper token first");
         assert!(g2.fetches.is_empty(), "reporter holds both deps");
     }
@@ -785,11 +982,11 @@ mod tests {
     #[test]
     fn ads_off_prefers_lowest_level() {
         let mut ts = server(|c| c.with_ads(false).with_hf(false));
-        let g0 = ts.request(0, t(0)).unwrap();
-        ts.report(0, g0.token.id);
-        let g1 = ts.request(0, t(10_000)).unwrap();
-        ts.report(0, g1.token.id);
-        let g2 = ts.request(0, t(20_000)).unwrap();
+        let g0 = ts.request(0, t(0)).unwrap().unwrap();
+        ts.report(0, g0.token.id).unwrap();
+        let g1 = ts.request(0, t(10_000)).unwrap().unwrap();
+        ts.report(0, g1.token.id).unwrap();
+        let g2 = ts.request(0, t(20_000)).unwrap().unwrap();
         assert_eq!(g2.token.level, 0, "ADS-off picks remaining T-1 first");
     }
 
@@ -821,20 +1018,20 @@ mod tests {
         ts.stbs[0][0].clear();
         ts.stbs[0][1].push_back(TokenId(30)); // deliberately out of id order
         ts.stbs[0][1].push_back(TokenId(29));
-        assert_eq!(ts.locality_score(0, TokenId(29)), 1.0);
-        assert_eq!(ts.locality_score(0, TokenId(30)), 0.0);
-        let g = ts.request(0, t(0)).unwrap();
+        assert_eq!(ts.locality_score(0, TokenId(29)).unwrap(), 1.0);
+        assert_eq!(ts.locality_score(0, TokenId(30)).unwrap(), 0.0);
+        let g = ts.request(0, t(0)).unwrap().unwrap();
         assert_eq!(g.token.id, TokenId(29));
         assert!(g.fetches.is_empty(), "all deps local");
         for w in 0..N {
             ts.stbs[w][0].clear();
         }
-        let g3 = ts.request(4, t(2_000_000)).unwrap();
+        let g3 = ts.request(4, t(2_000_000)).unwrap().unwrap();
         assert_eq!(g3.token.id, TokenId(30), "score 1 beats score 0");
         assert!(g3.fetches.is_empty());
         ts.stbs[0][1].push_back(TokenId(29));
         ts.stbs[0][1].push_back(TokenId(30));
-        let g4 = ts.request(6, t(3_000_000)).unwrap();
+        let g4 = ts.request(6, t(3_000_000)).unwrap().unwrap();
         assert_eq!(
             g4.token.id,
             TokenId(29),
@@ -850,9 +1047,9 @@ mod tests {
     #[test]
     fn helper_steals_when_own_stb_empty() {
         let mut ts = server(|c| c);
-        let g = ts.request(0, t(0)).unwrap();
-        ts.report(0, g.token.id);
-        let g2 = ts.request(0, t(1_000_000)).unwrap();
+        let g = ts.request(0, t(0)).unwrap().unwrap();
+        ts.report(0, g.token.id).unwrap();
+        let g2 = ts.request(0, t(1_000_000)).unwrap().unwrap();
         assert_eq!(g2.token.sample_owner, Some(1));
         assert_eq!(ts.stats().steals, 1);
         assert_eq!(g2.fetches.len(), 1);
@@ -870,20 +1067,20 @@ mod tests {
         ts.stbs[2][0].push_back(all_roots[2]);
         ts.stbs[3][0].extend([all_roots[3], all_roots[4], all_roots[5]]);
         ts.helpers[1] = 1;
-        let g = ts.request(0, t(0)).unwrap();
+        let g = ts.request(0, t(0)).unwrap().unwrap();
         assert!(ts.stbs[3][0].len() == 2, "token stolen from STB 3: {g:?}");
-        let g2 = ts.request(4, t(1_000_000)).unwrap();
+        let g2 = ts.request(4, t(1_000_000)).unwrap().unwrap();
         assert!(ts.stbs[2][0].is_empty(), "second steal hits STB 2: {g2:?}");
     }
 
     #[test]
     fn conflicts_detected_within_lock_window() {
         let mut ts = server(|c| c.with_hf(false));
-        let g1 = ts.request(0, t(0)).unwrap();
+        let g1 = ts.request(0, t(0)).unwrap().unwrap();
         assert!(!g1.conflict, "first grant cannot conflict");
-        let g2 = ts.request(1, t(10)).unwrap();
+        let g2 = ts.request(1, t(10)).unwrap().unwrap();
         assert!(g2.conflict);
-        let g3 = ts.request(2, t(10_000)).unwrap();
+        let g3 = ts.request(2, t(10_000)).unwrap().unwrap();
         assert!(!g3.conflict);
         assert_eq!(ts.stats().conflicts, 1);
     }
@@ -891,8 +1088,8 @@ mod tests {
     #[test]
     fn hf_owners_never_conflict() {
         let mut ts = server(|c| c);
-        let g1 = ts.request(0, t(0)).unwrap();
-        let g2 = ts.request(1, t(1)).unwrap();
+        let g1 = ts.request(0, t(0)).unwrap().unwrap();
+        let g2 = ts.request(1, t(1)).unwrap().unwrap();
         assert!(!g1.conflict && !g2.conflict);
         assert_eq!(ts.stats().conflicts, 0);
     }
@@ -900,7 +1097,7 @@ mod tests {
     #[test]
     fn global_bucket_ignores_sample_affinity() {
         let mut ts = server(|c| c.with_hf(false));
-        let g = ts.request(5, t(0)).unwrap();
+        let g = ts.request(5, t(0)).unwrap().unwrap();
         assert_eq!(g.token.sample_owner, Some(0));
         assert_eq!(g.fetches.len(), 1);
         assert_eq!(g.fetches[0].0, 0);
@@ -911,14 +1108,17 @@ mod tests {
         let mut ts = server(|c| c);
         let mut granted = Vec::new();
         for w in 0..N {
-            granted.push(ts.request(w, t(w as u64 * 1000)).unwrap());
+            granted.push(ts.request(w, t(w as u64 * 1000)).unwrap().unwrap());
         }
-        assert!(ts.request(0, t(9_000)).is_none());
+        assert!(ts.request(0, t(9_000)).unwrap().is_none());
         assert_eq!(ts.stats().starved_requests, 1);
-        assert!(ts.pop_ready_grant(t(10_000)).is_none());
-        ts.report(0, granted[0].token.id);
-        ts.report(1, granted[1].token.id);
-        let (w, g) = ts.pop_ready_grant(t(11_000)).expect("worker served");
+        assert!(ts.pop_ready_grant(t(10_000)).unwrap().is_none());
+        ts.report(0, granted[0].token.id).unwrap();
+        ts.report(1, granted[1].token.id).unwrap();
+        let (w, g) = ts
+            .pop_ready_grant(t(11_000))
+            .unwrap()
+            .expect("worker served");
         assert_eq!(w, 0);
         assert_eq!(g.token.level, 1);
     }
@@ -928,14 +1128,15 @@ mod tests {
         let mut ts = server(|c| c);
         let mut syncs = Vec::new();
         for w in 0..N {
-            let g = ts.request(w, t(w as u64)).unwrap();
-            syncs.extend(ts.report(w, g.token.id));
+            let g = ts.request(w, t(w as u64)).unwrap().unwrap();
+            syncs.extend(ts.report(w, g.token.id).unwrap());
         }
         assert_eq!(syncs.len(), 1);
         assert_eq!(syncs[0].level, 0);
         assert_eq!(syncs[0].iteration, 0);
         assert_eq!(syncs[0].participants.len(), N);
         assert!(syncs[0].bytes > 0);
+        assert!(!syncs[0].is_degenerate());
         assert_eq!(ts.completed_iterations(), 0);
     }
 
@@ -944,14 +1145,14 @@ mod tests {
         let mut ts = server(|c| c);
         let mut grants = Vec::new();
         for w in 0..N {
-            grants.push(ts.request(w, t(w as u64)).unwrap());
+            grants.push(ts.request(w, t(w as u64)).unwrap().unwrap());
         }
         let mut syncs = Vec::new();
         for (w, g) in grants.iter().enumerate() {
-            syncs.extend(ts.report(w, g.token.id));
+            syncs.extend(ts.report(w, g.token.id).unwrap());
         }
         assert_eq!(ts.released_root_iterations(), 1, "gated until sync");
-        ts.sync_finished(0, 0);
+        ts.sync_finished(0, 0).unwrap();
         assert_eq!(
             ts.released_root_iterations(),
             2,
@@ -960,7 +1161,7 @@ mod tests {
         // The new roots are distributable right away (worker 2's STB holds only
         // its fresh root; odd-numbered workers also hold generated T-2 tokens,
         // which ADS would prefer).
-        let g = ts.request(2, t(1_000_000)).unwrap();
+        let g = ts.request(2, t(1_000_000)).unwrap().unwrap();
         assert_eq!((g.token.level, g.token.iteration), (0, 1));
     }
 
@@ -987,7 +1188,10 @@ mod tests {
         }
         assert!(ts.run_complete());
         // No further tokens exist.
-        assert!(ts.request(0, t(clock * 1000 + 1_000_000)).is_none());
+        assert!(ts
+            .request(0, t(clock * 1000 + 1_000_000))
+            .unwrap()
+            .is_none());
         // Token conservation across the run.
         let total: u64 = ts.trained_per_worker().iter().sum();
         assert_eq!(total, ts.plan().tokens_per_iteration() * 3);
@@ -998,15 +1202,15 @@ mod tests {
         let mut ts = server(|c| c.with_ctd(2));
         let mut inflight: VecDeque<Grant> = VecDeque::new();
         for w in 0..N {
-            inflight.push_back(ts.request(w, t(w as u64)).unwrap());
+            inflight.push_back(ts.request(w, t(w as u64)).unwrap().unwrap());
         }
         let mut clock = 1000u64;
         while let Some(g) = inflight.pop_front() {
-            for s in ts.report(7, g.token.id) {
-                ts.sync_finished(s.level, s.iteration);
+            for s in ts.report(7, g.token.id).unwrap() {
+                ts.sync_finished(s.level, s.iteration).unwrap();
             }
             clock += 1000;
-            if let Some(g2) = ts.request(7, t(clock)) {
+            if let Some(g2) = ts.request(7, t(clock)).unwrap() {
                 assert_ne!(g2.token.level, 2, "non-member granted conditional token");
                 // Stop chasing into iteration 1 — we only care about iteration 0.
                 if g2.token.iteration == 0 {
@@ -1018,7 +1222,7 @@ mod tests {
         let cond_elsewhere: usize = (2..N).map(|w| ts.stbs[w][2].len()).sum();
         assert_eq!(cond_elsewhere, 0);
         assert!(cond_tokens > 0);
-        let g = ts.request(0, t(clock + 1000)).unwrap();
+        let g = ts.request(0, t(clock + 1000)).unwrap().unwrap();
         assert_eq!(
             g.token.level, 2,
             "subset member takes conditional tokens first"
@@ -1051,14 +1255,14 @@ mod tests {
         // Complete all 8 root tokens and finish the level-0 sync.
         let mut grants = Vec::new();
         for w in 0..N {
-            grants.push(ts.request(w, t(w as u64)).unwrap());
+            grants.push(ts.request(w, t(w as u64)).unwrap().unwrap());
         }
         let mut syncs = Vec::new();
         for (w, g) in grants.iter().enumerate() {
-            syncs.extend(ts.report(w, g.token.id));
+            syncs.extend(ts.report(w, g.token.id).unwrap());
         }
         for sp in &syncs {
-            ts.sync_finished(sp.level, sp.iteration);
+            ts.sync_finished(sp.level, sp.iteration).unwrap();
         }
         // Pipelining would release iteration 1 here; the barrier must not.
         assert_eq!(
@@ -1108,22 +1312,106 @@ mod tests {
         let mut ts = TokenServer::new(plan, cfg, meta, N, 10);
         // Drive two iterations' worth of work; syncs may interleave. The helper
         // finishes syncs immediately, so just check the contiguity accounting by
-        // feeding finish_sync out of order on level 0 state directly.
+        // feeding sync_finished out of order on level 0 state directly.
         ts.levels[0].synced_out_of_order.clear();
-        ts.finish_sync(0, 1); // iteration 1 first
+        ts.sync_finished(0, 1).unwrap(); // iteration 1 first
         assert_eq!(ts.levels[0].synced_upto, 0, "gap at 0 blocks advancement");
-        ts.finish_sync(0, 0);
+        ts.sync_finished(0, 0).unwrap();
         assert_eq!(ts.levels[0].synced_upto, 2, "both reconcile once 0 lands");
     }
 
     #[test]
-    fn ctd_subset_one_needs_no_sync() {
+    fn ctd_subset_one_sync_is_degenerate() {
         let mut ts = server(|c| c.with_ctd(1));
         let mut clock = 0u64;
         let syncs = drain_until(&mut ts, &mut clock, 1);
+        let fc_syncs: Vec<_> = syncs.iter().filter(|s| s.level == 2).collect();
         assert!(
-            syncs.iter().all(|s| s.level != 2),
+            !fc_syncs.is_empty(),
+            "the update commit is still observable"
+        );
+        assert!(
+            fc_syncs.iter().all(|s| s.is_degenerate()),
             "single-member subset syncs degenerately (for free)"
         );
+    }
+
+    #[test]
+    fn duplicate_report_is_typed_error() {
+        let mut ts = server(|c| c);
+        let g = ts.request(0, t(0)).unwrap().unwrap();
+        ts.report(0, g.token.id).unwrap();
+        let err = ts.report(0, g.token.id).unwrap_err();
+        assert_eq!(err, ScheduleError::DuplicateReport { token: g.token.id });
+    }
+
+    #[test]
+    fn unknown_token_report_is_typed_error() {
+        let mut ts = server(|c| c);
+        let err = ts.report(0, TokenId(999)).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::UnknownToken {
+                token: TokenId(999)
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_worker_is_typed_error() {
+        let mut ts = server(|c| c);
+        let err = ts.request(N + 3, t(0)).unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidWorker { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_sync_is_typed_error() {
+        let mut ts = server(|c| c);
+        let mut grants = Vec::new();
+        for w in 0..N {
+            grants.push(ts.request(w, t(w as u64)).unwrap().unwrap());
+        }
+        for (w, g) in grants.iter().enumerate() {
+            ts.report(w, g.token.id).unwrap();
+        }
+        ts.sync_finished(0, 0).unwrap();
+        let err = ts.sync_finished(0, 0).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::DuplicateSync {
+                level: 0,
+                iteration: 0
+            }
+        );
+        let err = ts.sync_finished(9, 0).unwrap_err();
+        assert!(
+            matches!(err, ScheduleError::LevelOutOfRange { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cloned_server_replays_identically() {
+        let mut a = server(|c| c);
+        let g = a.request(0, t(0)).unwrap().unwrap();
+        a.report(0, g.token.id).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.snapshot(), b.snapshot());
+        let ga = a.request(1, t(1000)).unwrap().unwrap();
+        let gb = b.request(1, t(1000)).unwrap().unwrap();
+        assert_eq!(ga.token.id, gb.token.id);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_reflects_progress() {
+        let mut ts = server(|c| c);
+        let before = ts.snapshot();
+        let g = ts.request(0, t(0)).unwrap().unwrap();
+        let after_grant = ts.snapshot();
+        assert_ne!(before, after_grant, "grant drains an STB");
+        ts.report(0, g.token.id).unwrap();
+        let after_report = ts.snapshot();
+        assert_eq!(after_report.holder, vec![(g.token.id.0, 0)]);
     }
 }

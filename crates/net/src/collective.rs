@@ -174,9 +174,9 @@ pub fn run_allreduce_alone(
     let mut ar = RingAllReduce::start(net, start, participants, total_bytes, 0);
     let mut now = start;
     while !ar.is_done() {
-        let t = net
-            .next_completion()
-            .expect("active collective implies pending flows");
+        let Some(t) = net.next_completion() else {
+            panic!("active collective at {now} but the network has no pending flows");
+        };
         now = t;
         net.take_completions(now);
         ar.reconcile(net, now);

@@ -79,7 +79,9 @@ pub fn max_min_rates(egress_cap: &[f64], ingress_cap: &[f64], flows: &[FlowLinks
                 }
             }
         }
-        let bottleneck = bottleneck.expect("active flows imply an active link");
+        let Some(bottleneck) = bottleneck else {
+            panic!("max-min fair share: {remaining} unfrozen flows but no active link");
+        };
         // Freeze every flow through the bottleneck at its current rate + share.
         for (i, f) in flows.iter().enumerate() {
             if frozen[i] {

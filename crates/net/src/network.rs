@@ -198,8 +198,10 @@ impl Network {
             .collect();
         let rates = max_min_rates(&caps, &caps, &links);
         for (id, rate) in netted.iter().zip(rates) {
-            let flow = self.flows.get_mut(id).expect("flow exists");
-            flow.rate = rate;
+            // `netted` was collected from `self.flows` above, so the entry exists.
+            if let Some(flow) = self.flows.get_mut(id) {
+                flow.rate = rate;
+            }
         }
         for flow in self.flows.values_mut() {
             if flow.spec.src == flow.spec.dst {
@@ -243,10 +245,12 @@ impl Network {
             .collect();
         let mut specs = Vec::with_capacity(done.len());
         for id in done {
-            let flow = self.flows.remove(&id).expect("listed flow exists");
-            // Account any residual rounding error as delivered.
-            self.bytes_delivered += flow.remaining.max(0.0);
-            specs.push((id, flow.spec));
+            // `done` was collected from `self.flows` above, so the entry exists.
+            if let Some(flow) = self.flows.remove(&id) {
+                // Account any residual rounding error as delivered.
+                self.bytes_delivered += flow.remaining.max(0.0);
+                specs.push((id, flow.spec));
+            }
         }
         if !specs.is_empty() {
             self.recompute(now);

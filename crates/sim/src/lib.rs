@@ -55,4 +55,4 @@ pub use engine::{Engine, RunOutcome, Scheduler, World};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime, NANOS_PER_SEC};
-pub use trace::{BusyTracker, Trace, TraceEvent};
+pub use trace::{BusyTracker, EventKind, Trace, TraceEvent};

@@ -99,8 +99,10 @@ impl<E> EventQueue<E> {
         loop {
             let top = self.entries.peek()?;
             if self.cancelled.contains(&top.id) {
-                let entry = self.entries.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
+                // The peek above guarantees the heap is non-empty.
+                if let Some(entry) = self.entries.pop() {
+                    self.cancelled.remove(&entry.id);
+                }
                 continue;
             }
             return Some(top.time);

@@ -9,6 +9,60 @@ use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
 
+/// Machine-readable classification of a trace event.
+///
+/// Free-form messages are for humans; checkers (the `fela-check` race detector
+/// in particular) need the scheduling-protocol events in structured form. The
+/// kernel stays agnostic of higher-level types, so token ids are plain `u64`
+/// and sub-model levels plain `usize`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum EventKind {
+    /// An event with no structured payload (human-readable message only).
+    #[default]
+    Generic,
+    /// The scheduler granted `token` to `worker` (the worker will mutate the
+    /// level's parameter gradient state from here on).
+    Grant {
+        /// Receiving worker.
+        worker: usize,
+        /// Granted token id.
+        token: u64,
+        /// Sub-model level the token trains.
+        level: usize,
+        /// BSP iteration the token belongs to.
+        iteration: u64,
+        /// Ids of the completed tokens whose outputs this token consumes.
+        deps: Vec<u64>,
+    },
+    /// `worker` finished computing `token` (its gradient contribution exists).
+    Complete {
+        /// Reporting worker.
+        worker: usize,
+        /// Completed token id.
+        token: u64,
+        /// Sub-model level the token trained.
+        level: usize,
+        /// BSP iteration the token belongs to.
+        iteration: u64,
+    },
+    /// A parameter all-reduce for `(level, iteration)` started.
+    SyncStart {
+        /// Level whose parameters synchronize.
+        level: usize,
+        /// Iteration the sync commits.
+        iteration: u64,
+    },
+    /// The `(level, iteration)` parameter update committed: every participant
+    /// now holds the reduced parameters (the mutation point of the level's
+    /// parameter chunk).
+    SyncDone {
+        /// Level whose parameters synchronized.
+        level: usize,
+        /// Iteration the sync committed.
+        iteration: u64,
+    },
+}
+
 /// One recorded trace event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -18,6 +72,8 @@ pub struct TraceEvent {
     pub source: String,
     /// Free-form message.
     pub message: String,
+    /// Structured payload for checkers ([`EventKind::Generic`] when none).
+    pub kind: EventKind,
 }
 
 impl fmt::Display for TraceEvent {
@@ -58,11 +114,24 @@ impl Trace {
     /// Records an event if enabled. `message` is built lazily so disabled traces pay
     /// no formatting cost.
     pub fn record(&mut self, time: SimTime, source: &str, message: impl FnOnce() -> String) {
+        self.record_kind(time, source, EventKind::Generic, message);
+    }
+
+    /// Records a structured event if enabled (see [`EventKind`]). `message` is
+    /// built lazily so disabled traces pay no formatting cost.
+    pub fn record_kind(
+        &mut self,
+        time: SimTime,
+        source: &str,
+        kind: EventKind,
+        message: impl FnOnce() -> String,
+    ) {
         if self.enabled {
             self.events.push(TraceEvent {
                 time,
                 source: source.to_owned(),
                 message: message(),
+                kind,
             });
         }
     }
@@ -126,10 +195,9 @@ impl BusyTracker {
     /// # Panics
     /// Panics if the resource was not busy.
     pub fn end(&mut self, now: SimTime) {
-        let since = self
-            .busy_since
-            .take()
-            .expect("resource marked idle while not busy");
+        let Some(since) = self.busy_since.take() else {
+            panic!("resource marked idle while not busy (at {now})");
+        };
         self.busy += now.since(since);
         self.last_end = now;
     }

@@ -75,6 +75,36 @@ fn same_seed_means_identical_jsonl_bytes() {
     assert_ne!(a.as_bytes(), c.as_bytes());
 }
 
+/// Regression test for the artifact path itself: two identical seeded sweeps,
+/// written through `write_jsonl_to`, land byte-identical files on disk. This
+/// pins the full serialisation pipeline (record order, field order, float
+/// formatting, trailing newline), not just the in-memory string.
+#[test]
+fn written_artifacts_are_byte_identical_across_runs() {
+    let base = std::env::temp_dir().join(format!("fela-harness-regr-{}", std::process::id()));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+
+    let path_a =
+        fela_harness::write_jsonl_to(&dir_a, "regr", &demo_sweep(Some(5)).run(2).records).unwrap();
+    let path_b =
+        fela_harness::write_jsonl_to(&dir_b, "regr", &demo_sweep(Some(5)).run(4).records).unwrap();
+    let bytes_a = std::fs::read(&path_a).unwrap();
+    let bytes_b = std::fs::read(&path_b).unwrap();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(
+        bytes_a, bytes_b,
+        "identical sweeps must write identical bytes"
+    );
+    assert_eq!(
+        bytes_a.iter().filter(|&&b| b == b'\n').count(),
+        12,
+        "one line per run, newline-terminated"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn records_carry_scenario_coordinates_and_config_hash() {
     let result = demo_sweep(Some(5)).run(4);
