@@ -149,6 +149,28 @@ pub fn parse_straggler(spec: &str) -> Result<StragglerModel, ParseError> {
     }
 }
 
+/// Resolves the worker-thread count for a command: `--jobs` (already validated
+/// at parse time), else `FELA_JOBS`, else available parallelism. A `FELA_JOBS`
+/// that is set but not a positive integer is rejected here rather than silently
+/// clamped by the harness — `FELA_JOBS=0` used to reach the thread pool.
+pub fn resolve_jobs(explicit: Option<usize>) -> Result<usize, ParseError> {
+    let env = std::env::var("FELA_JOBS").ok();
+    resolve_jobs_with(explicit, env.as_deref())
+}
+
+fn resolve_jobs_with(explicit: Option<usize>, env: Option<&str>) -> Result<usize, ParseError> {
+    if let Some(jobs) = explicit {
+        return Ok(jobs);
+    }
+    match env {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => err(format!("FELA_JOBS must be a positive integer, got '{v}'")),
+        },
+        None => Ok(fela_harness::default_jobs()),
+    }
+}
+
 fn parse_common<'a>(
     common: &mut CommonArgs,
     flag: &str,
@@ -441,8 +463,24 @@ mod tests {
             panic!()
         };
         assert_eq!(r.common.jobs, Some(2));
-        assert!(parse(&["compare", "--jobs", "0"]).is_err());
+        let e = parse(&["compare", "--jobs", "0"]).unwrap_err();
+        assert!(e.0.contains("--jobs must be at least 1"), "{e}");
+        assert!(parse(&["compare", "--jobs", "-1"]).is_err());
         assert!(parse(&["compare", "--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn fela_jobs_env_is_validated() {
+        let e = resolve_jobs_with(None, Some("0")).unwrap_err();
+        assert!(e.0.contains("FELA_JOBS"), "{e}");
+        assert!(resolve_jobs_with(None, Some("abc")).is_err());
+        assert!(resolve_jobs_with(None, Some("-2")).is_err());
+        assert_eq!(resolve_jobs_with(None, Some("4")).unwrap(), 4);
+        assert_eq!(resolve_jobs_with(None, Some(" 4 ")).unwrap(), 4);
+        // An explicit --jobs wins and is already validated at parse time.
+        assert_eq!(resolve_jobs_with(Some(3), Some("0")).unwrap(), 3);
+        // Unset env falls back to the harness default, which is always ≥ 1.
+        assert!(resolve_jobs_with(None, None).unwrap() >= 1);
     }
 
     #[test]

@@ -20,8 +20,9 @@ use fela_tuning::Tuner;
 use std::process::ExitCode;
 
 /// The worker-thread count for a command: `--jobs`, else `FELA_JOBS`/auto.
-fn jobs_from(common: &CommonArgs) -> usize {
-    common.jobs.unwrap_or_else(fela_harness::default_jobs)
+/// A malformed `FELA_JOBS` (e.g. `0`) is a user-facing error, not a clamp.
+fn jobs_from(common: &CommonArgs) -> Result<usize, String> {
+    args::resolve_jobs(common.jobs).map_err(|e| e.to_string())
 }
 
 fn model_by_cli_name(name: &str) -> Option<fela_model::Model> {
@@ -95,7 +96,7 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
         None => {
             eprintln!("no --weights given: running the two-phase tuner first…");
             Tuner::default()
-                .tune_with_jobs(&sc, jobs_from(&run.common))
+                .tune_with_jobs(&sc, jobs_from(&run.common)?)
                 .best_config
         }
     };
@@ -165,7 +166,7 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
 
 fn cmd_tune(common: &CommonArgs) -> Result<(), String> {
     let sc = scenario_from(common)?;
-    let outcome = Tuner::default().tune_with_jobs(&sc, jobs_from(common));
+    let outcome = Tuner::default().tune_with_jobs(&sc, jobs_from(common)?);
     let mut table = Table::new(
         format!("Tuning {} @ batch {}", sc.model.name, sc.total_batch),
         &[
@@ -212,7 +213,7 @@ fn cmd_tune(common: &CommonArgs) -> Result<(), String> {
 
 fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
     let sc = scenario_from(common)?;
-    let jobs = jobs_from(common);
+    let jobs = jobs_from(common)?;
     eprintln!("tuning Fela first…");
     let fela_config = Tuner::default().tune_with_jobs(&sc, jobs).best_config;
 

@@ -141,6 +141,10 @@ struct LevelState {
     /// Generated tokens gated on this level's sync/staleness bound: `(token id,
     /// preferred bucket)`.
     pending: VecDeque<(TokenId, usize)>,
+    /// Tokens generated so far per iteration at this level (levels ≥ 1 only).
+    /// Replaces the O(all tokens) scan the generator used for `seq` assignment:
+    /// level ≥ 1 tokens are created nowhere else, so the counter equals the scan.
+    generated: BTreeMap<u64, u64>,
 }
 
 impl LevelState {
@@ -183,6 +187,10 @@ pub struct ServerSnapshot {
     pub helpers: Vec<u64>,
 }
 
+/// One `(encoded score, token id)` index: ascending set order is descending
+/// locality score, ties to the smallest id (Principle 2).
+type ScoreSet = BTreeSet<(u64, TokenId)>;
+
 /// The Token Server.
 #[derive(Clone)]
 pub struct TokenServer {
@@ -200,6 +208,26 @@ pub struct TokenServer {
     /// `stbs[worker][level]` — distributable tokens. With HF off only `stbs[0]`
     /// is used (the global bucket).
     stbs: Vec<Vec<VecDeque<TokenId>>>,
+    /// Id-ordered mirror of each `stbs[bucket][level]` queue: the smallest-id
+    /// pick of the ablation paths becomes an O(log) `first()` instead of a
+    /// linear queue scan.
+    grantable: Vec<Vec<BTreeSet<TokenId>>>,
+    /// Principle-2 index: `by_score[bucket][level][worker]` holds the bucket's
+    /// tokens with *strictly positive* locality score towards `worker`, keyed by
+    /// `(descending score, ascending id)`, so the distribution hot path is a
+    /// `first()` lookup instead of an O(tokens × deps) scoring scan per grant.
+    /// Zero-score tokens are deliberately absent: any positive score beats all
+    /// zeros, and among zero-score tokens the pick is the smallest id — exactly
+    /// `grantable`'s `first()` — so the index only needs the sparse positive
+    /// entries (a token scores positively for at most `deps.len()` workers).
+    /// Valid because a token's score towards every worker is fixed the moment it
+    /// enters an STB: its deps are already-reported tokens whose `holder`
+    /// entries never change. Populated only when ADS and HF are both on — the
+    /// one configuration whose pick consults locality.
+    by_score: Vec<Vec<Vec<ScoreSet>>>,
+    /// Sparse `(worker, score key)` index entries of every STB-resident token,
+    /// kept so `stb_remove` can drop them without recomputing scores.
+    score_keys: BTreeMap<TokenId, Vec<(usize, u64)>>,
     /// Completed-token outputs: token → holding worker (Info Mapping).
     holder: BTreeMap<TokenId, usize>,
     levels: Vec<LevelState>,
@@ -245,6 +273,9 @@ impl TokenServer {
             next_token_id: 0,
             tokens: BTreeMap::new(),
             stbs: vec![vec![VecDeque::new(); m]; buckets],
+            grantable: vec![vec![BTreeSet::new(); m]; buckets],
+            by_score: vec![vec![vec![BTreeSet::new(); n_workers]; m]; buckets],
+            score_keys: BTreeMap::new(),
             holder: BTreeMap::new(),
             levels: (0..m)
                 .map(|_| LevelState {
@@ -253,6 +284,7 @@ impl TokenServer {
                     completed: BTreeMap::new(),
                     gen_buffer: BTreeMap::new(),
                     pending: VecDeque::new(),
+                    generated: BTreeMap::new(),
                 })
                 .collect(),
             last_grant_at: vec![None; buckets],
@@ -384,6 +416,90 @@ impl TokenServer {
         self.cfg.ctd.is_some() && self.meta[level].comm_intensive
     }
 
+    /// True when grants consult locality (and the Principle-2 index is kept).
+    fn use_score_index(&self) -> bool {
+        self.cfg.ads && self.cfg.hf
+    }
+
+    /// Encodes a locality score so ascending `u64` order equals descending score
+    /// order. Sound because scores are finite and non-negative (Equation 1 yields
+    /// values in `[0, 1]`), where IEEE-754 bit patterns are monotone in value.
+    fn score_key(score: f64) -> u64 {
+        !score.to_bits()
+    }
+
+    /// Inserts a token into an STB queue and all distribution indices. A single
+    /// walk over the token's dependency holders yields every worker's held
+    /// count; only workers with a positive count get an index entry (Equation
+    /// 1's `held / len` — the same division [`Self::locality_score`] performs).
+    fn stb_push(&mut self, bucket: usize, level: usize, id: TokenId) -> Result<(), ScheduleError> {
+        self.stbs[bucket][level].push_back(id);
+        self.grantable[bucket][level].insert(id);
+        if self.use_score_index() {
+            let counts = {
+                let t = self
+                    .tokens
+                    .get(&id)
+                    .ok_or(ScheduleError::UnknownToken { token: id })?;
+                let mut counts = vec![0usize; self.n_workers];
+                for d in &t.deps {
+                    if let Some(&w) = self.holder.get(d) {
+                        counts[w] += 1;
+                    }
+                }
+                (counts, t.deps.len())
+            };
+            let (counts, len) = counts;
+            let mut keys: Vec<(usize, u64)> = Vec::new();
+            for (w, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    let k = Self::score_key(c as f64 / len as f64);
+                    self.by_score[bucket][level][w].insert((k, id));
+                    keys.push((w, k));
+                }
+            }
+            if !keys.is_empty() {
+                self.score_keys.insert(id, keys);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::stb_push`] for root tokens, whose dependency set is empty and
+    /// whose score is therefore 0 towards everyone (no index entries) —
+    /// infallible, so root release (called from the constructor) needs no error
+    /// path.
+    fn stb_push_root(&mut self, bucket: usize, id: TokenId) {
+        self.stbs[bucket][0].push_back(id);
+        self.grantable[bucket][0].insert(id);
+    }
+
+    /// Removes a granted token from its STB queue and all distribution indices.
+    fn stb_remove(
+        &mut self,
+        bucket: usize,
+        level: usize,
+        id: TokenId,
+    ) -> Result<(), ScheduleError> {
+        let q = &mut self.stbs[bucket][level];
+        let Some(pos) = q.iter().position(|&x| x == id) else {
+            // The index pointed at a token the queue does not hold.
+            return Err(ScheduleError::CorruptBucket {
+                bucket,
+                level,
+                position: 0,
+            });
+        };
+        q.remove(pos);
+        self.grantable[bucket][level].remove(&id);
+        if let Some(keys) = self.score_keys.remove(&id) {
+            for (w, k) in keys {
+                self.by_score[bucket][level][w].remove(&(k, id));
+            }
+        }
+        Ok(())
+    }
+
     /// Releases root tokens for every iteration currently allowed by the level-0
     /// sync state, staleness bound and pipelining mode (called at construction
     /// and whenever a sync drains). Root token `seq` draws its samples from
@@ -430,7 +546,7 @@ impl TokenServer {
             };
             self.tokens.insert(id, token);
             let bucket = if self.cfg.hf { owner } else { 0 };
-            self.stbs[bucket][0].push_back(id);
+            self.stb_push_root(bucket, id);
         }
     }
 
@@ -473,16 +589,10 @@ impl TokenServer {
         let Some((bucket, stolen)) = self.pick_bucket(worker) else {
             return Ok(None);
         };
-        let Some((level, pos)) = self.pick_token(bucket, worker)? else {
+        let Some((level, id)) = self.pick_token(bucket, worker) else {
             return Ok(None);
         };
-        let id = self.stbs[bucket][level]
-            .remove(pos)
-            .ok_or(ScheduleError::CorruptBucket {
-                bucket,
-                level,
-                position: pos,
-            })?;
+        self.stb_remove(bucket, level, id)?;
         // Lock-conflict detection: with HF, only steals contend (owners access
         // their STB lock-free); with the global bucket every grant contends.
         let contends = stolen || !self.cfg.hf;
@@ -555,12 +665,15 @@ impl TokenServer {
         })
     }
 
-    /// Picks `(level, position)` inside a bucket per ADS/CTD.
-    fn pick_token(
-        &self,
-        bucket: usize,
-        worker: usize,
-    ) -> Result<Option<(usize, usize)>, ScheduleError> {
+    /// Picks `(level, token)` inside a bucket per ADS/CTD.
+    ///
+    /// Both picks are index `first()` lookups. The Principle-2 index reproduces
+    /// the historical epsilon-tolerant scan (`score > best + 1e-12`, ties to the
+    /// smallest id) exactly: scores are rationals `held/len`, so two distinct
+    /// scores differ by at least `1/(lenₐ·len_b)` — orders of magnitude above
+    /// the 1e-12 epsilon — meaning the epsilon never merged genuinely distinct
+    /// scores and the exact `(score, id)` order picks the same token.
+    fn pick_token(&self, bucket: usize, worker: usize) -> Option<(usize, TokenId)> {
         let m = self.plan.num_levels();
         let member = self.in_ctd_subset(worker);
         // Build the level preference order.
@@ -581,44 +694,29 @@ impl TokenServer {
             if !member && self.is_cond_level(level) {
                 continue;
             }
-            let q = &self.stbs[bucket][level];
-            if q.is_empty() {
-                continue;
-            }
-            // The global bucket (HF off) is locality-blind: scanning every
+            // The global bucket (HF off) is locality-blind: scoring every
             // token's dependency holders under the single global lock is exactly
             // the serialization §III-E says the STBs exist to avoid, so the
             // distributor degrades to sequential (smallest-id) assignment.
-            let pos = if self.cfg.ads && self.cfg.hf {
-                // Principle 2: max locality score, tie → smallest token id.
-                let mut best_pos = 0;
-                let mut best_key = (f64::NEG_INFINITY, TokenId(u64::MAX));
-                for (pos, &id) in q.iter().enumerate() {
-                    let score = self.locality_score(worker, id)?;
-                    let better = score > best_key.0 + 1e-12
-                        || ((score - best_key.0).abs() <= 1e-12 && id < best_key.1);
-                    if better {
-                        best_key = (score, id);
-                        best_pos = pos;
-                    }
-                }
-                best_pos
+            let pick = if self.use_score_index() {
+                // Principle 2: max locality score, tie → smallest token id. The
+                // positive-score index wins outright when non-empty (any
+                // positive score beats zero); otherwise every token in the
+                // bucket scores 0 towards `worker` and the smallest id — the
+                // `grantable` front — is the Principle-2 pick.
+                self.by_score[bucket][level][worker]
+                    .first()
+                    .map(|&(_, id)| id)
+                    .or_else(|| self.grantable[bucket][level].first().copied())
             } else {
                 // Ablation: smallest token id.
-                let mut min: Option<(usize, TokenId)> = None;
-                for (pos, &id) in q.iter().enumerate() {
-                    if min.map_or(true, |(_, m)| id < m) {
-                        min = Some((pos, id));
-                    }
-                }
-                match min {
-                    Some((pos, _)) => pos,
-                    None => continue,
-                }
+                self.grantable[bucket][level].first().copied()
             };
-            return Ok(Some((level, pos)));
+            if let Some(id) = pick {
+                return Some((level, id));
+            }
         }
-        Ok(None)
+        None
     }
 
     /// Equation 1: fraction of a token's dependencies whose outputs `worker`
@@ -780,7 +878,7 @@ impl TokenServer {
                 .ok_or(ScheduleError::UnknownToken { token: id })?
                 .iteration;
             if token_iter <= bound {
-                self.stbs[bucket][level].push_back(id);
+                self.stb_push(bucket, level, id)?;
             } else {
                 still_pending.push_back((id, bucket));
             }
@@ -798,14 +896,15 @@ impl TokenServer {
         reporter: usize,
     ) -> Result<(), ScheduleError> {
         let lp = self.plan.levels[level];
-        let seq = self
-            .tokens
-            .values()
-            .filter(|t| t.level == level && t.iteration == iteration)
-            .count() as u64;
+        let seq = self.levels[level]
+            .generated
+            .get(&iteration)
+            .copied()
+            .unwrap_or(0);
         if seq >= lp.tokens_per_iteration {
             return Err(ScheduleError::OverGeneration { level, iteration });
         }
+        *self.levels[level].generated.entry(iteration).or_insert(0) += 1;
         let id = TokenId(self.next_token_id);
         self.next_token_id += 1;
         let token = Token {
@@ -836,7 +935,7 @@ impl TokenServer {
         };
         // Gate on this level's sync/staleness bound.
         if iteration <= self.levels[level].release_bound(self.cfg.staleness) {
-            self.stbs[bucket][level].push_back(id);
+            self.stb_push(bucket, level, id)?;
         } else {
             self.levels[level].pending.push_back((id, bucket));
         }
@@ -881,6 +980,20 @@ mod tests {
 
     fn t(us: u64) -> SimTime {
         SimTime::from_nanos(us * 1000)
+    }
+
+    /// White-box STB surgery must go through `stb_push`/`stb_remove` so the
+    /// distribution indices stay in sync with the queues.
+    fn push_token(ts: &mut TokenServer, bucket: usize, level: usize, id: TokenId) {
+        ts.stb_push(bucket, level, id).unwrap();
+    }
+
+    fn drain_level(ts: &mut TokenServer, bucket: usize, level: usize) -> Vec<TokenId> {
+        let ids: Vec<TokenId> = ts.stbs[bucket][level].iter().copied().collect();
+        for &id in &ids {
+            ts.stb_remove(bucket, level, id).unwrap();
+        }
+        ids
     }
 
     /// Runs synchronously until `target` iterations have fully completed: every
@@ -1015,22 +1128,22 @@ mod tests {
         let t10 = mk(30, 1, vec![TokenId(22), TokenId(23)]);
         ts.tokens.insert(TokenId(29), t9);
         ts.tokens.insert(TokenId(30), t10);
-        ts.stbs[0][0].clear();
-        ts.stbs[0][1].push_back(TokenId(30)); // deliberately out of id order
-        ts.stbs[0][1].push_back(TokenId(29));
+        drain_level(&mut ts, 0, 0);
+        push_token(&mut ts, 0, 1, TokenId(30)); // deliberately out of id order
+        push_token(&mut ts, 0, 1, TokenId(29));
         assert_eq!(ts.locality_score(0, TokenId(29)).unwrap(), 1.0);
         assert_eq!(ts.locality_score(0, TokenId(30)).unwrap(), 0.0);
         let g = ts.request(0, t(0)).unwrap().unwrap();
         assert_eq!(g.token.id, TokenId(29));
         assert!(g.fetches.is_empty(), "all deps local");
         for w in 0..N {
-            ts.stbs[w][0].clear();
+            drain_level(&mut ts, w, 0);
         }
         let g3 = ts.request(4, t(2_000_000)).unwrap().unwrap();
         assert_eq!(g3.token.id, TokenId(30), "score 1 beats score 0");
         assert!(g3.fetches.is_empty());
-        ts.stbs[0][1].push_back(TokenId(29));
-        ts.stbs[0][1].push_back(TokenId(30));
+        push_token(&mut ts, 0, 1, TokenId(29));
+        push_token(&mut ts, 0, 1, TokenId(30));
         let g4 = ts.request(6, t(3_000_000)).unwrap().unwrap();
         assert_eq!(
             g4.token.id,
@@ -1060,12 +1173,17 @@ mod tests {
     #[test]
     fn helper_prioritizes_least_helped_then_slowest_stb() {
         let mut ts = server(|c| c);
-        let all_roots: Vec<TokenId> = (0..N)
-            .flat_map(|w| ts.stbs[w][0].drain(..).collect::<Vec<_>>())
-            .collect();
-        ts.stbs[1][0].extend([all_roots[0], all_roots[1]]);
-        ts.stbs[2][0].push_back(all_roots[2]);
-        ts.stbs[3][0].extend([all_roots[3], all_roots[4], all_roots[5]]);
+        let mut all_roots: Vec<TokenId> = Vec::new();
+        for w in 0..N {
+            all_roots.extend(drain_level(&mut ts, w, 0));
+        }
+        for &id in &[all_roots[0], all_roots[1]] {
+            push_token(&mut ts, 1, 0, id);
+        }
+        push_token(&mut ts, 2, 0, all_roots[2]);
+        for &id in &[all_roots[3], all_roots[4], all_roots[5]] {
+            push_token(&mut ts, 3, 0, id);
+        }
         ts.helpers[1] = 1;
         let g = ts.request(0, t(0)).unwrap().unwrap();
         assert!(ts.stbs[3][0].len() == 2, "token stolen from STB 3: {g:?}");

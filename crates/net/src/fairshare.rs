@@ -10,8 +10,32 @@
 //! 2. when a link fills, all flows through it freeze at their current rate;
 //! 3. repeat until all flows are frozen.
 //!
-//! The implementation is the standard iterative bottleneck-link algorithm, O(L·F)
-//! worst case, with deterministic tie-breaking (lowest link index first).
+//! Two entry points share one arithmetic core ([`progressive_fill`]):
+//!
+//! * [`max_min_rates`] — the stateless oracle: the standard iterative
+//!   bottleneck-link algorithm over the whole flow set, O(L·F) worst case, with
+//!   deterministic tie-breaking (lowest link index first).
+//! * [`IncrementalMaxMin`] — the incremental engine the [`crate::Network`] hot
+//!   path uses: it keeps per-link flow sets, and on each flow start/finish recomputes
+//!   rates only for the *connected component* of the link-sharing graph the
+//!   changed flow touches. Flows in other components keep their cached rates.
+//!
+//! ## Why the incremental engine is bit-identical to the oracle
+//!
+//! Progressive filling decomposes over connected components of the link-sharing
+//! graph (links are vertices, flows are edges): a round that freezes component
+//! `C`'s bottleneck only subtracts rates from `C`'s links and only decrements
+//! `C`'s active counters, so the share sequence observed inside `C` is exactly the
+//! share sequence of running the algorithm on `C` alone. The oracle's global
+//! bottleneck choice merely *interleaves* the per-component sequences; within a
+//! component, both the bottleneck order (ascending link id among minimal shares)
+//! and the freeze-loop subtraction order (ascending flow key) are identical. Since
+//! every floating-point operation sees the same operands in the same order, the
+//! computed rates are bit-identical — the property the simulator's byte-identical
+//! artifact gate rests on, and which `tests/tests/properties.rs` property-tests
+//! over random flow churn.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A flow's endpoints for allocation purposes, as link indices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,11 +46,131 @@ pub struct FlowLinks {
     pub ingress: usize,
 }
 
-/// Computes max–min fair rates.
+/// Relative floor applied when a bottleneck's fair share degenerates to zero
+/// (possible only through floating-point underflow — e.g. a subnormal capacity
+/// whose halves round to 0.0, or an epsilon-negative residual clamped to zero).
+/// Freezing a flow at rate 0 would surface upstream as an *infinite* transfer
+/// time, deadlocking the simulation; a strictly positive floor keeps the
+/// transfer astronomically slow but finite, and keeps the "every flow makes
+/// progress" invariant assertable.
+const RATE_FLOOR_REL: f64 = 1e-12;
+
+fn positive_rate_floor(bottleneck_cap: f64) -> f64 {
+    (bottleneck_cap * RATE_FLOOR_REL).max(f64::MIN_POSITIVE)
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LinkState {
+    residual: f64,
+    active: usize,
+}
+
+/// The shared water-filling core. `comp_links` are the participating link ids in
+/// ascending order; `flows` are `(egress link id, ingress link id)` pairs in
+/// canonical (ascending-key) order, both id spaces already unified. Returns one
+/// strictly positive rate per flow, in input order.
+///
+/// Determinism contract: the bottleneck scan walks `comp_links` ascending and the
+/// freeze loop walks `flows` in input order, so every caller that presents the
+/// same component in the same canonical order gets bit-identical rates.
+fn progressive_fill(
+    link_cap: impl Fn(usize) -> f64,
+    comp_links: &[usize],
+    flows: &[(usize, usize)],
+) -> Vec<f64> {
+    // Dense state indexed by position in `comp_links`; since the slice is sorted
+    // ascending, walking positions 0..L preserves the ascending-link-id scan the
+    // determinism contract requires. Flow link ids are resolved to positions once
+    // up front (binary search over the sorted slice).
+    let mut state: Vec<LinkState> = comp_links
+        .iter()
+        .map(|&l| LinkState {
+            residual: link_cap(l),
+            active: 0,
+        })
+        .collect();
+    // `comp_links` is usually contiguous (the oracle passes 0..n_links; dense
+    // components too) — then position is a subtraction, no binary search.
+    let first = comp_links.first().copied().unwrap_or(0);
+    let contiguous = comp_links
+        .last()
+        .map_or(true, |&l| l - first + 1 == comp_links.len());
+    let pos_of = |l: usize| -> usize {
+        if contiguous {
+            if l >= first && l - first < comp_links.len() {
+                return l - first;
+            }
+        } else if let Ok(p) = comp_links.binary_search(&l) {
+            return p;
+        }
+        panic!("flow references link {l} outside the component link set");
+    };
+    let flow_pos: Vec<(usize, usize)> =
+        flows.iter().map(|&(e, g)| (pos_of(e), pos_of(g))).collect();
+    for &(pe, pg) in &flow_pos {
+        state[pe].active += 1;
+        state[pg].active += 1;
+    }
+
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut remaining = flows.len();
+    while remaining > 0 {
+        // Find the bottleneck link: smallest fair share among links with active
+        // flows; ties resolved by lowest link index for determinism.
+        let mut bottleneck = None;
+        let mut best_share = f64::INFINITY;
+        for (p, st) in state.iter().enumerate() {
+            if st.active > 0 {
+                let share = st.residual / st.active as f64;
+                if share < best_share {
+                    best_share = share;
+                    bottleneck = Some(p);
+                }
+            }
+        }
+        let Some(bottleneck) = bottleneck else {
+            panic!("max-min fair share: {remaining} unfrozen flows but no active link");
+        };
+        let rate = if best_share > 0.0 {
+            best_share
+        } else {
+            positive_rate_floor(link_cap(comp_links[bottleneck]))
+        };
+        // Freeze every flow through the bottleneck at the fair share.
+        for (i, &(pe, pg)) in flow_pos.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            if pe == bottleneck || pg == bottleneck {
+                rates[i] = rate;
+                frozen[i] = true;
+                remaining -= 1;
+                // Release capacity on the flow's links.
+                for p in [pe, pg] {
+                    state[p].residual -= rate;
+                    state[p].active -= 1;
+                }
+            }
+        }
+        // Numerical hygiene: residuals can dip epsilon-negative.
+        for st in &mut state {
+            if st.residual < 0.0 {
+                st.residual = 0.0;
+            }
+        }
+    }
+    for (i, r) in rates.iter().enumerate() {
+        assert!(*r > 0.0, "flow {i} froze at a non-positive rate {r}");
+    }
+    rates
+}
+
+/// Computes max–min fair rates (the stateless oracle).
 ///
 /// `egress_cap[i]` / `ingress_cap[i]` are link capacities in bytes/second; each
 /// flow `f` uses `egress_cap[f.egress]` and `ingress_cap[f.ingress]`. Returns one
-/// rate per flow, in input order.
+/// rate per flow, in input order; every returned rate is strictly positive.
 ///
 /// # Panics
 /// Panics if any referenced link index is out of bounds or any capacity is
@@ -54,60 +198,190 @@ pub fn max_min_rates(egress_cap: &[f64], ingress_cap: &[f64], flows: &[FlowLinks
             f.ingress
         );
     }
+    let all_links: Vec<usize> = (0..n_links).collect();
+    let pairs: Vec<(usize, usize)> = flows.iter().map(|f| (f.egress, ne + f.ingress)).collect();
+    progressive_fill(link_cap, &all_links, &pairs)
+}
 
-    let mut rates = vec![0.0f64; flows.len()];
-    let mut frozen = vec![false; flows.len()];
-    let mut residual: Vec<f64> = (0..n_links).map(link_cap).collect();
-    let mut active_on_link = vec![0usize; n_links];
-    for f in flows {
-        active_on_link[f.egress] += 1;
-        active_on_link[ne + f.ingress] += 1;
+/// The incremental max–min fair-share engine.
+///
+/// Holds the active flow set keyed by a caller-chosen `u64` (the simulator uses
+/// the raw `FlowId`, whose ascending order is exactly the oracle's input order)
+/// and keeps every flow's current rate cached. [`IncrementalMaxMin::insert`] and
+/// [`IncrementalMaxMin::remove`]/[`IncrementalMaxMin::remove_batch`] recompute
+/// rates only for the affected connected component of the link-sharing graph —
+/// O(component) instead of O(L·F) — while staying bit-identical to
+/// [`max_min_rates`] over the full set (see the module docs for the argument).
+#[derive(Clone, Debug)]
+pub struct IncrementalMaxMin {
+    egress_cap: Vec<f64>,
+    ingress_cap: Vec<f64>,
+    /// Active flows by key; ascending key order is the canonical oracle order.
+    flows: BTreeMap<u64, FlowLinks>,
+    /// `link_flows[l]` — keys of the flows using link `l` (unified id space).
+    link_flows: Vec<BTreeSet<u64>>,
+    /// Cached rate per flow, maintained by the component recomputations.
+    rates: BTreeMap<u64, f64>,
+}
+
+impl IncrementalMaxMin {
+    /// Creates an engine over the given link capacities (bytes/second).
+    ///
+    /// # Panics
+    /// Panics if any capacity is non-positive.
+    pub fn new(egress_cap: Vec<f64>, ingress_cap: Vec<f64>) -> Self {
+        assert!(
+            egress_cap.iter().chain(&ingress_cap).all(|&c| c > 0.0),
+            "link capacities must be positive"
+        );
+        let n_links = egress_cap.len() + ingress_cap.len();
+        IncrementalMaxMin {
+            egress_cap,
+            ingress_cap,
+            flows: BTreeMap::new(),
+            link_flows: vec![BTreeSet::new(); n_links],
+            rates: BTreeMap::new(),
+        }
     }
 
-    let mut remaining = flows.len();
-    while remaining > 0 {
-        // Find the bottleneck link: smallest fair share among links with active
-        // flows; ties resolved by lowest link index for determinism.
-        let mut bottleneck = None;
-        let mut best_share = f64::INFINITY;
-        for l in 0..n_links {
-            if active_on_link[l] > 0 {
-                let share = residual[l] / active_on_link[l] as f64;
-                if share < best_share {
-                    best_share = share;
-                    bottleneck = Some(l);
-                }
-            }
+    fn link_cap(&self, l: usize) -> f64 {
+        let ne = self.egress_cap.len();
+        if l < ne {
+            self.egress_cap[l]
+        } else {
+            self.ingress_cap[l - ne]
         }
-        let Some(bottleneck) = bottleneck else {
-            panic!("max-min fair share: {remaining} unfrozen flows but no active link");
-        };
-        // Freeze every flow through the bottleneck at its current rate + share.
-        for (i, f) in flows.iter().enumerate() {
-            if frozen[i] {
+    }
+
+    /// Unified link ids of a flow: `(egress, ne + ingress)`.
+    fn link_ids(&self, f: FlowLinks) -> (usize, usize) {
+        (f.egress, self.egress_cap.len() + f.ingress)
+    }
+
+    /// Number of active flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no flows are active.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The cached rate of an active flow.
+    ///
+    /// # Panics
+    /// Panics if `key` is not an active flow.
+    pub fn rate(&self, key: u64) -> f64 {
+        match self.rates.get(&key) {
+            Some(&r) => r,
+            None => panic!("rate queried for unknown flow key {key}"),
+        }
+    }
+
+    /// Active flow keys and rates in ascending key order (oracle order).
+    pub fn rates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.rates.iter().map(|(&k, &r)| (k, r))
+    }
+
+    /// Adds a flow and recomputes its connected component's rates.
+    ///
+    /// # Panics
+    /// Panics if `key` is already active or a link index is out of bounds.
+    pub fn insert(&mut self, key: u64, links: FlowLinks) {
+        assert!(
+            links.egress < self.egress_cap.len(),
+            "egress link {} out of bounds",
+            links.egress
+        );
+        assert!(
+            links.ingress < self.ingress_cap.len(),
+            "ingress link {} out of bounds",
+            links.ingress
+        );
+        assert!(
+            self.flows.insert(key, links).is_none(),
+            "flow key {key} inserted twice"
+        );
+        let (e, g) = self.link_ids(links);
+        self.link_flows[e].insert(key);
+        self.link_flows[g].insert(key);
+        self.recompute_from([e, g]);
+    }
+
+    /// Removes a flow and recomputes its former component's rates.
+    ///
+    /// # Panics
+    /// Panics if `key` is not an active flow.
+    pub fn remove(&mut self, key: u64) {
+        self.remove_batch(std::slice::from_ref(&key));
+    }
+
+    /// Removes several flows at once, then recomputes every affected component in
+    /// a single pass (a completion wave retracts many flows whose components
+    /// overlap — one recomputation covers them all).
+    ///
+    /// # Panics
+    /// Panics if any key is not an active flow.
+    pub fn remove_batch(&mut self, keys: &[u64]) {
+        let mut seeds = Vec::with_capacity(keys.len() * 2);
+        for &key in keys {
+            let Some(links) = self.flows.remove(&key) else {
+                panic!("removal of unknown flow key {key}");
+            };
+            self.rates.remove(&key);
+            let (e, g) = self.link_ids(links);
+            self.link_flows[e].remove(&key);
+            self.link_flows[g].remove(&key);
+            seeds.push(e);
+            seeds.push(g);
+        }
+        self.recompute_from(seeds);
+    }
+
+    /// Recomputes rates for the connected component(s) reachable from the seed
+    /// links over the link-sharing graph (links are vertices; a flow connects its
+    /// two links).
+    fn recompute_from(&mut self, seeds: impl IntoIterator<Item = usize>) {
+        // Vec-based BFS over the link-sharing graph: a visited bitmap per link
+        // and at-most-twice flow duplicates resolved by one sort+dedup — far
+        // cheaper than set insertions when the component is large, and the final
+        // ascending orders (links, then flow keys) are exactly what the
+        // determinism contract of `progressive_fill` requires.
+        let mut visited = vec![false; self.link_flows.len()];
+        let mut links: Vec<usize> = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
+        let mut stack: Vec<usize> = seeds.into_iter().collect();
+        while let Some(l) = stack.pop() {
+            if std::mem::replace(&mut visited[l], true) {
                 continue;
             }
-            let uses = f.egress == bottleneck || ne + f.ingress == bottleneck;
-            if uses {
-                let rate = best_share;
-                rates[i] = rate;
-                frozen[i] = true;
-                remaining -= 1;
-                // Release capacity on the flow's links.
-                residual[f.egress] -= rate;
-                residual[ne + f.ingress] -= rate;
-                active_on_link[f.egress] -= 1;
-                active_on_link[ne + f.ingress] -= 1;
+            links.push(l);
+            for &key in &self.link_flows[l] {
+                // Each flow is reached from at most its two links; the second
+                // visit is dropped by the dedup below.
+                keys.push(key);
+                let (e, g) = self.link_ids(self.flows[&key]);
+                stack.push(e);
+                stack.push(g);
             }
         }
-        // Numerical hygiene: residuals can dip epsilon-negative.
-        for r in &mut residual {
-            if *r < 0.0 {
-                *r = 0.0;
-            }
+        keys.sort_unstable();
+        keys.dedup();
+        if keys.is_empty() {
+            return;
+        }
+        // Links with no flows contribute nothing; keep only active ones plus the
+        // seeds already collected (inactive links have active == 0 and are never
+        // selected as bottleneck, exactly as in the oracle's full scan).
+        links.sort_unstable();
+        let pairs: Vec<(usize, usize)> =
+            keys.iter().map(|k| self.link_ids(self.flows[k])).collect();
+        let rates = progressive_fill(|l| self.link_cap(l), &links, &pairs);
+        for (key, rate) in keys.into_iter().zip(rates) {
+            self.rates.insert(key, rate);
         }
     }
-    rates
 }
 
 #[cfg(test)]
@@ -230,5 +504,145 @@ mod tests {
         // Slow receiver bottlenecks the flow.
         let rates = max_min_rates(&[1e9, 1e9], &[1e8, 1e9], &[fl(1, 0)]);
         assert!((rates[0] - 1e8).abs() < 1.0);
+    }
+
+    /// Regression for the zero-rate freeze: a subnormal capacity shared by two
+    /// flows produces a fair share of exactly 0.0 (5e-324 / 2 rounds to zero), so
+    /// the old clamp-to-zero code froze both flows at rate 0 — an infinite
+    /// transfer upstream. The relative-epsilon floor keeps every rate strictly
+    /// positive (and `progressive_fill` now asserts it).
+    #[test]
+    fn subnormal_capacity_never_freezes_flows_at_zero() {
+        let egress = vec![5e-324];
+        let ingress = vec![1.0, 1.0];
+        let flows = [fl(0, 0), fl(0, 1)];
+        assert_eq!(
+            5e-324f64 / 2.0,
+            0.0,
+            "the degenerate share this test forces"
+        );
+        let rates = max_min_rates(&egress, &ingress, &flows);
+        for r in &rates {
+            assert!(*r > 0.0, "zero-rate freeze regressed: {rates:?}");
+            assert!(r.is_finite());
+        }
+    }
+
+    // ---- IncrementalMaxMin ----
+
+    fn oracle_of(engine: &IncrementalMaxMin) -> Vec<(u64, f64)> {
+        let flows: Vec<FlowLinks> = engine.flows.values().copied().collect();
+        let keys: Vec<u64> = engine.flows.keys().copied().collect();
+        let rates = max_min_rates(&engine.egress_cap, &engine.ingress_cap, &flows);
+        keys.into_iter().zip(rates).collect()
+    }
+
+    fn assert_matches_oracle(engine: &IncrementalMaxMin) {
+        let expect = oracle_of(engine);
+        let got: Vec<(u64, f64)> = engine.rates().collect();
+        assert_eq!(got.len(), expect.len());
+        for ((gk, gr), (ek, er)) in got.iter().zip(&expect) {
+            assert_eq!(gk, ek);
+            assert_eq!(
+                gr.to_bits(),
+                er.to_bits(),
+                "rate mismatch for flow {gk}: incremental {gr} vs oracle {er}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oracle_over_messy_churn() {
+        let (e, i) = caps(5);
+        let mut engine = IncrementalMaxMin::new(e, i);
+        let pattern = [
+            fl(0, 1),
+            fl(0, 2),
+            fl(0, 3),
+            fl(1, 2),
+            fl(2, 2),
+            fl(3, 4),
+            fl(4, 0),
+            fl(1, 0),
+        ];
+        for (k, f) in pattern.iter().enumerate() {
+            engine.insert(k as u64, *f);
+            assert_matches_oracle(&engine);
+        }
+        for k in [2u64, 0, 5, 7] {
+            engine.remove_batch(&[k]);
+            assert_matches_oracle(&engine);
+        }
+        engine.remove_batch(&[1, 3, 4, 6]);
+        assert!(engine.is_empty());
+        assert_matches_oracle(&engine);
+    }
+
+    #[test]
+    fn disjoint_component_rates_are_untouched() {
+        let (e, i) = caps(6);
+        let mut engine = IncrementalMaxMin::new(e, i);
+        engine.insert(0, fl(0, 1));
+        engine.insert(1, fl(0, 2));
+        let before_a: Vec<(u64, f64)> = engine.rates().collect();
+        // A second, link-disjoint component: its churn must leave component A's
+        // cached rates untouched (bit-identical, not merely approximately).
+        engine.insert(2, fl(3, 4));
+        engine.insert(3, fl(3, 5));
+        engine.insert(4, fl(4, 5));
+        engine.remove_batch(&[3]);
+        let after_a: Vec<(u64, f64)> = engine.rates().take(2).collect();
+        for ((k1, r1), (k2, r2)) in before_a.iter().zip(&after_a) {
+            assert_eq!(k1, k2);
+            assert_eq!(r1.to_bits(), r2.to_bits());
+        }
+        assert_matches_oracle(&engine);
+    }
+
+    #[test]
+    fn bridging_flow_merges_components() {
+        let (e, i) = caps(4);
+        let mut engine = IncrementalMaxMin::new(e, i);
+        engine.insert(0, fl(0, 1));
+        engine.insert(1, fl(2, 3));
+        assert_eq!(engine.rate(0), BW);
+        assert_eq!(engine.rate(1), BW);
+        // 0→3 shares egress 0 with flow 0 and ingress 3 with flow 1: one component.
+        engine.insert(2, fl(0, 3));
+        assert_matches_oracle(&engine);
+        assert!((engine.rate(0) - BW / 2.0).abs() < 1.0);
+        // Removing the bridge splits the component again; both sides recover.
+        engine.remove_batch(&[2]);
+        assert_eq!(engine.rate(0), BW);
+        assert_eq!(engine.rate(1), BW);
+        assert_matches_oracle(&engine);
+    }
+
+    #[test]
+    fn incremental_applies_the_positive_rate_floor() {
+        let mut engine = IncrementalMaxMin::new(vec![5e-324], vec![1.0, 1.0]);
+        engine.insert(0, fl(0, 0));
+        engine.insert(1, fl(0, 1));
+        for (_, r) in engine.rates() {
+            assert!(r > 0.0 && r.is_finite());
+        }
+        assert_matches_oracle(&engine);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_key_rejected() {
+        let (e, i) = caps(2);
+        let mut engine = IncrementalMaxMin::new(e, i);
+        engine.insert(0, fl(0, 1));
+        engine.insert(0, fl(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "removal of unknown flow key")]
+    fn unknown_removal_rejected() {
+        let (e, i) = caps(2);
+        let mut engine = IncrementalMaxMin::new(e, i);
+        engine.remove_batch(&[9]);
     }
 }

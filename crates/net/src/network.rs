@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use fela_sim::{SimDuration, SimTime};
 use serde::Serialize;
 
-use crate::fairshare::{max_min_rates, FlowLinks};
+use crate::fairshare::{FlowLinks, IncrementalMaxMin};
 
 /// A cluster node index.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize)]
@@ -85,6 +85,12 @@ impl NetworkConfig {
 pub struct Network {
     config: NetworkConfig,
     flows: BTreeMap<FlowId, Flow>,
+    /// Incremental fair-share engine holding every netted (src ≠ dst) flow,
+    /// keyed by the raw `FlowId` so its canonical order matches `self.flows`.
+    /// On each start/finish it recomputes only the affected connected component
+    /// of the link-sharing graph, with rates bit-identical to a full
+    /// `max_min_rates` pass (see `fairshare` module docs).
+    shares: IncrementalMaxMin,
     next_id: u64,
     last_update: SimTime,
     /// Total bytes delivered, for experiment reporting.
@@ -99,9 +105,11 @@ impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         assert!(config.nodes > 0, "network needs at least one node");
         assert!(config.link_bandwidth > 0.0, "bandwidth must be positive");
+        let caps = vec![config.link_bandwidth; config.nodes];
         Network {
             config,
             flows: BTreeMap::new(),
+            shares: IncrementalMaxMin::new(caps.clone(), caps),
             next_id: 0,
             last_update: SimTime::ZERO,
             bytes_delivered: 0.0,
@@ -147,7 +155,17 @@ impl Network {
                 est_done: SimTime::MAX,
             },
         );
-        self.recompute(now);
+        if spec.src != spec.dst {
+            // Recomputes rates for the new flow's connected component only.
+            self.shares.insert(
+                id.0,
+                FlowLinks {
+                    egress: spec.src.0,
+                    ingress: spec.dst.0,
+                },
+            );
+        }
+        self.refresh_rates_and_estimates(now);
         id
     }
 
@@ -174,33 +192,20 @@ impl Network {
         self.last_update = now;
     }
 
-    /// Recomputes fair rates and completion estimates. Call after the flow set
+    /// Pulls the engine's (possibly component-locally updated) rates into the
+    /// flow table and recomputes completion estimates. Call after the flow set
     /// changes (start or completion).
-    fn recompute(&mut self, now: SimTime) {
-        let n = self.config.nodes;
-        let caps = vec![self.config.link_bandwidth; n];
-        // Local (same-node) flows bypass the NIC entirely.
-        let netted: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.spec.src != f.spec.dst)
-            .map(|(&id, _)| id)
-            .collect();
-        let links: Vec<FlowLinks> = netted
-            .iter()
-            .map(|id| {
-                let f = &self.flows[id];
-                FlowLinks {
-                    egress: f.spec.src.0,
-                    ingress: f.spec.dst.0,
-                }
-            })
-            .collect();
-        let rates = max_min_rates(&caps, &caps, &links);
-        for (id, rate) in netted.iter().zip(rates) {
-            // `netted` was collected from `self.flows` above, so the entry exists.
-            if let Some(flow) = self.flows.get_mut(id) {
-                flow.rate = rate;
+    ///
+    /// The estimate pass deliberately still covers *all* flows: `est_done` is a
+    /// quantised `SimTime` derived from `remaining / rate` at the current
+    /// instant, so re-deriving it lazily at a different instant could drift by
+    /// a nanosecond of rounding and break byte-identity of the trace artifacts.
+    /// It is O(flows) with no allocation — the O(links·flows) water-filling is
+    /// what the component-local engine amortises away.
+    fn refresh_rates_and_estimates(&mut self, now: SimTime) {
+        for (id, flow) in &mut self.flows {
+            if flow.spec.src != flow.spec.dst {
+                flow.rate = self.shares.rate(id.0);
             }
         }
         for flow in self.flows.values_mut() {
@@ -244,16 +249,22 @@ impl Network {
             .map(|(&id, _)| id)
             .collect();
         let mut specs = Vec::with_capacity(done.len());
+        let mut netted_done = Vec::with_capacity(done.len());
         for id in done {
             // `done` was collected from `self.flows` above, so the entry exists.
             if let Some(flow) = self.flows.remove(&id) {
                 // Account any residual rounding error as delivered.
                 self.bytes_delivered += flow.remaining.max(0.0);
+                if flow.spec.src != flow.spec.dst {
+                    netted_done.push(id.0);
+                }
                 specs.push((id, flow.spec));
             }
         }
         if !specs.is_empty() {
-            self.recompute(now);
+            // One component recomputation covers the whole completion wave.
+            self.shares.remove_batch(&netted_done);
+            self.refresh_rates_and_estimates(now);
         }
         specs
     }

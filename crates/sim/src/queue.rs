@@ -7,7 +7,10 @@
 //!
 //! Events can be cancelled by [`EventId`]; cancellation is lazy (a tombstone set), so
 //! it is O(log n) amortised rather than requiring heap surgery. The network simulator
-//! uses this to retract flow-completion events whenever fair shares are recomputed.
+//! uses this to retract flow-completion events whenever fair shares are recomputed —
+//! a cancel-heavy workload, so the queue also tracks the live-event set exactly
+//! (cancelling an already-fired id is a true no-op, not a leaked tombstone) and
+//! compacts tombstones out of the heap once they outnumber live entries.
 
 use std::collections::{BinaryHeap, HashSet};
 
@@ -41,9 +44,23 @@ impl<E> Ord for HeapEntry<E> {
     }
 }
 
+/// Once the tombstone set is at least this large *and* outnumbers live entries,
+/// the heap is rebuilt without tombstones. The absolute floor keeps small queues
+/// from compacting constantly; the ratio bounds heap size at 2× the live count.
+const COMPACT_MIN_TOMBSTONES: usize = 64;
+
 /// A deterministic time-ordered event queue with lazy cancellation.
+///
+/// The sets below partition every issued id: an id is *live* (in `pending`, with
+/// exactly one heap entry), *cancelled-but-unreaped* (in `cancelled`, with exactly
+/// one heap entry), or *gone* (fired or reaped; in neither set, no heap entry).
+/// `HashSet` is safe here despite the workspace's determinism rules: membership is
+/// the only operation — iteration order is never observed.
 pub struct EventQueue<E> {
     entries: BinaryHeap<HeapEntry<E>>,
+    /// Ids currently scheduled: not yet fired, not cancelled.
+    pending: HashSet<EventId>,
+    /// Cancelled ids whose heap entries have not been reaped yet.
     cancelled: HashSet<EventId>,
     next_seq: u64,
 }
@@ -59,6 +76,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             entries: BinaryHeap::new(),
+            pending: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
         }
@@ -69,18 +87,35 @@ impl<E> EventQueue<E> {
         let id = EventId(self.next_seq);
         self.next_seq += 1;
         self.entries.push(HeapEntry { time, id, event });
+        self.pending.insert(id);
         id
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the id was issued by
-    /// this queue and had not already been cancelled. Cancelling an event that has
-    /// already fired is a silent no-op (its tombstone is never consulted again and is
-    /// dropped on the next reconciliation pass through the heap head).
+    /// Cancels a previously scheduled event. Returns `true` if the event was still
+    /// pending (scheduled, not yet fired, not already cancelled). Cancelling an
+    /// event that has already fired — or an id this queue never issued — is a
+    /// no-op returning `false`; it leaves no tombstone behind.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if !self.pending.remove(&id) {
             return false;
         }
-        self.cancelled.insert(id)
+        self.cancelled.insert(id);
+        self.maybe_compact();
+        true
+    }
+
+    /// Rebuilds the heap without tombstones once they dominate it. Amortised O(1):
+    /// a rebuild over `n` entries is paid for by the ≥ n/2 cancellations since the
+    /// previous rebuild. Pop order is unaffected — it is a pure function of the
+    /// surviving `(time, id)` keys.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() < COMPACT_MIN_TOMBSTONES
+            || self.cancelled.len() * 2 < self.entries.len()
+        {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.entries.retain(|e| !cancelled.contains(&e.id));
     }
 
     /// Removes and returns the next live event as `(time, id, event)`.
@@ -89,6 +124,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.id) {
                 continue;
             }
+            self.pending.remove(&entry.id);
             return Some((entry.time, entry.id, entry.event));
         }
         None
@@ -110,14 +146,19 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of live events currently pending.
-    pub fn len(&mut self) -> usize {
-        // Cancelled entries still in the heap are exactly the live tombstones.
-        self.entries.len() - self.cancelled.len()
+    pub fn len(&self) -> usize {
+        self.pending.len()
     }
 
     /// True if no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Heap entries currently allocated, live or tombstoned (compaction tests).
+    #[cfg(test)]
+    fn heap_len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -168,6 +209,33 @@ mod tests {
         assert!(!q.cancel(EventId(42)));
     }
 
+    /// Regression: cancelling an id that has already fired must not leave a
+    /// tombstone behind — with the old tombstone-set-only accounting, `len()`
+    /// (`entries.len() - cancelled.len()`) under-counted and could underflow.
+    #[test]
+    fn cancel_after_fire_keeps_len_consistent() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(t(1), "a");
+        let b = q.schedule_at(t(2), "b");
+        assert_eq!(q.pop_next().map(|(_, _, e)| e), Some("a"));
+        assert!(!q.cancel(a), "cancelling a fired event is a no-op");
+        assert_eq!(
+            q.len(),
+            1,
+            "the fired-then-cancelled id must not be counted"
+        );
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_next().map(|(_, _, e)| e), Some("b"));
+        assert_eq!(q.len(), 0, "previously underflowed usize here");
+        assert!(q.is_empty());
+        assert!(!q.cancel(b), "cancel after drain is still a no-op");
+        assert_eq!(q.len(), 0);
+        // A fresh schedule after the failed cancels behaves normally.
+        q.schedule_at(t(3), "c");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_next().map(|(_, _, e)| e), Some("c"));
+    }
+
     #[test]
     fn peek_skips_cancelled_head() {
         let mut q = EventQueue::new();
@@ -191,5 +259,45 @@ mod tests {
         q.schedule_at(t(1) + SimDuration::from_millis(1), 2u32);
         assert_eq!(q.pop_next().unwrap().2, 2);
         assert_eq!(q.pop_next().unwrap().2, 10);
+    }
+
+    /// The cancel-heavy rescheduling pattern (retract + re-arm one completion
+    /// event per network change) must not grow the heap without bound.
+    #[test]
+    fn tombstones_are_compacted() {
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        for round in 0..10_000u64 {
+            let id = q.schedule_at(t(round + 1), round);
+            if round % 100 == 99 {
+                live.push(id); // keep a few
+            } else {
+                q.cancel(id);
+            }
+        }
+        assert_eq!(q.len(), live.len());
+        assert!(
+            q.heap_len() <= 2 * live.len() + 2 * COMPACT_MIN_TOMBSTONES,
+            "heap kept {} entries for {} live events",
+            q.heap_len(),
+            live.len()
+        );
+        // Everything still pops, in schedule order.
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (99..10_000).step_by(100).collect::<Vec<_>>());
+    }
+
+    /// Compaction never fires below the tombstone floor, so tiny queues keep
+    /// their O(log n) lazy cancellation.
+    #[test]
+    fn small_queues_do_not_compact() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule_at(t(i + 1), i)).collect();
+        for id in &ids[..9] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.heap_len(), 10, "all tombstones still lazily parked");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_next().unwrap().2, 9);
     }
 }

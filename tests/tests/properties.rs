@@ -4,8 +4,10 @@ use fela_core::{FelaConfig, TokenPlan};
 use fela_engine::{seeded_schedule, EngineNet, SplitPlan, Tensor, TokenExecutor};
 use fela_metrics::stats;
 use fela_model::{bin_partition, zoo, PartitionOptions, ThresholdProfile};
-use fela_net::fairshare::{max_min_rates, FlowLinks};
+use fela_net::fairshare::{max_min_rates, FlowLinks, IncrementalMaxMin};
+use fela_sim::{EventQueue, SimTime};
 use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn pow2_weight() -> impl Strategy<Value = u64> {
     prop_oneof![Just(1u64), Just(2), Just(4), Just(8)]
@@ -164,5 +166,123 @@ proptest! {
         prop_assert!(f_lo <= f_hi + 1e-12);
         prop_assert!((0.0..=1.0).contains(&f_lo));
         prop_assert!((0.0..=1.0).contains(&f_hi));
+    }
+
+    /// The incremental fair-share engine stays *bit-identical* to the stateless
+    /// oracle over arbitrary star-topology flow churn: random interleavings of
+    /// single inserts, single removals and batched removals, checked after every
+    /// operation against `max_min_rates` over the surviving flow set in
+    /// ascending-key order (the engine's canonical order).
+    #[test]
+    fn incremental_fairshare_is_bit_identical_to_oracle(
+        ops in prop::collection::vec((0usize..4, 0usize..6, 0usize..6, 0usize..64), 1..60),
+    ) {
+        let caps = vec![1e9f64; 6];
+        let mut engine = IncrementalMaxMin::new(caps.clone(), caps.clone());
+        let mut mirror: BTreeMap<u64, FlowLinks> = BTreeMap::new();
+        let mut next_key = 0u64;
+        for (kind, src, dst, sel) in ops {
+            let alive: Vec<u64> = mirror.keys().copied().collect();
+            match kind {
+                // Removal of one flow (when any exist).
+                1 if !alive.is_empty() => {
+                    let key = alive[sel % alive.len()];
+                    engine.remove(key);
+                    mirror.remove(&key);
+                }
+                // Batched removal of up to three flows — a completion wave.
+                2 if !alive.is_empty() => {
+                    let start = sel % alive.len();
+                    let batch: Vec<u64> =
+                        alive.iter().copied().cycle().skip(start).take(3.min(alive.len())).collect();
+                    let mut batch = batch;
+                    batch.sort_unstable();
+                    batch.dedup();
+                    engine.remove_batch(&batch);
+                    for k in &batch {
+                        mirror.remove(k);
+                    }
+                }
+                // Insert (also the fallback for removal ops on an empty set).
+                _ => {
+                    let links = FlowLinks { egress: src, ingress: dst };
+                    engine.insert(next_key, links);
+                    mirror.insert(next_key, links);
+                    next_key += 1;
+                }
+            }
+            prop_assert_eq!(engine.len(), mirror.len());
+            let flows: Vec<FlowLinks> = mirror.values().copied().collect();
+            let expect = max_min_rates(&caps, &caps, &flows);
+            let got: Vec<(u64, f64)> = engine.rates().collect();
+            prop_assert_eq!(got.len(), expect.len());
+            for ((key, rate), (mirror_key, oracle)) in got.iter().zip(mirror.keys().zip(&expect)) {
+                prop_assert_eq!(key, mirror_key);
+                prop_assert_eq!(
+                    rate.to_bits(),
+                    oracle.to_bits(),
+                    "flow {} diverged: incremental {} vs oracle {}",
+                    key,
+                    rate,
+                    oracle
+                );
+            }
+        }
+    }
+
+    /// `EventQueue` stays consistent with a reference model under random
+    /// schedule / cancel / pop / peek interleavings — including cancels of ids
+    /// that already fired or were already cancelled (the tombstone-leak
+    /// regression), and regardless of when compaction strikes.
+    #[test]
+    fn event_queue_consistent_under_random_cancels(
+        ops in prop::collection::vec((0usize..4, 0u64..100, 0usize..128), 1..200),
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: BTreeSet<(SimTime, fela_sim::EventId)> = BTreeSet::new();
+        let mut issued: Vec<fela_sim::EventId> = Vec::new();
+        for (kind, time, sel) in ops {
+            match kind {
+                0 => {
+                    let t = SimTime::from_nanos(time);
+                    let id = q.schedule_at(t, time);
+                    model.insert((t, id));
+                    issued.push(id);
+                }
+                1 if !issued.is_empty() => {
+                    // May hit a live, fired, or already-cancelled id.
+                    let id = issued[sel % issued.len()];
+                    let was_live = model.iter().any(|&(_, i)| i == id);
+                    let cancelled = q.cancel(id);
+                    prop_assert_eq!(cancelled, was_live);
+                    model.retain(|&(_, i)| i != id);
+                }
+                2 => {
+                    let expect = model.iter().next().copied();
+                    match (q.pop_next(), expect) {
+                        (Some((t, id, payload)), Some((et, eid))) => {
+                            prop_assert_eq!(t, et);
+                            prop_assert_eq!(id, eid);
+                            prop_assert_eq!(SimTime::from_nanos(payload), t);
+                            model.remove(&(et, eid));
+                        }
+                        (None, None) => {}
+                        (got, want) => {
+                            prop_assert!(
+                                false,
+                                "pop mismatch: got {:?}, want {:?}",
+                                got.map(|(t, i, _)| (t, i)),
+                                want
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(q.peek_time(), model.iter().next().map(|&(t, _)| t));
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
     }
 }
