@@ -151,6 +151,12 @@ impl World for DpWorld {
                         .scenario
                         .straggler_delay(self.iteration, worker)
                         .as_secs_f64();
+                    // No token recovery: a fault stalls the victim (and so the
+                    // whole BSP iteration) until it is back.
+                    secs += self
+                        .scenario
+                        .fault_stall(self.iteration, worker)
+                        .as_secs_f64();
                     self.busy[worker].begin(now);
                     sched.schedule_in(SimDuration::from_secs_f64(secs), Ev::ComputeDone { worker });
                 }
@@ -346,6 +352,26 @@ mod tests {
         let a = DpRuntime::default().run(&scenario(256, 2));
         let b = DpRuntime::default().run(&scenario(256, 2));
         assert_eq!(a.total_time_secs, b.total_time_secs);
+    }
+
+    #[test]
+    fn crash_restart_stalls_the_whole_iteration() {
+        use fela_cluster::{FaultKind, FaultModel};
+        // No token recovery: the BSP barrier waits the full downtime out.
+        let base = DpRuntime::default().run(&scenario(128, 4));
+        let faulted =
+            DpRuntime::default().run(&scenario(128, 4).with_fault(FaultModel::Scripted {
+                worker: 1,
+                iteration: 2,
+                kind: FaultKind::CrashRestart {
+                    down: SimDuration::from_secs(30),
+                },
+            }));
+        let stall = faulted.total_time_secs - base.total_time_secs;
+        assert!(
+            (stall - 30.0).abs() < 0.1,
+            "DP stall {stall} should be ≈ 30"
+        );
     }
 
     #[test]

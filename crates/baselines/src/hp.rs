@@ -92,9 +92,12 @@ impl HpWorld {
 
     /// A straggler cannot start computing before `iteration_start + d` (§V-C2:
     /// the sleep delays the worker's computation start, so it overlaps with any
-    /// idle time the worker had anyway).
+    /// idle time the worker had anyway). Faults stall the victim the same way —
+    /// HP has no token recovery, so the iteration waits the downtime out.
     fn compute_floor(&self, worker: usize) -> SimTime {
-        self.iteration_start + self.scenario.straggler_delay(self.iteration, worker)
+        self.iteration_start
+            + self.scenario.straggler_delay(self.iteration, worker)
+            + self.scenario.fault_stall(self.iteration, worker)
     }
 
     fn finish_iteration(&mut self, sched: &mut Scheduler<'_, Ev>) {

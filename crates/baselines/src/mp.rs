@@ -161,8 +161,11 @@ impl MpWorld {
         };
         // A straggler cannot start computing before iteration_start + d; the
         // sleep overlaps with the stage's ramp-up bubble (§V-C2's explanation of
-        // MP's small per-iteration delay).
-        let floor = self.iteration_start + self.scenario.straggler_delay(self.iteration, worker);
+        // MP's small per-iteration delay). Faults stall the stage the same way —
+        // MP has no token recovery, so the pipeline waits the downtime out.
+        let floor = self.iteration_start
+            + self.scenario.straggler_delay(self.iteration, worker)
+            + self.scenario.fault_stall(self.iteration, worker);
         let start = sched.now().max(floor);
         self.period_busy[stage] += secs + start.since(sched.now()).as_secs_f64();
         self.busy[worker].begin(start);

@@ -1,0 +1,6 @@
+//! Recovery figure — crash-restart churn. Thin wrapper over
+//! [`fela_bench::figures::fig_recovery`].
+
+fn main() {
+    fela_bench::figures::fig_recovery::run(fela_harness::default_jobs());
+}

@@ -44,7 +44,13 @@ fn main() -> ExitCode {
     let root = match std::env::args().nth(1) {
         Some(arg) => PathBuf::from(arg),
         None => {
-            let cwd = std::env::current_dir().expect("cwd");
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("fela-lint: cannot read the current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
             match find_workspace_root(&cwd) {
                 Some(root) => root,
                 None => {

@@ -13,6 +13,11 @@
 //!   order with vector clocks, flagging parameter reads concurrent with
 //!   parameter commits (the premature-release race), unordered dependencies,
 //!   late gradients and misordered commits.
+//! * [`recovery`] — replays a fault-injected trace through the Token Server's
+//!   per-token lease state machine (granted → revoked → re-granted) and proves
+//!   the exactly-once gradient property: no double grants, no ghost gradients
+//!   from expired leases, no lost micro-batches. Seeded trace mutations prove
+//!   each diagnostic fires.
 //! * [`explore`] — exhaustively enumerates every Token Server schedule for a
 //!   small configuration (DPOR-style state memoization), checks per-transition
 //!   safety, and executes every schedule with `fela-engine`'s real token-split
@@ -28,10 +33,14 @@ pub mod dag;
 pub mod explore;
 pub mod lint;
 pub mod race;
+pub mod recovery;
 
 pub use dag::{DagNode, DagSummary, DagViolation, Mutation, ScheduleDag};
 pub use explore::{exhaustive_schedule_check, ExploreOutcome, ExploreViolation, Explorer};
 pub use race::{check_trace, HbAnalysis, RaceSummary, RaceViolation};
+pub use recovery::{
+    check_recovery, mutate_trace, RecoveryMutation, RecoverySummary, RecoveryViolation,
+};
 
 use fela_core::{FelaConfig, PlanError, TokenPlan};
 use fela_model::Partition;

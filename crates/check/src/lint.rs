@@ -50,7 +50,16 @@ impl std::fmt::Display for LintFinding {
 }
 
 /// Crates whose non-test code must be free of `.unwrap()` / `.expect(...)`.
-pub const NO_UNWRAP_CRATES: &[&str] = &["fela-core", "fela-sim", "fela-net", "fela-cluster"];
+/// `fela-check` is included because its verifiers (race, recovery, schedule)
+/// gate CI: a malformed trace must surface as a reported violation, never as
+/// an anonymous panic inside the checker itself.
+pub const NO_UNWRAP_CRATES: &[&str] = &[
+    "fela-core",
+    "fela-sim",
+    "fela-net",
+    "fela-cluster",
+    "fela-check",
+];
 /// Crates that must not read wall-clock time or ambient entropy.
 pub const DETERMINISM_CRATES: &[&str] = &["fela-core", "fela-sim"];
 

@@ -86,6 +86,13 @@ pub enum RaceViolation {
         /// Iteration of the orphan commit.
         iteration: u64,
     },
+    /// A token was granted a second time without a revocation in between: the
+    /// re-grant does not happen-after any `Revoke` of the token, so two
+    /// workers may compute the same gradient concurrently.
+    RegrantWithoutRevocation {
+        /// The twice-granted token.
+        token: u64,
+    },
 }
 
 impl std::fmt::Display for RaceViolation {
@@ -126,6 +133,9 @@ impl std::fmt::Display for RaceViolation {
             RaceViolation::SyncDoneWithoutStart { level, iteration } => {
                 write!(f, "sync (level {level}, iter {iteration}) committed without starting")
             }
+            RaceViolation::RegrantWithoutRevocation { token } => {
+                write!(f, "token {token} re-granted without an intervening revocation")
+            }
         }
     }
 }
@@ -141,6 +151,11 @@ pub struct RaceSummary {
     pub completions: usize,
     /// Parameter commits seen.
     pub commits: usize,
+    /// Lease revocations seen (0 in fault-free traces).
+    pub revocations: usize,
+    /// Completions discarded because the TS rejected their report as stale
+    /// (the gradient was never applied).
+    pub discarded_completions: usize,
     /// Logical processes (workers + per-level sync pipelines).
     pub processes: usize,
 }
@@ -178,6 +193,12 @@ impl HbAnalysis {
                 EventKind::SyncStart { level, .. } | EventKind::SyncDone { level, .. } => {
                     n_levels = n_levels.max(level + 1);
                 }
+                EventKind::Crash { worker }
+                | EventKind::Restart { worker }
+                | EventKind::Revoke { worker, .. }
+                | EventKind::StaleReport { worker, .. } => {
+                    n_workers = n_workers.max(worker + 1);
+                }
                 EventKind::Generic => {}
             }
         }
@@ -199,8 +220,20 @@ impl HbAnalysis {
         let mut complete_clock: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         let mut sync_start_clock: BTreeMap<(usize, u64), Vec<u64>> = BTreeMap::new();
         let mut sync_done_clock: BTreeMap<(usize, u64), Vec<u64>> = BTreeMap::new();
+        // Latest revocation clock per token: the edge a re-grant must join.
+        let mut revoke_clock: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         // Highest committed iteration per level, for commit-order checking.
         let mut last_commit: Vec<Option<u64>> = vec![None; n_levels];
+        // Completions whose report the TS rejected as stale: those gradients
+        // were never applied, so they must not feed sync aggregation or the
+        // late-gradient check. Reports arrive in completion order, so stale
+        // rejections match the *earliest* unmatched completion of the pair.
+        let mut stale_remaining: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+        for e in trace.events() {
+            if let EventKind::StaleReport { worker, token } = e.kind {
+                *stale_remaining.entry((worker, token)).or_insert(0) += 1;
+            }
+        }
 
         fn join(into: &mut [u64], from: &[u64]) {
             for (a, b) in into.iter_mut().zip(from) {
@@ -210,8 +243,16 @@ impl HbAnalysis {
 
         for (idx, e) in trace.events().iter().enumerate() {
             let kind = e.kind.clone();
-            if kind == EventKind::Generic {
-                continue;
+            match kind {
+                EventKind::Generic => continue,
+                // Membership transitions and stale-report rejections carry no
+                // happens-before obligations of their own: the causal content
+                // of a crash is the `Revoke` events it emits, and stale
+                // reports were folded into `stale_remaining` above.
+                EventKind::Crash { .. }
+                | EventKind::Restart { .. }
+                | EventKind::StaleReport { .. } => continue,
+                _ => {}
             }
             analysis.summary.events += 1;
             let clock = match kind {
@@ -224,6 +265,17 @@ impl HbAnalysis {
                 } => {
                     analysis.summary.grants += 1;
                     let mut c = proc_clock[worker].clone();
+                    // Revocation edge: a re-granted token must happen-after
+                    // the revocation that freed it. A second grant with no
+                    // revocation in between is two live leases on one token.
+                    if grant_clock.contains_key(&token) {
+                        match revoke_clock.get(&token) {
+                            Some(rc) => join(&mut c, rc),
+                            None => analysis
+                                .violations
+                                .push(RaceViolation::RegrantWithoutRevocation { token }),
+                        }
+                    }
                     for &dep in deps {
                         match complete_clock.get(&dep) {
                             Some(dc) => join(&mut c, dc),
@@ -265,16 +317,30 @@ impl HbAnalysis {
                             .violations
                             .push(RaceViolation::CompleteWithoutGrant { token }),
                     }
-                    if sync_done_clock.contains_key(&(level, iteration)) {
-                        analysis.violations.push(RaceViolation::LateGradient {
-                            level,
-                            iteration,
-                            token,
-                        });
-                    }
+                    let discarded = match stale_remaining.get_mut(&(worker, token)) {
+                        Some(left) if *left > 0 => {
+                            *left -= 1;
+                            true
+                        }
+                        _ => false,
+                    };
                     c[worker] += 1;
                     proc_clock[worker] = c.clone();
-                    complete_clock.insert(token, c.clone());
+                    if discarded {
+                        // The TS rejected this report: the gradient was never
+                        // applied, so it neither feeds sync aggregation nor
+                        // counts as late — only worker program order advances.
+                        analysis.summary.discarded_completions += 1;
+                    } else {
+                        if sync_done_clock.contains_key(&(level, iteration)) {
+                            analysis.violations.push(RaceViolation::LateGradient {
+                                level,
+                                iteration,
+                                token,
+                            });
+                        }
+                        complete_clock.insert(token, c.clone());
+                    }
                     c
                 }
                 EventKind::SyncStart { level, iteration } => {
@@ -327,7 +393,27 @@ impl HbAnalysis {
                     sync_done_clock.insert((level, iteration), c.clone());
                     c
                 }
-                EventKind::Generic => unreachable!("filtered above"),
+                EventKind::Revoke { token, .. } => {
+                    analysis.summary.revocations += 1;
+                    // The revocation happens-after the grant it kills (and any
+                    // earlier revocation of the same token). It lives on the
+                    // TS, not on a worker timeline: joining the *victim*'s
+                    // clock would fabricate an order between the revocation
+                    // and whatever the (possibly hung) victim did after.
+                    let mut c = vec![0; dim];
+                    if let Some(gc) = grant_clock.get(&token) {
+                        join(&mut c, gc);
+                    }
+                    if let Some(rc) = revoke_clock.get(&token) {
+                        join(&mut c, rc);
+                    }
+                    revoke_clock.insert(token, c.clone());
+                    c
+                }
+                EventKind::Generic
+                | EventKind::Crash { .. }
+                | EventKind::Restart { .. }
+                | EventKind::StaleReport { .. } => unreachable!("filtered above"),
             };
             analysis.analyzed.push(idx);
             analysis.clocks.push(clock);

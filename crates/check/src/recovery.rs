@@ -1,0 +1,614 @@
+//! Lease-protocol verification over fault-injected traces.
+//!
+//! The race detector ([`crate::race`]) proves *ordering*: a re-granted token
+//! happens-after its revocation. This module proves the complementary
+//! *exactly-once* property the recovery protocol promises: every granted
+//! micro-batch gradient is applied exactly once, no matter how many crashes,
+//! hangs and lease expiries interleave with it.
+//!
+//! [`check_recovery`] replays a trace through a per-token lease state machine
+//! mirroring the Token Server's:
+//!
+//! ```text
+//!            Grant(w)                Complete by holder (report accepted)
+//!   Free ───────────────► Held(w) ─────────────────────────────► Applied
+//!    ▲                      │
+//!    │      Revoke          │   (crash or lease expiry)
+//!    └──────────────────────┘
+//! ```
+//!
+//! A completion whose report the TS rejected is witnessed by a matching
+//! [`EventKind::StaleReport`]; since reports arrive in completion order, each
+//! rejection is matched to the *earliest* unmatched completion of the same
+//! `(worker, token)` pair. Everything else must follow the machine exactly —
+//! any deviation is a [`RecoveryViolation`].
+//!
+//! [`mutate_trace`] applies seeded corruptions ([`RecoveryMutation`]) to a
+//! real faulted trace, proving each diagnostic actually fires.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fela_sim::{EventKind, Trace};
+
+/// A lease-protocol violation found in a trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecoveryViolation {
+    /// A token was granted while another lease on it was still live: two
+    /// workers hold the same micro-batch at once.
+    DoubleGrant {
+        /// The doubly-leased token.
+        token: u64,
+        /// Worker holding the live lease.
+        holder: usize,
+        /// Worker that received the second grant.
+        second: usize,
+    },
+    /// A token was granted again after its gradient had already been applied.
+    GrantAfterApply {
+        /// The re-granted token.
+        token: u64,
+        /// Worker that received the redundant grant.
+        worker: usize,
+    },
+    /// A token was granted to a worker the trace had crashed and not yet
+    /// restarted.
+    GrantToDeadWorker {
+        /// The granted token.
+        token: u64,
+        /// The dead recipient.
+        worker: usize,
+    },
+    /// A gradient from a worker that did not hold the token's lease was
+    /// applied (no stale-report rejection matches the completion).
+    GhostGradient {
+        /// The non-holder that reported.
+        worker: usize,
+        /// The token it reported.
+        token: u64,
+    },
+    /// A revocation named a token with no live lease.
+    RevokeWithoutLease {
+        /// The token revoked while free.
+        token: u64,
+    },
+    /// A revocation named a different worker than the lease holder.
+    RevokeHolderMismatch {
+        /// The revoked token.
+        token: u64,
+        /// The actual lease holder.
+        holder: usize,
+        /// The worker the revocation named.
+        named: usize,
+    },
+    /// A worker restarted without a preceding crash.
+    RestartWithoutCrash {
+        /// The worker that restarted.
+        worker: usize,
+    },
+    /// A stale-report rejection with no completion to match it.
+    UnmatchedStaleReport {
+        /// The rejected reporter.
+        worker: usize,
+        /// The token it reported.
+        token: u64,
+    },
+    /// A granted token's gradient was applied more than once.
+    DuplicateApplication {
+        /// The over-applied token.
+        token: u64,
+        /// How many times it was applied.
+        times: u64,
+    },
+    /// A granted token's gradient was never applied (the run ended with the
+    /// micro-batch lost).
+    NeverApplied {
+        /// The lost token.
+        token: u64,
+    },
+}
+
+impl std::fmt::Display for RecoveryViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryViolation::DoubleGrant {
+                token,
+                holder,
+                second,
+            } => write!(
+                f,
+                "token {token} granted to worker {second} while worker {holder} still holds its lease"
+            ),
+            RecoveryViolation::GrantAfterApply { token, worker } => write!(
+                f,
+                "token {token} re-granted to worker {worker} after its gradient was applied"
+            ),
+            RecoveryViolation::GrantToDeadWorker { token, worker } => {
+                write!(f, "token {token} granted to crashed worker {worker}")
+            }
+            RecoveryViolation::GhostGradient { worker, token } => write!(
+                f,
+                "gradient for token {token} applied from worker {worker}, which holds no lease on it"
+            ),
+            RecoveryViolation::RevokeWithoutLease { token } => {
+                write!(f, "token {token} revoked while no lease on it was live")
+            }
+            RecoveryViolation::RevokeHolderMismatch {
+                token,
+                holder,
+                named,
+            } => write!(
+                f,
+                "token {token} revoked from worker {named} but worker {holder} holds the lease"
+            ),
+            RecoveryViolation::RestartWithoutCrash { worker } => {
+                write!(f, "worker {worker} restarted without having crashed")
+            }
+            RecoveryViolation::UnmatchedStaleReport { worker, token } => write!(
+                f,
+                "stale-report rejection of worker {worker} / token {token} matches no completion"
+            ),
+            RecoveryViolation::DuplicateApplication { token, times } => {
+                write!(f, "token {token} applied {times} times")
+            }
+            RecoveryViolation::NeverApplied { token } => {
+                write!(f, "token {token} was granted but its gradient never applied")
+            }
+        }
+    }
+}
+
+/// Statistics of a clean lease-protocol replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Distinct tokens granted at least once.
+    pub tokens: usize,
+    /// Grants seen (re-grants included).
+    pub grants: usize,
+    /// Gradients applied (accepted reports).
+    pub applied: usize,
+    /// Completions discarded by stale-report rejection.
+    pub discarded: usize,
+    /// Lease revocations seen.
+    pub revocations: usize,
+    /// Worker crashes seen.
+    pub crashes: usize,
+    /// Worker restarts seen.
+    pub restarts: usize,
+}
+
+/// Lease state of one token during replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lease {
+    Free,
+    Held(usize),
+}
+
+/// Replays `trace` through the per-token lease state machine. Returns the
+/// summary if the trace obeys the protocol, or every violation found.
+///
+/// Works on fault-free traces too: with no `Revoke`/`StaleReport` events the
+/// machine degenerates to "each token granted once, completed once by its
+/// grantee" — so the checker can gate both chaos and baseline runs.
+pub fn check_recovery(trace: &Trace) -> Result<RecoverySummary, Vec<RecoveryViolation>> {
+    let mut summary = RecoverySummary::default();
+    let mut violations = Vec::new();
+    let mut lease: BTreeMap<u64, Lease> = BTreeMap::new();
+    let mut applied: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut dead: BTreeSet<usize> = BTreeSet::new();
+
+    // Reports arrive in completion order per (worker, token), so each
+    // stale rejection matches the earliest unmatched completion of its pair.
+    let mut stale_remaining: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    for e in trace.events() {
+        if let EventKind::StaleReport { worker, token } = e.kind {
+            *stale_remaining.entry((worker, token)).or_insert(0) += 1;
+        }
+    }
+
+    for e in trace.events() {
+        match e.kind {
+            EventKind::Grant { worker, token, .. } => {
+                summary.grants += 1;
+                if dead.contains(&worker) {
+                    violations.push(RecoveryViolation::GrantToDeadWorker { token, worker });
+                }
+                if applied.get(&token).copied().unwrap_or(0) > 0 {
+                    violations.push(RecoveryViolation::GrantAfterApply { token, worker });
+                }
+                match lease.insert(token, Lease::Held(worker)) {
+                    Some(Lease::Held(holder)) => violations.push(RecoveryViolation::DoubleGrant {
+                        token,
+                        holder,
+                        second: worker,
+                    }),
+                    Some(Lease::Free) | None => {}
+                }
+            }
+            EventKind::Complete { worker, token, .. } => {
+                let stale = match stale_remaining.get_mut(&(worker, token)) {
+                    Some(left) if *left > 0 => {
+                        *left -= 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if stale {
+                    // The TS rejected this report; the lease (if any) was
+                    // already released by the revocation that preceded it.
+                    summary.discarded += 1;
+                } else {
+                    if lease.get(&token) != Some(&Lease::Held(worker)) {
+                        violations.push(RecoveryViolation::GhostGradient { worker, token });
+                    }
+                    lease.insert(token, Lease::Free);
+                    summary.applied += 1;
+                    *applied.entry(token).or_insert(0) += 1;
+                }
+            }
+            EventKind::Revoke { worker, token, .. } => {
+                summary.revocations += 1;
+                match lease.get(&token) {
+                    Some(&Lease::Held(holder)) => {
+                        if holder != worker {
+                            violations.push(RecoveryViolation::RevokeHolderMismatch {
+                                token,
+                                holder,
+                                named: worker,
+                            });
+                        }
+                    }
+                    Some(&Lease::Free) | None => {
+                        // A crash legitimately revokes leases whose grants
+                        // were still in flight: the grant is only traced on
+                        // arrival, which the dead worker never saw.
+                        if !dead.contains(&worker) {
+                            violations.push(RecoveryViolation::RevokeWithoutLease { token });
+                        }
+                    }
+                }
+                lease.insert(token, Lease::Free);
+            }
+            EventKind::Crash { worker } => {
+                summary.crashes += 1;
+                dead.insert(worker);
+            }
+            EventKind::Restart { worker } => {
+                summary.restarts += 1;
+                if !dead.remove(&worker) {
+                    violations.push(RecoveryViolation::RestartWithoutCrash { worker });
+                }
+            }
+            EventKind::StaleReport { .. }
+            | EventKind::SyncStart { .. }
+            | EventKind::SyncDone { .. }
+            | EventKind::Generic => {}
+        }
+    }
+
+    for ((worker, token), left) in stale_remaining {
+        for _ in 0..left {
+            violations.push(RecoveryViolation::UnmatchedStaleReport { worker, token });
+        }
+    }
+    summary.tokens = lease.len();
+    for (&token, _) in lease.iter() {
+        match applied.get(&token).copied().unwrap_or(0) {
+            0 => violations.push(RecoveryViolation::NeverApplied { token }),
+            1 => {}
+            times => violations.push(RecoveryViolation::DuplicateApplication { token, times }),
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(violations)
+    }
+}
+
+/// A seeded trace corruption for mutation-testing [`check_recovery`].
+#[derive(Clone, Copy, Debug)]
+pub enum RecoveryMutation {
+    /// Delete one `Revoke` event (→ [`RecoveryViolation::DoubleGrant`] when
+    /// the token was re-granted, and the race detector's
+    /// `RegrantWithoutRevocation`).
+    DropRevoke {
+        /// Picks which revocation, deterministically.
+        seed: u64,
+    },
+    /// Delete one `StaleReport` event: its discarded completion now looks
+    /// applied from a non-holder (→ [`RecoveryViolation::GhostGradient`]).
+    DropStaleReport {
+        /// Picks which rejection, deterministically.
+        seed: u64,
+    },
+    /// Append a fresh grant + completion of an already-applied token
+    /// (→ [`RecoveryViolation::GrantAfterApply`] and
+    /// [`RecoveryViolation::DuplicateApplication`]).
+    ReplayToken {
+        /// Picks which applied token, deterministically.
+        seed: u64,
+    },
+    /// Insert a grant to a crashed worker right after its crash
+    /// (→ [`RecoveryViolation::GrantToDeadWorker`]).
+    GrantToDead {
+        /// Picks which crash, deterministically.
+        seed: u64,
+    },
+}
+
+/// Rebuilds `trace` with `mutation` applied. A mutation whose precondition the
+/// trace lacks (e.g. [`RecoveryMutation::DropRevoke`] on a fault-free trace)
+/// returns the trace unchanged.
+pub fn mutate_trace(trace: &Trace, mutation: RecoveryMutation) -> Trace {
+    let pick = |candidates: &[usize], seed: u64| -> Option<usize> {
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[(seed as usize) % candidates.len()])
+        }
+    };
+    let events = trace.events();
+    let mut skip: Option<usize> = None;
+    // (index to insert after, events to insert)
+    let mut insert: Option<(usize, Vec<EventKind>)> = None;
+
+    match mutation {
+        RecoveryMutation::DropRevoke { seed } => {
+            let revokes: Vec<usize> = (0..events.len())
+                .filter(|&i| matches!(events[i].kind, EventKind::Revoke { .. }))
+                .collect();
+            skip = pick(&revokes, seed);
+        }
+        RecoveryMutation::DropStaleReport { seed } => {
+            let stales: Vec<usize> = (0..events.len())
+                .filter(|&i| matches!(events[i].kind, EventKind::StaleReport { .. }))
+                .collect();
+            skip = pick(&stales, seed);
+        }
+        RecoveryMutation::ReplayToken { seed } => {
+            // Completions that were actually applied (not stale-rejected).
+            let mut stale: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+            for e in events {
+                if let EventKind::StaleReport { worker, token } = e.kind {
+                    *stale.entry((worker, token)).or_insert(0) += 1;
+                }
+            }
+            let mut appliers: Vec<(usize, u64, usize, u64)> = Vec::new();
+            for e in events {
+                if let EventKind::Complete {
+                    worker,
+                    token,
+                    level,
+                    iteration,
+                } = e.kind
+                {
+                    match stale.get_mut(&(worker, token)) {
+                        Some(left) if *left > 0 => *left -= 1,
+                        _ => appliers.push((worker, token, level, iteration)),
+                    }
+                }
+            }
+            if !appliers.is_empty() {
+                let (worker, token, level, iteration) = appliers[(seed as usize) % appliers.len()];
+                insert = Some((
+                    events.len().saturating_sub(1),
+                    vec![
+                        EventKind::Grant {
+                            worker,
+                            token,
+                            level,
+                            iteration,
+                            deps: vec![],
+                        },
+                        EventKind::Complete {
+                            worker,
+                            token,
+                            level,
+                            iteration,
+                        },
+                    ],
+                ));
+            }
+        }
+        RecoveryMutation::GrantToDead { seed } => {
+            let crashes: Vec<usize> = (0..events.len())
+                .filter(|&i| matches!(events[i].kind, EventKind::Crash { .. }))
+                .collect();
+            if let Some(at) = pick(&crashes, seed) {
+                if let EventKind::Crash { worker } = events[at].kind {
+                    // A token id far outside any real plan's range.
+                    let phantom = u64::MAX;
+                    insert = Some((
+                        at,
+                        vec![
+                            EventKind::Grant {
+                                worker,
+                                token: phantom,
+                                level: 0,
+                                iteration: 0,
+                                deps: vec![],
+                            },
+                            EventKind::Complete {
+                                worker,
+                                token: phantom,
+                                level: 0,
+                                iteration: 0,
+                            },
+                        ],
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut out = Trace::enabled();
+    for (i, e) in events.iter().enumerate() {
+        if skip != Some(i) {
+            out.record_kind(e.time, &e.source, e.kind.clone(), || e.message.clone());
+        }
+        if let Some((at, kinds)) = &insert {
+            if *at == i {
+                for k in kinds {
+                    out.record_kind(e.time, "mutation", k.clone(), String::new);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fela_cluster::{FaultKind, FaultModel, Scenario};
+    use fela_core::{FelaConfig, FelaRuntime};
+    use fela_model::zoo;
+    use fela_sim::SimDuration;
+
+    fn traced(fault: FaultModel) -> Trace {
+        let scenario = Scenario::paper(zoo::vgg19(), 128)
+            .with_iterations(3)
+            .with_fault(fault);
+        let (_, trace) =
+            FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4])).run_traced(&scenario);
+        trace
+    }
+
+    /// A faulted trace guaranteed to contain revocations and stale reports:
+    /// scan scripted hang sites until one catches a worker mid-compute.
+    fn expiring_trace() -> Trace {
+        for worker in 0..8 {
+            for iteration in 0..3 {
+                let tr = traced(FaultModel::Scripted {
+                    worker,
+                    iteration,
+                    kind: FaultKind::Hang {
+                        stall: SimDuration::from_secs(600),
+                    },
+                });
+                let has = |f: fn(&EventKind) -> bool| tr.events().iter().any(|e| f(&e.kind));
+                if has(|k| matches!(k, EventKind::Revoke { .. }))
+                    && has(|k| matches!(k, EventKind::StaleReport { .. }))
+                {
+                    return tr;
+                }
+            }
+        }
+        panic!("no scripted hang produced a lease expiry");
+    }
+
+    fn crash_trace() -> Trace {
+        traced(FaultModel::Scripted {
+            worker: 2,
+            iteration: 1,
+            kind: FaultKind::CrashRestart {
+                down: SimDuration::from_secs(5),
+            },
+        })
+    }
+
+    #[test]
+    fn fault_free_run_is_exactly_once() {
+        let tr = traced(FaultModel::None);
+        let s = check_recovery(&tr).unwrap();
+        assert_eq!(s.tokens, 14 * 3);
+        assert_eq!(s.grants, 14 * 3);
+        assert_eq!(s.applied, 14 * 3);
+        assert_eq!(s.discarded + s.revocations + s.crashes, 0);
+    }
+
+    #[test]
+    fn crash_restart_run_obeys_the_lease_protocol() {
+        let s = check_recovery(&crash_trace()).unwrap();
+        assert_eq!(s.applied, 14 * 3, "every gradient applied exactly once");
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.restarts, 1);
+        assert!(s.grants >= s.applied);
+    }
+
+    #[test]
+    fn lease_expiry_run_obeys_the_lease_protocol() {
+        let s = check_recovery(&expiring_trace()).unwrap();
+        assert_eq!(s.applied, 14 * 3);
+        assert!(s.revocations >= 1);
+        assert!(s.discarded >= 1, "the thawed report must be discarded");
+    }
+
+    #[test]
+    fn dropped_revocation_is_diagnosed() {
+        for seed in [0u64, 1, 7] {
+            let tr = mutate_trace(&expiring_trace(), RecoveryMutation::DropRevoke { seed });
+            let violations = check_recovery(&tr).unwrap_err();
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| matches!(v, RecoveryViolation::DoubleGrant { .. })),
+                "seed {seed}: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_stale_report_is_diagnosed() {
+        let tr = mutate_trace(
+            &expiring_trace(),
+            RecoveryMutation::DropStaleReport { seed: 0 },
+        );
+        let violations = check_recovery(&tr).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, RecoveryViolation::GhostGradient { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn replayed_token_is_diagnosed() {
+        for seed in [0u64, 11, 2024] {
+            let tr = mutate_trace(&crash_trace(), RecoveryMutation::ReplayToken { seed });
+            let violations = check_recovery(&tr).unwrap_err();
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| matches!(v, RecoveryViolation::GrantAfterApply { .. })),
+                "seed {seed}: {violations:?}"
+            );
+            assert!(
+                violations
+                    .iter()
+                    .any(|v| matches!(v, RecoveryViolation::DuplicateApplication { .. })),
+                "seed {seed}: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grant_to_dead_worker_is_diagnosed() {
+        let tr = mutate_trace(&crash_trace(), RecoveryMutation::GrantToDead { seed: 0 });
+        let violations = check_recovery(&tr).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, RecoveryViolation::GrantToDeadWorker { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn mutation_without_precondition_is_identity() {
+        let tr = traced(FaultModel::None);
+        let same = mutate_trace(&tr, RecoveryMutation::DropRevoke { seed: 3 });
+        assert_eq!(same.events().len(), tr.events().len());
+        check_recovery(&same).unwrap();
+    }
+
+    #[test]
+    fn faulted_traces_are_also_race_free() {
+        // The ordering half of the story: revocation edges keep the
+        // happens-before analysis clean under crashes and expiries.
+        crate::race::check_trace(&crash_trace(), 0).unwrap();
+        crate::race::check_trace(&expiring_trace(), 0).unwrap();
+    }
+}

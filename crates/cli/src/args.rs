@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing for the `fela` CLI (kept dependency-free).
 
-use fela_cluster::StragglerModel;
+use fela_cluster::{FaultKind, FaultModel, StragglerModel};
 use fela_sim::SimDuration;
 
 /// Parsed command line.
@@ -51,7 +51,9 @@ pub struct CommonArgs {
     pub nodes: usize,
     /// Straggler injection.
     pub straggler: StragglerModel,
-    /// Seed override re-rooting the straggler realisation (`--seed`).
+    /// Fault injection.
+    pub fault: FaultModel,
+    /// Seed override re-rooting the straggler/fault realisations (`--seed`).
     pub seed: Option<u64>,
     /// Harness worker threads (`--jobs`); `None` = `FELA_JOBS`/auto.
     pub jobs: Option<usize>,
@@ -65,6 +67,7 @@ impl Default for CommonArgs {
             iters: 100,
             nodes: 8,
             straggler: StragglerModel::None,
+            fault: FaultModel::None,
             seed: None,
             jobs: None,
         }
@@ -110,41 +113,112 @@ fn take_value<'a>(
         .ok_or_else(|| ParseError(format!("{flag} expects a value")))
 }
 
+/// Parses a duration given as (possibly fractional) seconds, rejecting
+/// non-finite and negative values at parse time rather than panicking deep in
+/// the simulator.
+fn parse_secs(what: &str, s: &str) -> Result<SimDuration, ParseError> {
+    let secs: f64 = s
+        .parse()
+        .map_err(|_| ParseError(format!("bad {what} '{s}'")))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return err(format!("{what} {secs} must be finite and non-negative"));
+    }
+    Ok(SimDuration::from_secs_f64(secs))
+}
+
 /// Parses `--straggler` values: `none`, `round-robin:<d_secs>` or
-/// `prob:<p>:<d_secs>[:<seed>]`.
+/// `prob:<p>:<d_secs>[:<seed>]`. Delays may be fractional seconds; `p` must
+/// lie in `[0, 1]` and delays must be finite and non-negative.
 pub fn parse_straggler(spec: &str) -> Result<StragglerModel, ParseError> {
     let parts: Vec<&str> = spec.split(':').collect();
     match parts.as_slice() {
         ["none"] => Ok(StragglerModel::None),
-        ["round-robin", d] => {
-            let secs: u64 = d
-                .parse()
-                .map_err(|_| ParseError(format!("bad delay '{d}'")))?;
-            Ok(StragglerModel::RoundRobin {
-                delay: SimDuration::from_secs(secs),
-            })
-        }
+        ["round-robin", d] => Ok(StragglerModel::RoundRobin {
+            delay: parse_secs("delay", d)?,
+        }),
         ["prob", p, d] | ["prob", p, d, _] => {
             let p: f64 = p.parse().map_err(|_| ParseError(format!("bad probability '{p}'")))?;
             if !(0.0..=1.0).contains(&p) {
                 return err(format!("probability {p} out of [0,1]"));
             }
-            let secs: u64 = d
-                .parse()
-                .map_err(|_| ParseError(format!("bad delay '{d}'")))?;
+            let delay = parse_secs("delay", d)?;
             let seed = parts
                 .get(3)
                 .map(|s| s.parse().map_err(|_| ParseError(format!("bad seed '{s}'"))))
                 .transpose()?
                 .unwrap_or(42);
-            Ok(StragglerModel::Probabilistic {
-                p,
-                delay: SimDuration::from_secs(secs),
-                seed,
-            })
+            Ok(StragglerModel::Probabilistic { p, delay, seed })
         }
         _ => err(format!(
             "unknown straggler spec '{spec}' (use none, round-robin:<secs> or prob:<p>:<secs>[:<seed>])"
+        )),
+    }
+}
+
+/// Parses `--fault` values: `none`, `crash:<iter>:<worker>`,
+/// `crash-restart:<iter>:<worker>:<down_secs>`, `hang:<iter>:<worker>:<secs>`,
+/// `link-down:<iter>:<worker>:<secs>` or `chaos:<p>:<down_secs>[:<seed>]`.
+pub fn parse_fault(spec: &str) -> Result<FaultModel, ParseError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let cell = |it: &str, w: &str| -> Result<(u64, usize), ParseError> {
+        let iteration = it
+            .parse()
+            .map_err(|_| ParseError(format!("bad iteration '{it}'")))?;
+        let worker = w
+            .parse()
+            .map_err(|_| ParseError(format!("bad worker '{w}'")))?;
+        Ok((iteration, worker))
+    };
+    let scripted = |it: &str, w: &str, kind: FaultKind| -> Result<FaultModel, ParseError> {
+        let (iteration, worker) = cell(it, w)?;
+        Ok(FaultModel::Scripted {
+            worker,
+            iteration,
+            kind,
+        })
+    };
+    match parts.as_slice() {
+        ["none"] => Ok(FaultModel::None),
+        ["crash", it, w] => scripted(it, w, FaultKind::Crash),
+        ["crash-restart", it, w, d] => scripted(
+            it,
+            w,
+            FaultKind::CrashRestart {
+                down: parse_secs("downtime", d)?,
+            },
+        ),
+        ["hang", it, w, d] => scripted(
+            it,
+            w,
+            FaultKind::Hang {
+                stall: parse_secs("stall", d)?,
+            },
+        ),
+        ["link-down", it, w, d] => scripted(
+            it,
+            w,
+            FaultKind::LinkDown {
+                down: parse_secs("outage", d)?,
+            },
+        ),
+        ["chaos", p, d] | ["chaos", p, d, _] => {
+            let p: f64 = p
+                .parse()
+                .map_err(|_| ParseError(format!("bad probability '{p}'")))?;
+            let down = parse_secs("downtime", d)?;
+            let seed = parts
+                .get(3)
+                .map(|s| s.parse().map_err(|_| ParseError(format!("bad seed '{s}'"))))
+                .transpose()?
+                .unwrap_or(42);
+            let model = FaultModel::Chaos { p, down, seed };
+            model.validate().map_err(ParseError)?;
+            Ok(model)
+        }
+        _ => err(format!(
+            "unknown fault spec '{spec}' (use none, crash:<iter>:<worker>, \
+             crash-restart:<iter>:<worker>:<down_secs>, hang:<iter>:<worker>:<secs>, \
+             link-down:<iter>:<worker>:<secs> or chaos:<p>:<down_secs>[:<seed>])"
         )),
     }
 }
@@ -194,6 +268,7 @@ fn parse_common<'a>(
                 .map_err(|_| ParseError("--nodes expects an integer".into()))?
         }
         "--straggler" => common.straggler = parse_straggler(take_value(flag, it)?)?,
+        "--fault" => common.fault = parse_fault(take_value(flag, it)?)?,
         "--seed" => {
             common.seed = Some(
                 take_value(flag, it)?
@@ -334,10 +409,11 @@ pub const HELP: &str = "fela — token-scheduled hybrid-parallel DML training (s
 USAGE:
   fela run     --model <name> --batch <n> [--iters <n>] [--nodes <n>]
                [--weights w1,w2,…] [--ctd <size>] [--staleness <s>]
-               [--no-pipelining] [--straggler <spec>] [--json]
+               [--no-pipelining] [--straggler <spec>] [--fault <spec>] [--json]
                (omit --weights to auto-tune first)
   fela tune    --model <name> --batch <n> [--iters <n>] [--nodes <n>]
   fela compare --model <name> --batch <n> [--iters <n>] [--straggler <spec>]
+               [--fault <spec>]
   fela check   --model <name> [--policy full|ads|hf|ctd|none] [--batch <n>]
                [--weights w1,w2,…] [--ctd <size>] [--staleness <s>]
                (static DAG verification + race-checking a traced run;
@@ -347,13 +423,21 @@ USAGE:
   fela help
 
 COMMON FLAGS:
-  --seed <n>   re-root the straggler realisation (recorded in run artifacts)
+  --seed <n>   re-root the straggler/fault realisations (recorded in run
+               artifacts)
   --jobs <n>   worker threads for tuning/comparison sweeps
                (default: FELA_JOBS or available parallelism; results are
                identical for every value)
 
 STRAGGLER SPECS:
   none | round-robin:<delay_secs> | prob:<p>:<delay_secs>[:<seed>]
+
+FAULT SPECS (crashed workers lose their leases; Fela re-grants the tokens):
+  none | crash:<iter>:<worker> | crash-restart:<iter>:<worker>:<down_secs>
+       | hang:<iter>:<worker>:<secs> | link-down:<iter>:<worker>:<secs>
+       | chaos:<p>:<down_secs>[:<seed>]
+  e.g.  fela run --model vgg19 --batch 128 --iters 10 \\
+            --weights 1,2,4 --fault crash-restart:3:2:30
 
 MODELS:
   vgg19 (default), vgg16, googlenet, alexnet, lenet-5, zf-net, resnet-152
@@ -437,6 +521,109 @@ mod tests {
         }
         assert!(parse_straggler("prob:1.5:6").is_err());
         assert!(parse_straggler("sometimes").is_err());
+    }
+
+    #[test]
+    fn straggler_delays_must_be_finite_and_non_negative() {
+        for bad in ["inf", "NaN", "-1", "-0.5", "1e400"] {
+            assert!(
+                parse_straggler(&format!("round-robin:{bad}")).is_err(),
+                "{bad}"
+            );
+            assert!(
+                parse_straggler(&format!("prob:0.5:{bad}")).is_err(),
+                "{bad}"
+            );
+        }
+        // Fractional delays are fine.
+        match parse_straggler("round-robin:0.5").unwrap() {
+            StragglerModel::RoundRobin { delay } => {
+                assert_eq!(delay, SimDuration::from_millis(500));
+            }
+            _ => panic!(),
+        }
+        assert!(parse_straggler("prob:nan:6").is_err(), "NaN probability");
+    }
+
+    #[test]
+    fn fault_specs() {
+        assert_eq!(parse_fault("none").unwrap(), FaultModel::None);
+        assert_eq!(
+            parse_fault("crash:3:2").unwrap(),
+            FaultModel::Scripted {
+                worker: 2,
+                iteration: 3,
+                kind: FaultKind::Crash,
+            }
+        );
+        assert_eq!(
+            parse_fault("crash-restart:1:0:30").unwrap(),
+            FaultModel::Scripted {
+                worker: 0,
+                iteration: 1,
+                kind: FaultKind::CrashRestart {
+                    down: SimDuration::from_secs(30),
+                },
+            }
+        );
+        assert!(matches!(
+            parse_fault("hang:0:4:2.5").unwrap(),
+            FaultModel::Scripted {
+                kind: FaultKind::Hang { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_fault("link-down:2:1:10").unwrap(),
+            FaultModel::Scripted {
+                kind: FaultKind::LinkDown { .. },
+                ..
+            }
+        ));
+        match parse_fault("chaos:0.1:5:9").unwrap() {
+            FaultModel::Chaos { p, down, seed } => {
+                assert_eq!(p, 0.1);
+                assert_eq!(down, SimDuration::from_secs(5));
+                assert_eq!(seed, 9);
+            }
+            _ => panic!(),
+        }
+        match parse_fault("chaos:0.1:5").unwrap() {
+            FaultModel::Chaos { seed, .. } => assert_eq!(seed, 42),
+            _ => panic!(),
+        }
+        for bad in [
+            "chaos:1.5:5",
+            "chaos:nan:5",
+            "chaos:0.1:inf",
+            "crash:x:2",
+            "crash:1:y",
+            "crash-restart:1:0:-3",
+            "hang:1",
+            "explode:1:2",
+        ] {
+            assert!(parse_fault(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn fault_flag_reaches_common_args() {
+        let Command::Run(r) = parse(&["run", "--fault", "crash-restart:2:3:15"]).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            r.common.fault,
+            FaultModel::Scripted {
+                worker: 3,
+                iteration: 2,
+                kind: FaultKind::CrashRestart { .. },
+            }
+        ));
+        let Command::Compare(c) = parse(&["compare", "--fault", "chaos:0.05:20"]).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(c.fault, FaultModel::Chaos { .. }));
+        assert!(parse(&["run", "--fault", "explode"]).is_err());
     }
 
     #[test]

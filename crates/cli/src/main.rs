@@ -47,8 +47,10 @@ fn scenario_from(common: &CommonArgs) -> Result<Scenario, String> {
         sc.cluster = ClusterSpec::k40c_cluster(common.nodes);
     }
     sc.straggler = common.straggler;
+    sc.fault = common.fault;
     if let Some(seed) = common.seed {
         sc.straggler = sc.straggler.with_seed(seed);
+        sc.fault = sc.fault.with_seed(seed);
     }
     Ok(sc)
 }
@@ -160,6 +162,17 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
         "lock conflicts".into(),
         report.counter("conflicts").to_string(),
     ]);
+    if !sc.fault.is_none() {
+        for (label, key) in [
+            ("crashes", "crashes"),
+            ("restarts", "restarts"),
+            ("leases revoked", "revocations"),
+            ("stale reports", "stale_reports"),
+            ("workers quarantined", "quarantined"),
+        ] {
+            table.row(vec![label.into(), report.counter(key).to_string()]);
+        }
+    }
     print!("{}", table.render());
     Ok(())
 }
@@ -244,10 +257,11 @@ fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
             sc.model.name,
             sc.total_batch,
             sc.iterations,
-            if sc.straggler.is_none() {
-                ""
-            } else {
-                " (stragglers injected)"
+            match (sc.straggler.is_none(), sc.fault.is_none()) {
+                (true, true) => "",
+                (false, true) => " (stragglers injected)",
+                (true, false) => " (faults injected)",
+                (false, false) => " (stragglers + faults injected)",
             }
         ),
         &[
@@ -369,14 +383,14 @@ fn cmd_check(check: &CheckArgs) -> Result<(), String> {
     }
     print!("{}", table.render());
 
-    // Dynamic half: trace a real run under the first feasible config and
-    // race-check its happens-before order.
+    // Dynamic half: trace a real run under the first feasible config, then
+    // race-check its happens-before order and replay its lease protocol.
     if let Some(cfg) = traced_cfg {
         let (_, trace) = FelaRuntime::new(cfg).run_traced(&sc);
         match fela_check::check_trace(&trace, check.staleness) {
             Ok(s) => println!(
-                "race check: {} events ({} grants, {} completions, {} commits) across {} processes — clean",
-                s.events, s.grants, s.completions, s.commits, s.processes
+                "race check: {} events ({} grants, {} completions, {} commits, {} revocations) across {} processes — clean",
+                s.events, s.grants, s.completions, s.commits, s.revocations, s.processes
             ),
             Err(violations) => {
                 for v in &violations {
@@ -388,8 +402,23 @@ fn cmd_check(check: &CheckArgs) -> Result<(), String> {
                 ));
             }
         }
+        match fela_check::check_recovery(&trace) {
+            Ok(s) => println!(
+                "recovery check: {} tokens, {} applied, {} discarded, {} revocations, {} crashes — exactly-once",
+                s.tokens, s.applied, s.discarded, s.revocations, s.crashes
+            ),
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("recovery: {v}");
+                }
+                return Err(format!(
+                    "{} lease-protocol violation(s) in the traced run",
+                    violations.len()
+                ));
+            }
+        }
     } else {
-        println!("race check skipped: no feasible configuration to trace");
+        println!("race and recovery checks skipped: no feasible configuration to trace");
     }
     if failures > 0 {
         return Err(format!("{failures} schedule invariant violation(s)"));

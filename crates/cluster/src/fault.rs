@@ -1,0 +1,277 @@
+//! Deterministic fault injection.
+//!
+//! Where [`crate::StragglerModel`] injects *slowness*, a [`FaultModel`] injects
+//! *failures*: worker crashes (permanent or crash-restart-after-`d`), transient
+//! hangs, and network link outages. Like the straggler scenarios it is a pure
+//! function of `(iteration, worker)` — the probabilistic `Chaos` scenario
+//! derives its draws by hashing `(seed, iteration, worker)` — so every runtime
+//! under comparison sees the *same* realisation of failures, and a sweep is
+//! byte-identical regardless of `--jobs`.
+//!
+//! A fault is *declared* against the iteration in which it strikes; runtimes
+//! translate the declaration into simulator events when that iteration starts
+//! on the victim. `FaultModel::None` schedules nothing at all, which is what
+//! keeps fault-free runs bit-identical to a build without this module.
+
+use fela_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// What happens to the victim when a fault strikes.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The worker process dies and never comes back.
+    Crash,
+    /// The worker dies and rejoins after `down` of wall-clock (sim) time.
+    CrashRestart {
+        /// Downtime between the crash and the rejoin.
+        down: SimDuration,
+    },
+    /// The worker freezes for `stall` but keeps its state (a GC pause, an NFS
+    /// stall): its in-flight compute finishes late instead of being lost.
+    Hang {
+        /// How long the worker is unresponsive.
+        stall: SimDuration,
+    },
+    /// The worker's NIC/link goes dark for `down`: in-flight transfers abort,
+    /// the node is unreachable, but its process survives and reconnects.
+    LinkDown {
+        /// Outage duration.
+        down: SimDuration,
+    },
+}
+
+/// A deterministic failure scenario.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// No faults — byte-identical behaviour to a build without fault injection.
+    #[default]
+    None,
+    /// A single scripted fault: `kind` strikes `worker` at the start of its
+    /// `iteration`-th compute.
+    Scripted {
+        /// Victim worker id.
+        worker: usize,
+        /// Iteration (0-based) in which the fault strikes.
+        iteration: u64,
+        /// What happens.
+        kind: FaultKind,
+    },
+    /// Probabilistic crash-restart churn: each `(iteration, worker)` cell
+    /// independently crashes with probability `p` and rejoins after `down`.
+    /// Draws are stateless hashes of `(seed, iteration, worker)`, exactly like
+    /// [`crate::StragglerModel::Probabilistic`].
+    Chaos {
+        /// Per-iteration crash probability for each worker.
+        p: f64,
+        /// Downtime before the victim rejoins.
+        down: SimDuration,
+        /// Seed defining the (shared) realisation.
+        seed: u64,
+    },
+}
+
+impl FaultModel {
+    /// The fault (if any) striking `worker` in `iteration`.
+    pub fn fault_for(&self, iteration: u64, worker: usize, n_workers: usize) -> Option<FaultKind> {
+        if worker >= n_workers {
+            return None;
+        }
+        match *self {
+            FaultModel::None => None,
+            FaultModel::Scripted {
+                worker: w,
+                iteration: it,
+                kind,
+            } => (w == worker && it == iteration).then_some(kind),
+            FaultModel::Chaos { p, down, seed } => {
+                // Stateless hash of (seed, iteration, worker) → one Bernoulli
+                // draw, mixed with distinct odd constants so a `Chaos` fault
+                // realisation never correlates with a same-seed
+                // `StragglerModel::Probabilistic` realisation.
+                let mix = seed
+                    ^ iteration.wrapping_mul(0xA24B_AED4_963E_E407)
+                    ^ (worker as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+                let mut rng = SimRng::seed_from_u64(mix);
+                rng.chance(p).then_some(FaultKind::CrashRestart { down })
+            }
+        }
+    }
+
+    /// True if this scenario never injects faults.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultModel::None)
+    }
+
+    /// The same scenario re-rooted on `seed` (the harness `--seed` override).
+    /// Scripted faults carry no randomness and are returned unchanged.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            FaultModel::Chaos { p, down, .. } => FaultModel::Chaos { p, down, seed },
+            other => other,
+        }
+    }
+
+    /// Checks scenario parameters, returning a user-facing message on the
+    /// first problem found. Mirrors [`crate::StragglerModel::validate`]: the
+    /// probabilistic scenario must have `p ∈ [0, 1]` (a NaN or out-of-range
+    /// `p` would otherwise be silently clamped by `SimRng::chance`).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            FaultModel::None | FaultModel::Scripted { .. } => Ok(()),
+            FaultModel::Chaos { p, .. } => {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    Err(format!("fault probability {p} outside [0, 1]"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 8;
+    const DOWN: SimDuration = SimDuration::from_secs(10);
+
+    #[test]
+    fn none_never_faults() {
+        let m = FaultModel::None;
+        for it in 0..50 {
+            for w in 0..N {
+                assert_eq!(m.fault_for(it, w, N), None);
+            }
+        }
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn scripted_hits_exactly_one_cell() {
+        let m = FaultModel::Scripted {
+            worker: 3,
+            iteration: 7,
+            kind: FaultKind::CrashRestart { down: DOWN },
+        };
+        let mut hits = 0;
+        for it in 0..20 {
+            for w in 0..N {
+                if let Some(kind) = m.fault_for(it, w, N) {
+                    assert_eq!((it, w), (7, 3));
+                    assert_eq!(kind, FaultKind::CrashRestart { down: DOWN });
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits, 1);
+        assert!(!m.is_none());
+    }
+
+    #[test]
+    fn scripted_out_of_range_worker_never_fires() {
+        let m = FaultModel::Scripted {
+            worker: 12,
+            iteration: 0,
+            kind: FaultKind::Crash,
+        };
+        for it in 0..4 {
+            for w in 0..N {
+                assert_eq!(m.fault_for(it, w, N), None);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_cell() {
+        let m = FaultModel::Chaos {
+            p: 0.2,
+            down: DOWN,
+            seed: 9,
+        };
+        for it in 0..30 {
+            for w in 0..N {
+                assert_eq!(m.fault_for(it, w, N), m.fault_for(it, w, N));
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_rate_approximates_p() {
+        let m = FaultModel::Chaos {
+            p: 0.2,
+            down: DOWN,
+            seed: 5,
+        };
+        let trials = 20_000u64;
+        let hits = (0..trials)
+            .flat_map(|it| (0..N).map(move |w| (it, w)))
+            .filter(|&(it, w)| m.fault_for(it, w, N).is_some())
+            .count();
+        let rate = hits as f64 / (trials as usize * N) as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn chaos_decorrelated_from_probabilistic_straggler() {
+        // Same seed must not produce the same hit pattern as the straggler
+        // model — the two draws use different mixing constants.
+        let f = FaultModel::Chaos {
+            p: 0.5,
+            down: DOWN,
+            seed: 11,
+        };
+        let s = crate::StragglerModel::Probabilistic {
+            p: 0.5,
+            delay: DOWN,
+            seed: 11,
+        };
+        let differs = (0..100).any(|it| {
+            // A cell differs when exactly one of the two models hits it:
+            // fault fired (`is_some`) while the straggler slept (`is_zero`).
+            (0..N).any(|w| f.fault_for(it, w, N).is_some() == s.delay_for(it, w, N).is_zero())
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn with_seed_reroots_only_chaos() {
+        let c = FaultModel::Chaos {
+            p: 0.1,
+            down: DOWN,
+            seed: 1,
+        };
+        assert!(matches!(
+            c.with_seed(77),
+            FaultModel::Chaos { seed: 77, .. }
+        ));
+        let s = FaultModel::Scripted {
+            worker: 0,
+            iteration: 0,
+            kind: FaultKind::Crash,
+        };
+        assert_eq!(s.with_seed(77), s);
+        assert_eq!(FaultModel::None.with_seed(77), FaultModel::None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let m = FaultModel::Chaos {
+                p: bad,
+                down: DOWN,
+                seed: 0,
+            };
+            assert!(m.validate().is_err(), "p={bad} should be rejected");
+        }
+        assert!(FaultModel::Chaos {
+            p: 0.0,
+            down: DOWN,
+            seed: 0
+        }
+        .validate()
+        .is_ok());
+        assert!(FaultModel::None.validate().is_ok());
+    }
+}

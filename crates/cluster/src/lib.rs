@@ -8,10 +8,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fault;
 mod runtime;
 mod scenario;
 mod straggler;
 
+pub use fault::{FaultKind, FaultModel};
 pub use runtime::TrainingRuntime;
 pub use scenario::{ClusterSpec, Scenario};
 pub use straggler::StragglerModel;

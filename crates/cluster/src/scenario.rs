@@ -10,6 +10,7 @@ use fela_model::Model;
 use fela_net::NetworkConfig;
 use fela_sim::SimDuration;
 
+use crate::fault::{FaultKind, FaultModel};
 use crate::straggler::StragglerModel;
 
 /// Static description of the cluster hardware.
@@ -113,10 +114,13 @@ pub struct Scenario {
     pub cluster: ClusterSpec,
     /// Straggler injection.
     pub straggler: StragglerModel,
+    /// Fault injection (crashes, hangs, link outages).
+    pub fault: FaultModel,
 }
 
 impl Scenario {
-    /// A paper-style scenario: 8-node K40c testbed, 100 iterations, no stragglers.
+    /// A paper-style scenario: 8-node K40c testbed, 100 iterations, no
+    /// stragglers, no faults.
     pub fn paper(model: Model, total_batch: u64) -> Self {
         Scenario {
             model,
@@ -124,12 +128,19 @@ impl Scenario {
             iterations: 100,
             cluster: ClusterSpec::paper_testbed(),
             straggler: StragglerModel::None,
+            fault: FaultModel::None,
         }
     }
 
     /// Replaces the straggler model (builder style).
     pub fn with_straggler(mut self, straggler: StragglerModel) -> Self {
         self.straggler = straggler;
+        self
+    }
+
+    /// Replaces the fault model (builder style).
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -143,6 +154,36 @@ impl Scenario {
     pub fn straggler_delay(&self, iteration: u64, worker: usize) -> SimDuration {
         self.straggler
             .delay_for(iteration, worker, self.cluster.nodes)
+    }
+
+    /// The fault (if any) striking `worker` in `iteration`.
+    pub fn fault_for(&self, iteration: u64, worker: usize) -> Option<FaultKind> {
+        self.fault.fault_for(iteration, worker, self.cluster.nodes)
+    }
+
+    /// How long a worker replaced after a permanent crash takes to come back,
+    /// as seen by runtimes without token recovery (an operator swapping the
+    /// machine and restoring from checkpoint).
+    pub const CRASH_REPLACEMENT: SimDuration = SimDuration::from_secs(3600);
+
+    /// Total downtime a fault-stalled runtime must absorb when `worker` faults
+    /// in `iteration`.
+    ///
+    /// Runtimes without token recovery (DP/MP/HP) cannot re-assign a victim's
+    /// work: a crash-restart, hang or link outage stalls the iteration until
+    /// the victim is back, modelled as extra compute delay the same way
+    /// straggler sleeps are. A *permanent* crash would wedge them forever; we
+    /// charge [`Scenario::CRASH_REPLACEMENT`] instead — the operator replaces
+    /// the dead machine — so the comparison against Fela's online recovery
+    /// stays finite.
+    pub fn fault_stall(&self, iteration: u64, worker: usize) -> SimDuration {
+        match self.fault_for(iteration, worker) {
+            None => SimDuration::ZERO,
+            Some(FaultKind::Crash) => Self::CRASH_REPLACEMENT,
+            Some(FaultKind::CrashRestart { down }) => down,
+            Some(FaultKind::Hang { stall }) => stall,
+            Some(FaultKind::LinkDown { down }) => down,
+        }
     }
 }
 

@@ -40,7 +40,14 @@ pub enum StragglerModel {
 
 impl StragglerModel {
     /// The sleep delay injected into `worker`'s computation during `iteration`.
+    ///
+    /// Workers outside `0..n_workers` never straggle — the same range contract
+    /// as [`crate::FaultModel::fault_for`] — so callers can probe arbitrary
+    /// `(worker, n_workers)` pairs without spurious delays.
     pub fn delay_for(&self, iteration: u64, worker: usize, n_workers: usize) -> SimDuration {
+        if worker >= n_workers {
+            return SimDuration::ZERO;
+        }
         match *self {
             StragglerModel::None => SimDuration::ZERO,
             StragglerModel::RoundRobin { delay } => {
@@ -83,6 +90,27 @@ impl StragglerModel {
                 StragglerModel::Probabilistic { p, delay, seed }
             }
             other => other,
+        }
+    }
+
+    /// Checks scenario parameters, returning a user-facing message on the
+    /// first problem found.
+    ///
+    /// `Probabilistic` requires `p ∈ [0, 1]`: an out-of-range or NaN `p` would
+    /// otherwise be *silently clamped* inside `SimRng::chance`, turning a typo
+    /// like `p = 10` into "always a straggler" without any diagnostic. Callers
+    /// that construct models from user input (the CLI's `--straggler` parser,
+    /// harness sweep specs) surface this as a parse error.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            StragglerModel::None | StragglerModel::RoundRobin { .. } => Ok(()),
+            StragglerModel::Probabilistic { p, .. } => {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    Err(format!("straggler probability {p} outside [0, 1]"))
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 }

@@ -13,6 +13,37 @@ pub struct CtdConfig {
     pub subset_size: usize,
 }
 
+/// Lease-based token recovery settings.
+///
+/// With recovery on, every grant is a *lease*: the runtime arms a deadline of
+/// `compute estimate × slack × 2^attempt + grace` when the token starts
+/// computing, and the Token Server revokes the token — returning it to the
+/// grantable set, re-scored against surviving workers — when the deadline
+/// passes or a crash notification arrives. A worker whose leases expire
+/// `quarantine_after` times is quarantined: it gets no further grants and
+/// leaves the barrier membership, so an iteration can still close without it.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+pub struct RecoveryConfig {
+    /// Deadline multiplier over the estimated token cost (must be > 1; the
+    /// exponential backoff doubles it on each repeated expiry of a token).
+    pub lease_slack: f64,
+    /// Flat deadline headroom covering control-plane latency (report RPCs,
+    /// queueing at the TS).
+    pub lease_grace: SimDuration,
+    /// Lease expiries after which a worker is quarantined.
+    pub quarantine_after: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            lease_slack: 4.0,
+            lease_grace: SimDuration::from_millis(500),
+            quarantine_after: 3,
+        }
+    }
+}
+
 /// Full Fela configuration for one run.
 #[derive(Clone, Debug, Serialize)]
 pub struct FelaConfig {
@@ -52,6 +83,10 @@ pub struct FelaConfig {
     /// evaluation mode). With staleness `s`, a sub-model may run up to `s`
     /// iterations ahead of its own parameter sync.
     pub staleness: u64,
+    /// Lease-based token recovery; `None` disables it (grants are not leases,
+    /// exactly the pre-recovery behaviour). The runtime enables the default
+    /// recovery settings automatically when a scenario injects faults.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl FelaConfig {
@@ -69,6 +104,7 @@ impl FelaConfig {
             conflict_penalty: SimDuration::from_millis(50),
             pipelining: true,
             staleness: 0,
+            recovery: None,
         }
     }
 
@@ -108,6 +144,12 @@ impl FelaConfig {
         self
     }
 
+    /// Builder: enables lease-based token recovery with the given settings.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
     /// Validates the configuration against a cluster size.
     ///
     /// # Panics
@@ -137,6 +179,17 @@ impl FelaConfig {
             assert!(
                 ctd.subset_size.is_power_of_two(),
                 "CTD subset must be a power of two for even sharing (§IV-B)"
+            );
+        }
+        if let Some(rec) = self.recovery {
+            assert!(
+                rec.lease_slack.is_finite() && rec.lease_slack > 1.0,
+                "lease slack must be finite and > 1 (a deadline tighter than the \
+                 estimated cost revokes every healthy token)"
+            );
+            assert!(
+                rec.quarantine_after > 0,
+                "quarantine threshold must be at least one expiry"
             );
         }
     }

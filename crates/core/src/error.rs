@@ -85,6 +85,33 @@ pub enum ScheduleError {
         /// Iteration in which it happened.
         iteration: u64,
     },
+    /// A report arrived for a token whose lease the reporter no longer holds
+    /// (the lease expired or was revoked by a crash, and the token may already
+    /// be re-granted). The gradient must be discarded, not applied.
+    StaleReport {
+        /// The reporting worker.
+        worker: usize,
+        /// The token whose lease it lost.
+        token: TokenId,
+    },
+    /// An operation targeted a worker the server considers down or
+    /// quarantined (a crashed worker can legitimately race its own removal,
+    /// so callers treat this as a signal, not a bug).
+    WorkerUnavailable {
+        /// The unavailable worker.
+        worker: usize,
+    },
+    /// A liveness transition (crash/restart) repeated or contradicted the
+    /// current membership state.
+    BadLivenessTransition {
+        /// The worker whose transition was invalid.
+        worker: usize,
+        /// Whether the server currently considers it alive.
+        alive: bool,
+    },
+    /// Every worker is dead or quarantined: no grant can ever be served again
+    /// and the run cannot make progress.
+    NoAliveWorkers,
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -137,6 +164,21 @@ impl std::fmt::Display for ScheduleError {
                 f,
                 "token generation exceeded the plan at level {level} iteration {iteration}"
             ),
+            ScheduleError::StaleReport { worker, token } => write!(
+                f,
+                "worker {worker} reported token {} without holding its lease",
+                token.0
+            ),
+            ScheduleError::WorkerUnavailable { worker } => {
+                write!(f, "worker {worker} is down or quarantined")
+            }
+            ScheduleError::BadLivenessTransition { worker, alive } => write!(
+                f,
+                "invalid liveness transition for worker {worker} (alive = {alive})"
+            ),
+            ScheduleError::NoAliveWorkers => {
+                write!(f, "no alive workers remain to schedule onto")
+            }
         }
     }
 }

@@ -16,7 +16,7 @@
 //! sync group *without blocking trainers* (§III-A); the BSP barrier closes an
 //! iteration once all tokens are trained and all syncs have drained.
 
-use fela_cluster::{Scenario, TrainingRuntime};
+use fela_cluster::{FaultKind, Scenario, TrainingRuntime};
 use fela_metrics::RunReport;
 use fela_model::{bin_partition, Partition, PartitionOptions};
 use fela_net::{FlowSpec, Network, NodeId, RingAllReduce};
@@ -24,7 +24,7 @@ use fela_sim::{
     BusyTracker, Engine, EventId, EventKind, Scheduler, SimDuration, SimTime, Trace, World,
 };
 
-use crate::config::FelaConfig;
+use crate::config::{FelaConfig, RecoveryConfig};
 use crate::error::ScheduleError;
 use crate::plan::TokenPlan;
 use crate::server::{Grant, LevelMeta, SyncSpec, TokenServer};
@@ -57,25 +57,63 @@ fn sync_tag(level: usize, iteration: u64) -> u64 {
 enum Ev {
     /// A worker's token request reaches the TS.
     RequestArrive { worker: usize },
-    /// A grant reaches the worker.
-    GrantArrive { worker: usize, grant: Grant },
+    /// A grant reaches the worker. `epoch` is the addressee's liveness epoch at
+    /// send time: a grant in flight across a crash is void on arrival (the TS
+    /// revoked its lease when it processed the crash).
+    GrantArrive {
+        worker: usize,
+        grant: Grant,
+        epoch: u64,
+    },
     /// The worker's GPU finishes a token.
     ComputeDone { worker: usize },
     /// A completion report (with piggybacked request) reaches the TS.
     ReportArrive { worker: usize, token: TokenId },
     /// The network has one or more flows completing now.
     NetWake,
+    /// An injected fault strikes `worker` (scheduled when the victim's
+    /// iteration is released).
+    Fault { worker: usize, kind: FaultKind },
+    /// A crashed worker rejoins after its downtime.
+    Restart { worker: usize },
+    /// The lease deadline armed for `(token, attempt)` passes. Stale timers —
+    /// the token was reported, or already revoked and re-granted — no-op.
+    LeaseExpire { token: TokenId, attempt: u64 },
 }
 
 struct WorkerState {
     current: Option<Grant>,
     pending_fetches: usize,
+    /// Liveness epoch, bumped on every crash: events addressed to a previous
+    /// incarnation (an in-flight grant) are dropped on arrival.
+    epoch: u64,
+    /// The in-flight `ComputeDone` event and its scheduled instant, so a crash
+    /// can cancel it and a hang can push it back.
+    compute_ev: Option<(EventId, SimTime)>,
+    /// The worker is frozen until this instant (Hang fault): computes cannot
+    /// start earlier.
+    hang_until: SimTime,
 }
 
 struct ActiveSync {
     level: usize,
     iteration: u64,
+    /// Participants at start time, so a crash can restart the collective among
+    /// the survivors.
+    participants: Vec<usize>,
+    bytes: u64,
     collective: RingAllReduce,
+}
+
+/// Fault-path counters, reported only when a fault model is active so
+/// fault-free `RunReport`s stay byte-identical to pre-recovery builds.
+#[derive(Default)]
+struct FaultStats {
+    crashes: u64,
+    restarts: u64,
+    revocations: u64,
+    stale_reports: u64,
+    quarantines: u64,
 }
 
 struct FelaWorld {
@@ -93,6 +131,12 @@ struct FelaWorld {
     /// Completion instant of each fully synced iteration.
     iter_done: Vec<SimTime>,
     finished_at: Option<SimTime>,
+    /// Whether the scenario injects faults. False keeps every fault code path
+    /// cold: no fault events, no lease timers, no extra counters.
+    fault_active: bool,
+    /// Iterations whose fault declarations have been turned into events.
+    faults_armed: usize,
+    fault_stats: FaultStats,
 }
 
 impl FelaWorld {
@@ -112,17 +156,57 @@ impl FelaWorld {
         }
     }
 
+    /// Whether grants are leases with armed deadlines. Requires both an active
+    /// fault model *and* recovery config: a fault-free run schedules no timer
+    /// events at all, which is what keeps it bit-identical to a build without
+    /// fault injection.
+    fn leases_armed(&self) -> bool {
+        self.fault_active && self.server.recovery_on()
+    }
+
+    /// The smallest-id eligible worker — mirrors the server's deterministic
+    /// re-home target for crashed workers' data.
+    fn rehome_target(&self) -> Option<usize> {
+        (0..self.scenario.cluster.nodes)
+            .find(|&w| self.server.is_alive(w) && !self.server.is_quarantined(w))
+    }
+
     fn schedule_grant(&mut self, worker: usize, grant: Grant, sched: &mut Scheduler<'_, Ev>) {
         let mut delay = self.rpc();
         if grant.conflict {
             delay += self.server.config().conflict_penalty;
         }
-        sched.schedule_in(delay, Ev::GrantArrive { worker, grant });
+        let epoch = self.workers[worker].epoch;
+        sched.schedule_in(
+            delay,
+            Ev::GrantArrive {
+                worker,
+                grant,
+                epoch,
+            },
+        );
     }
 
     fn serve_waiting(&mut self, sched: &mut Scheduler<'_, Ev>) {
         while let Some((worker, grant)) = sched_ok(self.server.pop_ready_grant(sched.now())) {
             self.schedule_grant(worker, grant, sched);
+        }
+    }
+
+    /// Turns this scenario's fault declarations into events as iterations are
+    /// released (a fault declared for iteration `k` strikes when `k` starts).
+    fn arm_faults(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        if !self.fault_active {
+            return;
+        }
+        while self.faults_armed < self.iter_starts.len() {
+            let it = self.faults_armed as u64;
+            for worker in 0..self.scenario.cluster.nodes {
+                if let Some(kind) = self.scenario.fault_for(it, worker) {
+                    sched.schedule_now(Ev::Fault { worker, kind });
+                }
+            }
+            self.faults_armed += 1;
         }
     }
 
@@ -138,17 +222,29 @@ impl FelaWorld {
             grant.token.batch,
             worker,
         );
+        let token = grant.token.id;
+        let attempt = grant.attempt;
         // Straggler sleep (§V-C2): the worker cannot start computing before
         // its iteration's start + d, so the sleep overlaps any scheduling idle
         // time (and overlapping iterations each charge their own sleep).
         let iter = grant.token.iteration;
         let floor = self.iter_starts[iter as usize] + self.scenario.straggler_delay(iter, worker);
-        let start = sched.now().max(floor);
+        let start = sched.now().max(floor).max(self.workers[worker].hang_until);
         self.busy[worker].begin(start);
-        sched.schedule_at(
-            start + SimDuration::from_secs_f64(secs),
-            Ev::ComputeDone { worker },
-        );
+        let done_at = start + SimDuration::from_secs_f64(secs);
+        let ev = sched.schedule_at(done_at, Ev::ComputeDone { worker });
+        self.workers[worker].compute_ev = Some((ev, done_at));
+        if self.leases_armed() {
+            if let Some(rec) = self.server.config().recovery {
+                // Deadline = estimated cost × slack, doubled per prior expiry
+                // (exponential backoff), plus flat control-plane grace.
+                let backoff = (1u64 << attempt.min(32)) as f64;
+                let deadline = start
+                    + SimDuration::from_secs_f64(secs * rec.lease_slack * backoff)
+                    + rec.lease_grace;
+                sched.schedule_at(deadline, Ev::LeaseExpire { token, attempt });
+            }
+        }
     }
 
     fn start_syncs(&mut self, specs: Vec<SyncSpec>, sched: &mut Scheduler<'_, Ev>) {
@@ -204,6 +300,8 @@ impl FelaWorld {
             self.syncs.push(ActiveSync {
                 level: spec.level,
                 iteration: spec.iteration,
+                participants: spec.participants,
+                bytes: spec.bytes,
                 collective,
             });
         }
@@ -220,6 +318,7 @@ impl FelaWorld {
         while (self.iter_done.len() as u64) < self.server.completed_iterations() {
             self.iter_done.push(now);
         }
+        self.arm_faults(sched);
         self.serve_waiting(sched);
         if self.server.run_complete() {
             self.finished_at = Some(now);
@@ -241,10 +340,16 @@ impl FelaWorld {
                 .current
                 .as_ref()
                 .is_some_and(|g| g.token.id == token && state.pending_fetches > 0);
-            assert!(
-                waiting_for_this,
-                "dep flow for token {token:?} arrived at worker {worker} unexpectedly"
-            );
+            if !waiting_for_this {
+                // Without faults this is a scheduler bug; with them, a fetch
+                // can outlive its grant (the addressee crashed and rejoined,
+                // or the grant was revoked while inputs were in flight).
+                assert!(
+                    self.fault_active,
+                    "dep flow for token {token:?} arrived at worker {worker} unexpectedly"
+                );
+                return;
+            }
             state.pending_fetches -= 1;
             if state.pending_fetches == 0 {
                 self.start_compute(worker, sched);
@@ -277,6 +382,232 @@ impl FelaWorld {
             }
         }
     }
+
+    /// A worker freezes for `stall` but keeps its state: its in-flight compute
+    /// finishes late, and nothing is revoked by the hang itself (the lease
+    /// deadline, deliberately, is *not* extended — a long enough hang expires
+    /// the lease and the token is recomputed elsewhere).
+    fn on_hang(&mut self, worker: usize, stall: SimDuration, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        if !self.server.is_alive(worker) {
+            return; // already down: the hang is subsumed by the outage
+        }
+        self.trace.record(now, "fault", || {
+            format!("worker {worker} hangs for {stall}")
+        });
+        let until = now + stall;
+        if until > self.workers[worker].hang_until {
+            self.workers[worker].hang_until = until;
+        }
+        if let Some((ev, done_at)) = self.workers[worker].compute_ev.take() {
+            sched.cancel(ev);
+            let pushed = done_at + stall;
+            let new_ev = sched.schedule_at(pushed, Ev::ComputeDone { worker });
+            self.workers[worker].compute_ev = Some((new_ev, pushed));
+        }
+    }
+
+    /// A worker dies (process crash or dark link — from the scheduler's view a
+    /// partitioned node is equally gone: it can neither receive grants nor
+    /// report gradients). Its in-flight work is dropped, its leases revoked,
+    /// its transfers aborted; with `restart_after` set it rejoins later.
+    fn on_crash(
+        &mut self,
+        worker: usize,
+        restart_after: Option<SimDuration>,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let now = sched.now();
+        if !self.server.is_alive(worker) {
+            return; // chaos can strike a worker that is already down
+        }
+        self.fault_stats.crashes += 1;
+        self.trace
+            .record_kind(now, "fault", EventKind::Crash { worker }, || {
+                format!(
+                    "worker {worker} crashed{}",
+                    match restart_after {
+                        Some(d) => format!(", back in {d}"),
+                        None => " permanently".to_owned(),
+                    }
+                )
+            });
+        // Kill the local incarnation: in-flight grants to it become void
+        // (epoch), its compute never completes, its GPU interval is closed.
+        let state = &mut self.workers[worker];
+        state.epoch += 1;
+        state.current = None;
+        state.pending_fetches = 0;
+        state.hang_until = SimTime::ZERO;
+        if let Some((ev, _)) = state.compute_ev.take() {
+            sched.cancel(ev);
+        }
+        self.busy[worker].abort(now);
+        // Crash notification to the TS: revokes the victim's leases, re-homes
+        // its durable data, redistributes its bucket, shrinks the barrier.
+        let revoked = sched_ok(self.server.worker_crashed(worker));
+        self.fault_stats.revocations += revoked.len() as u64;
+        for t in revoked {
+            let attempt = self.server.attempt_of(t).saturating_sub(1);
+            self.trace.record_kind(
+                now,
+                "ts",
+                EventKind::Revoke {
+                    worker,
+                    token: t.0,
+                    attempt,
+                },
+                || format!("revoke token {} from crashed worker {worker}", t.0),
+            );
+        }
+        // The node's NIC goes dark: abort everything touching it. Fetches an
+        // *alive* worker was pulling from the victim restart from the shard's
+        // new home; collectives the victim participated in restart among the
+        // survivors.
+        let aborted = self.net.fail_node(now, NodeId(worker));
+        let mut broken_syncs: Vec<u64> = Vec::new();
+        for (_, spec) in aborted {
+            if spec.tag & TAG_DEP != 0 {
+                let token = TokenId(spec.tag & !TAG_DEP);
+                let dst = spec.dst.0;
+                if dst != worker {
+                    let dst_state = &self.workers[dst];
+                    let still_wanted = dst_state.pending_fetches > 0
+                        && dst_state
+                            .current
+                            .as_ref()
+                            .is_some_and(|g| g.token.id == token);
+                    if still_wanted {
+                        // The server re-homed every holder entry pointing at
+                        // the victim onto the smallest eligible survivor. With
+                        // no survivor left (fully dark cluster) the fetch is
+                        // simply dropped — the grant's lease expires and the
+                        // token is re-granted once a worker rejoins.
+                        if let Some(src) = self.rehome_target() {
+                            self.net.start_flow(
+                                now,
+                                FlowSpec {
+                                    src: NodeId(src),
+                                    dst: spec.dst,
+                                    bytes: spec.bytes,
+                                    tag: spec.tag,
+                                },
+                            );
+                        }
+                    }
+                }
+                // dst == worker: the victim's own fetch — its grant is revoked.
+            } else if spec.tag & TAG_SYNC != 0 && !broken_syncs.contains(&spec.tag) {
+                broken_syncs.push(spec.tag);
+            }
+        }
+        for tag in broken_syncs {
+            self.restart_sync(tag, sched);
+        }
+        self.reschedule_net(sched);
+        if let Some(down) = restart_after {
+            sched.schedule_at(now + down, Ev::Restart { worker });
+        }
+        // Revoked tokens are grantable again; waiting survivors pick them up.
+        self.after_server_change(sched);
+    }
+
+    /// Restarts a broken collective among the surviving participants from
+    /// scratch (ring progress is lost). One survivor (or none) degenerates to
+    /// an immediate commit, like [`SyncSpec::is_degenerate`].
+    fn restart_sync(&mut self, tag: u64, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let Some(pos) = self.syncs.iter().position(|s| s.collective.tag() == tag) else {
+            return;
+        };
+        let sync = self.syncs.remove(pos);
+        // Drop the collective's remaining flows (legs not touching the victim).
+        self.net.abort_matching(now, |s| s.tag == tag);
+        // Quarantined workers stay in: their network is healthy, they are only
+        // barred from new grants. Only dead nodes leave the ring.
+        let survivors: Vec<usize> = sync
+            .participants
+            .iter()
+            .copied()
+            .filter(|&w| self.server.is_alive(w))
+            .collect();
+        if survivors.len() <= 1 {
+            self.trace.record_kind(
+                now,
+                "sync",
+                EventKind::SyncDone {
+                    level: sync.level,
+                    iteration: sync.iteration,
+                },
+                || {
+                    format!(
+                        "all-reduce level {} iter {} degenerated to a local commit after a crash",
+                        sync.level + 1,
+                        sync.iteration
+                    )
+                },
+            );
+            sched_ok(self.server.sync_finished(sync.level, sync.iteration));
+            self.after_server_change(sched);
+            return;
+        }
+        self.trace.record(now, "sync", || {
+            format!(
+                "restarting all-reduce level {} iter {} among {survivors:?}",
+                sync.level + 1,
+                sync.iteration
+            )
+        });
+        let nodes = survivors.iter().map(|&w| NodeId(w)).collect();
+        let collective = RingAllReduce::start(&mut self.net, now, nodes, sync.bytes, tag);
+        self.syncs.push(ActiveSync {
+            level: sync.level,
+            iteration: sync.iteration,
+            participants: survivors,
+            bytes: sync.bytes,
+            collective,
+        });
+    }
+
+    /// A lease deadline passed. The server decides whether the timer is stale;
+    /// a live expiry revokes the token (and possibly quarantines the holder),
+    /// making it grantable to someone else. The victim may still be computing:
+    /// its eventual report will be rejected as stale.
+    fn on_lease_expiry(&mut self, token: TokenId, attempt: u64, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let Some(exp) = sched_ok(self.server.lease_expired(token, attempt)) else {
+            return;
+        };
+        self.fault_stats.revocations += exp.revoked.len() as u64;
+        if exp.quarantined {
+            self.fault_stats.quarantines += 1;
+            self.trace.record(now, "ts", || {
+                format!(
+                    "worker {} quarantined after repeated lease expiries",
+                    exp.worker
+                )
+            });
+        }
+        for t in exp.revoked {
+            let at = self.server.attempt_of(t).saturating_sub(1);
+            self.trace.record_kind(
+                now,
+                "ts",
+                EventKind::Revoke {
+                    worker: exp.worker,
+                    token: t.0,
+                    attempt: at,
+                },
+                || {
+                    format!(
+                        "lease on token {} (attempt {at}) expired; revoked from worker {}",
+                        t.0, exp.worker
+                    )
+                },
+            );
+        }
+        self.after_server_change(sched);
+    }
 }
 
 impl World for FelaWorld {
@@ -285,11 +616,25 @@ impl World for FelaWorld {
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
         match event {
             Ev::RequestArrive { worker } => {
-                if let Some(grant) = sched_ok(self.server.request(worker, now)) {
-                    self.schedule_grant(worker, grant, sched);
+                match self.server.request(worker, now) {
+                    Ok(Some(grant)) => self.schedule_grant(worker, grant, sched),
+                    Ok(None) => {}
+                    // The request legitimately raced the worker's own crash or
+                    // quarantine: it was in flight when the membership changed.
+                    Err(ScheduleError::WorkerUnavailable { .. }) => {}
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
                 }
             }
-            Ev::GrantArrive { worker, grant } => {
+            Ev::GrantArrive {
+                worker,
+                grant,
+                epoch,
+            } => {
+                if epoch != self.workers[worker].epoch {
+                    // The addressee died while the grant was in flight; the TS
+                    // revoked the lease when it processed the crash.
+                    return;
+                }
                 self.trace.record_kind(
                     now,
                     "ts",
@@ -337,6 +682,7 @@ impl World for FelaWorld {
                 }
             }
             Ev::ComputeDone { worker } => {
+                self.workers[worker].compute_ev = None;
                 let Some(grant) = self.workers[worker].current.take() else {
                     panic!("worker {worker} finished compute without a grant");
                 };
@@ -368,14 +714,42 @@ impl World for FelaWorld {
                 );
             }
             Ev::ReportArrive { worker, token } => {
-                let syncs = sched_ok(self.server.report(worker, token));
-                if !syncs.is_empty() {
-                    self.start_syncs(syncs, sched);
-                    self.reschedule_net(sched);
+                match self.server.report(worker, token) {
+                    Ok(syncs) => {
+                        if !syncs.is_empty() {
+                            self.start_syncs(syncs, sched);
+                            self.reschedule_net(sched);
+                        }
+                    }
+                    // The reporter no longer holds the token's lease (it hung
+                    // past its deadline, or this report raced a crash/restart
+                    // cycle): the gradient is discarded, never applied.
+                    Err(ScheduleError::StaleReport { .. }) => {
+                        self.fault_stats.stale_reports += 1;
+                        self.trace.record_kind(
+                            now,
+                            "ts",
+                            EventKind::StaleReport {
+                                worker,
+                                token: token.0,
+                            },
+                            || {
+                                format!(
+                                    "discarded stale report of token {} from worker {worker}",
+                                    token.0
+                                )
+                            },
+                        );
+                    }
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
                 }
-                // Piggybacked request for the reporter, then any other waiters.
-                if let Some(grant) = sched_ok(self.server.request(worker, now)) {
-                    self.schedule_grant(worker, grant, sched);
+                // Piggybacked request for the reporter, then any other waiters
+                // (a quarantined reporter is refused and goes idle).
+                match self.server.request(worker, now) {
+                    Ok(Some(grant)) => self.schedule_grant(worker, grant, sched),
+                    Ok(None) => {}
+                    Err(ScheduleError::WorkerUnavailable { .. }) => {}
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
                 }
                 self.after_server_change(sched);
             }
@@ -387,6 +761,27 @@ impl World for FelaWorld {
                 }
                 self.reschedule_net(sched);
             }
+            Ev::Fault { worker, kind } => match kind {
+                FaultKind::Hang { stall } => self.on_hang(worker, stall, sched),
+                FaultKind::Crash => self.on_crash(worker, None, sched),
+                FaultKind::CrashRestart { down } | FaultKind::LinkDown { down } => {
+                    self.on_crash(worker, Some(down), sched)
+                }
+            },
+            Ev::Restart { worker } => {
+                if self.server.is_alive(worker) {
+                    return; // defensive: at most one restart per crash is scheduled
+                }
+                sched_ok(self.server.worker_restarted(worker));
+                self.fault_stats.restarts += 1;
+                self.trace
+                    .record_kind(now, "fault", EventKind::Restart { worker }, || {
+                        format!("worker {worker} rejoined the cluster")
+                    });
+                // The reborn process asks for work like a freshly started one.
+                sched.schedule_in(self.rpc(), Ev::RequestArrive { worker });
+            }
+            Ev::LeaseExpire { token, attempt } => self.on_lease_expiry(token, attempt, sched),
         }
     }
 }
@@ -429,10 +824,20 @@ impl FelaRuntime {
 
     fn run_impl(&self, scenario: &Scenario, trace: Trace) -> (RunReport, Trace) {
         scenario.cluster.validate();
+        if let Err(e) = scenario.fault.validate() {
+            panic!("invalid fault model: {e}");
+        }
+        // Faults imply recovery: grants must be leases for the TS to revoke
+        // and re-grant a victim's tokens. A fault-free scenario leaves the
+        // config untouched (recovery stays exactly as the caller set it).
+        let mut config = self.config.clone();
+        if !scenario.fault.is_none() && config.recovery.is_none() {
+            config.recovery = Some(RecoveryConfig::default());
+        }
         let partition = self.partition_for(scenario);
         let plan = match TokenPlan::build(
             &partition,
-            &self.config,
+            &config,
             scenario.total_batch,
             scenario.cluster.nodes,
         ) {
@@ -450,7 +855,8 @@ impl FelaRuntime {
             })
             .collect();
         let n = scenario.cluster.nodes;
-        let server = TokenServer::new(plan, self.config.clone(), meta, n, scenario.iterations);
+        let fault_active = !scenario.fault.is_none();
+        let server = TokenServer::new(plan, config.clone(), meta, n, scenario.iterations);
         let world = FelaWorld {
             trace,
             scenario: scenario.clone(),
@@ -462,6 +868,9 @@ impl FelaRuntime {
                 .map(|_| WorkerState {
                     current: None,
                     pending_fetches: 0,
+                    epoch: 0,
+                    compute_ev: None,
+                    hang_until: SimTime::ZERO,
                 })
                 .collect(),
             syncs: Vec::new(),
@@ -469,14 +878,26 @@ impl FelaRuntime {
             iter_starts: vec![SimTime::ZERO],
             iter_done: Vec::new(),
             finished_at: None,
+            fault_active,
+            // Iteration 0 is released before the engine starts; its fault
+            // declarations are primed below rather than armed by an event.
+            faults_armed: 1,
+            fault_stats: FaultStats::default(),
         };
         let mut engine = Engine::new(world);
         // Every worker fires its first request at t=0 (arrives after one RPC).
         for worker in 0..n {
             engine.prime_at(
-                SimTime::ZERO + self.config.rpc_latency,
+                SimTime::ZERO + config.rpc_latency,
                 Ev::RequestArrive { worker },
             );
+        }
+        if fault_active {
+            for worker in 0..n {
+                if let Some(kind) = scenario.fault_for(0, worker) {
+                    engine.prime_at(SimTime::ZERO, Ev::Fault { worker, kind });
+                }
+            }
         }
         let outcome = engine.run(1 << 32);
         assert_eq!(
@@ -518,6 +939,22 @@ impl FelaRuntime {
         report.bump("starved_requests", stats.starved_requests);
         for (w, &count) in world.server.trained_per_worker().iter().enumerate() {
             report.bump(&format!("tokens_worker{w}"), count);
+        }
+        let any_fault_fired = world.fault_stats.crashes
+            + world.fault_stats.restarts
+            + world.fault_stats.revocations
+            + world.fault_stats.stale_reports
+            + world.fault_stats.quarantines
+            > 0;
+        if world.fault_active && any_fault_fired {
+            // Fault-path counters exist only when a fault actually struck, so
+            // a crash-free run — whether the fault model is `None` or simply
+            // never fired — stays byte-identical to a fault-free RunReport.
+            report.bump("crashes", world.fault_stats.crashes);
+            report.bump("restarts", world.fault_stats.restarts);
+            report.bump("revocations", world.fault_stats.revocations);
+            report.bump("stale_reports", world.fault_stats.stale_reports);
+            report.bump("quarantined", world.fault_stats.quarantines);
         }
         (report, world.trace)
     }
@@ -690,5 +1127,225 @@ mod tests {
         let r = runtime(vec![1, 1, 2]).run(&scenario);
         assert_eq!(r.iterations, 2);
         assert!(r.total_time_secs > 0.0);
+    }
+
+    // ---- fault injection & recovery -------------------------------------
+
+    use fela_cluster::{FaultKind, FaultModel};
+
+    /// Total tokens a `quick_scenario` run must apply exactly once:
+    /// (8 + 4 + 2) tokens per iteration with weights [1, 2, 4].
+    const TOKENS_PER_ITER: u64 = 14;
+
+    fn trained_total(r: &RunReport, n: usize) -> u64 {
+        (0..n)
+            .map(|w| r.counter(&format!("tokens_worker{w}")))
+            .sum()
+    }
+
+    #[test]
+    fn crash_restart_completes_with_exactly_once_gradients() {
+        let sc = quick_scenario(128).with_fault(FaultModel::Scripted {
+            worker: 2,
+            iteration: 1,
+            kind: FaultKind::CrashRestart {
+                down: SimDuration::from_secs(5),
+            },
+        });
+        let r = runtime(vec![1, 2, 4]).run(&sc);
+        assert_eq!(r.iterations, 3, "crash-restart must not wedge the run");
+        assert_eq!(r.counter("crashes"), 1);
+        assert_eq!(r.counter("restarts"), 1);
+        // Every micro-batch gradient applied exactly once, crash or not.
+        assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
+        // Re-granted work means at least as many grants as applications.
+        assert!(r.counter("grants") >= TOKENS_PER_ITER * 3);
+    }
+
+    #[test]
+    fn crash_of_entire_ctd_subset_lapses_the_restriction() {
+        // With a one-worker CTD subset, crashing worker 0 kills every member:
+        // the conditional-level restriction must lapse onto the survivors (and
+        // re-engage when the member rejoins) instead of wedging the run.
+        let sc = quick_scenario(128).with_fault(FaultModel::Scripted {
+            worker: 0,
+            iteration: 1,
+            kind: FaultKind::CrashRestart {
+                down: SimDuration::from_secs(5),
+            },
+        });
+        let rt = FelaRuntime::new(FelaConfig::new(3).with_weights(vec![1, 2, 4]).with_ctd(1));
+        let r = rt.run(&sc);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.counter("crashes"), 1);
+        assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
+    }
+
+    #[test]
+    fn full_cluster_death_parks_tokens_until_a_restart() {
+        // Chaos at p = 1 crashes every worker at every iteration boundary, so
+        // the cluster repeatedly goes fully dark. Revoked tokens must park and
+        // be re-placed when the restarts land, not wedge or panic the server,
+        // and the run must still apply every gradient exactly once.
+        let sc = quick_scenario(128).with_fault(FaultModel::Chaos {
+            p: 1.0,
+            down: SimDuration::from_secs(2),
+            seed: 7,
+        });
+        let r = runtime(vec![1, 2, 4]).run(&sc);
+        assert_eq!(r.iterations, 3);
+        assert!(r.counter("crashes") >= 8, "every worker must have crashed");
+        assert!(r.counter("restarts") >= 8);
+        assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
+    }
+
+    #[test]
+    fn permanent_crash_completes_on_survivors() {
+        let sc = quick_scenario(128).with_fault(FaultModel::Scripted {
+            worker: 7,
+            iteration: 0,
+            kind: FaultKind::Crash,
+        });
+        let r = runtime(vec![1, 2, 4]).run(&sc);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.counter("crashes"), 1);
+        assert_eq!(r.counter("restarts"), 0);
+        // The victim died at t = 0, before its first request arrived.
+        assert_eq!(r.counter("tokens_worker7"), 0);
+        assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
+    }
+
+    #[test]
+    fn hang_and_link_down_recover() {
+        for kind in [
+            FaultKind::Hang {
+                stall: SimDuration::from_secs(30),
+            },
+            FaultKind::LinkDown {
+                down: SimDuration::from_secs(3),
+            },
+        ] {
+            let sc = quick_scenario(128).with_fault(FaultModel::Scripted {
+                worker: 0,
+                iteration: 1,
+                kind,
+            });
+            let r = runtime(vec![1, 2, 4]).run(&sc);
+            assert_eq!(r.iterations, 3, "{kind:?} must not wedge the run");
+            assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn long_hang_expires_the_lease_and_work_moves() {
+        // A freeze only expires a lease when it catches the worker
+        // mid-compute: a pre-compute hang just delays the start, and the
+        // deadline is armed from the delayed start. Scan scripted hang
+        // sites; at least one must land mid-compute and exercise the
+        // expiry → revoke → recompute-elsewhere → stale-report path. Every
+        // run, expired or not, must apply each gradient exactly once.
+        let mut expired = false;
+        for worker in 0..8 {
+            for iteration in 0..3 {
+                let sc = quick_scenario(128).with_fault(FaultModel::Scripted {
+                    worker,
+                    iteration,
+                    kind: FaultKind::Hang {
+                        stall: SimDuration::from_secs(600),
+                    },
+                });
+                let r = runtime(vec![1, 2, 4]).run(&sc);
+                assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
+                if r.counter("revocations") >= 1 {
+                    assert!(
+                        r.counter("stale_reports") >= 1,
+                        "worker {worker}'s thawed report must be stale"
+                    );
+                    expired = true;
+                }
+            }
+        }
+        assert!(expired, "no scripted hang landed mid-compute");
+    }
+
+    #[test]
+    fn crash_free_fault_model_changes_nothing() {
+        // Chaos with p = 0 activates the whole recovery machinery — leases,
+        // deadline timers, fault counters — but never fires. The schedule
+        // must be identical to the fault-free run (zero-cost abstraction).
+        let base = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let idle = runtime(vec![1, 2, 4]).run(&quick_scenario(128).with_fault(FaultModel::Chaos {
+            p: 0.0,
+            down: SimDuration::from_secs(5),
+            seed: 7,
+        }));
+        assert_eq!(idle.total_time_secs, base.total_time_secs);
+        assert_eq!(idle.network_bytes, base.network_bytes);
+        assert_eq!(idle.per_iteration_secs, base.per_iteration_secs);
+        for key in ["grants", "local_grants", "steals", "conflicts"] {
+            assert_eq!(idle.counter(key), base.counter(key), "{key}");
+        }
+        for key in ["crashes", "restarts", "revocations", "stale_reports"] {
+            assert_eq!(idle.counter(key), 0, "{key}");
+        }
+    }
+
+    #[test]
+    fn chaos_churn_completes_every_iteration() {
+        let sc = quick_scenario(128)
+            .with_iterations(5)
+            .with_fault(FaultModel::Chaos {
+                p: 0.1,
+                down: SimDuration::from_secs(4),
+                seed: 42,
+            });
+        let r = runtime(vec![1, 2, 4]).run(&sc);
+        assert_eq!(r.iterations, 5);
+        assert!(r.counter("crashes") >= 1, "seed 42 must draw some crashes");
+        assert_eq!(r.counter("restarts"), r.counter("crashes"));
+        assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 5);
+    }
+
+    #[test]
+    fn crashed_run_reaches_the_same_applied_gradient_set() {
+        // The recovery analogue of "same final model hash": a crash-restart
+        // run applies exactly the token set of the fault-free run (each token
+        // once), so the reduced model state is the same function of the same
+        // gradients.
+        let base = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let faulted =
+            runtime(vec![1, 2, 4]).run(&quick_scenario(128).with_fault(FaultModel::Scripted {
+                worker: 3,
+                iteration: 0,
+                kind: FaultKind::CrashRestart {
+                    down: SimDuration::from_secs(10),
+                },
+            }));
+        assert_eq!(trained_total(&faulted, 8), trained_total(&base, 8));
+        assert_eq!(faulted.iterations, base.iterations);
+    }
+
+    #[test]
+    fn explicit_recovery_config_is_respected() {
+        use crate::config::RecoveryConfig;
+        let sc = quick_scenario(128).with_fault(FaultModel::Scripted {
+            worker: 1,
+            iteration: 1,
+            kind: FaultKind::CrashRestart {
+                down: SimDuration::from_secs(2),
+            },
+        });
+        let rt = FelaRuntime::new(
+            FelaConfig::new(3)
+                .with_weights(vec![1, 2, 4])
+                .with_recovery(RecoveryConfig {
+                    lease_slack: 8.0,
+                    lease_grace: SimDuration::from_secs(1),
+                    quarantine_after: 2,
+                }),
+        );
+        let r = rt.run(&sc);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
     }
 }

@@ -78,6 +78,32 @@ pub struct Grant {
     pub fetches: Vec<(usize, u64)>,
     /// The grant hit a fetching conflict (§III-E) — the runtime adds the penalty.
     pub conflict: bool,
+    /// How many times this token's lease has been revoked before this grant
+    /// (0 = first attempt). With recovery on, the runtime widens the lease
+    /// deadline by `2^attempt` (exponential backoff on repeated expiry).
+    pub attempt: u64,
+}
+
+/// An active lease: who holds a granted token, and which attempt this is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LeaseInfo {
+    /// The worker the token is granted to.
+    pub worker: usize,
+    /// Revocation count at grant time (matches [`Grant::attempt`]).
+    pub attempt: u64,
+}
+
+/// What [`TokenServer::lease_expired`] did: the lease was live and has been
+/// revoked; the token is back in the grantable set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExpiredLease {
+    /// The worker that lost the lease.
+    pub worker: usize,
+    /// Every token revoked by this expiry — the expired token itself, plus
+    /// (if the expiry tipped the worker into quarantine) all its other leases.
+    pub revoked: Vec<TokenId>,
+    /// True if this expiry quarantined the worker.
+    pub quarantined: bool,
 }
 
 /// A parameter-synchronisation request emitted when a level's last token of an
@@ -185,6 +211,12 @@ pub struct ServerSnapshot {
     pub waiting: Vec<usize>,
     /// Helper counts per bucket.
     pub helpers: Vec<u64>,
+    /// Liveness per worker (all-true without faults).
+    pub alive: Vec<bool>,
+    /// Quarantine flags per worker (all-false without faults).
+    pub quarantined: Vec<bool>,
+    /// Active leases: `(token id, worker, attempt)` (empty without recovery).
+    pub leases: Vec<(u64, usize, u64)>,
 }
 
 /// One `(encoded score, token id)` index: ascending set order is descending
@@ -239,6 +271,28 @@ pub struct TokenServer {
     stats: ServerStats,
     /// Tokens trained per worker (for load-balance reporting).
     trained_per_worker: Vec<u64>,
+    /// Liveness per worker. All-true until a crash notification arrives.
+    alive: Vec<bool>,
+    /// Quarantined workers: alive but untrusted (repeated lease expiries) —
+    /// they get no further grants and leave the sync membership.
+    quarantined: Vec<bool>,
+    /// Lease expiries per worker (drives quarantine).
+    expiry_counts: Vec<u64>,
+    /// Active leases (maintained only with recovery on): granted,
+    /// not-yet-reported tokens.
+    leases: BTreeMap<TokenId, LeaseInfo>,
+    /// Revocation counts per token (sparse; absent = 0).
+    attempts: BTreeMap<TokenId, u64>,
+    /// Where each worker's durable data (sample shard, checkpointed token
+    /// outputs) currently lives. Identity until a crash re-homes a dead
+    /// worker's data to a survivor — modelling the replica/checkpoint store a
+    /// production deployment restores from, so dataflow survives the death of
+    /// a holder without cascading recomputation.
+    data_home: Vec<usize>,
+    /// Tokens with no eligible bucket: when a crash kills the *last* eligible
+    /// worker (the cluster is fully dark) revoked and displaced tokens park
+    /// here, in revocation order, until a restart brings a survivor back.
+    parked: Vec<(usize, TokenId)>,
 }
 
 impl TokenServer {
@@ -292,6 +346,13 @@ impl TokenServer {
             waiting: VecDeque::new(),
             stats: ServerStats::default(),
             trained_per_worker: vec![0; n_workers],
+            alive: vec![true; n_workers],
+            quarantined: vec![false; n_workers],
+            expiry_counts: vec![0; n_workers],
+            leases: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            data_home: (0..n_workers).collect(),
+            parked: Vec::new(),
         };
         server.release_due_roots();
         server
@@ -349,11 +410,365 @@ impl TokenServer {
     }
 
     /// Whether `worker` belongs to the CTD subset `S`.
+    ///
+    /// While the whole subset is dead or quarantined the restriction *lapses*:
+    /// every worker counts as a member, so conditional levels keep making
+    /// progress on survivors instead of deadlocking until a member rejoins.
+    /// Fault-free runs never take the lapse path (all members stay eligible).
     pub fn in_ctd_subset(&self, worker: usize) -> bool {
         match self.cfg.ctd {
-            Some(ctd) => worker < ctd.subset_size,
+            Some(ctd) => worker < ctd.subset_size || !self.ctd_subset_alive(),
             None => true,
         }
+    }
+
+    /// Whether the CTD subset still has at least one eligible member.
+    fn ctd_subset_alive(&self) -> bool {
+        match self.cfg.ctd {
+            Some(ctd) => (0..ctd.subset_size).any(|w| self.eligible(w)),
+            None => true,
+        }
+    }
+
+    /// Eligible participants for a conditional level: the alive part of the
+    /// CTD subset, or — when the whole subset is down — every eligible worker
+    /// (the CTD restriction lapses until a subset member rejoins).
+    fn ctd_participants(&self, level: usize) -> Result<Vec<usize>, ScheduleError> {
+        let ctd = self
+            .cfg
+            .ctd
+            .ok_or(ScheduleError::CtdConfigMissing { level })?;
+        let members: Vec<usize> = (0..ctd.subset_size).filter(|&w| self.eligible(w)).collect();
+        if !members.is_empty() {
+            return Ok(members);
+        }
+        let alive: Vec<usize> = (0..self.n_workers).filter(|&w| self.eligible(w)).collect();
+        if alive.is_empty() {
+            return Err(ScheduleError::NoAliveWorkers);
+        }
+        Ok(alive)
+    }
+
+    /// Whether lease-based recovery is enabled.
+    pub fn recovery_on(&self) -> bool {
+        self.cfg.recovery.is_some()
+    }
+
+    /// Whether the server considers `worker` alive.
+    pub fn is_alive(&self, worker: usize) -> bool {
+        self.alive[worker]
+    }
+
+    /// Whether `worker` is quarantined (alive but barred from grants).
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        self.quarantined[worker]
+    }
+
+    /// Alive, non-quarantined — the workers grants and syncs may target.
+    fn eligible(&self, worker: usize) -> bool {
+        self.alive[worker] && !self.quarantined[worker]
+    }
+
+    /// The active lease on `token`, if any (recovery mode only).
+    pub fn lease_of(&self, token: TokenId) -> Option<LeaseInfo> {
+        self.leases.get(&token).copied()
+    }
+
+    /// How many times `token`'s lease has been revoked so far (the attempt
+    /// number its *next* grant will carry).
+    pub fn attempt_of(&self, token: TokenId) -> u64 {
+        self.attempts.get(&token).copied().unwrap_or(0)
+    }
+
+    /// Where `worker`'s durable data (shard, checkpointed outputs) currently
+    /// lives — `worker` itself until a crash re-homes it.
+    pub fn data_home_of(&self, worker: usize) -> usize {
+        self.data_home[worker]
+    }
+
+    /// The smallest-id eligible worker — the deterministic re-home target.
+    fn fallback_worker(&self) -> Result<usize, ScheduleError> {
+        (0..self.n_workers)
+            .find(|&w| self.eligible(w))
+            .ok_or(ScheduleError::NoAliveWorkers)
+    }
+
+    /// Handles a crash notification for `worker`: revokes all its leases,
+    /// re-homes its durable data onto a survivor, redistributes its STB
+    /// contents across surviving buckets and drops it from the waiting queue
+    /// and barrier membership. Returns the tokens revoked (for tracing).
+    pub fn worker_crashed(&mut self, worker: usize) -> Result<Vec<TokenId>, ScheduleError> {
+        self.check_worker(worker)?;
+        if !self.alive[worker] {
+            return Err(ScheduleError::BadLivenessTransition {
+                worker,
+                alive: false,
+            });
+        }
+        self.alive[worker] = false;
+        self.waiting.retain(|&w| w != worker);
+        // When the crash kills the last eligible worker the cluster is fully
+        // dark: nobody can serve data or accept tokens, so re-homing is
+        // deferred and revoked tokens park until a restart (see
+        // [`Self::worker_restarted`]). Nothing is lost — the durable store
+        // the homes model outlives every process.
+        let fallback = self.fallback_worker().ok();
+        if let Some(fb) = fallback {
+            // Re-home durable data: every shard and checkpointed output whose
+            // home was the dead worker is now served by the fallback survivor.
+            for home in &mut self.data_home {
+                if *home == worker {
+                    *home = fb;
+                }
+            }
+            for holder in self.holder.values_mut() {
+                if *holder == worker {
+                    *holder = fb;
+                }
+            }
+        }
+        // Revoke every lease the dead worker held.
+        let held: Vec<TokenId> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.worker == worker)
+            .map(|(&t, _)| t)
+            .collect();
+        for &t in &held {
+            self.revoke_lease(t)?;
+        }
+        // Redistribute the dead worker's STB so no token is stranded in a
+        // bucket nobody requests from (helpers do steal from foreign buckets,
+        // but an unmarked dead bucket would still skew helper prioritisation).
+        if self.cfg.hf {
+            for level in 0..self.plan.num_levels() {
+                let ids: Vec<TokenId> = self.stbs[worker][level].iter().copied().collect();
+                for id in ids {
+                    self.stb_remove(worker, level, id)?;
+                    self.place_token(level, id)?;
+                }
+            }
+            if let Some(fb) = fallback {
+                for ls in &mut self.levels {
+                    for (_, bucket) in ls.pending.iter_mut() {
+                        if *bucket == worker {
+                            *bucket = fb;
+                        }
+                    }
+                }
+            }
+        }
+        // Holder re-homing invalidated locality scores computed earlier.
+        self.rebuild_score_index()?;
+        Ok(held)
+    }
+
+    /// Handles a restart notification: `worker` rejoins with a fresh process
+    /// (empty STB, clean slate — quarantine and expiry history are cleared).
+    /// Its durable data stays where the crash re-homed it. If the cluster went
+    /// fully dark in the meantime, the rejoining worker adopts the orphaned
+    /// state: homes and holders still pointing at dead workers move to it and
+    /// parked tokens are finally placed.
+    pub fn worker_restarted(&mut self, worker: usize) -> Result<(), ScheduleError> {
+        self.check_worker(worker)?;
+        if self.alive[worker] {
+            return Err(ScheduleError::BadLivenessTransition {
+                worker,
+                alive: true,
+            });
+        }
+        self.alive[worker] = true;
+        self.quarantined[worker] = false;
+        self.expiry_counts[worker] = 0;
+        let orphaned = !self.parked.is_empty()
+            || self.data_home.iter().any(|&h| !self.alive[h])
+            || self.holder.values().any(|&h| !self.alive[h]);
+        if orphaned {
+            let fb = self.fallback_worker()?; // the rejoining worker at worst
+            for home in &mut self.data_home {
+                if !self.alive[*home] {
+                    *home = fb;
+                }
+            }
+            for holder in self.holder.values_mut() {
+                if !self.alive[*holder] {
+                    *holder = fb;
+                }
+            }
+            if self.cfg.hf {
+                for ls in &mut self.levels {
+                    for (_, bucket) in ls.pending.iter_mut() {
+                        if !self.alive[*bucket] {
+                            *bucket = fb;
+                        }
+                    }
+                }
+            }
+            let parked = std::mem::take(&mut self.parked);
+            for (level, id) in parked {
+                self.place_token(level, id)?;
+            }
+            self.rebuild_score_index()?;
+        }
+        Ok(())
+    }
+
+    /// Handles a lease-deadline expiry for `(token, attempt)`. Stale timers —
+    /// the lease was already released by a report, or already revoked and
+    /// re-granted under a newer attempt — return `Ok(None)` and change
+    /// nothing. A live expiry revokes the lease, counts against the holder
+    /// and, at the configured threshold, quarantines it (revoking all its
+    /// remaining leases too).
+    pub fn lease_expired(
+        &mut self,
+        token: TokenId,
+        attempt: u64,
+    ) -> Result<Option<ExpiredLease>, ScheduleError> {
+        let Some(lease) = self.leases.get(&token).copied() else {
+            return Ok(None);
+        };
+        if lease.attempt != attempt {
+            return Ok(None);
+        }
+        let worker = lease.worker;
+        self.revoke_lease(token)?;
+        let mut revoked = vec![token];
+        self.expiry_counts[worker] += 1;
+        let threshold = self
+            .cfg
+            .recovery
+            .map(|r| r.quarantine_after)
+            .unwrap_or(u64::MAX);
+        let mut newly_quarantined = false;
+        if self.expiry_counts[worker] >= threshold && !self.quarantined[worker] {
+            // Check a survivor remains before shrinking the membership.
+            if (0..self.n_workers).any(|w| w != worker && self.eligible(w)) {
+                self.quarantined[worker] = true;
+                newly_quarantined = true;
+                self.waiting.retain(|&w| w != worker);
+                let held: Vec<TokenId> = self
+                    .leases
+                    .iter()
+                    .filter(|(_, l)| l.worker == worker)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for &t in &held {
+                    self.revoke_lease(t)?;
+                }
+                revoked.extend(held);
+            }
+        }
+        Ok(Some(ExpiredLease {
+            worker,
+            revoked,
+            quarantined: newly_quarantined,
+        }))
+    }
+
+    /// Revokes the active lease on `token`: bumps its attempt count and
+    /// returns it to the grantable set, re-scored against surviving workers.
+    fn revoke_lease(&mut self, token: TokenId) -> Result<(), ScheduleError> {
+        self.leases
+            .remove(&token)
+            .ok_or(ScheduleError::UnknownToken { token })?;
+        *self.attempts.entry(token).or_insert(0) += 1;
+        let level = self
+            .tokens
+            .get(&token)
+            .ok_or(ScheduleError::UnknownToken { token })?
+            .level;
+        self.place_token(level, token)
+    }
+
+    /// Places a token (revoked, or displaced from a dead bucket) into the best
+    /// surviving bucket: the eligible worker with the highest locality score
+    /// (Equation 1 against the current holder map), ties to the lightest
+    /// queue, then the smallest id. Conditional levels stay inside the alive
+    /// part of the CTD subset. With no eligible worker anywhere (fully dark
+    /// cluster) the token parks until a restart re-places it.
+    fn place_token(&mut self, level: usize, id: TokenId) -> Result<(), ScheduleError> {
+        if !self.cfg.hf {
+            return self.stb_push(0, level, id);
+        }
+        let candidates: Vec<usize> = if self.is_cond_level(level) {
+            match self.ctd_participants(level) {
+                Ok(c) => c,
+                Err(ScheduleError::NoAliveWorkers) => {
+                    self.parked.push((level, id));
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            let alive: Vec<usize> = (0..self.n_workers).filter(|&w| self.eligible(w)).collect();
+            if alive.is_empty() {
+                self.parked.push((level, id));
+                return Ok(());
+            }
+            alive
+        };
+        let mut best: Option<(u64, usize, usize)> = None; // (score key, queue, id)
+        let mut bucket = candidates[0];
+        for &w in &candidates {
+            let score = self.locality_score(w, id)?;
+            let key = (
+                Self::score_key(score),
+                self.stbs[w].iter().map(VecDeque::len).sum::<usize>(),
+                w,
+            );
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+                bucket = w;
+            }
+        }
+        self.stb_push(bucket, level, id)
+    }
+
+    /// Recomputes the Principle-2 score index for every STB-resident token
+    /// (crash re-homing moved holder entries, invalidating scores fixed at
+    /// insertion time). Crash-path only — cost is proportional to queued
+    /// tokens, and crashes are rare events.
+    fn rebuild_score_index(&mut self) -> Result<(), ScheduleError> {
+        if !self.use_score_index() {
+            return Ok(());
+        }
+        for bucket in 0..self.stbs.len() {
+            for level in 0..self.plan.num_levels() {
+                let ids: Vec<TokenId> = self.stbs[bucket][level].iter().copied().collect();
+                for id in ids {
+                    if let Some(keys) = self.score_keys.remove(&id) {
+                        for (w, k) in keys {
+                            self.by_score[bucket][level][w].remove(&(k, id));
+                        }
+                    }
+                    let (counts, len) = {
+                        let t = self
+                            .tokens
+                            .get(&id)
+                            .ok_or(ScheduleError::UnknownToken { token: id })?;
+                        let mut counts = vec![0usize; self.n_workers];
+                        for d in &t.deps {
+                            if let Some(&w) = self.holder.get(d) {
+                                counts[w] += 1;
+                            }
+                        }
+                        (counts, t.deps.len())
+                    };
+                    let mut keys: Vec<(usize, u64)> = Vec::new();
+                    for (w, &c) in counts.iter().enumerate() {
+                        if c > 0 {
+                            let k = Self::score_key(c as f64 / len as f64);
+                            self.by_score[bucket][level][w].insert((k, id));
+                            keys.push((w, k));
+                        }
+                    }
+                    if !keys.is_empty() {
+                        self.score_keys.insert(id, keys);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// A canonical snapshot of the scheduling state (see [`ServerSnapshot`]).
@@ -399,6 +814,13 @@ impl TokenServer {
             holder: self.holder.iter().map(|(&t, &w)| (t.0, w)).collect(),
             waiting: self.waiting.iter().copied().collect(),
             helpers: self.helpers.clone(),
+            alive: self.alive.clone(),
+            quarantined: self.quarantined.clone(),
+            leases: self
+                .leases
+                .iter()
+                .map(|(&t, l)| (t.0, l.worker, l.attempt))
+                .collect(),
         }
     }
 
@@ -545,7 +967,20 @@ impl TokenServer {
                 sample_owner: Some(owner),
             };
             self.tokens.insert(id, token);
-            let bucket = if self.cfg.hf { owner } else { 0 };
+            // Sample affinity: the root starts in the STB of whoever serves its
+            // shard — the owner, unless a crash re-homed the shard (or the home
+            // is quarantined, in which case the smallest eligible worker hosts
+            // the token so it is not stranded in an unrequesting bucket).
+            let home = self.data_home[owner];
+            let bucket = if !self.cfg.hf {
+                0
+            } else if self.eligible(home) {
+                home
+            } else {
+                (0..self.n_workers)
+                    .find(|&w| self.eligible(w))
+                    .unwrap_or(home)
+            };
             self.stb_push_root(bucket, id);
         }
     }
@@ -555,6 +990,11 @@ impl TokenServer {
     /// [`TokenServer::pop_ready_grant`].
     pub fn request(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
         self.check_worker(worker)?;
+        if !self.eligible(worker) {
+            // A request can legitimately race the worker's own crash or
+            // quarantine (it was in flight when the membership changed).
+            return Err(ScheduleError::WorkerUnavailable { worker });
+        }
         match self.try_grant(worker, now)? {
             Some(grant) => Ok(Some(grant)),
             None => {
@@ -622,10 +1062,15 @@ impl TokenServer {
         for &(_, bytes) in &fetches {
             self.stats.remote_fetch_bytes += bytes;
         }
+        let attempt = self.attempts.get(&id).copied().unwrap_or(0);
+        if self.recovery_on() {
+            self.leases.insert(id, LeaseInfo { worker, attempt });
+        }
         Ok(Some(Grant {
             token,
             fetches,
             conflict,
+            attempt,
         }))
     }
 
@@ -750,9 +1195,11 @@ impl TokenServer {
             let owner = token
                 .sample_owner
                 .ok_or(ScheduleError::MissingSampleOwner { token: token.id })?;
-            if owner != worker {
+            // The shard may have been re-homed if its owner crashed.
+            let home = self.data_home[owner];
+            if home != worker {
                 let bytes = token.batch * self.meta[0].input_bytes_per_sample;
-                return Ok(vec![(owner, bytes)]);
+                return Ok(vec![(home, bytes)]);
             }
             return Ok(vec![]);
         }
@@ -796,6 +1243,18 @@ impl TokenServer {
                 .ok_or(ScheduleError::UnknownToken { token })?;
             (t.level, t.iteration)
         };
+        if self.recovery_on() {
+            // Exactly-once gradient application: only the current lease holder
+            // may commit a token. A report whose lease expired or was revoked
+            // (the worker hung past its deadline, or crashed and this report
+            // raced the notification) is rejected before any state changes.
+            match self.leases.get(&token) {
+                Some(l) if l.worker == worker => {
+                    self.leases.remove(&token);
+                }
+                _ => return Err(ScheduleError::StaleReport { worker, token }),
+            }
+        }
         if self.holder.contains_key(&token) {
             return Err(ScheduleError::DuplicateReport { token });
         }
@@ -828,14 +1287,18 @@ impl TokenServer {
         };
         if count == lp.tokens_per_iteration {
             self.levels[level].completed.remove(&iteration);
+            // Barrier membership recomputes against the current liveness view:
+            // an iteration closes with fewer workers rather than waiting on a
+            // dead or quarantined one. With everyone eligible the filter is a
+            // no-op and the participants are exactly the pre-recovery sets.
             let participants: Vec<usize> = if self.is_cond_level(level) {
-                let ctd = self
-                    .cfg
-                    .ctd
-                    .ok_or(ScheduleError::CtdConfigMissing { level })?;
-                (0..ctd.subset_size).collect()
+                self.ctd_participants(level)?
             } else {
-                (0..self.n_workers).collect()
+                let alive: Vec<usize> = (0..self.n_workers).filter(|&w| self.eligible(w)).collect();
+                if alive.is_empty() {
+                    return Err(ScheduleError::NoAliveWorkers);
+                }
+                alive
             };
             syncs.push(SyncSpec {
                 level,
@@ -923,11 +1386,8 @@ impl TokenServer {
         let bucket = if !self.cfg.hf {
             0
         } else if self.is_cond_level(level) && !self.in_ctd_subset(reporter) {
-            let ctd = self
-                .cfg
-                .ctd
-                .ok_or(ScheduleError::CtdConfigMissing { level })?;
-            (0..ctd.subset_size)
+            self.ctd_participants(level)?
+                .into_iter()
                 .min_by_key(|&w| (self.stbs[w][level].len(), w))
                 .ok_or(ScheduleError::EmptyCtdSubset { level })?
         } else {

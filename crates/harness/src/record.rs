@@ -14,7 +14,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use fela_cluster::{Scenario, StragglerModel};
+use fela_cluster::{FaultModel, Scenario, StragglerModel};
 use fela_metrics::RunReport;
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +30,8 @@ pub struct RunRecord {
     /// FNV-1a hash of the full serialized scenario (model, batch, iterations,
     /// cluster, straggler) — two records with equal hashes ran equal configs.
     pub config_hash: u64,
-    /// Seed override applied to the scenario's straggler model, if any.
+    /// Seed override applied to the scenario's straggler and fault models,
+    /// if any.
     pub seed: Option<u64>,
     /// Model name, e.g. `"VGG19"`.
     pub model: String,
@@ -42,6 +43,10 @@ pub struct RunRecord {
     pub nodes: usize,
     /// Straggler scenario the run executed under.
     pub straggler: StragglerModel,
+    /// Fault scenario the run executed under. Skipped when `None` so
+    /// fault-free artifacts stay byte-identical to pre-fault-injection ones.
+    #[serde(default, skip_serializing_if = "FaultModel::is_none")]
+    pub fault: FaultModel,
     /// Simulated makespan in seconds (copy of `report.total_time_secs`).
     pub sim_time_secs: f64,
     /// The runtime's full report.
@@ -71,6 +76,7 @@ impl RunRecord {
             iterations: scenario.iterations,
             nodes: scenario.cluster.nodes,
             straggler: scenario.straggler,
+            fault: scenario.fault,
             sim_time_secs: report.total_time_secs,
             report,
             trace_path: None,
@@ -82,7 +88,8 @@ impl RunRecord {
 ///
 /// The hash covers everything that affects a run's outcome — model
 /// architecture, batch, iterations, cluster spec (via its serializable
-/// summary) and straggler model — so equal hashes mean comparable runs.
+/// summary), straggler model and fault model — so equal hashes mean
+/// comparable runs.
 pub fn config_hash(scenario: &Scenario) -> u64 {
     // ClusterSpec does not implement Serialize (its compute/memory models are
     // closed types); hash its observable configuration instead.
@@ -98,8 +105,15 @@ pub fn config_hash(scenario: &Scenario) -> u64 {
         cluster_summary,
         scenario.straggler,
     );
-    let json = serde_json::to_string(&key).expect("scenario serializes");
-    fnv1a(json.as_bytes())
+    if scenario.fault.is_none() {
+        // Fault-free hashes must stay byte-identical to pre-fault-injection
+        // artifacts, so `FaultModel::None` contributes nothing to the key.
+        let json = serde_json::to_string(&key).expect("scenario serializes");
+        fnv1a(json.as_bytes())
+    } else {
+        let json = serde_json::to_string(&(key, scenario.fault)).expect("scenario serializes");
+        fnv1a(json.as_bytes())
+    }
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -151,4 +165,80 @@ pub fn write_jsonl_to(
     let mut file = std::fs::File::create(&path)?;
     file.write_all(to_jsonl(records).as_bytes())?;
     Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use fela_cluster::FaultKind;
+    use fela_model::zoo;
+    use fela_sim::SimDuration;
+
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::paper(zoo::vgg19(), 128).with_iterations(3)
+    }
+
+    fn record_for(scenario: &Scenario) -> RunRecord {
+        let report = RunReport::new("fela", &scenario.model.name, scenario.total_batch);
+        RunRecord::new("exp", "fela", "vgg19/b128", scenario, None, report)
+    }
+
+    #[test]
+    fn fault_free_records_serialize_without_a_fault_key() {
+        // Byte-identity with pre-fault-injection artifacts: the `fault` field
+        // must vanish from the JSON when the scenario is fault-free.
+        let line = to_jsonl(&[record_for(&scenario())]);
+        assert!(!line.contains("\"fault\""), "unexpected fault key: {line}");
+        assert!(line.contains("\"straggler\""));
+    }
+
+    #[test]
+    fn faulted_records_serialize_and_round_trip_the_fault() {
+        let sc = scenario().with_fault(FaultModel::Scripted {
+            worker: 2,
+            iteration: 1,
+            kind: FaultKind::CrashRestart {
+                down: SimDuration::from_secs(5),
+            },
+        });
+        let line = to_jsonl(&[record_for(&sc)]);
+        assert!(line.contains("\"fault\""), "missing fault key: {line}");
+        let parsed: RunRecord =
+            serde_json::from_str(line.trim_end()).expect("faulted record parses");
+        assert_eq!(parsed.fault, sc.fault);
+    }
+
+    #[test]
+    fn fault_free_records_parse_even_without_a_fault_key() {
+        // Old artifacts (written before fault injection existed) have no
+        // `fault` key; `#[serde(default)]` must fill in `FaultModel::None`.
+        let line = to_jsonl(&[record_for(&scenario())]);
+        let parsed: RunRecord =
+            serde_json::from_str(line.trim_end()).expect("fault-free record parses");
+        assert_eq!(parsed.fault, FaultModel::None);
+    }
+
+    #[test]
+    fn config_hash_ignores_fault_none_but_not_real_faults() {
+        let plain = scenario();
+        let chaos = scenario().with_fault(FaultModel::Chaos {
+            p: 0.1,
+            down: SimDuration::from_secs(4),
+            seed: 42,
+        });
+        // FaultModel::None must contribute nothing (hash equality with any
+        // pre-fault-injection artifact), while a real fault model must change
+        // the hash so faulted and fault-free runs are never conflated.
+        assert_eq!(config_hash(&plain), config_hash(&scenario()));
+        assert_ne!(config_hash(&plain), config_hash(&chaos));
+        assert_ne!(
+            config_hash(&chaos),
+            config_hash(&scenario().with_fault(FaultModel::Chaos {
+                p: 0.1,
+                down: SimDuration::from_secs(4),
+                seed: 43,
+            }))
+        );
+    }
 }

@@ -52,9 +52,10 @@ pub struct SweepSpec {
     pub runtimes: Vec<(String, RuntimeFactory)>,
     /// Labeled scenarios (the second sweep axis).
     pub scenarios: Vec<(String, Scenario)>,
-    /// Optional seed override, re-rooting each scenario's straggler
-    /// realisation via [`fela_cluster::StragglerModel::with_seed`]. Applied
-    /// per scenario, so all runtimes still compare under one realisation.
+    /// Optional seed override, re-rooting each scenario's straggler and fault
+    /// realisations via [`fela_cluster::StragglerModel::with_seed`] and
+    /// [`fela_cluster::FaultModel::with_seed`]. Applied per scenario, so all
+    /// runtimes still compare under one realisation.
     pub seed: Option<u64>,
 }
 
@@ -130,7 +131,8 @@ impl SweepSpec {
             let scenario = match self.seed {
                 Some(seed) => scenario
                     .clone()
-                    .with_straggler(scenario.straggler.with_seed(seed)),
+                    .with_straggler(scenario.straggler.with_seed(seed))
+                    .with_fault(scenario.fault.with_seed(seed)),
                 None => scenario.clone(),
             };
             for (runtime_label, factory) in &self.runtimes {

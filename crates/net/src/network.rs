@@ -238,6 +238,47 @@ impl Network {
         self.flows.values().map(|f| f.est_done).min()
     }
 
+    /// Aborts every active flow matching `pred`, returning them in `FlowId`
+    /// order (fault injection: a crashed node or dark link kills its
+    /// transfers). Undelivered bytes are *not* counted as delivered; the
+    /// surviving flows' rates are recomputed in one batched pass through the
+    /// fair-share engine, exactly like a completion wave.
+    pub fn abort_matching(
+        &mut self,
+        now: SimTime,
+        pred: impl Fn(&FlowSpec) -> bool,
+    ) -> Vec<(FlowId, FlowSpec)> {
+        self.advance(now);
+        let doomed: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| pred(&f.spec))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut specs = Vec::with_capacity(doomed.len());
+        let mut netted = Vec::with_capacity(doomed.len());
+        for id in doomed {
+            if let Some(flow) = self.flows.remove(&id) {
+                if flow.spec.src != flow.spec.dst {
+                    netted.push(id.0);
+                }
+                specs.push((id, flow.spec));
+            }
+        }
+        if !specs.is_empty() {
+            self.shares.remove_batch(&netted);
+            self.refresh_rates_and_estimates(now);
+        }
+        specs
+    }
+
+    /// Aborts every flow touching `node` — its NIC went dark (crash or link
+    /// failure). Returns the aborted flows so the owner can decide which
+    /// transfers to retry elsewhere.
+    pub fn fail_node(&mut self, now: SimTime, node: NodeId) -> Vec<(FlowId, FlowSpec)> {
+        self.abort_matching(now, |s| s.src == node || s.dst == node)
+    }
+
     /// Removes and returns all flows completing at or before `now`, in FlowId
     /// order. Recomputes the remaining flows' rates.
     pub fn take_completions(&mut self, now: SimTime) -> Vec<(FlowId, FlowSpec)> {
@@ -394,6 +435,81 @@ mod tests {
         let c = NetworkConfig::paper_testbed(8);
         assert_eq!(c.nodes, 8);
         assert!((c.link_bandwidth - 0.875e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn fail_node_aborts_both_directions_and_frees_bandwidth() {
+        let mut n = net(4);
+        // Node 1 sends, receives, and an unrelated pair shares node 0's egress.
+        n.start_flow(SimTime::ZERO, spec(1, 2, 1_000_000_000));
+        n.start_flow(SimTime::ZERO, spec(3, 1, 1_000_000_000));
+        n.start_flow(SimTime::ZERO, spec(0, 2, 1_000_000_000));
+        let aborted = n.fail_node(SimTime::from_nanos(1_000_000), NodeId(1));
+        assert_eq!(aborted.len(), 2);
+        assert!(aborted
+            .iter()
+            .all(|(_, s)| s.src == NodeId(1) || s.dst == NodeId(1)));
+        assert_eq!(n.active_flows(), 1);
+        // The survivor now owns node 2's full ingress: 1 GB at 1 GB/s from the
+        // abort instant (it had drained ~0.5 GB/s × ~0 s of payload so far).
+        let done = n.next_completion().unwrap();
+        assert!(
+            done < SimTime::from_secs(2),
+            "survivor sped up, done {done}"
+        );
+        assert_eq!(n.take_completions(done).len(), 1);
+    }
+
+    #[test]
+    fn aborted_bytes_are_not_delivered() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 1_000_000_000));
+        // Half way through, kill the receiver.
+        let aborted = n.fail_node(SimTime::from_nanos(501_000_000), NodeId(1));
+        assert_eq!(aborted.len(), 1);
+        // Only the ~0.5 GB drained before the abort counts as delivered.
+        let delivered = n.bytes_delivered();
+        assert!(
+            delivered < 510_000_000 && delivered > 490_000_000,
+            "delivered {delivered}"
+        );
+        assert!(n.next_completion().is_none());
+    }
+
+    #[test]
+    fn abort_matching_selects_by_tag() {
+        let mut n = net(3);
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 1_000,
+                tag: 7,
+            },
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                src: NodeId(0),
+                dst: NodeId(2),
+                bytes: 1_000,
+                tag: 8,
+            },
+        );
+        let aborted = n.abort_matching(SimTime::ZERO, |s| s.tag == 7);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].1.tag, 7);
+        assert_eq!(n.active_flows(), 1);
+    }
+
+    #[test]
+    fn abort_matching_nothing_is_noop() {
+        let mut n = net(2);
+        n.start_flow(SimTime::ZERO, spec(0, 1, 1_000));
+        let before = n.next_completion();
+        assert!(n.abort_matching(SimTime::ZERO, |s| s.tag == 999).is_empty());
+        assert_eq!(n.next_completion(), before);
     }
 
     #[test]

@@ -61,6 +61,38 @@ pub enum EventKind {
         /// Iteration the sync committed.
         iteration: u64,
     },
+    /// `worker` left the cluster (process crash or link partition): its
+    /// in-flight work is lost and every lease it held is revoked.
+    Crash {
+        /// The worker that died.
+        worker: usize,
+    },
+    /// `worker` rejoined the cluster after a crash or link outage.
+    Restart {
+        /// The worker that came back.
+        worker: usize,
+    },
+    /// The scheduler revoked `token`'s lease from `worker` (deadline expiry or
+    /// crash notification): the token returns to the grantable set. A later
+    /// re-grant of the same token must happen-after this event and carries a
+    /// strictly larger attempt number.
+    Revoke {
+        /// The worker that lost the lease.
+        worker: usize,
+        /// The revoked token.
+        token: u64,
+        /// The attempt number of the revoked lease (0 = first grant).
+        attempt: u64,
+    },
+    /// The scheduler rejected a completion report from `worker` for `token`
+    /// because it no longer holds the token's lease: the gradient was
+    /// discarded, not applied.
+    StaleReport {
+        /// The rejected reporter.
+        worker: usize,
+        /// The token whose lease it lost.
+        token: u64,
+    },
 }
 
 /// One recorded trace event.
@@ -202,6 +234,19 @@ impl BusyTracker {
         self.last_end = now;
     }
 
+    /// Aborts an open busy interval at `now` — the resource died mid-interval
+    /// (fault injection). Elapsed time is accumulated as usual; an interval
+    /// armed at a *future* instant (a straggler floor the resource never
+    /// reached) is discarded entirely. No-op when idle.
+    pub fn abort(&mut self, now: SimTime) {
+        if let Some(since) = self.busy_since.take() {
+            if now > since {
+                self.busy += now.since(since);
+                self.last_end = now;
+            }
+        }
+    }
+
     /// Whether the resource is currently busy.
     pub fn is_busy(&self) -> bool {
         self.busy_since.is_some()
@@ -262,6 +307,42 @@ mod tests {
         tracker.end(t(25));
         assert_eq!(tracker.busy_time(), SimDuration::from_millis(15));
         assert!((tracker.utilization(t(30)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_accumulates_started_interval() {
+        let mut tracker = BusyTracker::new();
+        tracker.begin(t(0));
+        tracker.abort(t(10));
+        assert!(!tracker.is_busy());
+        assert_eq!(tracker.busy_time(), SimDuration::from_millis(10));
+        // A fresh interval may start right at the abort instant.
+        tracker.begin(t(10));
+        tracker.end(t(12));
+        assert_eq!(tracker.busy_time(), SimDuration::from_millis(12));
+    }
+
+    #[test]
+    fn abort_discards_future_interval() {
+        let mut tracker = BusyTracker::new();
+        tracker.begin(t(5));
+        tracker.end(t(10));
+        // Armed at a future straggler floor, aborted before it started.
+        tracker.begin(t(20));
+        tracker.abort(t(15));
+        assert!(!tracker.is_busy());
+        assert_eq!(tracker.busy_time(), SimDuration::from_millis(5));
+        // The discarded interval must not poison later bookkeeping.
+        tracker.begin(t(15));
+        tracker.end(t(16));
+        assert_eq!(tracker.busy_time(), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn abort_while_idle_is_noop() {
+        let mut tracker = BusyTracker::new();
+        tracker.abort(t(3));
+        assert_eq!(tracker.busy_time(), SimDuration::ZERO);
     }
 
     #[test]

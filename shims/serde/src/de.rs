@@ -44,6 +44,18 @@ pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Er
     }
 }
 
+/// Like [`field`], but a missing key yields `T::default()` — the behaviour of
+/// `#[serde(default)]`. A key that is *present* still deserializes strictly.
+pub fn field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {

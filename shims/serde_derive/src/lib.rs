@@ -2,9 +2,8 @@
 //! `#[derive(Deserialize)]` for plain (non-generic) structs and enums.
 //!
 //! The input token stream is parsed by hand — no `syn`/`quote` — which is
-//! enough because this workspace never uses `#[serde(...)]` attributes or
-//! generic serializable types. Supported shapes, matching real serde's JSON
-//! representation:
+//! enough because this workspace only uses a small slice of serde. Supported
+//! shapes, matching real serde's JSON representation:
 //!
 //! * named-field structs → object;
 //! * newtype structs → the inner value;
@@ -13,12 +12,31 @@
 //! * enums: unit variants → `"Variant"`, newtype variants →
 //!   `{"Variant": value}`, tuple variants → `{"Variant": [..]}`,
 //!   struct variants → `{"Variant": {..}}`.
+//!
+//! Two field attributes are honoured, with real serde's semantics:
+//!
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from the
+//!   serialized object when `path(&field)` is true;
+//! * `#[serde(default)]` — a missing key deserializes to `Default::default()`.
+//!
+//! Anything else inside `#[serde(...)]` is a compile error (via a panic in the
+//! macro) rather than a silent difference from real serde.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field plus its honoured `#[serde(...)]` options.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `skip_serializing_if` predicate path, if any.
+    skip_if: Option<String>,
+    /// Whether `#[serde(default)]` was present.
+    default: bool,
+}
+
 #[derive(Debug)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -30,7 +48,7 @@ enum Data {
 }
 
 /// Derives the shim `serde::Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, data) = parse_item(input);
     let body = match &data {
@@ -47,7 +65,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the shim `serde::Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let (name, data) = parse_item(input);
     let body = match &data {
@@ -139,15 +157,22 @@ fn parse_item(input: TokenStream) -> (String, Data) {
     (name, data)
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility.
+        // Walk attributes (capturing `#[serde(...)]` options) and visibility
+        // until the field name.
+        let mut skip_if = None;
+        let mut default = false;
         let name = loop {
             match iter.next() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        if let Some(opts) = serde_attr_options(g.stream()) {
+                            apply_serde_options(opts, &mut skip_if, &mut default);
+                        }
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if let Some(TokenTree::Group(g)) = iter.peek() {
@@ -167,9 +192,64 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("serde_derive: expected ':' after field `{name}`, got {other:?}"),
         }
         skip_type_until_comma(&mut iter);
-        fields.push(name);
+        fields.push(Field {
+            name,
+            skip_if,
+            default,
+        });
     }
     fields
+}
+
+/// If an attribute body (the stream inside `#[...]`) is `serde(...)`, returns
+/// the option stream inside the parentheses; any other attribute yields `None`.
+fn serde_attr_options(stream: TokenStream) -> Option<TokenStream> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Some(g.stream()),
+        other => panic!("serde_derive: malformed #[serde ...] attribute: {other:?}"),
+    }
+}
+
+/// Parses a `serde(...)` option list. Only `default` and
+/// `skip_serializing_if = "path"` are understood; anything else is a hard
+/// error so the shim never silently diverges from real serde.
+fn apply_serde_options(opts: TokenStream, skip_if: &mut Option<String>, default: &mut bool) {
+    let mut iter = opts.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == "default" => *default = true,
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                    other => panic!(
+                        "serde_derive: expected `=` after skip_serializing_if, got {other:?}"
+                    ),
+                }
+                match iter.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        let path = s
+                            .strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!("serde_derive: skip_serializing_if expects a string literal, got {s}")
+                            });
+                        *skip_if = Some(path.to_owned());
+                    }
+                    other => panic!(
+                        "serde_derive: skip_serializing_if expects a string literal, got {other:?}"
+                    ),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde_derive: unsupported serde option: {other:?}"),
+        }
+    }
 }
 
 /// Consumes a type, stopping after a top-level `,` or at end of stream.
@@ -269,22 +349,41 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
 
 // ----------------------------------------------------------- serialization --
 
+/// Emits the serialization expression for one named field into an `__entries`
+/// vector: unconditional for ordinary fields, guarded by the
+/// `skip_serializing_if` predicate otherwise. `expr` is how the field value is
+/// reached (`&self.name` for structs, the bound name in enum match arms).
+fn named_entry_stmt(f: &Field, expr: &str) -> String {
+    let push = format!(
+        "__entries.push((::std::string::String::from(\"{name}\"), \
+         ::serde::Serialize::to_value({expr})));",
+        name = f.name
+    );
+    match &f.skip_if {
+        Some(path) => format!("if !{path}({expr}) {{ {push} }}"),
+        None => push,
+    }
+}
+
+/// Wraps per-field entry statements into an object-building block.
+fn named_entries_block(stmts: &[String]) -> String {
+    format!(
+        "{{ let mut __entries: ::std::vec::Vec<(::std::string::String, \
+         ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+         {}\n\
+         ::serde::value::Value::Object(__entries) }}",
+        stmts.join("\n")
+    )
+}
+
 fn struct_to_value(fields: &Fields) -> String {
     match fields {
         Fields::Named(fs) => {
-            let entries: Vec<String> = fs
+            let stmts: Vec<String> = fs
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
+                .map(|f| named_entry_stmt(f, &format!("&self.{}", f.name)))
                 .collect();
-            format!(
-                "::serde::value::Value::Object(::std::vec![{}])",
-                entries.join(", ")
-            )
+            named_entries_block(&stmts)
         }
         Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
         Fields::Tuple(n) => {
@@ -309,21 +408,16 @@ fn enum_to_value(name: &str, variants: &[(String, Fields)]) -> String {
                  ::serde::value::Value::Str(::std::string::String::from(\"{v}\")),"
             ),
             Fields::Named(fs) => {
-                let pat = fs.join(", ");
-                let entries: Vec<String> = fs
+                let pat = fs
                     .iter()
-                    .map(|f| {
-                        format!(
-                            "(::std::string::String::from(\"{f}\"), \
-                             ::serde::Serialize::to_value({f}))"
-                        )
-                    })
-                    .collect();
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let stmts: Vec<String> = fs.iter().map(|f| named_entry_stmt(f, &f.name)).collect();
                 format!(
                     "{name}::{v} {{ {pat} }} => ::serde::value::Value::Object(::std::vec![\
-                     (::std::string::String::from(\"{v}\"), \
-                      ::serde::value::Value::Object(::std::vec![{}]))]),",
-                    entries.join(", ")
+                     (::std::string::String::from(\"{v}\"), {})]),",
+                    named_entries_block(&stmts)
                 )
             }
             Fields::Tuple(1) => format!(
@@ -352,10 +446,21 @@ fn enum_to_value(name: &str, variants: &[(String, Fields)]) -> String {
 
 // --------------------------------------------------------- deserialization --
 
-fn named_fields_ctor(path: &str, fs: &[String], obj_expr: &str) -> String {
+fn named_fields_ctor(path: &str, fs: &[Field], obj_expr: &str) -> String {
     let inits: Vec<String> = fs
         .iter()
-        .map(|f| format!("{f}: ::serde::de::field({obj_expr}, \"{f}\")?,"))
+        .map(|f| {
+            // `#[serde(default)]` tolerates a missing key; plain fields don't.
+            let helper = if f.default {
+                "field_or_default"
+            } else {
+                "field"
+            };
+            format!(
+                "{name}: ::serde::de::{helper}({obj_expr}, \"{name}\")?,",
+                name = f.name
+            )
+        })
         .collect();
     format!("{path} {{ {} }}", inits.join(" "))
 }

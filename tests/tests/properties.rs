@@ -1,5 +1,6 @@
 //! Property-based tests on the workspace's core invariants (proptest).
 
+use fela_cluster::{FaultModel, StragglerModel};
 use fela_core::{FelaConfig, TokenPlan};
 use fela_engine::{seeded_schedule, EngineNet, SplitPlan, Tensor, TokenExecutor};
 use fela_metrics::stats;
@@ -226,6 +227,66 @@ proptest! {
                     rate,
                     oracle
                 );
+            }
+        }
+    }
+
+    /// `StragglerModel::delay_for` is a pure function of `(iteration, worker)`:
+    /// re-evaluating any cell yields the same delay, `p` at the extremes is
+    /// all-or-nothing, and an empty or overflowed worker range injects nothing.
+    #[test]
+    fn straggler_delay_is_deterministic_and_edge_exact(
+        seed in 0u64..1_000_000_000,
+        iteration in 0u64..10_000,
+        worker in 0usize..64,
+        n_workers in 0usize..64,
+        delay_ms in 1u64..60_000,
+    ) {
+        let delay = fela_sim::SimDuration::from_nanos(delay_ms * 1_000_000);
+        for p in [0.0f64, 0.3, 1.0] {
+            let m = StragglerModel::Probabilistic { p, delay, seed };
+            let first = m.delay_for(iteration, worker, n_workers);
+            prop_assert_eq!(first, m.delay_for(iteration, worker, n_workers));
+            if worker >= n_workers || n_workers == 0 {
+                // Out-of-range workers (and the degenerate empty cluster)
+                // never straggle, for any probability.
+                prop_assert!(first.is_zero());
+            } else if p == 0.0 {
+                prop_assert!(first.is_zero());
+            } else if p == 1.0 {
+                prop_assert_eq!(first, delay);
+            }
+        }
+        // Round-robin slows exactly one in-range worker per iteration, and an
+        // empty cluster (n_workers == 0) must not divide by zero.
+        let rr = StragglerModel::RoundRobin { delay };
+        prop_assert!(rr.delay_for(iteration, worker, 0).is_zero());
+        if n_workers > 0 {
+            let victims = (0..n_workers)
+                .filter(|&w| !rr.delay_for(iteration, w, n_workers).is_zero())
+                .count();
+            prop_assert_eq!(victims, 1);
+        }
+    }
+
+    /// `FaultModel` realisations share the purity contract: deterministic per
+    /// cell, seed-sensitive, and inert outside the worker range.
+    #[test]
+    fn fault_model_is_deterministic_and_range_safe(
+        seed in 0u64..1_000_000_000,
+        iteration in 0u64..10_000,
+        worker in 0usize..64,
+        n_workers in 0usize..64,
+    ) {
+        let down = fela_sim::SimDuration::from_secs(5);
+        for p in [0.0f64, 0.5, 1.0] {
+            let m = FaultModel::Chaos { p, down, seed };
+            let first = m.fault_for(iteration, worker, n_workers);
+            prop_assert_eq!(first, m.fault_for(iteration, worker, n_workers));
+            if worker >= n_workers || p == 0.0 {
+                prop_assert_eq!(first, None);
+            } else if p == 1.0 {
+                prop_assert!(first.is_some());
             }
         }
     }
