@@ -1,0 +1,96 @@
+//! `live_throughput` — token-grant throughput of the **real-clock** live
+//! runtime (`fela-live`) as the worker count scales 1 → 8, on both transports.
+//!
+//! Each cell runs the Token Server and `w` worker threads for a fixed AlexNet
+//! workload with the modeled compute spans scaled down to real sleeps
+//! (`time_scale`), and reports accepted token reports per wall-clock second.
+//! More workers sleep their spans concurrently, so throughput scales until
+//! the single-threaded server (and the wire round-trips) become the
+//! bottleneck.
+//!
+//! Knobs: `FELA_BENCH_DIR=<dir>` chooses where `BENCH_live_throughput.json`
+//! lands (default: the current directory); `FELA_BENCH_QUICK=1` shortens the
+//! run for CI smoke.
+
+use fela_cluster::{ClusterSpec, Scenario};
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_live::{run_real, transport_by_name, RealOptions};
+use fela_model::zoo;
+
+/// One measured cell.
+struct Cell {
+    id: String,
+    tokens_per_sec: f64,
+    grants: u64,
+    elapsed_secs: f64,
+}
+
+fn measure(transport_name: &str, workers: usize, iterations: u64, time_scale: f64) -> Cell {
+    let mut scenario = Scenario::paper(zoo::alexnet(), 256).with_iterations(iterations);
+    scenario.cluster = ClusterSpec::k40c_cluster(workers);
+    let m = FelaRuntime::new(FelaConfig::new(1))
+        .partition_for(&scenario)
+        .len();
+    let config = FelaConfig::new(m);
+    let mut transport = transport_by_name(transport_name).expect("known transport");
+    let outcome = run_real(
+        &config,
+        &scenario,
+        transport.as_mut(),
+        RealOptions {
+            time_scale,
+            ..RealOptions::default()
+        },
+    )
+    .expect("live run completes");
+    assert_eq!(
+        outcome.iterations, iterations,
+        "run must finish every iteration"
+    );
+    Cell {
+        id: format!("live/{transport_name}_{workers}workers"),
+        tokens_per_sec: outcome.tokens_per_sec,
+        grants: outcome.grants,
+        elapsed_secs: outcome.elapsed_secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("FELA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let iterations: u64 = if quick { 3 } else { 10 };
+    let time_scale = 2e-3;
+
+    let mut cells = Vec::new();
+    for transport in ["chan", "tcp"] {
+        for workers in 1..=8usize {
+            let cell = measure(transport, workers, iterations, time_scale);
+            println!(
+                "{:<22} {:>10.0} tokens/s  ({} grants in {:.3}s)",
+                cell.id, cell.tokens_per_sec, cell.grants, cell.elapsed_secs
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut body = String::new();
+    body.push_str("{\n  \"group\": \"live_throughput\",\n");
+    body.push_str(&format!("  \"quick\": {quick},\n"));
+    body.push_str(&format!(
+        "  \"iterations\": {iterations},\n  \"time_scale\": {time_scale},\n"
+    ));
+    body.push_str("  \"benches\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"tokens_per_sec\": {:.1}, \"grants\": {}, \"elapsed_secs\": {:.4} }}{comma}\n",
+            c.id, c.tokens_per_sec, c.grants, c.elapsed_secs
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let dir = std::env::var("FELA_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_live_throughput.json");
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    std::fs::write(&path, body).expect("write bench artifact");
+    println!("wrote {}", path.display());
+}

@@ -8,9 +8,11 @@
 //!   call `.unwrap()` / `.expect(...)` outside tests: scheduler faults must
 //!   surface as typed [`fela_core::ScheduleError`]s or deliberate
 //!   invariant-message panics, not anonymous option/result unwraps.
-//! * **`no-wallclock`** — `sim` and `core` must not read host time
+//! * **`no-wallclock`** — no workspace crate may read host time
 //!   (`SystemTime`, `Instant::now`): simulations are virtual-time-only, and a
-//!   wall-clock read silently breaks run-to-run reproducibility.
+//!   wall-clock read silently breaks run-to-run reproducibility. Crates whose
+//!   purpose is real time (the live runtime's real-clock mode) are exempted
+//!   with a crate-scoped `crate:no-wallclock <crate>` allowlist entry.
 //! * **`no-unseeded-rng`** — `sim` and `core` must not use ambient-entropy
 //!   randomness (`thread_rng`, `rand::random`, `from_entropy`); all randomness
 //!   flows from explicit seeds recorded in run artifacts.
@@ -31,6 +33,9 @@ use std::collections::BTreeSet;
 pub struct LintFinding {
     /// Rule identifier (e.g. `no-unwrap`).
     pub rule: &'static str,
+    /// Crate the finding belongs to (package name, e.g. `fela-live`) — the
+    /// scope crate-scoped allowlist entries match against.
+    pub krate: String,
     /// Path label the finding is reported under.
     pub path: String,
     /// 1-based line number.
@@ -60,12 +65,22 @@ pub const NO_UNWRAP_CRATES: &[&str] = &[
     "fela-cluster",
     "fela-check",
 ];
-/// Crates that must not read wall-clock time or ambient entropy.
+/// Crates that must not use ambient-entropy randomness. (`no-wallclock` is
+/// enforced **workspace-wide**: a wall-clock read anywhere silently undermines
+/// the reproducibility argument. Crates whose job *is* real time — the live
+/// runtime's real-clock mode, the harness's stderr-only timing — opt out with
+/// a crate-scoped allowlist entry, never by weakening the rule.)
 pub const DETERMINISM_CRATES: &[&str] = &["fela-core", "fela-sim"];
 
 /// Parsed `fela-lint.allow` file: lines of `<rule> <path-suffix> [substring]`,
 /// `#`-comments and blanks ignored. A finding is suppressed when a rule+path
 /// entry matches and (if given) the substring occurs in the offending line.
+///
+/// A rule written as `crate:<rule>` is **crate-scoped**: its second field is a
+/// crate package name (matched exactly against [`LintFinding::krate`]) instead
+/// of a path suffix, exempting a whole crate from one rule — e.g.
+/// `crate:no-wallclock fela-live` lets the live runtime's real-clock mode read
+/// `Instant::now` while every unlisted crate still fails the gate.
 #[derive(Clone, Debug, Default)]
 pub struct Allowlist {
     entries: Vec<(String, String, Option<String>)>,
@@ -94,9 +109,14 @@ impl Allowlist {
 
     /// Whether `finding` is suppressed.
     pub fn permits(&self, finding: &LintFinding) -> bool {
-        self.entries.iter().any(|(rule, path, needle)| {
-            rule == finding.rule
-                && finding.path.ends_with(path.as_str())
+        self.entries.iter().any(|(rule, scope, needle)| {
+            let scope_match = match rule.strip_prefix("crate:") {
+                // Crate-scoped entry: the scope is a crate name, matched
+                // exactly — `fela-live` must not also exempt `fela-live-x`.
+                Some(rule) => rule == finding.rule && finding.krate == *scope,
+                None => rule == finding.rule && finding.path.ends_with(scope.as_str()),
+            };
+            scope_match
                 && needle
                     .as_ref()
                     .is_none_or(|n| finding.snippet.contains(n.as_str()))
@@ -227,6 +247,7 @@ pub fn lint_source(path: &str, crate_name: &str, content: &str) -> Vec<LintFindi
         let mut push = |rule: &'static str| {
             findings.push(LintFinding {
                 rule,
+                krate: crate_name.to_owned(),
                 path: path.to_owned(),
                 line: i + 1,
                 snippet: lines[i].trim().to_owned(),
@@ -235,7 +256,9 @@ pub fn lint_source(path: &str, crate_name: &str, content: &str) -> Vec<LintFindi
         if unwrap_rule && (line.contains(".unwrap()") || line.contains(".expect(")) {
             push("no-unwrap");
         }
-        if determinism_rule && (line.contains("SystemTime") || line.contains("Instant::now")) {
+        // Workspace-global: any crate reading the wall clock needs a
+        // crate-scoped allowlist entry (see [`Allowlist`]).
+        if line.contains("SystemTime") || line.contains("Instant::now") {
             push("no-wallclock");
         }
         if determinism_rule
@@ -373,13 +396,57 @@ let msg = \"never .unwrap() in prod\";
     }
 
     #[test]
-    fn wallclock_flagged_in_sim_and_core() {
+    fn wallclock_flagged_in_every_crate() {
+        // no-wallclock is workspace-global: exemptions go through crate-scoped
+        // allowlist entries, not through the rule's crate list.
         let src = "let t = std::time::Instant::now();\n";
-        assert_eq!(
-            rules(&lint_source("a.rs", "fela-sim", src)),
-            ["no-wallclock"]
+        for krate in ["fela-sim", "fela-net", "fela-live", "fela-bench"] {
+            assert_eq!(
+                rules(&lint_source("a.rs", krate, src)),
+                ["no-wallclock"],
+                "{krate}"
+            );
+        }
+        let finding = &lint_source("a.rs", "fela-live", src)[0];
+        assert_eq!(finding.krate, "fela-live");
+    }
+
+    #[test]
+    fn crate_scoped_allowlist_exempts_only_the_listed_crate() {
+        let allow = Allowlist::parse(
+            "# real-clock mode is fela-live's whole point\ncrate:no-wallclock fela-live\n",
         );
-        assert!(lint_source("a.rs", "fela-net", src).is_empty());
+        let src = "let t = std::time::Instant::now();\n";
+        let live = &lint_source("a.rs", "fela-live", src)[0];
+        assert!(allow.permits(live));
+        // An unlisted crate with the identical finding still fails the gate.
+        let net = &lint_source("a.rs", "fela-net", src)[0];
+        assert!(!allow.permits(net));
+        // Exact crate-name match: no prefix bleed.
+        let lookalike = LintFinding {
+            krate: "fela-live-extras".into(),
+            ..live.clone()
+        };
+        assert!(!allow.permits(&lookalike));
+        // A crate-scoped entry does not suppress other rules in that crate.
+        let other_rule = LintFinding {
+            rule: "no-unwrap",
+            ..live.clone()
+        };
+        assert!(!allow.permits(&other_rule));
+    }
+
+    #[test]
+    fn crate_scoped_entry_with_substring_narrows_the_exemption() {
+        let allow = Allowlist::parse("crate:no-wallclock fela-harness Instant::now\n");
+        let timing = &lint_source(
+            "sweep.rs",
+            "fela-harness",
+            "let started = Instant::now();\n",
+        )[0];
+        assert!(allow.permits(timing));
+        let systime = &lint_source("sweep.rs", "fela-harness", "let t = SystemTime::now();\n")[0];
+        assert!(!allow.permits(systime), "substring must still gate");
     }
 
     #[test]
@@ -425,6 +492,7 @@ for (k, v) in seen.iter() { out.push((k, v)); }
     fn allowlist_suppresses_by_rule_path_and_substring() {
         let finding = LintFinding {
             rule: "no-unwrap",
+            krate: "fela-sim".into(),
             path: "crates/sim/src/time.rs".into(),
             line: 10,
             snippet: "self.nanos.checked_add(d.nanos).expect(\"overflow\")".into(),

@@ -14,6 +14,8 @@ pub enum Command {
     Compare(CommonArgs),
     /// `fela check …` — static schedule verification + trace race detection.
     Check(CheckArgs),
+    /// `fela live …` — a real threaded run over the wire protocol.
+    Live(LiveArgs),
     /// `fela models` — the Table I zoo.
     Models,
     /// `fela help`.
@@ -38,6 +40,25 @@ pub struct CheckArgs {
     pub all: bool,
 }
 
+/// Options for `fela live`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LiveArgs {
+    /// Shared scenario options.
+    pub common: CommonArgs,
+    /// Parallelism weight vector (`--weights 1,2,4`); `None` = uniform.
+    pub weights: Option<Vec<u64>>,
+    /// Worker-thread count override (`--workers`); `None` = `--nodes`.
+    pub workers: Option<usize>,
+    /// Transport name: `chan` (in-process channels) or `tcp` (loopback).
+    pub transport: String,
+    /// Clock mode: `virtual` (deterministic, sim-conformant) or `real`.
+    pub mode: String,
+    /// Real seconds slept per modeled second in real-clock mode.
+    pub time_scale: f64,
+    /// Emit the outcome as JSON instead of a table.
+    pub json: bool,
+}
+
 /// Options shared by every scenario-running subcommand.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CommonArgs {
@@ -57,6 +78,9 @@ pub struct CommonArgs {
     pub seed: Option<u64>,
     /// Harness worker threads (`--jobs`); `None` = `FELA_JOBS`/auto.
     pub jobs: Option<usize>,
+    /// Artifact directory override (`--results-dir`); `None` =
+    /// `FELA_RESULTS_DIR`/`results`.
+    pub results_dir: Option<String>,
 }
 
 impl Default for CommonArgs {
@@ -70,6 +94,7 @@ impl Default for CommonArgs {
             fault: FaultModel::None,
             seed: None,
             jobs: None,
+            results_dir: None,
         }
     }
 }
@@ -245,6 +270,22 @@ fn resolve_jobs_with(explicit: Option<usize>, env: Option<&str>) -> Result<usize
     }
 }
 
+/// Resolves the artifact directory for a command: `--results-dir` wins over
+/// `FELA_RESULTS_DIR`, which wins over the `results/` default — so a flag on
+/// the command line always beats ambient environment.
+pub fn resolve_results_dir(explicit: Option<&str>) -> std::path::PathBuf {
+    let env = std::env::var("FELA_RESULTS_DIR").ok();
+    resolve_results_dir_with(explicit, env.as_deref())
+}
+
+fn resolve_results_dir_with(explicit: Option<&str>, env: Option<&str>) -> std::path::PathBuf {
+    match (explicit, env) {
+        (Some(dir), _) => std::path::PathBuf::from(dir),
+        (None, Some(dir)) => std::path::PathBuf::from(dir),
+        (None, None) => std::path::PathBuf::from("results"),
+    }
+}
+
 fn parse_common<'a>(
     common: &mut CommonArgs,
     flag: &str,
@@ -284,6 +325,13 @@ fn parse_common<'a>(
                 return err("--jobs must be at least 1");
             }
             common.jobs = Some(jobs);
+        }
+        "--results-dir" => {
+            let dir = take_value(flag, it)?;
+            if dir.is_empty() {
+                return err("--results-dir expects a non-empty path");
+            }
+            common.results_dir = Some(dir.to_owned());
         }
         _ => return Ok(false),
     }
@@ -349,6 +397,74 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 }
             }
             Ok(Command::Run(run))
+        }
+        "live" => {
+            let mut live = LiveArgs {
+                common: CommonArgs {
+                    iters: 10,
+                    nodes: 4,
+                    ..CommonArgs::default()
+                },
+                weights: None,
+                workers: None,
+                transport: "chan".into(),
+                mode: "virtual".into(),
+                time_scale: 1e-3,
+                json: false,
+            };
+            while let Some(flag) = it.next() {
+                if parse_common(&mut live.common, flag, &mut it)? {
+                    continue;
+                }
+                match flag {
+                    "--weights" => {
+                        let spec = take_value(flag, &mut it)?;
+                        let ws: Result<Vec<u64>, _> = spec.split(',').map(str::parse).collect();
+                        live.weights = Some(ws.map_err(|_| {
+                            ParseError(format!("bad weight list '{spec}' (use e.g. 1,2,4)"))
+                        })?);
+                    }
+                    "--workers" => {
+                        let workers: usize = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--workers expects an integer".into()))?;
+                        if workers == 0 {
+                            return err("--workers must be at least 1");
+                        }
+                        live.workers = Some(workers);
+                    }
+                    "--transport" => {
+                        let transport = take_value(flag, &mut it)?;
+                        if !["chan", "tcp"].contains(&transport) {
+                            return err(format!(
+                                "unknown transport '{transport}' (use chan or tcp)"
+                            ));
+                        }
+                        live.transport = transport.to_owned();
+                    }
+                    "--mode" => {
+                        let mode = take_value(flag, &mut it)?;
+                        if !["virtual", "real"].contains(&mode) {
+                            return err(format!("unknown mode '{mode}' (use virtual or real)"));
+                        }
+                        live.mode = mode.to_owned();
+                    }
+                    "--time-scale" => {
+                        let scale: f64 = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ParseError("--time-scale expects a number".into()))?;
+                        if !scale.is_finite() || scale <= 0.0 {
+                            return err(format!(
+                                "--time-scale {scale} must be finite and positive"
+                            ));
+                        }
+                        live.time_scale = scale;
+                    }
+                    "--json" => live.json = true,
+                    other => return err(format!("unknown flag '{other}' for 'live'")),
+                }
+            }
+            Ok(Command::Live(live))
         }
         "check" => {
             let mut check = CheckArgs {
@@ -419,6 +535,12 @@ USAGE:
                (static DAG verification + race-checking a traced run;
                 omit --weights to verify every Phase-1 candidate vector)
   fela check   --all   (verify the whole zoo × all policies × all candidates)
+  fela live    --model <name> [--workers <n>] [--transport chan|tcp]
+               [--mode virtual|real] [--time-scale <s>] [--weights w1,w2,…]
+               [--straggler <spec>] [--fault <spec>] [--json]
+               (run the Token Server and workers as real threads over the
+                wire protocol; virtual mode is byte-identical to the
+                simulator, real mode races the wall clock)
   fela models
   fela help
 
@@ -428,6 +550,9 @@ COMMON FLAGS:
   --jobs <n>   worker threads for tuning/comparison sweeps
                (default: FELA_JOBS or available parallelism; results are
                identical for every value)
+  --results-dir <dir>
+               where run artifacts land (default: FELA_RESULTS_DIR or
+               results/; the flag wins over the environment)
 
 STRAGGLER SPECS:
   none | round-robin:<delay_secs> | prob:<p>:<delay_secs>[:<seed>]
@@ -708,6 +833,76 @@ mod tests {
 
         assert!(parse(&["check", "--policy", "fast"]).is_err());
         assert!(parse(&["check", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn live_parses_its_flags_and_defaults() {
+        let Command::Live(l) = parse(&["live"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.transport, "chan");
+        assert_eq!(l.mode, "virtual");
+        assert_eq!(l.common.nodes, 4, "live defaults to a small cluster");
+        assert!(l.workers.is_none());
+
+        let Command::Live(l) = parse(&[
+            "live",
+            "--model",
+            "alexnet",
+            "--workers",
+            "6",
+            "--transport",
+            "tcp",
+            "--mode",
+            "real",
+            "--time-scale",
+            "0.0001",
+            "--weights",
+            "1,2,4",
+            "--fault",
+            "crash-restart:2:1:5",
+            "--json",
+        ])
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.common.model, "alexnet");
+        assert_eq!(l.workers, Some(6));
+        assert_eq!(l.transport, "tcp");
+        assert_eq!(l.mode, "real");
+        assert_eq!(l.time_scale, 0.0001);
+        assert_eq!(l.weights, Some(vec![1, 2, 4]));
+        assert!(l.json);
+        assert!(matches!(l.common.fault, FaultModel::Scripted { .. }));
+
+        assert!(parse(&["live", "--transport", "carrier-pigeon"]).is_err());
+        assert!(parse(&["live", "--mode", "imaginary"]).is_err());
+        assert!(parse(&["live", "--workers", "0"]).is_err());
+        assert!(parse(&["live", "--time-scale", "-1"]).is_err());
+        assert!(parse(&["live", "--time-scale", "inf"]).is_err());
+    }
+
+    #[test]
+    fn results_dir_flag_wins_over_environment() {
+        // Flag beats env beats default.
+        assert_eq!(
+            resolve_results_dir_with(Some("/tmp/a"), Some("/tmp/b")),
+            std::path::PathBuf::from("/tmp/a")
+        );
+        assert_eq!(
+            resolve_results_dir_with(None, Some("/tmp/b")),
+            std::path::PathBuf::from("/tmp/b")
+        );
+        assert_eq!(
+            resolve_results_dir_with(None, None),
+            std::path::PathBuf::from("results")
+        );
+        // The flag parses into CommonArgs and rejects empty paths.
+        let Command::Live(l) = parse(&["live", "--results-dir", "out"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.common.results_dir.as_deref(), Some("out"));
+        assert!(parse(&["live", "--results-dir", ""]).is_err());
     }
 
     #[test]

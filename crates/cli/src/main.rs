@@ -9,12 +9,12 @@
 
 mod args;
 
-use args::{CheckArgs, Command, CommonArgs, RunArgs, HELP};
+use args::{CheckArgs, Command, CommonArgs, LiveArgs, RunArgs, HELP};
 use fela_baselines::{DpRuntime, HpRuntime, MpRuntime};
 use fela_cluster::{ClusterSpec, Scenario, TrainingRuntime};
 use fela_core::{FelaConfig, FelaRuntime};
 use fela_harness::SweepSpec;
-use fela_metrics::{f2, format_speedup, Table};
+use fela_metrics::{f2, format_speedup, RunReport, Table};
 use fela_model::zoo;
 use fela_tuning::Tuner;
 use std::process::ExitCode;
@@ -247,7 +247,8 @@ fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
         .scenario(scenario_label.clone(), sc.clone())
         .with_seed(common.seed)
         .run(jobs);
-    if let Err(e) = result.write_artifacts() {
+    let dir = args::resolve_results_dir(common.results_dir.as_deref());
+    if let Err(e) = result.write_artifacts_to(&dir) {
         eprintln!("warning: cannot write compare artifacts: {e}");
     }
 
@@ -288,6 +289,141 @@ fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
                 format_speedup(fela_at / report.average_throughput())
             },
         ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+/// `fela live`: run the Token Server and workers as real OS threads over the
+/// wire protocol, then record the outcome as a [`fela_harness::RunRecord`].
+fn cmd_live(live: &LiveArgs) -> Result<(), String> {
+    let mut common = live.common.clone();
+    if let Some(workers) = live.workers {
+        common.nodes = workers;
+    }
+    let sc = scenario_from(&common)?;
+    let m = {
+        let probe = FelaRuntime::new(FelaConfig::new(1));
+        probe.partition_for(&sc).len()
+    };
+    let config = match &live.weights {
+        Some(w) => {
+            if w.len() != m {
+                return Err(format!(
+                    "--weights needs {m} entries for this model's partition, got {}",
+                    w.len()
+                ));
+            }
+            FelaConfig::new(m).with_weights(w.clone())
+        }
+        None => FelaConfig::new(m),
+    };
+    config.validate(sc.cluster.nodes);
+    let mut transport = fela_live::transport_by_name(&live.transport)
+        .ok_or_else(|| format!("unknown transport '{}'", live.transport))?;
+
+    let scenario_label = format!("{}/b{}", sc.model.name, sc.total_batch);
+    let mut extra_rows: Vec<(String, String)> = Vec::new();
+    let (runtime_label, report) = if live.mode == "virtual" {
+        let outcome = fela_live::run_virtual(&config, &sc, transport.as_mut())
+            .map_err(|e| format!("live run failed: {e}"))?;
+        let label = format!("fela-live:virtual:{}", outcome.transport);
+        extra_rows.push((
+            "conformance".into(),
+            "trace + report byte-identical to the simulator".into(),
+        ));
+        extra_rows.push((
+            "replica params".into(),
+            format!("{} bytes, all workers agree", outcome.params.len()),
+        ));
+        (label, outcome.report)
+    } else {
+        let outcome = fela_live::run_real(
+            &config,
+            &sc,
+            transport.as_mut(),
+            fela_live::RealOptions {
+                time_scale: live.time_scale,
+                ..fela_live::RealOptions::default()
+            },
+        )
+        .map_err(|e| format!("live run failed: {e}"))?;
+        let label = format!("fela-live:real:{}", outcome.transport);
+        // Real-clock runs measure the wall clock, so the report carries real
+        // seconds — unlike simulator records, which are virtual-time only.
+        let mut report = RunReport::new(label.clone(), sc.model.name.clone(), sc.total_batch);
+        report.iterations = outcome.iterations;
+        report.total_time_secs = outcome.elapsed_secs;
+        report.bump("grants", outcome.grants);
+        report.bump("stale_reports", outcome.stale_reports);
+        report.bump("crashes", outcome.crashes);
+        report.bump("restarts", outcome.restarts);
+        report.bump("revocations", outcome.revocations);
+        for (w, trained) in outcome.trained_per_worker.iter().enumerate() {
+            report.bump(&format!("trained_worker_{w}"), *trained);
+        }
+        extra_rows.push((
+            "token throughput".into(),
+            format!("{:.0} tokens/s (wall clock)", outcome.tokens_per_sec),
+        ));
+        extra_rows.push((
+            "replica params".into(),
+            format!("{} bytes, all workers agree", outcome.params.len()),
+        ));
+        (label, report)
+    };
+
+    let record = fela_harness::RunRecord::new(
+        "live",
+        &runtime_label,
+        &scenario_label,
+        &sc,
+        common.seed,
+        report.clone(),
+    );
+    let dir = args::resolve_results_dir(common.results_dir.as_deref());
+    match fela_harness::write_jsonl_to(&dir, "live", std::slice::from_ref(&record)) {
+        Ok(path) => eprintln!("[live] 1 run -> {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write live artifacts: {e}"),
+    }
+
+    if live.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let mut table = Table::new(
+        format!(
+            "fela live — {} @ batch {}, {} iterations, {} workers",
+            sc.model.name, sc.total_batch, sc.iterations, sc.cluster.nodes
+        ),
+        &["metric", "value"],
+    );
+    table.row(vec!["runtime".into(), runtime_label]);
+    table.row(vec!["transport".into(), live.transport.clone()]);
+    table.row(vec!["mode".into(), live.mode.clone()]);
+    table.row(vec!["weights".into(), format!("{:?}", config.weights)]);
+    table.row(vec![
+        if live.mode == "virtual" {
+            "simulated time (s)".into()
+        } else {
+            "wall time (s)".into()
+        },
+        f2(report.total_time_secs),
+    ]);
+    table.row(vec![
+        "tokens granted".into(),
+        report.counter("grants").to_string(),
+    ]);
+    if !sc.fault.is_none() {
+        for key in ["crashes", "restarts", "revocations", "stale_reports"] {
+            table.row(vec![key.into(), report.counter(key).to_string()]);
+        }
+    }
+    for (k, v) in extra_rows {
+        table.row(vec![k, v]);
     }
     print!("{}", table.render());
     Ok(())
@@ -515,6 +651,7 @@ fn main() -> ExitCode {
         }
         Command::Run(run) => cmd_run(run),
         Command::Check(check) => cmd_check(check),
+        Command::Live(live) => cmd_live(live),
         Command::Tune(common) => cmd_tune(common),
         Command::Compare(common) => cmd_compare(common),
     };

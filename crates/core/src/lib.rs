@@ -24,9 +24,9 @@ mod runtime;
 mod server;
 mod token;
 
-pub use config::{CtdConfig, FelaConfig};
+pub use config::{CtdConfig, FelaConfig, RecoveryConfig};
 pub use error::ScheduleError;
 pub use plan::{LevelPlan, PlanError, TokenPlan};
-pub use runtime::FelaRuntime;
+pub use runtime::{ComputeBackend, ComputeRequest, FelaRuntime, LocalCompute};
 pub use server::{Grant, LevelMeta, ServerSnapshot, ServerStats, SyncSpec, TokenServer};
 pub use token::{Token, TokenId};

@@ -81,6 +81,59 @@ enum Ev {
     LeaseExpire { token: TokenId, attempt: u64 },
 }
 
+/// One compute-span query: everything a worker (local or remote) needs to
+/// price a granted token on its GPU. All fields are plain data so the request
+/// can cross a process or wire boundary unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ComputeRequest {
+    /// The worker the token was granted to.
+    pub worker: usize,
+    /// Token id (for correlation on asynchronous backends).
+    pub token: u64,
+    /// Sub-model level the token trains.
+    pub level: usize,
+    /// First model unit of the sub-model (inclusive).
+    pub unit_start: usize,
+    /// Last model unit of the sub-model (exclusive).
+    pub unit_end: usize,
+    /// Samples the token covers.
+    pub batch: u64,
+    /// BSP iteration the token belongs to.
+    pub iteration: u64,
+}
+
+/// Where compute spans come from.
+///
+/// The simulation's event loop is backend-agnostic: when a worker starts a
+/// token it asks the backend how many seconds the span costs and schedules
+/// `ComputeDone` accordingly. [`LocalCompute`] answers inline from the
+/// scenario's analytic GPU model; `fela-live` answers by round-tripping the
+/// request to a real worker thread over a transport. The contract that keeps
+/// every backend bit-identical: the returned value is the *raw* `f64` seconds
+/// of [`fela_cluster::ClusterSpec::compute_secs`] — the runtime converts to
+/// virtual time itself (lease deadlines multiply the raw seconds before any
+/// nanosecond rounding, so a backend must not round first).
+pub trait ComputeBackend {
+    /// Prices one compute span in seconds.
+    fn compute_secs(&mut self, scenario: &Scenario, req: &ComputeRequest) -> f64;
+}
+
+/// The default backend: evaluate the scenario's analytic GPU model inline.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct LocalCompute;
+
+impl ComputeBackend for LocalCompute {
+    fn compute_secs(&mut self, scenario: &Scenario, req: &ComputeRequest) -> f64 {
+        scenario.cluster.compute_secs(
+            &scenario.model,
+            req.unit_start,
+            req.unit_end,
+            req.batch,
+            req.worker,
+        )
+    }
+}
+
 struct WorkerState {
     current: Option<Grant>,
     pending_fetches: usize,
@@ -116,8 +169,10 @@ struct FaultStats {
     quarantines: u64,
 }
 
-struct FelaWorld {
+struct FelaWorld<'a> {
     trace: Trace,
+    /// Compute-span oracle: inline analytic model, or a live worker fleet.
+    backend: &'a mut dyn ComputeBackend,
     scenario: Scenario,
     partition: Partition,
     server: TokenServer,
@@ -139,7 +194,7 @@ struct FelaWorld {
     fault_stats: FaultStats,
 }
 
-impl FelaWorld {
+impl FelaWorld<'_> {
     fn rpc(&self) -> SimDuration {
         self.server.config().rpc_latency
     }
@@ -215,19 +270,22 @@ impl FelaWorld {
             panic!("worker {worker} started compute without a grant");
         };
         let sm = &self.partition.sub_models()[grant.token.level];
-        let secs = self.scenario.cluster.compute_secs(
-            &self.scenario.model,
-            sm.unit_start,
-            sm.unit_end,
-            grant.token.batch,
+        let req = ComputeRequest {
             worker,
-        );
+            token: grant.token.id.0,
+            level: grant.token.level,
+            unit_start: sm.unit_start,
+            unit_end: sm.unit_end,
+            batch: grant.token.batch,
+            iteration: grant.token.iteration,
+        };
         let token = grant.token.id;
         let attempt = grant.attempt;
+        let iter = grant.token.iteration;
+        let secs = self.backend.compute_secs(&self.scenario, &req);
         // Straggler sleep (§V-C2): the worker cannot start computing before
         // its iteration's start + d, so the sleep overlaps any scheduling idle
         // time (and overlapping iterations each charge their own sleep).
-        let iter = grant.token.iteration;
         let floor = self.iter_starts[iter as usize] + self.scenario.straggler_delay(iter, worker);
         let start = sched.now().max(floor).max(self.workers[worker].hang_until);
         self.busy[worker].begin(start);
@@ -610,7 +668,7 @@ impl FelaWorld {
     }
 }
 
-impl World for FelaWorld {
+impl World for FelaWorld<'_> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
@@ -819,10 +877,31 @@ impl FelaRuntime {
     /// timestamps). Tracing costs formatting time, so [`TrainingRuntime::run`]
     /// leaves it off.
     pub fn run_traced(&self, scenario: &Scenario) -> (RunReport, Trace) {
-        self.run_impl(scenario, Trace::enabled())
+        self.run_impl(scenario, Trace::enabled(), &mut LocalCompute)
     }
 
-    fn run_impl(&self, scenario: &Scenario, trace: Trace) -> (RunReport, Trace) {
+    /// Like [`FelaRuntime::run_traced`] but with compute spans priced by an
+    /// explicit [`ComputeBackend`] instead of the inline analytic model.
+    ///
+    /// The event machinery — grants, fetches, syncs, straggler floors, leases,
+    /// faults — is *shared* with the local path; only the span oracle differs.
+    /// A backend that returns the same seconds as [`LocalCompute`] therefore
+    /// produces a byte-identical trace and report (this is how `fela-live`
+    /// proves virtual-clock conformance).
+    pub fn run_traced_with(
+        &self,
+        scenario: &Scenario,
+        backend: &mut dyn ComputeBackend,
+    ) -> (RunReport, Trace) {
+        self.run_impl(scenario, Trace::enabled(), backend)
+    }
+
+    fn run_impl(
+        &self,
+        scenario: &Scenario,
+        trace: Trace,
+        backend: &mut dyn ComputeBackend,
+    ) -> (RunReport, Trace) {
         scenario.cluster.validate();
         if let Err(e) = scenario.fault.validate() {
             panic!("invalid fault model: {e}");
@@ -859,6 +938,7 @@ impl FelaRuntime {
         let server = TokenServer::new(plan, config.clone(), meta, n, scenario.iterations);
         let world = FelaWorld {
             trace,
+            backend,
             scenario: scenario.clone(),
             partition,
             server,
@@ -966,7 +1046,8 @@ impl TrainingRuntime for FelaRuntime {
     }
 
     fn run(&self, scenario: &Scenario) -> RunReport {
-        self.run_impl(scenario, Trace::disabled()).0
+        self.run_impl(scenario, Trace::disabled(), &mut LocalCompute)
+            .0
     }
 }
 

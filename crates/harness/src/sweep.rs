@@ -217,7 +217,16 @@ impl SweepResult {
     /// # Errors
     /// Propagates filesystem errors.
     pub fn write_artifacts(&self) -> std::io::Result<std::path::PathBuf> {
-        let path = record::write_jsonl(&self.experiment, &self.records)?;
+        self.write_artifacts_to(&record::results_dir())
+    }
+
+    /// Like [`Self::write_artifacts`] but with an explicit directory (the
+    /// `--results-dir` flag).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_artifacts_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = record::write_jsonl_to(dir, &self.experiment, &self.records)?;
         eprintln!(
             "[{}] {} runs in {:.2?} -> {}",
             self.experiment,

@@ -1,0 +1,656 @@
+//! Real-clock live runs: the Token Server as a wall-clock service.
+//!
+//! Unlike virtual mode (which *is* the simulator), real mode drives
+//! [`TokenServer`] directly: worker threads pull tokens over the wire, sleep
+//! the modeled compute span scaled by `time_scale`, and report; the server
+//! maps real elapsed nanoseconds onto [`SimTime`] for the scheduling policies
+//! and runs leases, faults and restarts off a wall-clock timer heap. Data
+//! movement is not emulated — this is a **control-plane** runtime: parameter
+//! syncs commit degenerately the moment a level's last report lands
+//! ([`TokenServer::sync_finished`] immediately), so the measured quantity is
+//! pure token-protocol throughput.
+//!
+//! Model training is still exact: accepted reports are logged server-side,
+//! relabeled into engine schedules (see [`crate::replay`]) and broadcast to
+//! every surviving worker at the end of the run. [`fela_engine`]'s executor
+//! is schedule-invariant, so even a nondeterministically-ordered TCP run
+//! produces bit-identical final parameters on every replica.
+//!
+//! Fault injection reuses the scenario's [`FaultModel`](fela_cluster::FaultModel)
+//! verbatim: `Crash` closes the victim's link (its thread dies on the broken
+//! connection), `CrashRestart`/`LinkDown` additionally arm a timer that
+//! reconnects via [`Transport::extra_link`] and respawns the worker, and
+//! `Hang` ships a `Hang` frame that freezes the victim long enough for its
+//! lease to expire on the server.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use fela_cluster::{FaultKind, Scenario};
+use fela_core::{
+    FelaConfig, FelaRuntime, Grant, LevelMeta, RecoveryConfig, ScheduleError, TokenId, TokenPlan,
+    TokenServer,
+};
+use fela_model::Partition;
+use fela_sim::{SimDuration, SimTime};
+
+use crate::replay::replay_schedules;
+use crate::transport::{LinkRx, LinkTx, Transport};
+use crate::wire::Frame;
+use crate::worker::{spawn_worker, WorkerSpec};
+
+/// Tuning knobs for a real-clock run.
+#[derive(Clone, Copy, Debug)]
+pub struct RealOptions {
+    /// Real seconds slept per modeled second. Small values (1e-4..1e-2) turn
+    /// multi-minute modeled runs into sub-second smoke runs.
+    pub time_scale: f64,
+    /// Floor on real lease deadlines, defending tiny `time_scale` values
+    /// against thread-scheduler jitter causing spurious revocations.
+    pub min_lease: Duration,
+    /// Floor on real restart downtime.
+    pub min_down: Duration,
+}
+
+impl Default for RealOptions {
+    fn default() -> Self {
+        RealOptions {
+            time_scale: 1e-3,
+            min_lease: Duration::from_millis(50),
+            min_down: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Result of a real-clock live run.
+#[derive(Clone, Debug)]
+pub struct RealOutcome {
+    /// Real wall-clock seconds the run took.
+    pub elapsed_secs: f64,
+    /// Iterations committed (equals the scenario's iteration count).
+    pub iterations: u64,
+    /// Tokens granted by the server (including re-grants after revocation).
+    pub grants: u64,
+    /// Accepted token reports per second of wall clock — the headline
+    /// throughput number for the `live_throughput` bench.
+    pub tokens_per_sec: f64,
+    /// Accepted reports per worker.
+    pub trained_per_worker: Vec<u64>,
+    /// Reports discarded because the reporter had lost its lease.
+    pub stale_reports: u64,
+    /// Injected crashes (including crash-restart and link-down).
+    pub crashes: u64,
+    /// Workers that rejoined after a crash.
+    pub restarts: u64,
+    /// Leases revoked (expiry or crash).
+    pub revocations: u64,
+    /// Final model parameters (bit-identical on every surviving replica and
+    /// to the server's reference replay).
+    pub params: Vec<u8>,
+    /// Transport used.
+    pub transport: &'static str,
+}
+
+enum Inbound {
+    Frame(Frame),
+    Gone,
+}
+
+enum Timer {
+    Lease { token: TokenId, attempt: u64 },
+    Restart { worker: usize },
+}
+
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    timer: Timer,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+fn spawn_pump(worker: usize, mut rx: LinkRx, inbox: Sender<(usize, Inbound)>) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("fela-pump-{worker}"))
+        .spawn(move || loop {
+            match rx.recv() {
+                Ok(frame) => {
+                    if inbox.send((worker, Inbound::Frame(frame))).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    let _ = inbox.send((worker, Inbound::Gone));
+                    return;
+                }
+            }
+        })
+        .expect("spawn pump thread")
+}
+
+struct RealServer<'a> {
+    server: TokenServer,
+    scenario: &'a Scenario,
+    partition: Partition,
+    plan: TokenPlan,
+    opts: RealOptions,
+    recovery: Option<RecoveryConfig>,
+    started: Instant,
+    /// Send half per worker; `None` after we closed the link (crash).
+    txs: Vec<Option<LinkTx>>,
+    inbox_tx: Sender<(usize, Inbound)>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
+    /// Accepted reports in arrival order: `(iteration, level)`.
+    completions: Vec<(u64, usize)>,
+    faults_armed: u64,
+    stale_reports: u64,
+    crashes: u64,
+    restarts: u64,
+    revocations: u64,
+}
+
+impl RealServer<'_> {
+    fn now_sim(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(self.started.elapsed().as_secs_f64())
+    }
+
+    fn arm_timer(&mut self, at: Instant, timer: Timer) {
+        self.timer_seq += 1;
+        self.timers.push(Reverse(TimerEntry {
+            at,
+            seq: self.timer_seq,
+            timer,
+        }));
+    }
+
+    fn worker_spec(&self, index: usize, pull: bool) -> WorkerSpec {
+        WorkerSpec {
+            index,
+            scenario: self.scenario.clone(),
+            plan: self.plan.clone(),
+            time_scale: self.opts.time_scale,
+            pull,
+        }
+    }
+
+    fn send_grant(&mut self, worker: usize, grant: Grant) {
+        let sm = &self.partition.sub_models()[grant.token.level];
+        let frame = Frame::Grant {
+            token: grant.token.id.0,
+            level: grant.token.level as u32,
+            iteration: grant.token.iteration,
+            batch: grant.token.batch,
+            unit_start: sm.unit_start as u32,
+            unit_end: sm.unit_end as u32,
+        };
+        if let Some(tx) = self.txs[worker].as_mut() {
+            if tx.send(&frame).is_err() {
+                // Worker died under us; the pump's Gone will handle it.
+                return;
+            }
+        } else {
+            return;
+        }
+        if let Some(rec) = self.recovery {
+            let base = self.scenario.cluster.compute_secs(
+                &self.scenario.model,
+                sm.unit_start,
+                sm.unit_end,
+                grant.token.batch,
+                worker,
+            ) + self
+                .scenario
+                .straggler_delay(grant.token.iteration, worker)
+                .as_secs_f64();
+            let backoff = (1u64 << grant.attempt.min(32)) as f64;
+            let lease = Duration::from_secs_f64(
+                (base * rec.lease_slack * backoff + rec.lease_grace.as_secs_f64())
+                    * self.opts.time_scale,
+            )
+            .max(self.opts.min_lease);
+            self.arm_timer(
+                Instant::now() + lease,
+                Timer::Lease {
+                    token: grant.token.id,
+                    attempt: grant.attempt,
+                },
+            );
+        }
+    }
+
+    /// Grants every waiting worker whose turn has come.
+    fn pump_grants(&mut self) {
+        loop {
+            match self.server.pop_ready_grant(self.now_sim()) {
+                Ok(Some((worker, grant))) => self.send_grant(worker, grant),
+                Ok(None) => break,
+                Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+            }
+        }
+    }
+
+    /// Kills a worker at the transport level and tells the server.
+    fn kill(&mut self, worker: usize) {
+        if let Some(mut tx) = self.txs[worker].take() {
+            tx.close();
+        }
+        if self.server.is_alive(worker) {
+            match self.server.worker_crashed(worker) {
+                Ok(revoked) => {
+                    self.crashes += 1;
+                    self.revocations += revoked.len() as u64;
+                }
+                Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+            }
+        }
+    }
+
+    /// Turns fault declarations into actions as root iterations are released.
+    fn arm_faults(&mut self, transport: &mut dyn Transport) -> io::Result<()> {
+        if self.scenario.fault.is_none() {
+            return Ok(());
+        }
+        while self.faults_armed < self.server.released_root_iterations() {
+            let it = self.faults_armed;
+            for worker in 0..self.scenario.cluster.nodes {
+                match self.scenario.fault_for(it, worker) {
+                    None => {}
+                    Some(FaultKind::Hang { stall }) => {
+                        let nanos = (stall.as_secs_f64() * self.opts.time_scale * 1e9)
+                            .max(self.opts.min_lease.as_nanos() as f64 * 2.0)
+                            as u64;
+                        if let Some(tx) = self.txs[worker].as_mut() {
+                            let _ = tx.send(&Frame::Hang { nanos });
+                        }
+                    }
+                    Some(FaultKind::Crash) => self.kill(worker),
+                    Some(FaultKind::CrashRestart { down }) | Some(FaultKind::LinkDown { down }) => {
+                        self.kill(worker);
+                        let real_down =
+                            Duration::from_secs_f64(down.as_secs_f64() * self.opts.time_scale)
+                                .max(self.opts.min_down);
+                        self.arm_timer(Instant::now() + real_down, Timer::Restart { worker });
+                    }
+                }
+            }
+            self.faults_armed += 1;
+        }
+        let _ = transport;
+        Ok(())
+    }
+
+    fn fire_timer(&mut self, timer: Timer, transport: &mut dyn Transport) -> io::Result<()> {
+        match timer {
+            Timer::Lease { token, attempt } => {
+                match self.server.lease_expired(token, attempt) {
+                    Ok(Some(expired)) => {
+                        self.revocations += expired.revoked.len() as u64;
+                    }
+                    Ok(None) => {} // lease already satisfied or superseded
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+                }
+                self.pump_grants();
+            }
+            Timer::Restart { worker } => {
+                if self.server.is_alive(worker) {
+                    return Ok(());
+                }
+                let (server_link, worker_link) = transport.extra_link(worker)?;
+                let (tx, rx) = server_link.split();
+                self.txs[worker] = Some(tx);
+                let _ = spawn_pump(worker, rx, self.inbox_tx.clone());
+                let _ = spawn_worker(self.worker_spec(worker, true), worker_link);
+                match self.server.worker_restarted(worker) {
+                    Ok(()) => self.restarts += 1,
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+                }
+                self.pump_grants();
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_frame(
+        &mut self,
+        worker: usize,
+        frame: Frame,
+        transport: &mut dyn Transport,
+    ) -> io::Result<()> {
+        match frame {
+            Frame::Request { worker: w } => {
+                debug_assert_eq!(w as usize, worker);
+                match self.server.request(worker, self.now_sim()) {
+                    Ok(Some(grant)) => self.send_grant(worker, grant),
+                    Ok(None) => {}
+                    Err(ScheduleError::WorkerUnavailable { .. }) => {}
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+                }
+            }
+            Frame::Report { worker: w, token } => {
+                debug_assert_eq!(w as usize, worker);
+                let id = TokenId(token);
+                let info = self.server.token(id).map(|t| (t.iteration, t.level));
+                match self.server.report(worker, id) {
+                    Ok(syncs) => {
+                        let (iteration, level) =
+                            info.expect("accepted report for an unknown token");
+                        self.completions.push((iteration, level));
+                        // Control-plane runtime: every sync commits degenerately.
+                        for spec in syncs {
+                            if let Err(e) = self.server.sync_finished(spec.level, spec.iteration) {
+                                panic!("Fela scheduler invariant violated: {e}");
+                            }
+                        }
+                    }
+                    Err(ScheduleError::StaleReport { .. }) => self.stale_reports += 1,
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+                }
+                // Piggybacked pull, exactly like the simulated control plane.
+                match self.server.request(worker, self.now_sim()) {
+                    Ok(Some(grant)) => self.send_grant(worker, grant),
+                    Ok(None) => {}
+                    Err(ScheduleError::WorkerUnavailable { .. }) => {}
+                    Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+                }
+                self.arm_faults(transport)?;
+                self.pump_grants();
+            }
+            other => panic!("server: unexpected frame from worker {worker}: {other:?}"),
+        }
+        Ok(())
+    }
+}
+
+/// Runs `scenario` live in real-clock mode over `transport`.
+pub fn run_real(
+    config: &FelaConfig,
+    scenario: &Scenario,
+    transport: &mut dyn Transport,
+    opts: RealOptions,
+) -> io::Result<RealOutcome> {
+    scenario.cluster.validate();
+    if let Err(e) = scenario.fault.validate() {
+        panic!("invalid fault model: {e}");
+    }
+    let mut config = config.clone();
+    if !scenario.fault.is_none() && config.recovery.is_none() {
+        config.recovery = Some(RecoveryConfig::default());
+    }
+    let runtime = FelaRuntime::new(config.clone());
+    let partition = runtime.partition_for(scenario);
+    let plan = TokenPlan::build(
+        &partition,
+        &config,
+        scenario.total_batch,
+        scenario.cluster.nodes,
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let meta: Vec<LevelMeta> = partition
+        .sub_models()
+        .iter()
+        .map(|s| LevelMeta {
+            param_bytes: s.param_bytes,
+            output_bytes_per_sample: s.output_bytes_per_sample,
+            input_bytes_per_sample: s.input_bytes_per_sample,
+            comm_intensive: s.comm_intensive,
+        })
+        .collect();
+    let n = scenario.cluster.nodes;
+    let server = TokenServer::new(plan.clone(), config.clone(), meta, n, scenario.iterations);
+
+    type InboxPair = (Sender<(usize, Inbound)>, Receiver<(usize, Inbound)>);
+    let (inbox_tx, inbox_rx): InboxPair = channel();
+    let (server_links, worker_links) = transport.establish(n)?;
+    let mut txs = Vec::with_capacity(n);
+    for (w, link) in server_links.into_iter().enumerate() {
+        let (tx, rx) = link.split();
+        txs.push(Some(tx));
+        let _ = spawn_pump(w, rx, inbox_tx.clone());
+    }
+
+    let recovery = if !scenario.fault.is_none() {
+        config.recovery
+    } else {
+        None
+    };
+    let mut rs = RealServer {
+        server,
+        scenario,
+        partition,
+        plan,
+        opts,
+        recovery,
+        started: Instant::now(),
+        txs,
+        inbox_tx,
+        timers: BinaryHeap::new(),
+        timer_seq: 0,
+        completions: Vec::new(),
+        faults_armed: 0,
+        stale_reports: 0,
+        crashes: 0,
+        restarts: 0,
+        revocations: 0,
+    };
+
+    // Workers are spawned *after* the clock starts so their initial Requests
+    // measure real protocol latency.
+    for (index, link) in worker_links.into_iter().enumerate() {
+        let _ = spawn_worker(rs.worker_spec(index, true), link);
+    }
+    rs.arm_faults(transport)?;
+
+    while !rs.server.run_complete() {
+        let next_deadline = rs.timers.peek().map(|Reverse(e)| e.at);
+        let msg = match next_deadline {
+            Some(at) => {
+                let now = Instant::now();
+                if at <= now {
+                    let Reverse(entry) = rs.timers.pop().expect("peeked");
+                    rs.fire_timer(entry.timer, transport)?;
+                    continue;
+                }
+                match inbox_rx.recv_timeout(at - now) {
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("every worker pump exited before the run completed")
+                    }
+                }
+            }
+            None => inbox_rx
+                .recv()
+                .expect("every worker pump exited before the run completed"),
+        };
+        match msg {
+            (worker, Inbound::Frame(frame)) => rs.handle_frame(worker, frame, transport)?,
+            (worker, Inbound::Gone) => {
+                // We closed the link ourselves (crash injection) — or the
+                // thread died unexpectedly, which the server treats the same.
+                if rs.server.is_alive(worker) && rs.txs[worker].is_some() {
+                    rs.kill(worker);
+                    rs.pump_grants();
+                }
+            }
+        }
+    }
+    let elapsed = rs.started.elapsed();
+
+    // Broadcast the relabeled schedules and collect every replica's params.
+    let mut schedules: Vec<Vec<(usize, usize)>> = Vec::new();
+    {
+        let mut next_rank: Vec<std::collections::HashMap<usize, usize>> = Vec::new();
+        for &(iteration, level) in &rs.completions {
+            let it = iteration as usize;
+            while schedules.len() <= it {
+                schedules.push(Vec::new());
+                next_rank.push(Default::default());
+            }
+            let rank = next_rank[it].entry(level).or_insert(0);
+            schedules[it].push((level, *rank));
+            *rank += 1;
+        }
+    }
+    let reference = replay_schedules(&rs.plan, &schedules);
+    let mut waiting = Vec::new();
+    for worker in 0..n {
+        let Some(tx) = rs.txs[worker].as_mut() else {
+            continue;
+        };
+        let mut ok = true;
+        for (iteration, schedule) in schedules.iter().enumerate() {
+            if tx
+                .send(&Frame::Iter {
+                    iteration: iteration as u64,
+                    schedule: schedule
+                        .iter()
+                        .map(|&(l, j)| (l as u32, j as u32))
+                        .collect(),
+                })
+                .is_err()
+            {
+                ok = false;
+                break;
+            }
+        }
+        if ok && tx.send(&Frame::End).is_ok() {
+            waiting.push(worker);
+        }
+    }
+    let mut collected = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while collected < waiting.len() {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .expect("timed out collecting final parameters");
+        match inbox_rx.recv_timeout(remaining) {
+            Ok((worker, Inbound::Frame(Frame::Params { bytes }))) => {
+                assert_eq!(
+                    bytes, reference,
+                    "worker {worker}: replica parameters diverged from the reference replay"
+                );
+                collected += 1;
+            }
+            // Late reports/requests from still-draining workers, and Gone
+            // notifications as threads exit.
+            Ok(_) => {}
+            Err(e) => panic!("collecting final parameters: {e}"),
+        }
+    }
+
+    let trained = rs.server.trained_per_worker().to_vec();
+    let tokens: u64 = trained.iter().sum();
+    Ok(RealOutcome {
+        elapsed_secs: elapsed.as_secs_f64(),
+        iterations: rs.server.completed_iterations(),
+        grants: rs.server.stats().grants,
+        tokens_per_sec: tokens as f64 / elapsed.as_secs_f64(),
+        trained_per_worker: trained,
+        stale_reports: rs.stale_reports,
+        crashes: rs.crashes,
+        restarts: rs.restarts,
+        revocations: rs.revocations,
+        params: reference,
+        transport: transport.name(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{ChanTransport, TcpTransport};
+    use fela_cluster::{ClusterSpec, FaultModel};
+    use fela_model::zoo;
+
+    fn quick() -> (FelaConfig, Scenario) {
+        let mut scenario = Scenario::paper(zoo::alexnet(), 128);
+        scenario.iterations = 3;
+        scenario.cluster = ClusterSpec::k40c_cluster(2);
+        let config = FelaConfig::new(3);
+        (config, scenario)
+    }
+
+    fn fast() -> RealOptions {
+        RealOptions {
+            time_scale: 1e-4,
+            ..RealOptions::default()
+        }
+    }
+
+    #[test]
+    fn real_chan_run_completes_and_replicas_agree() {
+        let (config, scenario) = quick();
+        let out =
+            run_real(&config, &scenario, &mut ChanTransport, fast()).expect("real run succeeds");
+        assert_eq!(out.iterations, 3);
+        assert!(!out.params.is_empty());
+        assert_eq!(out.trained_per_worker.iter().sum::<u64>(), out.grants);
+        assert!(out.tokens_per_sec > 0.0);
+    }
+
+    #[test]
+    fn real_tcp_run_completes() {
+        let (config, scenario) = quick();
+        let out = run_real(&config, &scenario, &mut TcpTransport::default(), fast())
+            .expect("real run succeeds");
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.transport, "tcp");
+    }
+
+    #[test]
+    fn real_run_params_match_the_virtual_run() {
+        // Schedule-invariance in action: a wall-clock run with real thread
+        // interleavings lands on the same final parameter bits as the
+        // deterministic virtual run of the same scenario.
+        let (config, scenario) = quick();
+        let real =
+            run_real(&config, &scenario, &mut ChanTransport, fast()).expect("real run succeeds");
+        let virt = crate::virt::run_virtual(&config, &scenario, &mut ChanTransport)
+            .expect("virtual run succeeds");
+        assert_eq!(real.params, virt.params);
+    }
+
+    #[test]
+    fn real_crash_restart_recovers() {
+        let (config, mut scenario) = quick();
+        scenario.iterations = 8;
+        scenario.fault = FaultModel::Scripted {
+            worker: 1,
+            iteration: 1,
+            kind: FaultKind::CrashRestart {
+                down: fela_sim::SimDuration::from_millis(100),
+            },
+        };
+        let opts = RealOptions {
+            time_scale: 1e-3,
+            min_down: Duration::from_millis(1),
+            ..RealOptions::default()
+        };
+        let out =
+            run_real(&config, &scenario, &mut ChanTransport, opts).expect("real run succeeds");
+        assert_eq!(out.iterations, 8);
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.restarts, 1);
+        assert!(!out.params.is_empty());
+    }
+}

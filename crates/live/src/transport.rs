@@ -1,0 +1,336 @@
+//! Server ↔ worker links: the [`Transport`] trait and its two implementations.
+//!
+//! A transport establishes one bidirectional, ordered, reliable frame [`Link`]
+//! per worker. Both implementations push every message through the same wire
+//! codec ([`crate::wire`]):
+//!
+//! * [`ChanTransport`] — in-process `std::sync::mpsc` channels carrying the
+//!   *encoded* frame bytes (the codec is exercised even without sockets);
+//! * [`TcpTransport`] — `std::net` TCP over loopback, one connection per
+//!   worker, identified by a `Hello` handshake frame at accept time.
+//!
+//! A link can be split into independently owned send/receive halves
+//! ([`Link::split`]) so the real-clock server can pump inbound frames from a
+//! reader thread while granting from its main loop, and it can be closed
+//! ([`LinkTx::close`]) — which is how the fault injector "drops the
+//! connection" to a worker: the peer's next receive fails and the thread dies,
+//! exactly like a real network partition.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::wire::{decode_frame, encode_frame, read_frame, Frame};
+
+/// One endpoint of a bidirectional frame link.
+pub struct Link {
+    tx: LinkTx,
+    rx: LinkRx,
+}
+
+/// The sending half of a link.
+pub enum LinkTx {
+    /// In-process channel of encoded frames.
+    Chan(Option<Sender<Vec<u8>>>),
+    /// TCP stream (a `try_clone` of the connection).
+    Tcp(Option<TcpStream>),
+}
+
+/// The receiving half of a link.
+pub enum LinkRx {
+    /// In-process channel of encoded frames.
+    Chan(Receiver<Vec<u8>>),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl LinkTx {
+    /// Sends one frame. Fails when the peer is gone or the link was closed.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        match self {
+            LinkTx::Chan(tx) => match tx {
+                Some(tx) => tx
+                    .send(encode_frame(frame))
+                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer hung up")),
+                None => Err(io::Error::new(io::ErrorKind::NotConnected, "link closed")),
+            },
+            LinkTx::Tcp(stream) => match stream {
+                Some(s) => {
+                    s.write_all(&encode_frame(frame))?;
+                    s.flush()
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotConnected, "link closed")),
+            },
+        }
+    }
+
+    /// Drops the connection. The peer's next receive fails (channel
+    /// disconnect / TCP reset-EOF), which is the transport-level kill switch
+    /// for fault injection.
+    pub fn close(&mut self) {
+        match self {
+            LinkTx::Chan(tx) => {
+                tx.take();
+            }
+            LinkTx::Tcp(stream) => {
+                if let Some(s) = stream.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+impl LinkRx {
+    /// Receives one frame, blocking. An error means the peer is gone (or the
+    /// link was closed under us).
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        match self {
+            LinkRx::Chan(rx) => {
+                let bytes = rx
+                    .recv()
+                    .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
+                Ok(decode_frame(&bytes)?)
+            }
+            LinkRx::Tcp(stream) => read_frame(stream),
+        }
+    }
+}
+
+impl Link {
+    fn new(tx: LinkTx, rx: LinkRx) -> Self {
+        Link { tx, rx }
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.tx.send(frame)
+    }
+
+    /// Receives one frame, blocking.
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        self.rx.recv()
+    }
+
+    /// Splits into independently owned halves (reader thread + writer loop).
+    pub fn split(self) -> (LinkTx, LinkRx) {
+        (self.tx, self.rx)
+    }
+}
+
+/// A way to establish server ↔ worker frame links.
+pub trait Transport {
+    /// Human-readable transport name (`"chan"` / `"tcp"`).
+    fn name(&self) -> &'static str;
+
+    /// Establishes `n` links; returns `(server_ends, worker_ends)` with the
+    /// link for worker `w` at index `w` of both vectors.
+    fn establish(&mut self, n: usize) -> io::Result<(Vec<Link>, Vec<Link>)>;
+
+    /// Establishes one additional link for a rejoining worker (crash-restart
+    /// in real-clock mode). Returns `(server_end, worker_end)`.
+    fn extra_link(&mut self, worker: usize) -> io::Result<(Link, Link)>;
+}
+
+/// In-process channel transport.
+#[derive(Default)]
+pub struct ChanTransport;
+
+fn chan_pair() -> (Link, Link) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        Link::new(LinkTx::Chan(Some(a_tx)), LinkRx::Chan(a_rx)),
+        Link::new(LinkTx::Chan(Some(b_tx)), LinkRx::Chan(b_rx)),
+    )
+}
+
+impl Transport for ChanTransport {
+    fn name(&self) -> &'static str {
+        "chan"
+    }
+
+    fn establish(&mut self, n: usize) -> io::Result<(Vec<Link>, Vec<Link>)> {
+        let mut servers = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, w) = chan_pair();
+            servers.push(s);
+            workers.push(w);
+        }
+        Ok((servers, workers))
+    }
+
+    fn extra_link(&mut self, _worker: usize) -> io::Result<(Link, Link)> {
+        Ok(chan_pair())
+    }
+}
+
+/// TCP-loopback transport. Binds an ephemeral `127.0.0.1` listener on first
+/// use and keeps it open for restart links.
+#[derive(Default)]
+pub struct TcpTransport {
+    listener: Option<TcpListener>,
+}
+
+impl TcpTransport {
+    fn listener(&mut self) -> io::Result<&TcpListener> {
+        if self.listener.is_none() {
+            self.listener = Some(TcpListener::bind(("127.0.0.1", 0))?);
+        }
+        Ok(self.listener.as_ref().expect("just bound"))
+    }
+
+    /// Connects one worker end and performs the `Hello` handshake; returns
+    /// the accepted (server) stream and the connecting (worker) stream.
+    fn connect_one(&mut self, worker: usize) -> io::Result<(TcpStream, TcpStream)> {
+        let listener = self.listener()?;
+        let addr = listener.local_addr()?;
+        let worker_stream = TcpStream::connect(addr)?;
+        worker_stream.set_nodelay(true)?;
+        {
+            let mut w = &worker_stream;
+            w.write_all(&encode_frame(&Frame::Hello {
+                worker: worker as u32,
+            }))?;
+            w.flush()?;
+        }
+        let (server_stream, _) = listener.accept()?;
+        server_stream.set_nodelay(true)?;
+        let hello = {
+            let mut r = &server_stream;
+            read_one(&mut r)?
+        };
+        match hello {
+            Frame::Hello { worker: got } if got as usize == worker => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected Hello for worker {worker}, got {other:?}"),
+                ))
+            }
+        }
+        Ok((server_stream, worker_stream))
+    }
+}
+
+fn read_one(r: &mut impl Read) -> io::Result<Frame> {
+    read_frame(r)
+}
+
+fn tcp_link(stream: TcpStream) -> io::Result<Link> {
+    let write_half = stream.try_clone()?;
+    Ok(Link::new(
+        LinkTx::Tcp(Some(write_half)),
+        LinkRx::Tcp(stream),
+    ))
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn establish(&mut self, n: usize) -> io::Result<(Vec<Link>, Vec<Link>)> {
+        let mut servers = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for w in 0..n {
+            let (server_stream, worker_stream) = self.connect_one(w)?;
+            servers.push(tcp_link(server_stream)?);
+            workers.push(tcp_link(worker_stream)?);
+        }
+        Ok((servers, workers))
+    }
+
+    fn extra_link(&mut self, worker: usize) -> io::Result<(Link, Link)> {
+        let (server_stream, worker_stream) = self.connect_one(worker)?;
+        Ok((tcp_link(server_stream)?, tcp_link(worker_stream)?))
+    }
+}
+
+/// Looks a transport up by its CLI name.
+pub fn transport_by_name(name: &str) -> Option<Box<dyn Transport>> {
+    match name {
+        "chan" => Some(Box::<ChanTransport>::default()),
+        "tcp" => Some(Box::<TcpTransport>::default()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(transport: &mut dyn Transport) {
+        let (mut servers, mut workers) = transport.establish(3).expect("establish");
+        for w in 0..3 {
+            servers[w]
+                .send(&Frame::Grant {
+                    token: w as u64,
+                    level: 1,
+                    iteration: 0,
+                    batch: 8,
+                    unit_start: 0,
+                    unit_end: 4,
+                })
+                .expect("send grant");
+            match workers[w].recv().expect("recv grant") {
+                Frame::Grant { token, .. } => assert_eq!(token, w as u64),
+                other => panic!("unexpected {other:?}"),
+            }
+            workers[w]
+                .send(&Frame::Report {
+                    worker: w as u32,
+                    token: w as u64,
+                })
+                .expect("send report");
+            match servers[w].recv().expect("recv report") {
+                Frame::Report { worker, token } => {
+                    assert_eq!((worker as usize, token), (w, w as u64));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chan_links_round_trip() {
+        roundtrip(&mut ChanTransport);
+    }
+
+    #[test]
+    fn tcp_links_round_trip() {
+        roundtrip(&mut TcpTransport::default());
+    }
+
+    #[test]
+    fn closing_the_server_end_kills_the_worker_recv() {
+        for name in ["chan", "tcp"] {
+            let mut t = transport_by_name(name).expect("known transport");
+            let (servers, mut workers) = t.establish(1).expect("establish");
+            let (mut tx, rx) = servers.into_iter().next().expect("one link").split();
+            tx.close();
+            drop(rx);
+            assert!(
+                workers[0].recv().is_err(),
+                "{name}: recv on a dropped connection must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_link_reconnects_a_worker() {
+        for name in ["chan", "tcp"] {
+            let mut t = transport_by_name(name).expect("known transport");
+            let _initial = t.establish(2).expect("establish");
+            let (mut s, mut w) = t.extra_link(1).expect("extra link");
+            s.send(&Frame::End).expect("send");
+            assert_eq!(w.recv().expect("recv"), Frame::End, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_transport_name_is_rejected() {
+        assert!(transport_by_name("udp").is_none());
+    }
+}

@@ -1,0 +1,480 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message between the live Token Server and a worker — on *both*
+//! transports, including the in-process channel one — is one [`Frame`],
+//! serialized by [`encode_frame`] as a little-endian `u32` body length
+//! followed by a one-byte frame tag and the fields in declaration order.
+//! Hand-rolled (std-only, no serde): the frame set is small, fixed, and the
+//! explicit codec is itself under test (round-trip property tests below).
+//!
+//! `f64` values (compute-span seconds) travel as raw IEEE-754 bits so a value
+//! crosses the wire without any formatting round-trip — bit-exactness of the
+//! virtual clock depends on it.
+
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame body, a defensive bound against corrupt length
+/// prefixes (the largest legitimate frame is a `Params` payload of a few KB).
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// One protocol message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Frame {
+    /// Connection handshake: identifies which worker owns the link.
+    Hello {
+        /// Worker index.
+        worker: u32,
+    },
+    /// Virtual-clock mode, server → worker: price this compute span.
+    CostQuery {
+        /// Worker the token was granted to.
+        worker: u32,
+        /// Token id (echoed in the reply for correlation).
+        token: u64,
+        /// Sub-model level.
+        level: u32,
+        /// First model unit (inclusive).
+        unit_start: u32,
+        /// Last model unit (exclusive).
+        unit_end: u32,
+        /// Samples the token covers.
+        batch: u64,
+        /// Iteration the token belongs to.
+        iteration: u64,
+    },
+    /// Virtual-clock mode, worker → server: the span costs these seconds.
+    CostReply {
+        /// Token id being answered.
+        token: u64,
+        /// `f64::to_bits` of the span seconds (bit-exact transfer).
+        secs_bits: u64,
+    },
+    /// Real-clock mode, worker → server: the worker is idle and pulls work.
+    Request {
+        /// Requesting worker.
+        worker: u32,
+    },
+    /// Real-clock mode, server → worker: train this token.
+    Grant {
+        /// Token id.
+        token: u64,
+        /// Sub-model level.
+        level: u32,
+        /// Iteration.
+        iteration: u64,
+        /// Samples.
+        batch: u64,
+        /// First model unit (inclusive).
+        unit_start: u32,
+        /// Last model unit (exclusive).
+        unit_end: u32,
+    },
+    /// Real-clock mode, worker → server: token trained, gradient ready.
+    Report {
+        /// Reporting worker.
+        worker: u32,
+        /// Completed token id.
+        token: u64,
+    },
+    /// Server → worker: one committed iteration's token schedule, as
+    /// `(level, completion_index)` pairs — the worker applies it to its
+    /// `fela-engine` model replica.
+    Iter {
+        /// Iteration number.
+        iteration: u64,
+        /// Completion-ordered `(level, index)` schedule.
+        schedule: Vec<(u32, u32)>,
+    },
+    /// Server → worker fault injection: freeze for this long before
+    /// processing anything else (drives real lease expiry).
+    Hang {
+        /// Real nanoseconds to sleep.
+        nanos: u64,
+    },
+    /// Server → worker: run over; reply with `Params` and exit.
+    End,
+    /// Worker → server: the replica's final parameters, flattened LE `f32`s.
+    Params {
+        /// Raw little-endian parameter bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Decode failure: the peer sent bytes that are not a valid frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError(format!(
+                "frame truncated: wanted {n} bytes at offset {}, body is {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError(format!(
+                "{} trailing byte(s) after frame body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_COST_QUERY: u8 = 2;
+const TAG_COST_REPLY: u8 = 3;
+const TAG_REQUEST: u8 = 4;
+const TAG_GRANT: u8 = 5;
+const TAG_REPORT: u8 = 6;
+const TAG_ITER: u8 = 7;
+const TAG_HANG: u8 = 8;
+const TAG_END: u8 = 9;
+const TAG_PARAMS: u8 = 10;
+
+/// Serializes one frame: `[body_len: u32 LE][tag: u8][fields...]`.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    match frame {
+        Frame::Hello { worker } => {
+            body.push(TAG_HELLO);
+            put_u32(&mut body, *worker);
+        }
+        Frame::CostQuery {
+            worker,
+            token,
+            level,
+            unit_start,
+            unit_end,
+            batch,
+            iteration,
+        } => {
+            body.push(TAG_COST_QUERY);
+            put_u32(&mut body, *worker);
+            put_u64(&mut body, *token);
+            put_u32(&mut body, *level);
+            put_u32(&mut body, *unit_start);
+            put_u32(&mut body, *unit_end);
+            put_u64(&mut body, *batch);
+            put_u64(&mut body, *iteration);
+        }
+        Frame::CostReply { token, secs_bits } => {
+            body.push(TAG_COST_REPLY);
+            put_u64(&mut body, *token);
+            put_u64(&mut body, *secs_bits);
+        }
+        Frame::Request { worker } => {
+            body.push(TAG_REQUEST);
+            put_u32(&mut body, *worker);
+        }
+        Frame::Grant {
+            token,
+            level,
+            iteration,
+            batch,
+            unit_start,
+            unit_end,
+        } => {
+            body.push(TAG_GRANT);
+            put_u64(&mut body, *token);
+            put_u32(&mut body, *level);
+            put_u64(&mut body, *iteration);
+            put_u64(&mut body, *batch);
+            put_u32(&mut body, *unit_start);
+            put_u32(&mut body, *unit_end);
+        }
+        Frame::Report { worker, token } => {
+            body.push(TAG_REPORT);
+            put_u32(&mut body, *worker);
+            put_u64(&mut body, *token);
+        }
+        Frame::Iter {
+            iteration,
+            schedule,
+        } => {
+            body.push(TAG_ITER);
+            put_u64(&mut body, *iteration);
+            put_u32(&mut body, schedule.len() as u32);
+            for &(level, idx) in schedule {
+                put_u32(&mut body, level);
+                put_u32(&mut body, idx);
+            }
+        }
+        Frame::Hang { nanos } => {
+            body.push(TAG_HANG);
+            put_u64(&mut body, *nanos);
+        }
+        Frame::End => body.push(TAG_END),
+        Frame::Params { bytes } => {
+            body.push(TAG_PARAMS);
+            put_u32(&mut body, bytes.len() as u32);
+            body.extend_from_slice(bytes);
+        }
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes one frame body (the bytes *after* the length prefix).
+pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor { buf: body, pos: 0 };
+    let tag = c.take(1)?[0];
+    let frame = match tag {
+        TAG_HELLO => Frame::Hello { worker: c.u32()? },
+        TAG_COST_QUERY => Frame::CostQuery {
+            worker: c.u32()?,
+            token: c.u64()?,
+            level: c.u32()?,
+            unit_start: c.u32()?,
+            unit_end: c.u32()?,
+            batch: c.u64()?,
+            iteration: c.u64()?,
+        },
+        TAG_COST_REPLY => Frame::CostReply {
+            token: c.u64()?,
+            secs_bits: c.u64()?,
+        },
+        TAG_REQUEST => Frame::Request { worker: c.u32()? },
+        TAG_GRANT => Frame::Grant {
+            token: c.u64()?,
+            level: c.u32()?,
+            iteration: c.u64()?,
+            batch: c.u64()?,
+            unit_start: c.u32()?,
+            unit_end: c.u32()?,
+        },
+        TAG_REPORT => Frame::Report {
+            worker: c.u32()?,
+            token: c.u64()?,
+        },
+        TAG_ITER => {
+            let iteration = c.u64()?;
+            let n = c.u32()? as usize;
+            let mut schedule = Vec::with_capacity(n);
+            for _ in 0..n {
+                schedule.push((c.u32()?, c.u32()?));
+            }
+            Frame::Iter {
+                iteration,
+                schedule,
+            }
+        }
+        TAG_HANG => Frame::Hang { nanos: c.u64()? },
+        TAG_END => Frame::End,
+        TAG_PARAMS => {
+            let n = c.u32()? as usize;
+            Frame::Params {
+                bytes: c.take(n)?.to_vec(),
+            }
+        }
+        other => return Err(WireError(format!("unknown frame tag {other}"))),
+    };
+    c.done()?;
+    Ok(frame)
+}
+
+/// Decodes one length-prefixed frame from a full byte buffer.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    if bytes.len() < 4 {
+        return Err(WireError("missing length prefix".into()));
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if bytes.len() != 4 + len {
+        return Err(WireError(format!(
+            "length prefix {len} disagrees with buffer size {}",
+            bytes.len() - 4
+        )));
+    }
+    decode_body(&bytes[4..])
+}
+
+/// Writes one frame to a byte stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))?;
+    w.flush()
+}
+
+/// Reads one frame from a byte stream (blocking).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(WireError(format!("frame of {len} bytes exceeds the protocol bound")).into());
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(decode_body(&body)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { worker: 3 },
+            Frame::CostQuery {
+                worker: 1,
+                token: 42,
+                level: 2,
+                unit_start: 10,
+                unit_end: 19,
+                batch: 64,
+                iteration: 7,
+            },
+            Frame::CostReply {
+                token: 42,
+                secs_bits: 0.125f64.to_bits(),
+            },
+            Frame::Request { worker: 0 },
+            Frame::Grant {
+                token: 9,
+                level: 0,
+                iteration: 1,
+                batch: 16,
+                unit_start: 0,
+                unit_end: 10,
+            },
+            Frame::Report {
+                worker: 5,
+                token: 9,
+            },
+            Frame::Iter {
+                iteration: 2,
+                schedule: vec![(0, 0), (0, 1), (1, 0)],
+            },
+            Frame::Hang { nanos: 1_000_000 },
+            Frame::End,
+            Frame::Params {
+                bytes: vec![1, 2, 3, 4],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in sample_frames() {
+            let bytes = encode_frame(&f);
+            assert_eq!(decode_frame(&bytes).expect("round trip"), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn stream_io_round_trips_back_to_back_frames() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).expect("write");
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).expect("read"), f);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_rejected() {
+        let bytes = encode_frame(&Frame::Report {
+            worker: 1,
+            token: 2,
+        });
+        assert!(decode_frame(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_frame(&padded).is_err());
+        assert!(decode_body(&[99]).is_err(), "unknown tag must fail");
+    }
+
+    #[test]
+    fn cost_reply_is_bit_exact_for_awkward_floats() {
+        for secs in [0.1, 1e-12, 12345.678901234567, f64::MIN_POSITIVE] {
+            let f = Frame::CostReply {
+                token: 1,
+                secs_bits: secs.to_bits(),
+            };
+            match decode_frame(&encode_frame(&f)).expect("round trip") {
+                Frame::CostReply { secs_bits, .. } => {
+                    assert_eq!(f64::from_bits(secs_bits).to_bits(), secs.to_bits());
+                }
+                other => panic!("wrong frame {other:?}"),
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn iter_frames_round_trip(
+            iteration in 0u64..1000,
+            pairs in prop::collection::vec((0u32..8, 0u32..64), 0..40),
+        ) {
+            let f = Frame::Iter { iteration, schedule: pairs.clone() };
+            prop_assert_eq!(decode_frame(&encode_frame(&f)).unwrap(), f);
+        }
+
+        #[test]
+        fn grant_frames_round_trip(
+            token in 0u64..u64::MAX,
+            level in 0u32..16,
+            iteration in 0u64..u64::MAX,
+            batch in 0u64..u64::MAX,
+            us in 0u32..u32::MAX,
+            ue in 0u32..u32::MAX,
+        ) {
+            let f = Frame::Grant { token, level, iteration, batch, unit_start: us, unit_end: ue };
+            prop_assert_eq!(decode_frame(&encode_frame(&f)).unwrap(), f);
+        }
+    }
+}

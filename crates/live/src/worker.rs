@@ -1,0 +1,272 @@
+//! The live worker: one OS thread per worker node.
+//!
+//! A worker owns its own [`Scenario`] clone (the analytic compute model it
+//! prices spans with) and its own engine replica (the model it actually
+//! trains). It is a pure token-puller: everything it does is a reaction to a
+//! frame from the Token Server.
+//!
+//! * `CostQuery` — price a compute span with the worker's *own* copy of the
+//!   analytic model and reply bit-exactly (`f64::to_bits`). In virtual-clock
+//!   mode this is the only thing that feeds the server's event loop, which is
+//!   why live runs are conformant: the server never consults its local model.
+//! * `Grant` — "compute" the token by sleeping the span scaled by
+//!   `time_scale` (0 in virtual mode: pure control-plane), then `Report`.
+//! * `Iter` — apply one iteration's relabeled schedule to the engine replica.
+//! * `Hang` — injected fault: freeze for the given real nanos, keeping state.
+//! * `End` — reply with the replica's flattened parameters and exit.
+//!
+//! A failed receive means the server dropped the link (crash injection or
+//! shutdown): the thread exits silently, exactly like a killed process.
+
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use fela_cluster::Scenario;
+use fela_core::TokenPlan;
+
+use crate::replay::{engine_setup, flatten_params};
+use crate::transport::Link;
+use crate::wire::Frame;
+
+/// Everything a worker thread needs to start.
+pub struct WorkerSpec {
+    /// Worker index (node id).
+    pub index: usize,
+    /// The worker's own copy of the workload (compute model, straggler spec).
+    pub scenario: Scenario,
+    /// Token plan, for sizing the engine replica.
+    pub plan: TokenPlan,
+    /// Real seconds slept per modeled second (0.0 = virtual clock).
+    pub time_scale: f64,
+    /// Send an initial `Request` on startup (real-clock pull mode). Virtual
+    /// mode leaves this off: the simulated event loop injects requests.
+    pub pull: bool,
+}
+
+/// Base compute seconds for a span, priced by the worker's own scenario copy.
+/// Exactly what [`fela_core::LocalCompute`] would return — straggler delays
+/// are NOT included (the simulator applies them as a start-time floor, and the
+/// real-clock path adds them at grant time).
+fn span_secs(spec: &WorkerSpec, unit_start: usize, unit_end: usize, batch: u64) -> f64 {
+    spec.scenario.cluster.compute_secs(
+        &spec.scenario.model,
+        unit_start,
+        unit_end,
+        batch,
+        spec.index,
+    )
+}
+
+/// Real-clock grant duration: span plus this worker's straggler delay for the
+/// iteration.
+fn grant_secs(
+    spec: &WorkerSpec,
+    unit_start: usize,
+    unit_end: usize,
+    batch: u64,
+    iteration: u64,
+) -> f64 {
+    span_secs(spec, unit_start, unit_end, batch)
+        + spec
+            .scenario
+            .straggler
+            .delay_for(iteration, spec.index, spec.scenario.cluster.nodes)
+            .as_secs_f64()
+}
+
+fn scaled_sleep(secs: f64, time_scale: f64) {
+    let real = secs * time_scale;
+    if real > 0.0 {
+        thread::sleep(Duration::from_secs_f64(real));
+    }
+}
+
+/// Spawns the worker thread. It runs until `End` or until its link dies.
+pub fn spawn_worker(spec: WorkerSpec, mut link: Link) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("fela-worker-{}", spec.index))
+        .spawn(move || {
+            let mut setup = engine_setup(&spec.plan);
+            if spec.pull
+                && link
+                    .send(&Frame::Request {
+                        worker: spec.index as u32,
+                    })
+                    .is_err()
+            {
+                return;
+            }
+            loop {
+                let frame = match link.recv() {
+                    Ok(frame) => frame,
+                    Err(_) => return, // server dropped us: die like a killed process
+                };
+                match frame {
+                    Frame::CostQuery {
+                        token,
+                        unit_start,
+                        unit_end,
+                        batch,
+                        ..
+                    } => {
+                        let secs = span_secs(&spec, unit_start as usize, unit_end as usize, batch);
+                        if link
+                            .send(&Frame::CostReply {
+                                token,
+                                secs_bits: secs.to_bits(),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Frame::Grant {
+                        token,
+                        iteration,
+                        batch,
+                        unit_start,
+                        unit_end,
+                        ..
+                    } => {
+                        let secs = grant_secs(
+                            &spec,
+                            unit_start as usize,
+                            unit_end as usize,
+                            batch,
+                            iteration,
+                        );
+                        scaled_sleep(secs, spec.time_scale);
+                        if link
+                            .send(&Frame::Report {
+                                worker: spec.index as u32,
+                                token,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Frame::Iter { schedule, .. } => {
+                        let schedule: Vec<(usize, usize)> = schedule
+                            .iter()
+                            .map(|&(l, j)| (l as usize, j as usize))
+                            .collect();
+                        setup.step(&schedule);
+                    }
+                    Frame::Hang { nanos } => {
+                        thread::sleep(Duration::from_nanos(nanos));
+                    }
+                    Frame::End => {
+                        let _ = link.send(&Frame::Params {
+                            bytes: flatten_params(&setup.net),
+                        });
+                        return;
+                    }
+                    other => panic!(
+                        "worker {}: unexpected frame from server: {other:?}",
+                        spec.index
+                    ),
+                }
+            }
+        })
+        .expect("spawn worker thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{ChanTransport, Transport};
+    use fela_model::zoo;
+
+    fn test_spec(index: usize) -> WorkerSpec {
+        let scenario = Scenario::paper(zoo::alexnet(), 128);
+        let runtime = fela_core::FelaRuntime::new(fela_core::FelaConfig::new(1));
+        let partition = runtime.partition_for(&scenario);
+        let config = fela_core::FelaConfig::new(partition.len());
+        let plan = fela_core::TokenPlan::build(&partition, &config, 128, 8).expect("plan");
+        WorkerSpec {
+            index,
+            scenario,
+            plan,
+            time_scale: 0.0,
+            pull: false,
+        }
+    }
+
+    #[test]
+    fn worker_answers_cost_queries_bit_exactly() {
+        let spec = test_spec(0);
+        let expect = spec
+            .scenario
+            .cluster
+            .compute_secs(&spec.scenario.model, 0, 3, 16, 0);
+        let mut t = ChanTransport;
+        let (mut servers, workers) = t.establish(1).expect("establish");
+        let handle = spawn_worker(spec, workers.into_iter().next().expect("one"));
+        servers[0]
+            .send(&Frame::CostQuery {
+                worker: 0,
+                token: 7,
+                level: 0,
+                unit_start: 0,
+                unit_end: 3,
+                batch: 16,
+                iteration: 0,
+            })
+            .expect("send");
+        match servers[0].recv().expect("reply") {
+            Frame::CostReply { token, secs_bits } => {
+                assert_eq!(token, 7);
+                assert_eq!(secs_bits, expect.to_bits());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        servers[0].send(&Frame::End).expect("send end");
+        match servers[0].recv().expect("params") {
+            Frame::Params { bytes } => assert!(!bytes.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.join().expect("worker exits cleanly");
+    }
+
+    #[test]
+    fn worker_dies_when_the_link_drops() {
+        let spec = test_spec(0);
+        let mut t = ChanTransport;
+        let (servers, workers) = t.establish(1).expect("establish");
+        let handle = spawn_worker(spec, workers.into_iter().next().expect("one"));
+        drop(servers);
+        handle.join().expect("worker exits, not panics");
+    }
+
+    #[test]
+    fn grant_report_round_trip_applies_no_engine_state() {
+        let spec = test_spec(2);
+        let mut t = ChanTransport;
+        let (mut servers, workers) = t.establish(1).expect("establish");
+        let handle = spawn_worker(spec, workers.into_iter().next().expect("one"));
+        servers[0]
+            .send(&Frame::Grant {
+                token: 3,
+                level: 0,
+                iteration: 0,
+                batch: 16,
+                unit_start: 0,
+                unit_end: 2,
+            })
+            .expect("send grant");
+        match servers[0].recv().expect("report") {
+            Frame::Report { worker, token } => assert_eq!((worker, token), (2, 3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        servers[0].send(&Frame::End).expect("send end");
+        let params = match servers[0].recv().expect("params") {
+            Frame::Params { bytes } => bytes,
+            other => panic!("unexpected {other:?}"),
+        };
+        // No Iter frames were sent, so the replica still holds seed weights.
+        let fresh = crate::replay::engine_setup(&test_spec(2).plan);
+        assert_eq!(params, crate::replay::flatten_params(&fresh.net));
+        handle.join().expect("worker exits cleanly");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the paper's two headline metrics (Equations 3 and 4)
+//! and a golden test pinning the ASCII table renderer's exact output.
+
+use fela_metrics::{per_iteration_delay, speedup, RunReport, Table};
+use proptest::prelude::*;
+
+fn report(secs: f64, iters: u64, batch: u64) -> RunReport {
+    let mut r = RunReport::new("fela", "VGG19", batch);
+    r.iterations = iters;
+    r.total_time_secs = secs;
+    r
+}
+
+proptest! {
+    #[test]
+    fn speedup_is_positive_for_non_degenerate_runs(
+        secs_a in 0.001f64..1e4,
+        secs_b in 0.001f64..1e4,
+        iters in 1u64..200,
+        batch in 1u64..2048,
+    ) {
+        let ours = report(secs_a, iters, batch);
+        let base = report(secs_b, iters, batch);
+        let s = speedup(&ours, &base);
+        prop_assert!(s > 0.0, "speedup {s} must be positive");
+        prop_assert!(s.is_finite(), "speedup {s} must be finite");
+        // Inverting the comparison inverts the ratio.
+        prop_assert!((s * speedup(&base, &ours) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_is_exactly_one_at_equal_throughput(
+        secs in 0.001f64..1e4,
+        iters in 1u64..200,
+        batch in 1u64..2048,
+    ) {
+        // Equal throughput — including a report compared against itself —
+        // must yield exactly 1.0, not approximately: AT/AT is an exact
+        // division of identical floats.
+        let a = report(secs, iters, batch);
+        prop_assert_eq!(speedup(&a, &a), 1.0);
+        let b = report(secs, iters, batch);
+        prop_assert_eq!(speedup(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn per_iteration_delay_is_zero_at_equal_time_and_positive_under_stragglers(
+        base_secs in 0.001f64..1e4,
+        extra in 0.0f64..1e3,
+        iters in 1u64..200,
+        batch in 1u64..2048,
+    ) {
+        let baseline = report(base_secs, iters, batch);
+        prop_assert_eq!(per_iteration_delay(&baseline, &baseline), 0.0);
+        // A straggler run is never faster than its own baseline, so PID ≥ 0,
+        // and it is bounded by the total extra time spread over iterations.
+        let straggler = report(base_secs + extra, iters, batch);
+        let pid = per_iteration_delay(&straggler, &baseline);
+        prop_assert!(pid >= 0.0, "PID {pid} must be non-negative");
+        prop_assert!(pid <= extra / iters as f64 + 1e-9);
+    }
+
+    #[test]
+    fn average_throughput_scales_linearly_in_batch(
+        secs in 0.001f64..1e4,
+        iters in 1u64..200,
+        batch in 1u64..1024,
+    ) {
+        let single = report(secs, iters, batch);
+        let double = report(secs, iters, batch * 2);
+        let ratio = double.average_throughput() / single.average_throughput();
+        prop_assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+}
+
+#[test]
+fn table_render_golden() {
+    let mut t = Table::new("Demo — speedups", &["runtime", "samples/s", "speedup"]);
+    t.row(vec!["fela".into(), "1286.40".into(), "-".into()]);
+    t.row(vec!["dp".into(), "400.00".into(), "3.22×".into()]);
+    assert_eq!(
+        t.render(),
+        "\
+== Demo — speedups ==
++---------+-----------+---------+
+| runtime | samples/s | speedup |
++---------+-----------+---------+
+| fela    | 1286.40   | -       |
+| dp      | 400.00    | 3.22×   |
++---------+-----------+---------+
+"
+    );
+}
+
+#[test]
+fn table_csv_golden_escapes_commas_and_quotes() {
+    let mut t = Table::new("ignored in CSV", &["name", "note"]);
+    t.row(vec!["a,b".into(), "says \"hi\"".into()]);
+    t.row(vec!["plain".into(), "ok".into()]);
+    assert_eq!(
+        t.to_csv(),
+        "name,note\n\"a,b\",\"says \"\"hi\"\"\"\nplain,ok\n"
+    );
+}
