@@ -57,13 +57,16 @@ impl std::fmt::Display for LintFinding {
 /// Crates whose non-test code must be free of `.unwrap()` / `.expect(...)`.
 /// `fela-check` is included because its verifiers (race, recovery, schedule)
 /// gate CI: a malformed trace must surface as a reported violation, never as
-/// an anonymous panic inside the checker itself.
+/// an anonymous panic inside the checker itself. `fela-live` is included
+/// because its server/worker threads run unsupervised: a panic there deadlocks
+/// the peer ends of the wire protocol instead of failing loudly.
 pub const NO_UNWRAP_CRATES: &[&str] = &[
     "fela-core",
     "fela-sim",
     "fela-net",
     "fela-cluster",
     "fela-check",
+    "fela-live",
 ];
 /// Crates that must not use ambient-entropy randomness. (`no-wallclock` is
 /// enforced **workspace-wide**: a wall-clock read anywhere silently undermines

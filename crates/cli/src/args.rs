@@ -55,6 +55,8 @@ pub struct LiveArgs {
     pub mode: String,
     /// Real seconds slept per modeled second in real-clock mode.
     pub time_scale: f64,
+    /// Control-plane shard count (`--shards`); `None` = `FELA_SHARDS`/1.
+    pub shards: Option<usize>,
     /// Emit the outcome as JSON instead of a table.
     pub json: bool,
 }
@@ -112,6 +114,8 @@ pub struct RunArgs {
     pub staleness: u64,
     /// Disable cross-iteration pipelining.
     pub no_pipelining: bool,
+    /// Control-plane shard count (`--shards`); `None` = `FELA_SHARDS`/1.
+    pub shards: Option<usize>,
     /// Emit the full report as JSON instead of a table.
     pub json: bool,
 }
@@ -270,6 +274,39 @@ fn resolve_jobs_with(explicit: Option<usize>, env: Option<&str>) -> Result<usize
     }
 }
 
+/// Resolves the control-plane shard count for a command: `--shards` (already
+/// validated as non-zero at parse time), else `FELA_SHARDS`, else 1 (the
+/// monolithic Token Server). Shard counts above the partition's level count
+/// are rejected here — a shard owns at least one level's token state, so a
+/// larger count cannot be honoured and silently clamping would misreport the
+/// control-plane layout the user asked to measure.
+pub fn resolve_shards(explicit: Option<usize>, levels: usize) -> Result<usize, ParseError> {
+    let env = std::env::var("FELA_SHARDS").ok();
+    resolve_shards_with(explicit, env.as_deref(), levels)
+}
+
+fn resolve_shards_with(
+    explicit: Option<usize>,
+    env: Option<&str>,
+    levels: usize,
+) -> Result<usize, ParseError> {
+    let shards = match (explicit, env) {
+        (Some(s), _) => s,
+        (None, Some(v)) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return err(format!("FELA_SHARDS must be a positive integer, got '{v}'")),
+        },
+        (None, None) => 1,
+    };
+    if shards > levels {
+        return err(format!(
+            "--shards {shards} exceeds this model's {levels}-level partition \
+             (a shard owns at least one level's token state)"
+        ));
+    }
+    Ok(shards)
+}
+
 /// Resolves the artifact directory for a command: `--results-dir` wins over
 /// `FELA_RESULTS_DIR`, which wins over the `results/` default — so a flag on
 /// the command line always beats ambient environment.
@@ -367,6 +404,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 ctd: None,
                 staleness: 0,
                 no_pipelining: false,
+                shards: None,
                 json: false,
             };
             while let Some(flag) = it.next() {
@@ -392,6 +430,15 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                             .map_err(|_| ParseError("--staleness expects an integer".into()))?
                     }
                     "--no-pipelining" => run.no_pipelining = true,
+                    "--shards" => {
+                        let shards: usize = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--shards expects a positive integer".into())
+                        })?;
+                        if shards == 0 {
+                            return err("--shards must be at least 1");
+                        }
+                        run.shards = Some(shards);
+                    }
                     "--json" => run.json = true,
                     other => return err(format!("unknown flag '{other}' for 'run'")),
                 }
@@ -410,6 +457,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 transport: "chan".into(),
                 mode: "virtual".into(),
                 time_scale: 1e-3,
+                shards: None,
                 json: false,
             };
             while let Some(flag) = it.next() {
@@ -459,6 +507,15 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                             ));
                         }
                         live.time_scale = scale;
+                    }
+                    "--shards" => {
+                        let shards: usize = take_value(flag, &mut it)?.parse().map_err(|_| {
+                            ParseError("--shards expects a positive integer".into())
+                        })?;
+                        if shards == 0 {
+                            return err("--shards must be at least 1");
+                        }
+                        live.shards = Some(shards);
                     }
                     "--json" => live.json = true,
                     other => return err(format!("unknown flag '{other}' for 'live'")),
@@ -525,7 +582,8 @@ pub const HELP: &str = "fela — token-scheduled hybrid-parallel DML training (s
 USAGE:
   fela run     --model <name> --batch <n> [--iters <n>] [--nodes <n>]
                [--weights w1,w2,…] [--ctd <size>] [--staleness <s>]
-               [--no-pipelining] [--straggler <spec>] [--fault <spec>] [--json]
+               [--no-pipelining] [--shards <n>] [--straggler <spec>]
+               [--fault <spec>] [--json]
                (omit --weights to auto-tune first)
   fela tune    --model <name> --batch <n> [--iters <n>] [--nodes <n>]
   fela compare --model <name> --batch <n> [--iters <n>] [--straggler <spec>]
@@ -537,7 +595,7 @@ USAGE:
   fela check   --all   (verify the whole zoo × all policies × all candidates)
   fela live    --model <name> [--workers <n>] [--transport chan|tcp]
                [--mode virtual|real] [--time-scale <s>] [--weights w1,w2,…]
-               [--straggler <spec>] [--fault <spec>] [--json]
+               [--shards <n>] [--straggler <spec>] [--fault <spec>] [--json]
                (run the Token Server and workers as real threads over the
                 wire protocol; virtual mode is byte-identical to the
                 simulator, real mode races the wall clock)
@@ -553,6 +611,10 @@ COMMON FLAGS:
   --results-dir <dir>
                where run artifacts land (default: FELA_RESULTS_DIR or
                results/; the flag wins over the environment)
+  --shards <n> control-plane shards for run/live (default: FELA_SHARDS or 1;
+               1 = the monolithic token server, >1 = the sharded coordinator
+               — schedules are byte-identical either way, only control-plane
+               cost changes; must not exceed the model's level count)
 
 STRAGGLER SPECS:
   none | round-robin:<delay_secs> | prob:<p>:<delay_secs>[:<seed>]
@@ -793,6 +855,53 @@ mod tests {
         assert_eq!(resolve_jobs_with(Some(3), Some("0")).unwrap(), 3);
         // Unset env falls back to the harness default, which is always ≥ 1.
         assert!(resolve_jobs_with(None, None).unwrap() >= 1);
+    }
+
+    #[test]
+    fn shards_flag_parses_on_run_and_live() {
+        let Command::Run(r) = parse(&["run", "--shards", "3"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.shards, Some(3));
+        let Command::Live(l) = parse(&["live", "--shards", "2"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.shards, Some(2));
+        // Unset flag defers to resolve_shards (FELA_SHARDS / 1).
+        let Command::Run(r) = parse(&["run"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.shards, None);
+    }
+
+    #[test]
+    fn shards_of_zero_is_a_parse_error() {
+        for cmd in ["run", "live"] {
+            let e = parse(&[cmd, "--shards", "0"]).unwrap_err();
+            assert!(e.0.contains("--shards must be at least 1"), "{e}");
+            assert!(parse(&[cmd, "--shards", "-1"]).is_err());
+            assert!(parse(&[cmd, "--shards", "x"]).is_err());
+        }
+    }
+
+    #[test]
+    fn resolve_shards_bounds_and_env() {
+        // Explicit flag wins over the environment.
+        assert_eq!(resolve_shards_with(Some(2), Some("9"), 3).unwrap(), 2);
+        // Environment fallback, validated like FELA_JOBS.
+        assert_eq!(resolve_shards_with(None, Some("3"), 3).unwrap(), 3);
+        assert_eq!(resolve_shards_with(None, Some(" 2 "), 3).unwrap(), 2);
+        let e = resolve_shards_with(None, Some("0"), 3).unwrap_err();
+        assert!(e.0.contains("FELA_SHARDS"), "{e}");
+        assert!(resolve_shards_with(None, Some("abc"), 3).is_err());
+        // Default is the monolithic server.
+        assert_eq!(resolve_shards_with(None, None, 3).unwrap(), 1);
+        // A shard owns at least one level: counts above the level count fail.
+        let e = resolve_shards_with(Some(4), None, 3).unwrap_err();
+        assert!(e.0.contains("exceeds"), "{e}");
+        let e = resolve_shards_with(None, Some("5"), 3).unwrap_err();
+        assert!(e.0.contains("exceeds"), "{e}");
+        assert_eq!(resolve_shards_with(Some(3), None, 3).unwrap(), 3);
     }
 
     #[test]

@@ -107,7 +107,8 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
     }
     config = config
         .with_staleness(run.staleness)
-        .with_pipelining(!run.no_pipelining);
+        .with_pipelining(!run.no_pipelining)
+        .with_shards(args::resolve_shards(run.shards, m).map_err(|e| e.to_string())?);
     config.validate(sc.cluster.nodes);
 
     let report = FelaRuntime::new(config.clone()).run(&sc);
@@ -318,6 +319,8 @@ fn cmd_live(live: &LiveArgs) -> Result<(), String> {
         }
         None => FelaConfig::new(m),
     };
+    let config =
+        config.with_shards(args::resolve_shards(live.shards, m).map_err(|e| e.to_string())?);
     config.validate(sc.cluster.nodes);
     let mut transport = fela_live::transport_by_name(&live.transport)
         .ok_or_else(|| format!("unknown transport '{}'", live.transport))?;

@@ -1,0 +1,1421 @@
+//! The sharded control plane: a thin [`Coordinator`] over per-level-range
+//! [`TokenShard`]s, plus the [`ControlPlane`] seam the runtime holds.
+//!
+//! ## Why sharding, and why it stays byte-identical
+//!
+//! The monolithic [`TokenServer`](crate::TokenServer) makes every scheduling
+//! decision in one sequential loop, and its steal path (`pick_bucket`) scans
+//! every bucket's every level — O(workers × levels) per starved request,
+//! which is the control-plane wall at thousand-worker scale. The coordinator
+//! splits the levels into contiguous ranges, one [`TokenShard`] per range,
+//! and keeps only the *cross-shard* state: the token table and Info Mapping,
+//! liveness/quarantine, the lease ledger (token-block delegation), helper
+//! counts, the waiting queue, and two per-bucket occupancy indices that
+//! replace the steal scan with an O(log workers) ordered-set lookup.
+//!
+//! The decision *procedures* are copied from the oracle unchanged — same
+//! level preference orders, same Principle-2 picks, same tie-breaks, same
+//! lease/recovery transitions — so for any input sequence the coordinator
+//! emits bit-identical grants, traces and [`ServerSnapshot`]s. That claim is
+//! not aspirational: the shard-conformance suite property-tests sharded vs.
+//! oracle under random churn (including crash/restart faults) to `to_bits()`
+//! equality, the same way `IncrementalMaxMin` was proved against
+//! `max_min_rates`.
+//!
+//! ## The occupancy indices
+//!
+//! `pick_bucket`'s steal order is `(fewest helpers, most remaining tokens,
+//! smallest bucket id)`, where "remaining" is the bucket's *total* queued
+//! tokens across all levels regardless of the requester's CTD class — only
+//! *eligibility* differs by class (a non-member needs a non-conditional token
+//! to exist). The coordinator therefore keeps two counters per bucket —
+//! `queued_all` and `queued_noncond` — and two mirror `BTreeSet`s keyed
+//! `(helpers, !queued_all, bucket)`: `steal_any` holds buckets with any
+//! queued token, `steal_noncond` those with a non-conditional one. A steal is
+//! `first()` on the class's set; both sets are maintained on every push,
+//! remove and helper-count change.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use fela_sim::SimTime;
+
+use crate::config::FelaConfig;
+use crate::error::ScheduleError;
+use crate::lease::{ExpiredLease, LeaseInfo, LeaseTable};
+use crate::plan::TokenPlan;
+use crate::server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};
+use crate::shard::{level_ranges, score_key, LevelState, TokenShard};
+use crate::snapshot::ServerSnapshot;
+use crate::token::{Token, TokenId};
+
+/// The sharded Token Server: cross-shard coordination over per-level-range
+/// [`TokenShard`]s. Public API mirrors [`TokenServer`] exactly; schedules are
+/// byte-identical to the monolithic oracle (see the module docs).
+#[derive(Clone)]
+pub struct Coordinator {
+    plan: TokenPlan,
+    cfg: FelaConfig,
+    meta: Vec<LevelMeta>,
+    n_workers: usize,
+    max_iterations: u64,
+    /// Iterations whose root tokens have been released (0..count).
+    released_roots: u64,
+    /// Global token-id allocator — ids must match the oracle's bit for bit,
+    /// so generation is never delegated to a shard.
+    next_token_id: u64,
+    /// All generated tokens (cross-shard: dependencies span level boundaries).
+    tokens: BTreeMap<TokenId, Token>,
+    /// Completed-token outputs: token → holding worker (Info Mapping).
+    holder: BTreeMap<TokenId, usize>,
+    /// The shards, each owning a contiguous level range.
+    shards: Vec<TokenShard>,
+    /// Level → owning shard index.
+    shard_of: Vec<usize>,
+    /// Static per-level CTD flag (`ctd` on and the level is comm-intensive).
+    cond_level: Vec<bool>,
+    /// Static level preference order for CTD-subset members (and everyone
+    /// when CTD is off): conditional levels ascending, then the rest by ADS.
+    member_order: Vec<usize>,
+    /// Static level preference order for non-members: non-conditional levels
+    /// by ADS only.
+    nonmember_order: Vec<usize>,
+    /// Per-bucket queued tokens across all levels (the steal "remaining" key).
+    queued_all: Vec<usize>,
+    /// Per-bucket queued tokens at non-conditional levels (non-member
+    /// eligibility).
+    queued_noncond: Vec<usize>,
+    /// Steal index for CTD members: `(helpers, !queued_all, bucket)` for every
+    /// bucket with `queued_all > 0`. `first()` is the steal pick.
+    steal_any: BTreeSet<(u64, u64, usize)>,
+    /// Steal index for non-members: same key, membership gated on
+    /// `queued_noncond > 0`.
+    steal_noncond: BTreeSet<(u64, u64, usize)>,
+    /// Last grant instant per bucket, for lock-conflict detection.
+    last_grant_at: Vec<Option<SimTime>>,
+    /// Helpers currently assisting each STB (decayed on root release).
+    helpers: Vec<u64>,
+    waiting: VecDeque<usize>,
+    stats: ServerStats,
+    trained_per_worker: Vec<u64>,
+    alive: Vec<bool>,
+    quarantined: Vec<bool>,
+    /// Token-block delegation ledger: active leases, revocation counts,
+    /// expiry history.
+    leases: LeaseTable,
+    /// Where each worker's durable data currently lives (see the oracle).
+    data_home: Vec<usize>,
+    /// Tokens with no eligible bucket (fully dark cluster), in revocation
+    /// order.
+    parked: Vec<(usize, TokenId)>,
+}
+
+impl Coordinator {
+    /// Creates a sharded control plane and releases iteration 0's root tokens.
+    ///
+    /// # Panics
+    /// Panics if `meta` length differs from the plan's level count or the
+    /// config is invalid for the cluster size (including `shards` outside
+    /// `1..=levels`).
+    pub fn new(
+        plan: TokenPlan,
+        cfg: FelaConfig,
+        meta: Vec<LevelMeta>,
+        n_workers: usize,
+        max_iterations: u64,
+    ) -> Self {
+        let mut c = Self::empty(plan, cfg, meta, n_workers, max_iterations);
+        c.release_due_roots();
+        c
+    }
+
+    /// An initialised coordinator with no tokens released (shared by `new`
+    /// and `restore`).
+    fn empty(
+        plan: TokenPlan,
+        cfg: FelaConfig,
+        meta: Vec<LevelMeta>,
+        n_workers: usize,
+        max_iterations: u64,
+    ) -> Self {
+        assert_eq!(
+            meta.len(),
+            plan.num_levels(),
+            "level metadata must match plan levels"
+        );
+        assert!(max_iterations > 0, "need at least one iteration");
+        cfg.validate(n_workers);
+        let m = plan.num_levels();
+        let buckets = if cfg.hf { n_workers } else { 1 };
+        let use_index = cfg.ads && cfg.hf;
+        let mut shard_of = vec![0usize; m];
+        let shards: Vec<TokenShard> = level_ranges(m, cfg.shards.min(m))
+            .into_iter()
+            .enumerate()
+            .map(|(s, (lo, n))| {
+                for entry in shard_of.iter_mut().skip(lo).take(n) {
+                    *entry = s;
+                }
+                TokenShard::new(lo, n, buckets, n_workers, use_index)
+            })
+            .collect();
+        let cond_level: Vec<bool> = (0..m)
+            .map(|l| cfg.ctd.is_some() && meta[l].comm_intensive)
+            .collect();
+        // Level preference orders, fixed at construction (the oracle rebuilds
+        // them per pick; they depend only on static config): members see
+        // conditional levels first (ascending), then the rest by ADS;
+        // non-members skip conditional levels entirely.
+        let mut member_order: Vec<usize> = Vec::with_capacity(m);
+        if cfg.ctd.is_some() {
+            member_order.extend((0..m).filter(|&l| cond_level[l]));
+        }
+        let mut rest: Vec<usize> = (0..m).filter(|l| !member_order.contains(l)).collect();
+        if cfg.ads {
+            rest.sort_unstable_by(|a, b| b.cmp(a)); // highest level first
+        } else {
+            rest.sort_unstable(); // ablation: lowest level first
+        }
+        member_order.extend(rest);
+        let mut nonmember_order: Vec<usize> = (0..m).filter(|&l| !cond_level[l]).collect();
+        if cfg.ads {
+            nonmember_order.sort_unstable_by(|a, b| b.cmp(a));
+        } else {
+            nonmember_order.sort_unstable();
+        }
+        Coordinator {
+            plan,
+            cfg,
+            meta,
+            n_workers,
+            max_iterations,
+            released_roots: 0,
+            next_token_id: 0,
+            tokens: BTreeMap::new(),
+            holder: BTreeMap::new(),
+            shards,
+            shard_of,
+            cond_level,
+            member_order,
+            nonmember_order,
+            queued_all: vec![0; buckets],
+            queued_noncond: vec![0; buckets],
+            steal_any: BTreeSet::new(),
+            steal_noncond: BTreeSet::new(),
+            last_grant_at: vec![None; buckets],
+            helpers: vec![0; buckets],
+            waiting: VecDeque::new(),
+            stats: ServerStats::default(),
+            trained_per_worker: vec![0; n_workers],
+            alive: vec![true; n_workers],
+            quarantined: vec![false; n_workers],
+            leases: LeaseTable::new(n_workers),
+            data_home: (0..n_workers).collect(),
+            parked: Vec::new(),
+        }
+    }
+
+    /// Restores a coordinator from a snapshot plus the token table it refers
+    /// to. The result snapshots back bit-identically and continues exactly as
+    /// a server that reached the snapshot live (timing-only state — conflict
+    /// instants and counters — restarts empty, as documented on
+    /// [`ServerSnapshot`]).
+    pub fn restore(
+        plan: TokenPlan,
+        cfg: FelaConfig,
+        meta: Vec<LevelMeta>,
+        n_workers: usize,
+        max_iterations: u64,
+        tokens: BTreeMap<TokenId, Token>,
+        snap: &ServerSnapshot,
+    ) -> Result<Self, ScheduleError> {
+        let mut c = Self::empty(plan, cfg, meta, n_workers, max_iterations);
+        c.released_roots = snap.released_roots;
+        c.next_token_id = snap.next_token_id;
+        c.tokens = tokens;
+        c.holder = snap.holder.iter().map(|&(t, w)| (TokenId(t), w)).collect();
+        let m = c.plan.num_levels();
+        for level in 0..m {
+            let sh = c.shard_of[level];
+            let st = c.shards[sh].state_mut(level);
+            st.synced_upto = snap.synced_upto[level];
+            st.synced_out_of_order = snap.synced_out_of_order[level].iter().copied().collect();
+            st.completed = snap.completed[level].iter().copied().collect();
+            st.gen_buffer = snap.gen_buffers[level]
+                .iter()
+                .map(|(k, v)| (*k, v.iter().map(|&i| TokenId(i)).collect()))
+                .collect();
+            st.pending = snap.pending[level]
+                .iter()
+                .map(|&(id, b)| (TokenId(id), b))
+                .collect();
+        }
+        // `generated` is derivable: level ≥ 1 tokens are created only by the
+        // generator and never dropped from the token table.
+        let gen_pairs: Vec<(usize, u64)> = c
+            .tokens
+            .values()
+            .filter(|t| t.level >= 1)
+            .map(|t| (t.level, t.iteration))
+            .collect();
+        for (level, iteration) in gen_pairs {
+            let sh = c.shard_of[level];
+            *c.shards[sh]
+                .state_mut(level)
+                .generated
+                .entry(iteration)
+                .or_insert(0) += 1;
+        }
+        // Queues repopulate in snapshot order; scores recompute against the
+        // restored Info Mapping, which equals the insertion-time index (dep
+        // holders never change except re-homing, which rebuilds the index).
+        for (bucket, rows) in snap.stbs.iter().enumerate() {
+            for (level, row) in rows.iter().enumerate() {
+                for &id in row {
+                    c.stb_push(bucket, level, TokenId(id))?;
+                }
+            }
+        }
+        c.waiting = snap.waiting.iter().copied().collect();
+        c.alive = snap.alive.clone();
+        c.quarantined = snap.quarantined.clone();
+        c.leases = LeaseTable::restore(&snap.leases, &snap.attempts, &snap.expiry_counts);
+        c.data_home = snap.data_home.clone();
+        c.parked = snap
+            .parked
+            .iter()
+            .map(|&(level, id)| (level, TokenId(id)))
+            .collect();
+        // Helper counts arrive last: rebuild the steal indices with the final
+        // (helpers, occupancy) keys.
+        c.helpers = snap.helpers.clone();
+        c.steal_any.clear();
+        c.steal_noncond.clear();
+        for b in 0..c.queued_all.len() {
+            c.index_bucket(b);
+        }
+        Ok(c)
+    }
+
+    /// Run configuration (read access).
+    pub fn config(&self) -> &FelaConfig {
+        &self.cfg
+    }
+
+    /// The token plan (read access).
+    pub fn plan(&self) -> &TokenPlan {
+        &self.plan
+    }
+
+    /// Cluster size the coordinator schedules for.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Total iterations this run trains.
+    pub fn max_iterations(&self) -> u64 {
+        self.max_iterations
+    }
+
+    /// Number of shards the control plane runs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards (read access, for introspection and benches).
+    pub fn shards(&self) -> &[TokenShard] {
+        &self.shards
+    }
+
+    /// A generated token by id (introspection for checkers).
+    pub fn token(&self, id: TokenId) -> Option<&Token> {
+        self.tokens.get(&id)
+    }
+
+    /// The full token table (pair with [`Self::snapshot`] for restore).
+    pub fn tokens(&self) -> &BTreeMap<TokenId, Token> {
+        &self.tokens
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Tokens trained per worker so far.
+    pub fn trained_per_worker(&self) -> &[u64] {
+        &self.trained_per_worker
+    }
+
+    /// Iterations whose root tokens have been released.
+    pub fn released_root_iterations(&self) -> u64 {
+        self.released_roots
+    }
+
+    /// Iterations fully finished: every level's sync for that iteration
+    /// drained.
+    pub fn completed_iterations(&self) -> u64 {
+        (0..self.plan.num_levels())
+            .map(|l| self.level_state(l).synced_upto)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// True once all `max_iterations` iterations are fully synced.
+    pub fn run_complete(&self) -> bool {
+        self.completed_iterations() == self.max_iterations
+    }
+
+    /// Whether `worker` belongs to the CTD subset `S` (with the lapse rule —
+    /// see the oracle).
+    pub fn in_ctd_subset(&self, worker: usize) -> bool {
+        match self.cfg.ctd {
+            Some(ctd) => worker < ctd.subset_size || !self.ctd_subset_alive(),
+            None => true,
+        }
+    }
+
+    fn ctd_subset_alive(&self) -> bool {
+        match self.cfg.ctd {
+            Some(ctd) => (0..ctd.subset_size).any(|w| self.eligible(w)),
+            None => true,
+        }
+    }
+
+    fn ctd_participants(&self, level: usize) -> Result<Vec<usize>, ScheduleError> {
+        let ctd = self
+            .cfg
+            .ctd
+            .ok_or(ScheduleError::CtdConfigMissing { level })?;
+        let members: Vec<usize> = (0..ctd.subset_size).filter(|&w| self.eligible(w)).collect();
+        if !members.is_empty() {
+            return Ok(members);
+        }
+        let alive: Vec<usize> = (0..self.n_workers).filter(|&w| self.eligible(w)).collect();
+        if alive.is_empty() {
+            return Err(ScheduleError::NoAliveWorkers);
+        }
+        Ok(alive)
+    }
+
+    /// Whether lease-based recovery is enabled.
+    pub fn recovery_on(&self) -> bool {
+        self.cfg.recovery.is_some()
+    }
+
+    /// Whether the coordinator considers `worker` alive.
+    pub fn is_alive(&self, worker: usize) -> bool {
+        self.alive[worker]
+    }
+
+    /// Whether `worker` is quarantined (alive but barred from grants).
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        self.quarantined[worker]
+    }
+
+    fn eligible(&self, worker: usize) -> bool {
+        self.alive[worker] && !self.quarantined[worker]
+    }
+
+    /// The active lease on `token`, if any (recovery mode only).
+    pub fn lease_of(&self, token: TokenId) -> Option<LeaseInfo> {
+        self.leases.lease_of(token)
+    }
+
+    /// How many times `token`'s lease has been revoked so far.
+    pub fn attempt_of(&self, token: TokenId) -> u64 {
+        self.leases.attempt_of(token)
+    }
+
+    /// Where `worker`'s durable data currently lives.
+    pub fn data_home_of(&self, worker: usize) -> usize {
+        self.data_home[worker]
+    }
+
+    fn fallback_worker(&self) -> Result<usize, ScheduleError> {
+        (0..self.n_workers)
+            .find(|&w| self.eligible(w))
+            .ok_or(ScheduleError::NoAliveWorkers)
+    }
+
+    fn check_worker(&self, worker: usize) -> Result<(), ScheduleError> {
+        if worker >= self.n_workers {
+            return Err(ScheduleError::InvalidWorker {
+                worker,
+                n_workers: self.n_workers,
+            });
+        }
+        Ok(())
+    }
+
+    fn level_state(&self, level: usize) -> &LevelState {
+        self.shards[self.shard_of[level]].state(level)
+    }
+
+    /// Equation 1: fraction of a token's dependencies whose outputs `worker`
+    /// already holds.
+    pub fn locality_score(&self, worker: usize, token: TokenId) -> Result<f64, ScheduleError> {
+        let t = self
+            .tokens
+            .get(&token)
+            .ok_or(ScheduleError::UnknownToken { token })?;
+        if t.deps.is_empty() {
+            return Ok(0.0);
+        }
+        let held = t
+            .deps
+            .iter()
+            .filter(|d| self.holder.get(d) == Some(&worker))
+            .count();
+        Ok(held as f64 / t.deps.len() as f64)
+    }
+
+    // ---- occupancy / steal-index maintenance -------------------------------
+
+    fn steal_key(&self, bucket: usize) -> (u64, u64, usize) {
+        (
+            self.helpers[bucket],
+            u64::MAX - self.queued_all[bucket] as u64,
+            bucket,
+        )
+    }
+
+    /// Drops `bucket`'s current steal-index entries (call *before* mutating
+    /// its helpers or queued counters).
+    fn unindex_bucket(&mut self, bucket: usize) {
+        let key = self.steal_key(bucket);
+        if self.queued_all[bucket] > 0 {
+            self.steal_any.remove(&key);
+        }
+        if self.queued_noncond[bucket] > 0 {
+            self.steal_noncond.remove(&key);
+        }
+    }
+
+    /// Re-inserts `bucket`'s steal-index entries from its current counters.
+    fn index_bucket(&mut self, bucket: usize) {
+        let key = self.steal_key(bucket);
+        if self.queued_all[bucket] > 0 {
+            self.steal_any.insert(key);
+        }
+        if self.queued_noncond[bucket] > 0 {
+            self.steal_noncond.insert(key);
+        }
+    }
+
+    fn set_helpers(&mut self, bucket: usize, value: u64) {
+        self.unindex_bucket(bucket);
+        self.helpers[bucket] = value;
+        self.index_bucket(bucket);
+    }
+
+    /// Inserts a token into its level's shard and bumps the occupancy indices.
+    fn stb_push(&mut self, bucket: usize, level: usize, id: TokenId) -> Result<(), ScheduleError> {
+        let sh = self.shard_of[level];
+        let token = self
+            .tokens
+            .get(&id)
+            .ok_or(ScheduleError::UnknownToken { token: id })?;
+        self.shards[sh].push(bucket, level, token, &self.holder);
+        self.unindex_bucket(bucket);
+        self.queued_all[bucket] += 1;
+        if !self.cond_level[level] {
+            self.queued_noncond[bucket] += 1;
+        }
+        self.index_bucket(bucket);
+        Ok(())
+    }
+
+    /// [`Self::stb_push`] for root tokens (no score entries; infallible).
+    fn stb_push_root(&mut self, bucket: usize, id: TokenId) {
+        let sh = self.shard_of[0];
+        self.shards[sh].push_root(bucket, 0, id);
+        self.unindex_bucket(bucket);
+        self.queued_all[bucket] += 1;
+        if !self.cond_level[0] {
+            self.queued_noncond[bucket] += 1;
+        }
+        self.index_bucket(bucket);
+    }
+
+    /// Removes a token from its level's shard and decays the occupancy
+    /// indices.
+    fn stb_remove(
+        &mut self,
+        bucket: usize,
+        level: usize,
+        id: TokenId,
+    ) -> Result<(), ScheduleError> {
+        let sh = self.shard_of[level];
+        self.shards[sh].remove(bucket, level, id)?;
+        self.unindex_bucket(bucket);
+        self.queued_all[bucket] -= 1;
+        if !self.cond_level[level] {
+            self.queued_noncond[bucket] -= 1;
+        }
+        self.index_bucket(bucket);
+        Ok(())
+    }
+
+    fn rebuild_score_index(&mut self) -> Result<(), ScheduleError> {
+        for shard in &mut self.shards {
+            shard.rebuild_scores(&self.tokens, &self.holder)?;
+        }
+        Ok(())
+    }
+
+    // ---- distribution ------------------------------------------------------
+
+    /// A worker asks for a token at `now`. Identical contract to
+    /// [`TokenServer::request`].
+    pub fn request(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
+        self.check_worker(worker)?;
+        if !self.eligible(worker) {
+            return Err(ScheduleError::WorkerUnavailable { worker });
+        }
+        match self.try_grant(worker, now)? {
+            Some(grant) => Ok(Some(grant)),
+            None => {
+                self.stats.starved_requests += 1;
+                if !self.waiting.contains(&worker) {
+                    self.waiting.push_back(worker);
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Serves the longest-waiting worker that can now be granted. Call in a
+    /// loop until `Ok(None)`.
+    pub fn pop_ready_grant(
+        &mut self,
+        now: SimTime,
+    ) -> Result<Option<(usize, Grant)>, ScheduleError> {
+        for idx in 0..self.waiting.len() {
+            let worker = self.waiting[idx];
+            if let Some(grant) = self.try_grant(worker, now)? {
+                self.waiting.remove(idx);
+                return Ok(Some((worker, grant)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn try_grant(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
+        let Some((bucket, stolen)) = self.pick_bucket(worker) else {
+            return Ok(None);
+        };
+        let Some((level, id)) = self.pick_token(bucket, worker) else {
+            return Ok(None);
+        };
+        self.stb_remove(bucket, level, id)?;
+        let contends = stolen || !self.cfg.hf;
+        let mut conflict = false;
+        if contends {
+            if let Some(last) = self.last_grant_at[bucket] {
+                if now.saturating_since(last) < self.cfg.lock_window {
+                    conflict = true;
+                    self.stats.conflicts += 1;
+                }
+            }
+            self.last_grant_at[bucket] = Some(now);
+        }
+        if stolen {
+            self.stats.steals += 1;
+            self.set_helpers(bucket, self.helpers[bucket] + 1);
+        } else {
+            self.stats.local_grants += 1;
+        }
+        self.stats.grants += 1;
+        let token = self
+            .tokens
+            .get(&id)
+            .ok_or(ScheduleError::UnknownToken { token: id })?
+            .clone();
+        let fetches = self.fetches_for(&token, worker)?;
+        for &(_, bytes) in &fetches {
+            self.stats.remote_fetch_bytes += bytes;
+        }
+        let attempt = self.leases.attempt_of(id);
+        if self.recovery_on() {
+            self.leases.grant(id, worker, attempt);
+        }
+        Ok(Some(Grant {
+            token,
+            fetches,
+            conflict,
+            attempt,
+        }))
+    }
+
+    /// Chooses which bucket to draw from — the oracle's decision served from
+    /// the occupancy indices: own STB if it has anything grantable, else the
+    /// steal sets' `first()`.
+    fn pick_bucket(&self, worker: usize) -> Option<(usize, bool)> {
+        let member = self.in_ctd_subset(worker);
+        if !self.cfg.hf {
+            let has = if member {
+                self.queued_all[0] > 0
+            } else {
+                self.queued_noncond[0] > 0
+            };
+            return has.then_some((0, false));
+        }
+        let own = if member {
+            self.queued_all[worker]
+        } else {
+            self.queued_noncond[worker]
+        };
+        if own > 0 {
+            return Some((worker, false));
+        }
+        // The requester's own bucket cannot be in its class's index here (its
+        // class count is 0), so `first()` modulo that invariant — the `find`
+        // keeps the skip explicit and costs one extra probe at most.
+        let index = if member {
+            &self.steal_any
+        } else {
+            &self.steal_noncond
+        };
+        index
+            .iter()
+            .map(|&(_, _, b)| b)
+            .find(|&b| b != worker)
+            .map(|b| (b, true))
+    }
+
+    /// Picks `(level, token)` inside a bucket per ADS/CTD, walking the static
+    /// preference order for the requester's CTD class.
+    fn pick_token(&self, bucket: usize, worker: usize) -> Option<(usize, TokenId)> {
+        let order = if self.in_ctd_subset(worker) {
+            &self.member_order
+        } else {
+            &self.nonmember_order
+        };
+        for &level in order {
+            if let Some(id) = self.shards[self.shard_of[level]].pick(bucket, level, worker) {
+                return Some((level, id));
+            }
+        }
+        None
+    }
+
+    fn fetches_for(
+        &self,
+        token: &Token,
+        worker: usize,
+    ) -> Result<Vec<(usize, u64)>, ScheduleError> {
+        if token.level == 0 {
+            let owner = token
+                .sample_owner
+                .ok_or(ScheduleError::MissingSampleOwner { token: token.id })?;
+            let home = self.data_home[owner];
+            if home != worker {
+                let bytes = token.batch * self.meta[0].input_bytes_per_sample;
+                return Ok(vec![(home, bytes)]);
+            }
+            return Ok(vec![]);
+        }
+        let per_sample = self.meta[token.level].input_bytes_per_sample;
+        let mut fetches = Vec::new();
+        for dep in &token.deps {
+            let holder = *self
+                .holder
+                .get(dep)
+                .ok_or(ScheduleError::MissingDependencyHolder {
+                    token: token.id,
+                    dep: *dep,
+                })?;
+            if holder != worker {
+                let dep_batch = self
+                    .tokens
+                    .get(dep)
+                    .ok_or(ScheduleError::UnknownToken { token: *dep })?
+                    .batch;
+                fetches.push((holder, dep_batch * per_sample));
+            }
+        }
+        Ok(fetches)
+    }
+
+    // ---- generation / sync -------------------------------------------------
+
+    /// A worker reports a completed token. Identical contract to
+    /// [`TokenServer::report`].
+    pub fn report(
+        &mut self,
+        worker: usize,
+        token: TokenId,
+    ) -> Result<Vec<SyncSpec>, ScheduleError> {
+        self.check_worker(worker)?;
+        let (level, iteration) = {
+            let t = self
+                .tokens
+                .get(&token)
+                .ok_or(ScheduleError::UnknownToken { token })?;
+            (t.level, t.iteration)
+        };
+        if self.recovery_on() {
+            match self.leases.lease_of(token) {
+                Some(l) if l.worker == worker => {
+                    self.leases.release(token);
+                }
+                _ => return Err(ScheduleError::StaleReport { worker, token }),
+            }
+        }
+        if self.holder.contains_key(&token) {
+            return Err(ScheduleError::DuplicateReport { token });
+        }
+        self.holder.insert(token, worker);
+        self.trained_per_worker[worker] += 1;
+        if level + 1 < self.plan.num_levels() {
+            let ratio = self.plan.levels[level + 1].gen_ratio as usize;
+            let sh = self.shard_of[level];
+            let deps = {
+                let st = self.shards[sh].state_mut(level);
+                let buffer = st.gen_buffer.entry(iteration).or_default();
+                buffer.push(token);
+                if buffer.len() >= ratio {
+                    st.gen_buffer.remove(&iteration)
+                } else {
+                    None
+                }
+            };
+            if let Some(deps) = deps {
+                self.generate_token(level + 1, iteration, deps, worker)?;
+            }
+        }
+        let mut syncs = Vec::new();
+        let lp = self.plan.levels[level];
+        let count = {
+            let sh = self.shard_of[level];
+            let st = self.shards[sh].state_mut(level);
+            let c = st.completed.entry(iteration).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count == lp.tokens_per_iteration {
+            let sh = self.shard_of[level];
+            self.shards[sh]
+                .state_mut(level)
+                .completed
+                .remove(&iteration);
+            let participants: Vec<usize> = if self.cond_level[level] {
+                self.ctd_participants(level)?
+            } else {
+                let alive: Vec<usize> = (0..self.n_workers).filter(|&w| self.eligible(w)).collect();
+                if alive.is_empty() {
+                    return Err(ScheduleError::NoAliveWorkers);
+                }
+                alive
+            };
+            syncs.push(SyncSpec {
+                level,
+                iteration,
+                participants,
+                bytes: self.meta[level].param_bytes,
+            });
+        }
+        Ok(syncs)
+    }
+
+    /// Marks a level's parameter sync for `iteration` finished. Identical
+    /// contract to [`TokenServer::sync_finished`] — the cross-shard event:
+    /// the owning shard reconciles its sync watermark, then the coordinator
+    /// releases gated tokens and due root iterations.
+    pub fn sync_finished(&mut self, level: usize, iteration: u64) -> Result<(), ScheduleError> {
+        let m = self.plan.num_levels();
+        if level >= m {
+            return Err(ScheduleError::LevelOutOfRange { level, levels: m });
+        }
+        let sh = self.shard_of[level];
+        {
+            let ls = self.shards[sh].state_mut(level);
+            if iteration < ls.synced_upto || ls.synced_out_of_order.contains(&iteration) {
+                return Err(ScheduleError::DuplicateSync { level, iteration });
+            }
+            ls.synced_out_of_order.insert(iteration);
+            while ls.synced_out_of_order.remove(&ls.synced_upto) {
+                ls.synced_upto += 1;
+            }
+        }
+        let bound = self.level_state(level).release_bound(self.cfg.staleness);
+        let mut still_pending = VecDeque::new();
+        while let Some((id, bucket)) = self.shards[sh].state_mut(level).pending.pop_front() {
+            let token_iter = self
+                .tokens
+                .get(&id)
+                .ok_or(ScheduleError::UnknownToken { token: id })?
+                .iteration;
+            if token_iter <= bound {
+                self.stb_push(bucket, level, id)?;
+            } else {
+                still_pending.push_back((id, bucket));
+            }
+        }
+        self.shards[sh].state_mut(level).pending = still_pending;
+        self.release_due_roots();
+        Ok(())
+    }
+
+    fn generate_token(
+        &mut self,
+        level: usize,
+        iteration: u64,
+        deps: Vec<TokenId>,
+        reporter: usize,
+    ) -> Result<(), ScheduleError> {
+        let lp = self.plan.levels[level];
+        let sh = self.shard_of[level];
+        let seq = self
+            .level_state(level)
+            .generated
+            .get(&iteration)
+            .copied()
+            .unwrap_or(0);
+        if seq >= lp.tokens_per_iteration {
+            return Err(ScheduleError::OverGeneration { level, iteration });
+        }
+        *self.shards[sh]
+            .state_mut(level)
+            .generated
+            .entry(iteration)
+            .or_insert(0) += 1;
+        let id = TokenId(self.next_token_id);
+        self.next_token_id += 1;
+        let token = Token {
+            id,
+            level,
+            iteration,
+            seq,
+            batch: lp.batch_per_token,
+            deps,
+            sample_owner: None,
+        };
+        self.tokens.insert(id, token);
+        let bucket = if !self.cfg.hf {
+            0
+        } else if self.cond_level[level] && !self.in_ctd_subset(reporter) {
+            self.ctd_participants(level)?
+                .into_iter()
+                .min_by_key(|&w| (self.shards[sh].queue_len(w, level), w))
+                .ok_or(ScheduleError::EmptyCtdSubset { level })?
+        } else {
+            reporter
+        };
+        if iteration <= self.level_state(level).release_bound(self.cfg.staleness) {
+            self.stb_push(bucket, level, id)?;
+        } else {
+            self.shards[sh]
+                .state_mut(level)
+                .pending
+                .push_back((id, bucket));
+        }
+        Ok(())
+    }
+
+    fn release_due_roots(&mut self) {
+        loop {
+            let bound = if self.cfg.pipelining {
+                self.level_state(0).release_bound(self.cfg.staleness)
+            } else {
+                self.completed_iterations() + self.cfg.staleness
+            };
+            if self.released_roots >= self.max_iterations || self.released_roots > bound {
+                return;
+            }
+            self.release_one_root_iteration();
+        }
+    }
+
+    fn release_one_root_iteration(&mut self) {
+        let iter = self.released_roots;
+        self.released_roots += 1;
+        // A fresh wave of local work arrived for everyone: helper counts from
+        // the previous wave no longer describe the new contention picture.
+        for b in 0..self.helpers.len() {
+            if self.helpers[b] != 0 {
+                self.set_helpers(b, 0);
+            }
+        }
+        let n0 = self.plan.levels[0].tokens_per_iteration;
+        let batch = self.plan.levels[0].batch_per_token;
+        for seq in 0..n0 {
+            let owner = (seq % self.n_workers as u64) as usize;
+            let id = TokenId(self.next_token_id);
+            self.next_token_id += 1;
+            let token = Token {
+                id,
+                level: 0,
+                iteration: iter,
+                seq,
+                batch,
+                deps: vec![],
+                sample_owner: Some(owner),
+            };
+            self.tokens.insert(id, token);
+            let home = self.data_home[owner];
+            let bucket = if !self.cfg.hf {
+                0
+            } else if self.eligible(home) {
+                home
+            } else {
+                (0..self.n_workers)
+                    .find(|&w| self.eligible(w))
+                    .unwrap_or(home)
+            };
+            self.stb_push_root(bucket, id);
+        }
+    }
+
+    // ---- liveness / recovery -----------------------------------------------
+
+    /// Handles a crash notification. Identical contract to
+    /// [`TokenServer::worker_crashed`] — the cross-shard re-homing event.
+    pub fn worker_crashed(&mut self, worker: usize) -> Result<Vec<TokenId>, ScheduleError> {
+        self.check_worker(worker)?;
+        if !self.alive[worker] {
+            return Err(ScheduleError::BadLivenessTransition {
+                worker,
+                alive: false,
+            });
+        }
+        self.alive[worker] = false;
+        self.waiting.retain(|&w| w != worker);
+        let fallback = self.fallback_worker().ok();
+        if let Some(fb) = fallback {
+            for home in &mut self.data_home {
+                if *home == worker {
+                    *home = fb;
+                }
+            }
+            for holder in self.holder.values_mut() {
+                if *holder == worker {
+                    *holder = fb;
+                }
+            }
+        }
+        let held = self.leases.held_by(worker);
+        for &t in &held {
+            self.revoke_lease(t)?;
+        }
+        if self.cfg.hf {
+            for level in 0..self.plan.num_levels() {
+                let ids = self.shards[self.shard_of[level]].queue_ids(worker, level);
+                for id in ids {
+                    self.stb_remove(worker, level, id)?;
+                    self.place_token(level, id)?;
+                }
+            }
+            if let Some(fb) = fallback {
+                for level in 0..self.plan.num_levels() {
+                    let sh = self.shard_of[level];
+                    for (_, bucket) in self.shards[sh].state_mut(level).pending.iter_mut() {
+                        if *bucket == worker {
+                            *bucket = fb;
+                        }
+                    }
+                }
+            }
+        }
+        self.rebuild_score_index()?;
+        Ok(held)
+    }
+
+    /// Handles a restart notification. Identical contract to
+    /// [`TokenServer::worker_restarted`].
+    pub fn worker_restarted(&mut self, worker: usize) -> Result<(), ScheduleError> {
+        self.check_worker(worker)?;
+        if self.alive[worker] {
+            return Err(ScheduleError::BadLivenessTransition {
+                worker,
+                alive: true,
+            });
+        }
+        self.alive[worker] = true;
+        self.quarantined[worker] = false;
+        self.leases.clear_expiries(worker);
+        let orphaned = !self.parked.is_empty()
+            || self.data_home.iter().any(|&h| !self.alive[h])
+            || self.holder.values().any(|&h| !self.alive[h]);
+        if orphaned {
+            let fb = self.fallback_worker()?; // the rejoining worker at worst
+            for home in &mut self.data_home {
+                if !self.alive[*home] {
+                    *home = fb;
+                }
+            }
+            let alive = &self.alive;
+            for holder in self.holder.values_mut() {
+                if !alive[*holder] {
+                    *holder = fb;
+                }
+            }
+            if self.cfg.hf {
+                for level in 0..self.plan.num_levels() {
+                    let sh = self.shard_of[level];
+                    let alive = &self.alive;
+                    for (_, bucket) in self.shards[sh].state_mut(level).pending.iter_mut() {
+                        if !alive[*bucket] {
+                            *bucket = fb;
+                        }
+                    }
+                }
+            }
+            let parked = std::mem::take(&mut self.parked);
+            for (level, id) in parked {
+                self.place_token(level, id)?;
+            }
+            self.rebuild_score_index()?;
+        }
+        Ok(())
+    }
+
+    /// Handles a lease-deadline expiry. Identical contract to
+    /// [`TokenServer::lease_expired`].
+    pub fn lease_expired(
+        &mut self,
+        token: TokenId,
+        attempt: u64,
+    ) -> Result<Option<ExpiredLease>, ScheduleError> {
+        let Some(lease) = self.leases.lease_of(token) else {
+            return Ok(None);
+        };
+        if lease.attempt != attempt {
+            return Ok(None);
+        }
+        let worker = lease.worker;
+        self.revoke_lease(token)?;
+        let mut revoked = vec![token];
+        let expiries = self.leases.count_expiry(worker);
+        let threshold = self
+            .cfg
+            .recovery
+            .map(|r| r.quarantine_after)
+            .unwrap_or(u64::MAX);
+        let mut newly_quarantined = false;
+        if expiries >= threshold && !self.quarantined[worker] {
+            // Check a survivor remains before shrinking the membership.
+            if (0..self.n_workers).any(|w| w != worker && self.eligible(w)) {
+                self.quarantined[worker] = true;
+                newly_quarantined = true;
+                self.waiting.retain(|&w| w != worker);
+                let held = self.leases.held_by(worker);
+                for &t in &held {
+                    self.revoke_lease(t)?;
+                }
+                revoked.extend(held);
+            }
+        }
+        Ok(Some(ExpiredLease {
+            worker,
+            revoked,
+            quarantined: newly_quarantined,
+        }))
+    }
+
+    fn revoke_lease(&mut self, token: TokenId) -> Result<(), ScheduleError> {
+        if !self.leases.revoke(token) {
+            return Err(ScheduleError::UnknownToken { token });
+        }
+        let level = self
+            .tokens
+            .get(&token)
+            .ok_or(ScheduleError::UnknownToken { token })?
+            .level;
+        self.place_token(level, token)
+    }
+
+    fn place_token(&mut self, level: usize, id: TokenId) -> Result<(), ScheduleError> {
+        if !self.cfg.hf {
+            return self.stb_push(0, level, id);
+        }
+        let candidates: Vec<usize> = if self.cond_level[level] {
+            match self.ctd_participants(level) {
+                Ok(c) => c,
+                Err(ScheduleError::NoAliveWorkers) => {
+                    self.parked.push((level, id));
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            let alive: Vec<usize> = (0..self.n_workers).filter(|&w| self.eligible(w)).collect();
+            if alive.is_empty() {
+                self.parked.push((level, id));
+                return Ok(());
+            }
+            alive
+        };
+        let mut best: Option<(u64, usize, usize)> = None; // (score key, queue, id)
+        let mut bucket = candidates[0];
+        for &w in &candidates {
+            let score = self.locality_score(w, id)?;
+            // `queued_all` is exactly the oracle's per-bucket queue-length sum.
+            let key = (score_key(score), self.queued_all[w], w);
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+                bucket = w;
+            }
+        }
+        self.stb_push(bucket, level, id)
+    }
+
+    // ---- snapshot ----------------------------------------------------------
+
+    /// A canonical snapshot of the scheduling state — bit-identical to the
+    /// oracle's for equal histories (see [`ServerSnapshot`]).
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let m = self.plan.num_levels();
+        let buckets = self.queued_all.len();
+        ServerSnapshot {
+            released_roots: self.released_roots,
+            next_token_id: self.next_token_id,
+            stbs: (0..buckets)
+                .map(|b| {
+                    (0..m)
+                        .map(|l| self.shards[self.shard_of[l]].queue_row(b, l))
+                        .collect()
+                })
+                .collect(),
+            pending: (0..m)
+                .map(|l| {
+                    self.level_state(l)
+                        .pending
+                        .iter()
+                        .map(|&(id, b)| (id.0, b))
+                        .collect()
+                })
+                .collect(),
+            synced_upto: (0..m).map(|l| self.level_state(l).synced_upto).collect(),
+            synced_out_of_order: (0..m)
+                .map(|l| {
+                    self.level_state(l)
+                        .synced_out_of_order
+                        .iter()
+                        .copied()
+                        .collect()
+                })
+                .collect(),
+            completed: (0..m)
+                .map(|l| {
+                    self.level_state(l)
+                        .completed
+                        .iter()
+                        .map(|(&k, &v)| (k, v))
+                        .collect()
+                })
+                .collect(),
+            gen_buffers: (0..m)
+                .map(|l| {
+                    self.level_state(l)
+                        .gen_buffer
+                        .iter()
+                        .map(|(&k, v)| (k, v.iter().map(|id| id.0).collect()))
+                        .collect()
+                })
+                .collect(),
+            holder: self.holder.iter().map(|(&t, &w)| (t.0, w)).collect(),
+            waiting: self.waiting.iter().copied().collect(),
+            helpers: self.helpers.clone(),
+            alive: self.alive.clone(),
+            quarantined: self.quarantined.clone(),
+            leases: self.leases.lease_triples(),
+            attempts: self.leases.attempt_pairs(),
+            expiry_counts: self.leases.expiry_counts().to_vec(),
+            data_home: self.data_home.clone(),
+            parked: self.parked.iter().map(|&(l, id)| (l, id.0)).collect(),
+        }
+    }
+}
+
+/// The control-plane seam every layer holds: the monolithic oracle when
+/// `cfg.shards == 1` (the default), the sharded coordinator otherwise. Both
+/// variants expose the same API and produce byte-identical schedules.
+#[derive(Clone)]
+pub enum ControlPlane {
+    /// The monolithic [`TokenServer`] — the conformance oracle.
+    Single(TokenServer),
+    /// The sharded [`Coordinator`].
+    Sharded(Coordinator),
+}
+
+/// Forwards a method call to whichever plane is active.
+macro_rules! either {
+    ($self:expr, $s:ident => $e:expr) => {
+        match $self {
+            ControlPlane::Single($s) => $e,
+            ControlPlane::Sharded($s) => $e,
+        }
+    };
+}
+
+impl ControlPlane {
+    /// Builds the plane `cfg.shards` selects and releases iteration 0's roots.
+    pub fn new(
+        plan: TokenPlan,
+        cfg: FelaConfig,
+        meta: Vec<LevelMeta>,
+        n_workers: usize,
+        max_iterations: u64,
+    ) -> Self {
+        if cfg.shards <= 1 {
+            ControlPlane::Single(TokenServer::new(plan, cfg, meta, n_workers, max_iterations))
+        } else {
+            ControlPlane::Sharded(Coordinator::new(plan, cfg, meta, n_workers, max_iterations))
+        }
+    }
+
+    /// Number of shards (1 for the monolithic plane).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ControlPlane::Single(_) => 1,
+            ControlPlane::Sharded(c) => c.shard_count(),
+        }
+    }
+
+    /// Run configuration (read access).
+    pub fn config(&self) -> &FelaConfig {
+        either!(self, s => s.config())
+    }
+
+    /// The token plan (read access).
+    pub fn plan(&self) -> &TokenPlan {
+        either!(self, s => s.plan())
+    }
+
+    /// Cluster size the plane schedules for.
+    pub fn n_workers(&self) -> usize {
+        either!(self, s => s.n_workers())
+    }
+
+    /// Total iterations this run trains.
+    pub fn max_iterations(&self) -> u64 {
+        either!(self, s => s.max_iterations())
+    }
+
+    /// A generated token by id (introspection for checkers).
+    pub fn token(&self, id: TokenId) -> Option<&Token> {
+        either!(self, s => s.token(id))
+    }
+
+    /// The full token table (pair with [`Self::snapshot`] for restore).
+    pub fn tokens(&self) -> &BTreeMap<TokenId, Token> {
+        either!(self, s => s.tokens())
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &ServerStats {
+        either!(self, s => s.stats())
+    }
+
+    /// Tokens trained per worker so far.
+    pub fn trained_per_worker(&self) -> &[u64] {
+        either!(self, s => s.trained_per_worker())
+    }
+
+    /// Iterations whose root tokens have been released.
+    pub fn released_root_iterations(&self) -> u64 {
+        either!(self, s => s.released_root_iterations())
+    }
+
+    /// Iterations fully finished.
+    pub fn completed_iterations(&self) -> u64 {
+        either!(self, s => s.completed_iterations())
+    }
+
+    /// True once all iterations are fully synced.
+    pub fn run_complete(&self) -> bool {
+        either!(self, s => s.run_complete())
+    }
+
+    /// Whether `worker` belongs to the CTD subset `S`.
+    pub fn in_ctd_subset(&self, worker: usize) -> bool {
+        either!(self, s => s.in_ctd_subset(worker))
+    }
+
+    /// Whether lease-based recovery is enabled.
+    pub fn recovery_on(&self) -> bool {
+        either!(self, s => s.recovery_on())
+    }
+
+    /// Whether the plane considers `worker` alive.
+    pub fn is_alive(&self, worker: usize) -> bool {
+        either!(self, s => s.is_alive(worker))
+    }
+
+    /// Whether `worker` is quarantined.
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        either!(self, s => s.is_quarantined(worker))
+    }
+
+    /// The active lease on `token`, if any (recovery mode only).
+    pub fn lease_of(&self, token: TokenId) -> Option<LeaseInfo> {
+        either!(self, s => s.lease_of(token))
+    }
+
+    /// How many times `token`'s lease has been revoked so far.
+    pub fn attempt_of(&self, token: TokenId) -> u64 {
+        either!(self, s => s.attempt_of(token))
+    }
+
+    /// Where `worker`'s durable data currently lives.
+    pub fn data_home_of(&self, worker: usize) -> usize {
+        either!(self, s => s.data_home_of(worker))
+    }
+
+    /// Equation 1 locality score of `token` towards `worker`.
+    pub fn locality_score(&self, worker: usize, token: TokenId) -> Result<f64, ScheduleError> {
+        either!(self, s => s.locality_score(worker, token))
+    }
+
+    /// A worker asks for a token at `now`.
+    pub fn request(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
+        either!(self, s => s.request(worker, now))
+    }
+
+    /// Serves the longest-waiting worker that can now be granted.
+    pub fn pop_ready_grant(
+        &mut self,
+        now: SimTime,
+    ) -> Result<Option<(usize, Grant)>, ScheduleError> {
+        either!(self, s => s.pop_ready_grant(now))
+    }
+
+    /// A worker reports a completed token.
+    pub fn report(
+        &mut self,
+        worker: usize,
+        token: TokenId,
+    ) -> Result<Vec<SyncSpec>, ScheduleError> {
+        either!(self, s => s.report(worker, token))
+    }
+
+    /// Marks a level's parameter sync for `iteration` finished.
+    pub fn sync_finished(&mut self, level: usize, iteration: u64) -> Result<(), ScheduleError> {
+        either!(self, s => s.sync_finished(level, iteration))
+    }
+
+    /// Handles a crash notification for `worker`.
+    pub fn worker_crashed(&mut self, worker: usize) -> Result<Vec<TokenId>, ScheduleError> {
+        either!(self, s => s.worker_crashed(worker))
+    }
+
+    /// Handles a restart notification for `worker`.
+    pub fn worker_restarted(&mut self, worker: usize) -> Result<(), ScheduleError> {
+        either!(self, s => s.worker_restarted(worker))
+    }
+
+    /// Handles a lease-deadline expiry for `(token, attempt)`.
+    pub fn lease_expired(
+        &mut self,
+        token: TokenId,
+        attempt: u64,
+    ) -> Result<Option<ExpiredLease>, ScheduleError> {
+        either!(self, s => s.lease_expired(token, attempt))
+    }
+
+    /// A canonical snapshot of the scheduling state.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        either!(self, s => s.snapshot())
+    }
+}

@@ -9,7 +9,12 @@
 //!   (§III-B, §IV-B);
 //! * [`TokenServer`] — Token Generator + Token Distributor + Token Bucket/STBs +
 //!   Info Mapping, with the ADS (§III-D), HF (§III-E) and CTD (§III-F) policies as
-//!   pure, unit-tested scheduling logic;
+//!   pure, unit-tested scheduling logic; kept as the frozen conformance oracle;
+//! * [`Coordinator`] / [`TokenShard`] — the sharded control plane for
+//!   thousand-worker clusters: levels split into contiguous ranges, one shard
+//!   per range, with grants delegated via leases and schedules proved
+//!   byte-identical to the oracle ([`ControlPlane`] is the seam the runtime
+//!   holds — `cfg.shards` selects the plane);
 //! * [`FelaRuntime`] — the discrete-event world tying the server to workers, the
 //!   GPU compute model, the flow-level network and straggler injection; implements
 //!   [`fela_cluster::TrainingRuntime`].
@@ -18,15 +23,23 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod coordinator;
 mod error;
+mod lease;
 mod plan;
 mod runtime;
 mod server;
+mod shard;
+mod snapshot;
 mod token;
 
 pub use config::{CtdConfig, FelaConfig, RecoveryConfig};
+pub use coordinator::{ControlPlane, Coordinator};
 pub use error::ScheduleError;
+pub use lease::{ExpiredLease, LeaseInfo};
 pub use plan::{LevelPlan, PlanError, TokenPlan};
 pub use runtime::{ComputeBackend, ComputeRequest, FelaRuntime, LocalCompute};
-pub use server::{Grant, LevelMeta, ServerSnapshot, ServerStats, SyncSpec, TokenServer};
+pub use server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};
+pub use shard::TokenShard;
+pub use snapshot::ServerSnapshot;
 pub use token::{Token, TokenId};

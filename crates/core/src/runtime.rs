@@ -25,9 +25,10 @@ use fela_sim::{
 };
 
 use crate::config::{FelaConfig, RecoveryConfig};
+use crate::coordinator::ControlPlane;
 use crate::error::ScheduleError;
 use crate::plan::TokenPlan;
-use crate::server::{Grant, LevelMeta, SyncSpec, TokenServer};
+use crate::server::{Grant, LevelMeta, SyncSpec};
 use crate::token::TokenId;
 
 /// The simulation runtime treats any scheduling error as a fatal bug in the
@@ -175,7 +176,7 @@ struct FelaWorld<'a> {
     backend: &'a mut dyn ComputeBackend,
     scenario: Scenario,
     partition: Partition,
-    server: TokenServer,
+    server: ControlPlane,
     net: Network,
     net_ev: Option<EventId>,
     workers: Vec<WorkerState>,
@@ -935,7 +936,7 @@ impl FelaRuntime {
             .collect();
         let n = scenario.cluster.nodes;
         let fault_active = !scenario.fault.is_none();
-        let server = TokenServer::new(plan, config.clone(), meta, n, scenario.iterations);
+        let server = ControlPlane::new(plan, config.clone(), meta, n, scenario.iterations);
         let world = FelaWorld {
             trace,
             backend,

@@ -53,7 +53,10 @@ use serde::Serialize;
 
 use crate::config::FelaConfig;
 use crate::error::ScheduleError;
+use crate::lease::{ExpiredLease, LeaseInfo};
 use crate::plan::TokenPlan;
+use crate::shard::{score_key, LevelState, ScoreSet};
+use crate::snapshot::ServerSnapshot;
 use crate::token::{Token, TokenId};
 
 /// Static per-level facts the scheduler needs (derived from the partition).
@@ -82,28 +85,6 @@ pub struct Grant {
     /// (0 = first attempt). With recovery on, the runtime widens the lease
     /// deadline by `2^attempt` (exponential backoff on repeated expiry).
     pub attempt: u64,
-}
-
-/// An active lease: who holds a granted token, and which attempt this is.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct LeaseInfo {
-    /// The worker the token is granted to.
-    pub worker: usize,
-    /// Revocation count at grant time (matches [`Grant::attempt`]).
-    pub attempt: u64,
-}
-
-/// What [`TokenServer::lease_expired`] did: the lease was live and has been
-/// revoked; the token is back in the grantable set.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ExpiredLease {
-    /// The worker that lost the lease.
-    pub worker: usize,
-    /// Every token revoked by this expiry — the expired token itself, plus
-    /// (if the expiry tipped the worker into quarantine) all its other leases.
-    pub revoked: Vec<TokenId>,
-    /// True if this expiry quarantined the worker.
-    pub quarantined: bool,
 }
 
 /// A parameter-synchronisation request emitted when a level's last token of an
@@ -150,78 +131,6 @@ pub struct ServerStats {
     /// Token requests that found the bucket empty (the §III-D "locking problem").
     pub starved_requests: u64,
 }
-
-#[derive(Clone)]
-struct LevelState {
-    /// Contiguous iterations synced from 0 (`synced_upto = k` ⇒ iterations
-    /// `0..k` are fully synced at this level).
-    synced_upto: u64,
-    /// Syncs finished out of contiguous order (possible under SSP staleness,
-    /// where two iterations of one level may be in flight at once).
-    synced_out_of_order: BTreeSet<u64>,
-    /// Completions counted per in-flight iteration.
-    completed: BTreeMap<u64, u64>,
-    /// Generation groups accumulating per iteration (completion order within an
-    /// iteration, as in Figure 3).
-    gen_buffer: BTreeMap<u64, Vec<TokenId>>,
-    /// Generated tokens gated on this level's sync/staleness bound: `(token id,
-    /// preferred bucket)`.
-    pending: VecDeque<(TokenId, usize)>,
-    /// Tokens generated so far per iteration at this level (levels ≥ 1 only).
-    /// Replaces the O(all tokens) scan the generator used for `seq` assignment:
-    /// level ≥ 1 tokens are created nowhere else, so the counter equals the scan.
-    generated: BTreeMap<u64, u64>,
-}
-
-impl LevelState {
-    /// Highest iteration whose tokens may currently run at this level.
-    fn release_bound(&self, staleness: u64) -> u64 {
-        self.synced_upto + staleness
-    }
-}
-
-/// A canonical, totally ordered view of the server's scheduling state.
-///
-/// Two servers with equal snapshots will emit identical schedules for
-/// identical future inputs (timing-only state — lock-conflict instants and
-/// counters — is deliberately excluded). `fela-check`'s interleaving explorer
-/// uses snapshots to prune its state space; tests use them to assert replay
-/// equivalence.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct ServerSnapshot {
-    /// Iterations whose root tokens have been released.
-    pub released_roots: u64,
-    /// Next token id to be generated.
-    pub next_token_id: u64,
-    /// STB contents: `stbs[bucket][level]` → token ids in queue order.
-    pub stbs: Vec<Vec<Vec<u64>>>,
-    /// Sync-gated generated tokens per level: `(token id, preferred bucket)`.
-    pub pending: Vec<Vec<(u64, usize)>>,
-    /// Contiguously synced iteration count per level.
-    pub synced_upto: Vec<u64>,
-    /// Out-of-order finished syncs per level.
-    pub synced_out_of_order: Vec<Vec<u64>>,
-    /// Per-level in-flight completion counts: `(iteration, count)`.
-    pub completed: Vec<Vec<(u64, u64)>>,
-    /// Per-level generation buffers: `(iteration, completed token ids)`.
-    pub gen_buffers: Vec<Vec<(u64, Vec<u64>)>>,
-    /// Info Mapping: `(token id, holding worker)`.
-    pub holder: Vec<(u64, usize)>,
-    /// Workers queued for a token.
-    pub waiting: Vec<usize>,
-    /// Helper counts per bucket.
-    pub helpers: Vec<u64>,
-    /// Liveness per worker (all-true without faults).
-    pub alive: Vec<bool>,
-    /// Quarantine flags per worker (all-false without faults).
-    pub quarantined: Vec<bool>,
-    /// Active leases: `(token id, worker, attempt)` (empty without recovery).
-    pub leases: Vec<(u64, usize, u64)>,
-}
-
-/// One `(encoded score, token id)` index: ascending set order is descending
-/// locality score, ties to the smallest id (Principle 2).
-type ScoreSet = BTreeSet<(u64, TokenId)>;
 
 /// The Token Server.
 #[derive(Clone)]
@@ -331,16 +240,7 @@ impl TokenServer {
             by_score: vec![vec![vec![BTreeSet::new(); n_workers]; m]; buckets],
             score_keys: BTreeMap::new(),
             holder: BTreeMap::new(),
-            levels: (0..m)
-                .map(|_| LevelState {
-                    synced_upto: 0,
-                    synced_out_of_order: BTreeSet::new(),
-                    completed: BTreeMap::new(),
-                    gen_buffer: BTreeMap::new(),
-                    pending: VecDeque::new(),
-                    generated: BTreeMap::new(),
-                })
-                .collect(),
+            levels: (0..m).map(|_| LevelState::new()).collect(),
             last_grant_at: vec![None; buckets],
             helpers: vec![0; buckets],
             waiting: VecDeque::new(),
@@ -381,6 +281,12 @@ impl TokenServer {
     /// A generated token by id (introspection for checkers).
     pub fn token(&self, id: TokenId) -> Option<&Token> {
         self.tokens.get(&id)
+    }
+
+    /// The full token table (pair with [`Self::snapshot`] for
+    /// [`Self::restore`]).
+    pub fn tokens(&self) -> &BTreeMap<TokenId, Token> {
+        &self.tokens
     }
 
     /// Accumulated counters.
@@ -712,7 +618,7 @@ impl TokenServer {
         for &w in &candidates {
             let score = self.locality_score(w, id)?;
             let key = (
-                Self::score_key(score),
+                score_key(score),
                 self.stbs[w].iter().map(VecDeque::len).sum::<usize>(),
                 w,
             );
@@ -757,7 +663,7 @@ impl TokenServer {
                     let mut keys: Vec<(usize, u64)> = Vec::new();
                     for (w, &c) in counts.iter().enumerate() {
                         if c > 0 {
-                            let k = Self::score_key(c as f64 / len as f64);
+                            let k = score_key(c as f64 / len as f64);
                             self.by_score[bucket][level][w].insert((k, id));
                             keys.push((w, k));
                         }
@@ -821,7 +727,112 @@ impl TokenServer {
                 .iter()
                 .map(|(&t, l)| (t.0, l.worker, l.attempt))
                 .collect(),
+            attempts: self.attempts.iter().map(|(&t, &n)| (t.0, n)).collect(),
+            expiry_counts: self.expiry_counts.clone(),
+            data_home: self.data_home.clone(),
+            parked: self.parked.iter().map(|&(l, id)| (l, id.0)).collect(),
         }
+    }
+
+    /// Restores a server from a snapshot plus the token table it refers to.
+    /// The result snapshots back bit-identically and continues exactly as a
+    /// server that reached the snapshot live (timing-only state — conflict
+    /// instants and counters — restarts empty, as documented on
+    /// [`ServerSnapshot`]).
+    pub fn restore(
+        plan: TokenPlan,
+        cfg: FelaConfig,
+        meta: Vec<LevelMeta>,
+        n_workers: usize,
+        max_iterations: u64,
+        tokens: BTreeMap<TokenId, Token>,
+        snap: &ServerSnapshot,
+    ) -> Result<Self, ScheduleError> {
+        assert_eq!(
+            meta.len(),
+            plan.num_levels(),
+            "level metadata must match plan levels"
+        );
+        assert!(max_iterations > 0, "need at least one iteration");
+        cfg.validate(n_workers);
+        let m = plan.num_levels();
+        let buckets = if cfg.hf { n_workers } else { 1 };
+        let mut s = TokenServer {
+            plan,
+            cfg,
+            meta,
+            n_workers,
+            max_iterations,
+            released_roots: snap.released_roots,
+            next_token_id: snap.next_token_id,
+            tokens,
+            stbs: vec![vec![VecDeque::new(); m]; buckets],
+            grantable: vec![vec![BTreeSet::new(); m]; buckets],
+            by_score: vec![vec![vec![BTreeSet::new(); n_workers]; m]; buckets],
+            score_keys: BTreeMap::new(),
+            holder: snap.holder.iter().map(|&(t, w)| (TokenId(t), w)).collect(),
+            levels: (0..m).map(|_| LevelState::new()).collect(),
+            last_grant_at: vec![None; buckets],
+            helpers: snap.helpers.clone(),
+            waiting: snap.waiting.iter().copied().collect(),
+            stats: ServerStats::default(),
+            trained_per_worker: vec![0; n_workers],
+            alive: snap.alive.clone(),
+            quarantined: snap.quarantined.clone(),
+            expiry_counts: snap.expiry_counts.clone(),
+            leases: snap
+                .leases
+                .iter()
+                .map(|&(t, worker, attempt)| (TokenId(t), LeaseInfo { worker, attempt }))
+                .collect(),
+            attempts: snap
+                .attempts
+                .iter()
+                .map(|&(t, n)| (TokenId(t), n))
+                .collect(),
+            data_home: snap.data_home.clone(),
+            parked: snap
+                .parked
+                .iter()
+                .map(|&(level, id)| (level, TokenId(id)))
+                .collect(),
+        };
+        for level in 0..m {
+            let ls = &mut s.levels[level];
+            ls.synced_upto = snap.synced_upto[level];
+            ls.synced_out_of_order = snap.synced_out_of_order[level].iter().copied().collect();
+            ls.completed = snap.completed[level].iter().copied().collect();
+            ls.gen_buffer = snap.gen_buffers[level]
+                .iter()
+                .map(|(k, v)| (*k, v.iter().map(|&i| TokenId(i)).collect()))
+                .collect();
+            ls.pending = snap.pending[level]
+                .iter()
+                .map(|&(id, b)| (TokenId(id), b))
+                .collect();
+        }
+        // `generated` is derivable: level ≥ 1 tokens are created only by the
+        // generator and never dropped from the token table.
+        let gen_pairs: Vec<(usize, u64)> = s
+            .tokens
+            .values()
+            .filter(|t| t.level >= 1)
+            .map(|t| (t.level, t.iteration))
+            .collect();
+        for (level, iteration) in gen_pairs {
+            *s.levels[level].generated.entry(iteration).or_insert(0) += 1;
+        }
+        // Queues repopulate in snapshot order; scores recompute against the
+        // restored Info Mapping, which equals the insertion-time index (dep
+        // holders never change except re-homing, which rebuilds the index).
+        for bucket in 0..snap.stbs.len() {
+            for level in 0..m {
+                for &id in &snap.stbs[bucket][level] {
+                    s.stb_push(bucket, level, TokenId(id))?;
+                }
+            }
+        }
+        Ok(s)
     }
 
     fn check_worker(&self, worker: usize) -> Result<(), ScheduleError> {
@@ -841,13 +852,6 @@ impl TokenServer {
     /// True when grants consult locality (and the Principle-2 index is kept).
     fn use_score_index(&self) -> bool {
         self.cfg.ads && self.cfg.hf
-    }
-
-    /// Encodes a locality score so ascending `u64` order equals descending score
-    /// order. Sound because scores are finite and non-negative (Equation 1 yields
-    /// values in `[0, 1]`), where IEEE-754 bit patterns are monotone in value.
-    fn score_key(score: f64) -> u64 {
-        !score.to_bits()
     }
 
     /// Inserts a token into an STB queue and all distribution indices. A single
@@ -875,7 +879,7 @@ impl TokenServer {
             let mut keys: Vec<(usize, u64)> = Vec::new();
             for (w, &c) in counts.iter().enumerate() {
                 if c > 0 {
-                    let k = Self::score_key(c as f64 / len as f64);
+                    let k = score_key(c as f64 / len as f64);
                     self.by_score[bucket][level][w].insert((k, id));
                     keys.push((w, k));
                 }

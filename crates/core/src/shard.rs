@@ -1,0 +1,382 @@
+//! Per-shard token state: a [`TokenShard`] owns a contiguous range of levels
+//! — each level's sync/generation bookkeeping ([`LevelState`]) plus its slice
+//! of every bucket's STB queue and distribution indices.
+//!
+//! Shards are deliberately dumb: they answer O(log) pick/push/remove queries
+//! in their level range and never see the cluster-wide picture (liveness,
+//! leases, helper counts, the token table). All cross-shard decisions —
+//! which bucket to steal from, where a revoked token re-homes, when a sync
+//! barrier closes — live in the [`Coordinator`](crate::Coordinator), which is
+//! what keeps the sharded schedule byte-identical to the monolithic
+//! [`TokenServer`](crate::TokenServer) oracle.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::error::ScheduleError;
+use crate::token::{Token, TokenId};
+
+/// One `(encoded score, token id)` index: ascending set order is descending
+/// locality score, ties to the smallest id (Principle 2).
+pub(crate) type ScoreSet = BTreeSet<(u64, TokenId)>;
+
+/// Per-level sync, completion and generation bookkeeping.
+#[derive(Clone)]
+pub(crate) struct LevelState {
+    /// Contiguous iterations synced from 0 (`synced_upto = k` ⇒ iterations
+    /// `0..k` are fully synced at this level).
+    pub(crate) synced_upto: u64,
+    /// Syncs finished out of contiguous order (possible under SSP staleness,
+    /// where two iterations of one level may be in flight at once).
+    pub(crate) synced_out_of_order: BTreeSet<u64>,
+    /// Completions counted per in-flight iteration.
+    pub(crate) completed: BTreeMap<u64, u64>,
+    /// Generation groups accumulating per iteration (completion order within an
+    /// iteration, as in Figure 3).
+    pub(crate) gen_buffer: BTreeMap<u64, Vec<TokenId>>,
+    /// Generated tokens gated on this level's sync/staleness bound: `(token id,
+    /// preferred bucket)`.
+    pub(crate) pending: VecDeque<(TokenId, usize)>,
+    /// Tokens generated so far per iteration at this level (levels ≥ 1 only).
+    /// Replaces the O(all tokens) scan the generator used for `seq` assignment:
+    /// level ≥ 1 tokens are created nowhere else, so the counter equals the scan.
+    pub(crate) generated: BTreeMap<u64, u64>,
+}
+
+impl LevelState {
+    pub(crate) fn new() -> Self {
+        LevelState {
+            synced_upto: 0,
+            synced_out_of_order: BTreeSet::new(),
+            completed: BTreeMap::new(),
+            gen_buffer: BTreeMap::new(),
+            pending: VecDeque::new(),
+            generated: BTreeMap::new(),
+        }
+    }
+
+    /// Highest iteration whose tokens may currently run at this level.
+    pub(crate) fn release_bound(&self, staleness: u64) -> u64 {
+        self.synced_upto + staleness
+    }
+}
+
+/// Encodes a locality score so ascending `u64` order equals descending score
+/// order. Sound because scores are finite and non-negative (Equation 1 yields
+/// values in `[0, 1]`), where IEEE-754 bit patterns are monotone in value.
+pub(crate) fn score_key(score: f64) -> u64 {
+    !score.to_bits()
+}
+
+/// The distributable-token state of one level: its slice of every bucket's
+/// STB queue plus the id-order and Principle-2 pick indices.
+#[derive(Clone)]
+struct LevelSlot {
+    state: LevelState,
+    /// `stbs[bucket]` — this level's queue segment of each bucket's STB.
+    stbs: Vec<VecDeque<TokenId>>,
+    /// Id-ordered mirror of each queue (smallest-id picks in O(log)).
+    grantable: Vec<BTreeSet<TokenId>>,
+    /// Principle-2 index: `by_score[bucket][worker]` → this level's tokens
+    /// with strictly positive locality score towards `worker`, keyed
+    /// `(descending score, ascending id)`. See the monolith's field docs for
+    /// why zero-score tokens are deliberately absent.
+    by_score: Vec<Vec<ScoreSet>>,
+}
+
+/// One control-plane shard: owns the token state of a contiguous level range
+/// `first_level .. first_level + n_levels`.
+///
+/// All level arguments are *global* level indices; callers never see the
+/// internal offset. Pushes take the token and the Info Mapping by reference
+/// so the shard can maintain its score index without owning either.
+#[derive(Clone)]
+pub struct TokenShard {
+    first_level: usize,
+    n_levels: usize,
+    use_score_index: bool,
+    n_workers: usize,
+    levels: Vec<LevelSlot>,
+    /// Sparse `(worker, score key)` index entries of every STB-resident token,
+    /// kept so `remove` can drop them without recomputing scores.
+    score_keys: BTreeMap<TokenId, Vec<(usize, u64)>>,
+}
+
+impl TokenShard {
+    /// Creates an empty shard owning levels `first_level .. first_level + n_levels`
+    /// across `buckets` STBs.
+    pub(crate) fn new(
+        first_level: usize,
+        n_levels: usize,
+        buckets: usize,
+        n_workers: usize,
+        use_score_index: bool,
+    ) -> Self {
+        TokenShard {
+            first_level,
+            n_levels,
+            use_score_index,
+            n_workers,
+            levels: (0..n_levels)
+                .map(|_| LevelSlot {
+                    state: LevelState::new(),
+                    stbs: vec![VecDeque::new(); buckets],
+                    grantable: vec![BTreeSet::new(); buckets],
+                    by_score: vec![vec![BTreeSet::new(); n_workers]; buckets],
+                })
+                .collect(),
+            score_keys: BTreeMap::new(),
+        }
+    }
+
+    /// First global level this shard owns.
+    pub fn first_level(&self) -> usize {
+        self.first_level
+    }
+
+    /// Number of contiguous levels this shard owns.
+    pub fn level_count(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Whether `level` (global index) belongs to this shard.
+    pub fn owns(&self, level: usize) -> bool {
+        (self.first_level..self.first_level + self.n_levels).contains(&level)
+    }
+
+    fn slot(&self, level: usize) -> &LevelSlot {
+        &self.levels[level - self.first_level]
+    }
+
+    fn slot_mut(&mut self, level: usize) -> &mut LevelSlot {
+        &mut self.levels[level - self.first_level]
+    }
+
+    pub(crate) fn state(&self, level: usize) -> &LevelState {
+        &self.slot(level).state
+    }
+
+    pub(crate) fn state_mut(&mut self, level: usize) -> &mut LevelState {
+        &mut self.slot_mut(level).state
+    }
+
+    /// Queue length of `bucket`'s STB segment at `level`.
+    pub fn queue_len(&self, bucket: usize, level: usize) -> usize {
+        self.slot(level).stbs[bucket].len()
+    }
+
+    /// Token ids queued in `bucket` at `level`, in queue order.
+    pub fn queue_ids(&self, bucket: usize, level: usize) -> Vec<TokenId> {
+        self.slot(level).stbs[bucket].iter().copied().collect()
+    }
+
+    /// Snapshot export: the queue as raw ids.
+    pub(crate) fn queue_row(&self, bucket: usize, level: usize) -> Vec<u64> {
+        self.slot(level).stbs[bucket]
+            .iter()
+            .map(|id| id.0)
+            .collect()
+    }
+
+    /// The level's pick for `worker` in `bucket`: highest locality score, ties
+    /// to the smallest id (Principle 2) when the score index is on; smallest
+    /// id otherwise (the ablation and global-bucket paths).
+    pub(crate) fn pick(&self, bucket: usize, level: usize, worker: usize) -> Option<TokenId> {
+        let slot = self.slot(level);
+        if self.use_score_index {
+            slot.by_score[bucket][worker]
+                .first()
+                .map(|&(_, id)| id)
+                .or_else(|| slot.grantable[bucket].first().copied())
+        } else {
+            slot.grantable[bucket].first().copied()
+        }
+    }
+
+    /// Inserts a token into `bucket`'s queue at `level` and all distribution
+    /// indices. A single walk over the token's dependency holders yields every
+    /// worker's held count; only workers with a positive count get an index
+    /// entry (Equation 1's `held / len`).
+    pub(crate) fn push(
+        &mut self,
+        bucket: usize,
+        level: usize,
+        token: &Token,
+        holder: &BTreeMap<TokenId, usize>,
+    ) {
+        let id = token.id;
+        let use_index = self.use_score_index;
+        let n_workers = self.n_workers;
+        let slot = self.slot_mut(level);
+        slot.stbs[bucket].push_back(id);
+        slot.grantable[bucket].insert(id);
+        if use_index {
+            let mut counts = vec![0usize; n_workers];
+            for d in &token.deps {
+                if let Some(&w) = holder.get(d) {
+                    counts[w] += 1;
+                }
+            }
+            let len = token.deps.len();
+            let mut keys: Vec<(usize, u64)> = Vec::new();
+            for (w, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    let k = score_key(c as f64 / len as f64);
+                    slot.by_score[bucket][w].insert((k, id));
+                    keys.push((w, k));
+                }
+            }
+            if !keys.is_empty() {
+                self.score_keys.insert(id, keys);
+            }
+        }
+    }
+
+    /// [`Self::push`] for root tokens, whose dependency set is empty and whose
+    /// score is therefore 0 towards everyone (no index entries).
+    pub(crate) fn push_root(&mut self, bucket: usize, level: usize, id: TokenId) {
+        let slot = self.slot_mut(level);
+        slot.stbs[bucket].push_back(id);
+        slot.grantable[bucket].insert(id);
+    }
+
+    /// Removes a granted token from its queue and all distribution indices.
+    pub(crate) fn remove(
+        &mut self,
+        bucket: usize,
+        level: usize,
+        id: TokenId,
+    ) -> Result<(), ScheduleError> {
+        let keys = self.score_keys.remove(&id);
+        let slot = self.slot_mut(level);
+        let q = &mut slot.stbs[bucket];
+        let Some(pos) = q.iter().position(|&x| x == id) else {
+            // The index pointed at a token the queue does not hold.
+            return Err(ScheduleError::CorruptBucket {
+                bucket,
+                level,
+                position: 0,
+            });
+        };
+        q.remove(pos);
+        slot.grantable[bucket].remove(&id);
+        if let Some(keys) = keys {
+            for (w, k) in keys {
+                slot.by_score[bucket][w].remove(&(k, id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes the Principle-2 score index for every STB-resident token in
+    /// this shard (crash re-homing moved holder entries, invalidating scores
+    /// fixed at insertion time). Crash-path only.
+    pub(crate) fn rebuild_scores(
+        &mut self,
+        tokens: &BTreeMap<TokenId, Token>,
+        holder: &BTreeMap<TokenId, usize>,
+    ) -> Result<(), ScheduleError> {
+        if !self.use_score_index {
+            return Ok(());
+        }
+        let n_workers = self.n_workers;
+        let score_keys = &mut self.score_keys;
+        for slot in &mut self.levels {
+            for bucket in 0..slot.stbs.len() {
+                let ids: Vec<TokenId> = slot.stbs[bucket].iter().copied().collect();
+                for id in ids {
+                    if let Some(keys) = score_keys.remove(&id) {
+                        for (w, k) in keys {
+                            slot.by_score[bucket][w].remove(&(k, id));
+                        }
+                    }
+                    let t = tokens
+                        .get(&id)
+                        .ok_or(ScheduleError::UnknownToken { token: id })?;
+                    let mut counts = vec![0usize; n_workers];
+                    for d in &t.deps {
+                        if let Some(&w) = holder.get(d) {
+                            counts[w] += 1;
+                        }
+                    }
+                    let len = t.deps.len();
+                    let mut keys: Vec<(usize, u64)> = Vec::new();
+                    for (w, &c) in counts.iter().enumerate() {
+                        if c > 0 {
+                            let k = score_key(c as f64 / len as f64);
+                            slot.by_score[bucket][w].insert((k, id));
+                            keys.push((w, k));
+                        }
+                    }
+                    if !keys.is_empty() {
+                        score_keys.insert(id, keys);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits `m` levels into `shards` contiguous, balanced ranges:
+/// shard `s` owns levels `⌊s·m/shards⌋ .. ⌊(s+1)·m/shards⌋`.
+pub(crate) fn level_ranges(m: usize, shards: usize) -> Vec<(usize, usize)> {
+    (0..shards)
+        .map(|s| {
+            let lo = s * m / shards;
+            let hi = (s + 1) * m / shards;
+            (lo, hi - lo)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ranges_are_contiguous_and_exhaustive() {
+        for m in 1..=8 {
+            for s in 1..=m {
+                let ranges = level_ranges(m, s);
+                assert_eq!(ranges.len(), s);
+                let mut next = 0;
+                for &(lo, n) in &ranges {
+                    assert_eq!(lo, next, "m={m} s={s}");
+                    assert!(n >= 1, "every shard owns at least one level");
+                    next = lo + n;
+                }
+                assert_eq!(next, m);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_push_pick_remove_round_trip() {
+        let mut shard = TokenShard::new(1, 2, 4, 4, true);
+        assert!(shard.owns(1) && shard.owns(2) && !shard.owns(0) && !shard.owns(3));
+        let holder: BTreeMap<TokenId, usize> =
+            [(TokenId(10), 2), (TokenId(11), 0)].into_iter().collect();
+        let t = Token {
+            id: TokenId(42),
+            level: 2,
+            iteration: 0,
+            seq: 0,
+            batch: 8,
+            deps: vec![TokenId(10), TokenId(11)],
+            sample_owner: None,
+        };
+        shard.push(3, 2, &t, &holder);
+        assert_eq!(shard.queue_len(3, 2), 1);
+        // Worker 2 holds half the deps → positive score; worker 1 holds none.
+        assert_eq!(shard.pick(3, 2, 2), Some(TokenId(42)));
+        assert_eq!(
+            shard.pick(3, 2, 1),
+            Some(TokenId(42)),
+            "zero-score fallback"
+        );
+        shard.remove(3, 2, TokenId(42)).expect("queued");
+        assert_eq!(shard.queue_len(3, 2), 0);
+        assert_eq!(shard.pick(3, 2, 2), None);
+        assert!(shard.remove(3, 2, TokenId(42)).is_err(), "double remove");
+    }
+}

@@ -32,8 +32,8 @@ use std::time::{Duration, Instant};
 
 use fela_cluster::{FaultKind, Scenario};
 use fela_core::{
-    FelaConfig, FelaRuntime, Grant, LevelMeta, RecoveryConfig, ScheduleError, TokenId, TokenPlan,
-    TokenServer,
+    ControlPlane, FelaConfig, FelaRuntime, Grant, LevelMeta, RecoveryConfig, ScheduleError,
+    TokenId, TokenPlan,
 };
 use fela_model::Partition;
 use fela_sim::{SimDuration, SimTime};
@@ -144,11 +144,11 @@ fn spawn_pump(worker: usize, mut rx: LinkRx, inbox: Sender<(usize, Inbound)>) ->
                 }
             }
         })
-        .expect("spawn pump thread")
+        .unwrap_or_else(|e| panic!("spawn pump thread: {e}"))
 }
 
 struct RealServer<'a> {
-    server: TokenServer,
+    server: ControlPlane,
     scenario: &'a Scenario,
     partition: Partition,
     plan: TokenPlan,
@@ -352,8 +352,9 @@ impl RealServer<'_> {
                 let info = self.server.token(id).map(|t| (t.iteration, t.level));
                 match self.server.report(worker, id) {
                     Ok(syncs) => {
-                        let (iteration, level) =
-                            info.expect("accepted report for an unknown token");
+                        let Some((iteration, level)) = info else {
+                            panic!("accepted report for an unknown token");
+                        };
                         self.completions.push((iteration, level));
                         // Control-plane runtime: every sync commits degenerately.
                         for spec in syncs {
@@ -416,7 +417,7 @@ pub fn run_real(
         })
         .collect();
     let n = scenario.cluster.nodes;
-    let server = TokenServer::new(plan.clone(), config.clone(), meta, n, scenario.iterations);
+    let server = ControlPlane::new(plan.clone(), config.clone(), meta, n, scenario.iterations);
 
     type InboxPair = (Sender<(usize, Inbound)>, Receiver<(usize, Inbound)>);
     let (inbox_tx, inbox_rx): InboxPair = channel();
@@ -466,7 +467,9 @@ pub fn run_real(
             Some(at) => {
                 let now = Instant::now();
                 if at <= now {
-                    let Reverse(entry) = rs.timers.pop().expect("peeked");
+                    let Some(Reverse(entry)) = rs.timers.pop() else {
+                        unreachable!("peek returned a deadline but pop found nothing");
+                    };
                     rs.fire_timer(entry.timer, transport)?;
                     continue;
                 }
@@ -478,9 +481,10 @@ pub fn run_real(
                     }
                 }
             }
-            None => inbox_rx
-                .recv()
-                .expect("every worker pump exited before the run completed"),
+            None => match inbox_rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => panic!("every worker pump exited before the run completed"),
+            },
         };
         match msg {
             (worker, Inbound::Frame(frame)) => rs.handle_frame(worker, frame, transport)?,
@@ -540,9 +544,9 @@ pub fn run_real(
     let mut collected = 0usize;
     let deadline = Instant::now() + Duration::from_secs(30);
     while collected < waiting.len() {
-        let remaining = deadline
-            .checked_duration_since(Instant::now())
-            .expect("timed out collecting final parameters");
+        let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            panic!("timed out collecting final parameters");
+        };
         match inbox_rx.recv_timeout(remaining) {
             Ok((worker, Inbound::Frame(Frame::Params { bytes }))) => {
                 assert_eq!(

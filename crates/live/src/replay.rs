@@ -113,10 +113,12 @@ pub fn schedules_from_trace(trace: &Trace) -> Vec<Vec<(usize, usize)>> {
                 pending.entry((*worker, *token)).or_default().push_back(i);
             }
             EventKind::StaleReport { worker, token } => {
-                let matched = pending
+                let Some(matched) = pending
                     .get_mut(&(*worker, *token))
                     .and_then(|q| q.pop_front())
-                    .expect("stale report without a matching completion");
+                else {
+                    panic!("stale report without a matching completion");
+                };
                 stale[matched] = true;
             }
             _ => {}

@@ -178,7 +178,10 @@ impl TcpTransport {
         if self.listener.is_none() {
             self.listener = Some(TcpListener::bind(("127.0.0.1", 0))?);
         }
-        Ok(self.listener.as_ref().expect("just bound"))
+        match self.listener.as_ref() {
+            Some(listener) => Ok(listener),
+            None => unreachable!("just bound"),
+        }
     }
 
     /// Connects one worker end and performs the `Hello` handshake; returns

@@ -59,8 +59,11 @@ impl ComputeBackend for LiveBackend {
             batch: req.batch,
             iteration: req.iteration,
         })
-        .expect("live worker link closed during cost query");
-        match link.recv().expect("live worker died during cost query") {
+        .unwrap_or_else(|e| panic!("live worker link closed during cost query: {e}"));
+        let reply = link
+            .recv()
+            .unwrap_or_else(|e| panic!("live worker died during cost query: {e}"));
+        match reply {
             Frame::CostReply { token, secs_bits } => {
                 assert_eq!(token, req.token, "cost reply for the wrong token");
                 f64::from_bits(secs_bits)
@@ -149,7 +152,9 @@ pub fn run_virtual(
         );
     }
     for handle in handles {
-        handle.join().expect("worker thread exits cleanly");
+        if handle.join().is_err() {
+            panic!("worker thread panicked instead of exiting cleanly");
+        }
     }
     Ok(LiveOutcome {
         report,

@@ -169,7 +169,7 @@ pub fn spawn_worker(spec: WorkerSpec, mut link: Link) -> JoinHandle<()> {
                 }
             }
         })
-        .expect("spawn worker thread")
+        .unwrap_or_else(|e| panic!("spawn worker thread: {e}"))
 }
 
 #[cfg(test)]
