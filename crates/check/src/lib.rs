@@ -22,9 +22,22 @@
 //!   small configuration (DPOR-style state memoization), checks per-transition
 //!   safety, and executes every schedule with `fela-engine`'s real token-split
 //!   SGD to prove they all converge to serial-BSP parameters.
+//! * [`mc`] — the concurrency model checker for the *live* runtime: drives the
+//!   real [`fela_core::ControlPlane`] and the real wire [`fela_live::Frame`]s
+//!   through every non-equivalent message-delivery / lease-fire interleaving
+//!   of a small cluster (memoized DFS, DPOR via eager local steps), checking
+//!   deadlock-freedom, lost-wakeup-freedom, exactly-once token application and
+//!   per-op linearizability against the monolithic `TokenServer` oracle.
+//!   Seeded mutations (dropped grant, reordered Grant/Report, misrouted Grant)
+//!   each produce a distinct diagnostic.
+//! * [`protocol`] — the frame-protocol session verifier: a per-link state
+//!   machine over the server ↔ worker `Frame` dialogue, replayed over recorded
+//!   [`fela_live::SyncEvent`] traces (from `RecordingSched`) and over the model
+//!   checker's explored executions.
 //! * [`lint`] — the source-level rules behind the determinism and crash-safety
 //!   arguments (`no-unwrap`, `no-wallclock`, `no-unseeded-rng`,
-//!   `hashmap-order`), enforced by the `fela-lint` binary and CI.
+//!   `hashmap-order`, `lock-order`, `no-blocking-under-lock`), enforced by the
+//!   `fela-lint` binary and CI.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,11 +45,20 @@
 pub mod dag;
 pub mod explore;
 pub mod lint;
+pub mod mc;
+pub mod protocol;
 pub mod race;
 pub mod recovery;
 
 pub use dag::{DagNode, DagSummary, DagViolation, Mutation, ScheduleDag};
 pub use explore::{exhaustive_schedule_check, ExploreOutcome, ExploreViolation, Explorer};
+pub use mc::{
+    model_check, record_execution, run_mutation_matrix, McConfig, McMutation, McOutcome,
+    McViolation, MutationRun,
+};
+pub use protocol::{
+    mutate_events, verify_session, SessionReport, SessionVerifier, SessionViolation, WireMutation,
+};
 pub use race::{check_trace, HbAnalysis, RaceSummary, RaceViolation};
 pub use recovery::{
     check_recovery, mutate_trace, RecoveryMutation, RecoverySummary, RecoveryViolation,

@@ -20,6 +20,16 @@
 //!   nondeterministic order into whatever consumes it; containers that are
 //!   iterated must be `BTreeMap`/`BTreeSet` (or the iteration must be
 //!   allowlisted with a justification).
+//! * **`lock-order`** — mutex acquisitions in the concurrency crates
+//!   (`live`, `core`) must follow the declared total order [`LOCK_ORDER`]
+//!   while another guard is live, and every mutex must be *in* the table:
+//!   an undeclared lock is itself a finding, so the order stays complete as
+//!   code grows. This is the static half of the deadlock-freedom argument
+//!   the `fela-mc` model checker makes dynamically.
+//! * **`no-blocking-under-lock`** — no `read_frame`/`write_frame`/`sleep`
+//!   while a `MutexGuard` is live: a blocking wire read under a lock turns a
+//!   slow peer into a stalled server. (`Condvar::wait` is fine — it releases
+//!   the guard.)
 //!
 //! The checker is line-based and intentionally simple: it strips `//` comments
 //! and string literals, skips `#[cfg(test)]` modules by brace counting, and
@@ -74,6 +84,22 @@ pub const NO_UNWRAP_CRATES: &[&str] = &[
 /// runtime's real-clock mode, the harness's stderr-only timing — opt out with
 /// a crate-scoped allowlist entry, never by weakening the rule.)
 pub const DETERMINISM_CRATES: &[&str] = &["fela-core", "fela-sim"];
+
+/// Crates whose mutex usage is held to the lock discipline (`lock-order`,
+/// `no-blocking-under-lock`). The live runtime is *mutex-free by design*
+/// outside its scheduler seam (threads communicate through channels), so the
+/// table below is tiny — these rules exist to keep it that way.
+pub const LOCK_DISCIPLINE_CRATES: &[&str] = &["fela-live", "fela-core"];
+
+/// The declared total acquisition order of every named mutex in the
+/// lock-discipline crates, outermost first. A lock may only be taken while
+/// guards strictly *earlier* in this table are held; taking one out of order
+/// — or taking a mutex not listed here at all — is a `lock-order` finding.
+///
+/// Current table (all in `fela-live`'s scheduler seam):
+/// `events` (RecordingSched buffer), then `seen` (GateSched observation log),
+/// then `open` (GateSched gate flag, held across `Condvar::wait`).
+pub const LOCK_ORDER: &[&str] = &["events", "seen", "open"];
 
 /// Parsed `fela-lint.allow` file: lines of `<rule> <path-suffix> [substring]`,
 /// `#`-comments and blanks ignored. A finding is suppressed when a rule+path
@@ -287,6 +313,87 @@ pub fn lint_source(path: &str, crate_name: &str, content: &str) -> Vec<LintFindi
                         push("hashmap-order");
                         break;
                     }
+                }
+            }
+        }
+    }
+
+    // Pass 3 (lock-discipline crates only): track live `MutexGuard`s by brace
+    // depth and check acquisition order plus blocking calls under a guard.
+    if LOCK_DISCIPLINE_CRATES.contains(&crate_name) {
+        // Live let-bound guards: (brace depth at binding, lock name, binding name).
+        let mut guards: Vec<(i64, String, String)> = Vec::new();
+        let mut depth: i64 = 0;
+        for (i, line) in scrubbed_lines.iter().enumerate() {
+            if !in_test[i] {
+                let mut push = |rule: &'static str| {
+                    findings.push(LintFinding {
+                        rule,
+                        krate: crate_name.to_owned(),
+                        path: path.to_owned(),
+                        line: i + 1,
+                        snippet: lines[i].trim().to_owned(),
+                    });
+                };
+                // `drop(guard)` releases a guard early.
+                if let Some(pos) = line.find("drop(") {
+                    let inner: String = line[pos + 5..]
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    guards.retain(|(_, _, binding)| *binding != inner);
+                }
+                if let Some(pos) = line.find(".lock()") {
+                    match receiver_ident(&line[..pos]) {
+                        Some(lock) => match LOCK_ORDER.iter().position(|l| *l == lock) {
+                            None => push("lock-order"),
+                            Some(idx) => {
+                                let held_out_of_order = guards.iter().any(|(_, held, _)| {
+                                    LOCK_ORDER
+                                        .iter()
+                                        .position(|l| l == held)
+                                        .is_some_and(|h| h >= idx)
+                                });
+                                if held_out_of_order {
+                                    push("lock-order");
+                                }
+                                // A `let`-bound guard lives to the end of its
+                                // block; a temporary dies at the statement.
+                                if line[..pos].contains("let ") {
+                                    let binding = line[..pos]
+                                        .rfind("let ")
+                                        .map(|l| {
+                                            line[l + 4..]
+                                                .trim_start()
+                                                .trim_start_matches("mut ")
+                                                .chars()
+                                                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                                                .collect::<String>()
+                                        })
+                                        .unwrap_or_default();
+                                    guards.push((depth, lock, binding));
+                                }
+                            }
+                        },
+                        None => push("lock-order"),
+                    }
+                }
+                if !guards.is_empty()
+                    && ["read_frame(", "write_frame(", "sleep("]
+                        .iter()
+                        .any(|p| line.contains(p))
+                {
+                    push("no-blocking-under-lock");
+                }
+            }
+            for c in line.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        guards.retain(|(d, _, _)| *d <= depth);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -516,6 +623,107 @@ for (k, v) in seen.iter() { out.push((k, v)); }
             ..finding
         };
         assert!(!allow.permits(&different_line));
+    }
+
+    #[test]
+    fn lock_order_violation_is_flagged() {
+        // `open` precedes `seen` in LOCK_ORDER — acquiring `seen` while the
+        // `open` guard is live inverts the declared order.
+        let src = "\
+fn f(&self) {
+    let mut open = self.open.lock().unwrap_or_else(|p| p.into_inner());
+    let mut seen = self.seen.lock().unwrap_or_else(|p| p.into_inner());
+}
+";
+        let findings = lint_source("a.rs", "fela-live", src);
+        assert_eq!(rules(&findings), ["lock-order"]);
+        assert_eq!(findings[0].line, 3);
+        // The correct order is clean.
+        let src = "\
+fn f(&self) {
+    let mut seen = self.seen.lock().unwrap_or_else(|p| p.into_inner());
+    let mut open = self.open.lock().unwrap_or_else(|p| p.into_inner());
+}
+";
+        assert!(lint_source("a.rs", "fela-live", src).is_empty());
+    }
+
+    #[test]
+    fn undeclared_mutex_is_a_lock_order_finding() {
+        let src = "let g = self.mystery.lock().unwrap_or_else(|p| p.into_inner());\n";
+        assert_eq!(
+            rules(&lint_source("a.rs", "fela-live", src)),
+            ["lock-order"]
+        );
+        // Outside the discipline crates the rule does not apply.
+        assert!(lint_source("a.rs", "fela-harness", src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guards_end_at_their_block() {
+        // sched.rs's actual shape: the `seen` guard dies with its block, so
+        // the later `open` acquisition is a fresh (ordered) one.
+        let src = "\
+fn reached(&self) {
+    {
+        let mut seen = self.seen.lock().unwrap_or_else(|p| p.into_inner());
+        seen.push(1);
+    }
+    let mut open = self.open.lock().unwrap_or_else(|p| p.into_inner());
+}
+";
+        assert!(lint_source("a.rs", "fela-live", src).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_guard_releases_it() {
+        let src = "\
+fn f(&self) {
+    let g = self.open.lock().unwrap_or_else(|p| p.into_inner());
+    drop(g);
+    let s = self.seen.lock().unwrap_or_else(|p| p.into_inner());
+}
+";
+        assert!(lint_source("a.rs", "fela-live", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_under_a_live_guard_is_flagged() {
+        let src = "\
+fn f(&self) {
+    let g = self.events.lock().unwrap_or_else(|p| p.into_inner());
+    let frame = read_frame(&mut stream);
+}
+";
+        let findings = lint_source("a.rs", "fela-live", src);
+        assert_eq!(rules(&findings), ["no-blocking-under-lock"]);
+        let src = "\
+fn f(&self) {
+    let g = self.events.lock().unwrap_or_else(|p| p.into_inner());
+    std::thread::sleep(d);
+}
+";
+        assert_eq!(
+            rules(&lint_source("a.rs", "fela-live", src)),
+            ["no-blocking-under-lock"]
+        );
+        // A transient guard (temporary, dies at the statement) does not hold
+        // anything across the next line.
+        let src = "\
+fn f(&self) {
+    self.events.lock().unwrap_or_else(|p| p.into_inner()).push(e);
+    std::thread::sleep(d);
+}
+";
+        assert!(lint_source("a.rs", "fela-live", src).is_empty());
+    }
+
+    #[test]
+    fn lock_rules_are_allowlistable() {
+        let src = "let g = self.mystery.lock().unwrap_or_else(|p| p.into_inner());\n";
+        let finding = &lint_source("src/x.rs", "fela-live", src)[0];
+        let allow = Allowlist::parse("lock-order src/x.rs mystery\n");
+        assert!(allow.permits(finding));
     }
 
     #[test]

@@ -1,0 +1,874 @@
+//! Frame-protocol session verifier for the live runtime.
+//!
+//! The server ↔ worker dialogue over a [`Link`] follows a strict session
+//! discipline (DESIGN.md §"live runtime"): an optional `Hello`, then —
+//! virtual mode — blocking `CostQuery`/`CostReply` round trips, or — real
+//! mode — an initial `Request` followed by `Grant`/`Report` cycles, and an
+//! epilogue of `Iter*`, `End`, `Params` with `Params` the link's last frame.
+//! This module encodes that discipline as one state machine per link
+//! ([`SessionVerifier`]) and replays it over a stream of recorded
+//! [`SyncEvent`]s — either captured from a real run by
+//! [`RecordingSched`](fela_live::RecordingSched), or synthesized by the model
+//! checker ([`crate::mc`]) for every explored execution.
+//!
+//! Checked per link (= per worker index), from the server's perspective:
+//!
+//! * **direction** — only worker-type frames arrive (`Hello`, `Request`,
+//!   `Report`, `CostReply`, `Params`), only server-type frames depart
+//!   (`CostQuery`, `Grant`, `Iter`, `Hang`, `End`);
+//! * **identity** — `Request`/`Report` frames carry the link's worker index;
+//! * **grant/report matching** — every `Report` pops the *oldest* outstanding
+//!   `Grant` on its link (per-direction FIFO means reports cannot overtake
+//!   each other), and a `Report` with no outstanding grant is a violation;
+//! * **cost round trips** — a `CostReply` answers exactly the pending
+//!   `CostQuery`, and queries never nest;
+//! * **epilogue** — nothing is sent after `End`, no `Grant` after `Iter`,
+//!   `Params` only after `End`, and nothing arrives after `Params`;
+//! * **inbox conservation** — each [`SyncEvent::InboxDequeued`] on the real
+//!   server matches the oldest not-yet-dequeued arrival from that worker (the
+//!   pump threads must not reorder or invent messages);
+//! * **routing** (cross-link, needs the control-plane op log) — a `Grant`
+//!   frame carries no worker id, so a grant sent down the wrong link is
+//!   locally well-formed on a fresh link; with the recorded
+//!   [`CoordOp`](fela_core::CoordOp) history the verifier knows which worker
+//!   the plane granted each token *to* and flags deliveries to anyone else.
+//!
+//! [`mutate_events`] applies the seeded wire mutations of the PR's mutation
+//! matrix (mirroring `dag::Mutation` / `recovery::mutate_trace`): each must
+//! surface as a distinct [`SessionViolation`].
+//!
+//! [`Link`]: fela_live::transport::Link
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fela_core::{CoordOp, OpOutcome};
+use fela_live::{Endpoint, Frame, SyncEvent};
+
+/// A violation of the frame-protocol session discipline.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SessionViolation {
+    /// A frame travelled in the wrong direction (e.g. the server received a
+    /// `Grant`, or sent a `Report`).
+    WrongDirection {
+        /// Link (worker index) the frame moved on.
+        worker: usize,
+        /// Debug form of the offending frame.
+        frame: String,
+    },
+    /// A `Request`/`Report` arrived on link `link` claiming worker id
+    /// `claimed`.
+    WrongWorkerId {
+        /// Link the frame arrived on.
+        link: usize,
+        /// Worker id embedded in the frame.
+        claimed: usize,
+    },
+    /// A `Report` arrived with no outstanding grant on its link.
+    ReportWithoutGrant {
+        /// Reporting link.
+        worker: usize,
+        /// Reported token.
+        token: u64,
+    },
+    /// A `Report` arrived for a token that is outstanding, but is not the
+    /// oldest outstanding grant on its link — per-direction FIFO was broken.
+    ReportOutOfOrder {
+        /// Reporting link.
+        worker: usize,
+        /// Oldest outstanding token (what FIFO required).
+        expected: u64,
+        /// Token actually reported.
+        got: u64,
+    },
+    /// A `CostReply` did not answer the pending `CostQuery`.
+    CostReplyMismatch {
+        /// Link the reply arrived on.
+        worker: usize,
+        /// Token of the pending query, if any.
+        expected: Option<u64>,
+        /// Token the reply carried.
+        got: u64,
+    },
+    /// A `CostQuery` was sent while another query was still unanswered on the
+    /// same link (the virtual server's round trips are strictly blocking).
+    NestedCostQuery {
+        /// Link the query went down.
+        worker: usize,
+        /// Token of the new query.
+        token: u64,
+    },
+    /// A frame was sent on a link after its `End`.
+    SendAfterEnd {
+        /// Link.
+        worker: usize,
+        /// Debug form of the frame sent.
+        frame: String,
+    },
+    /// A `Grant` was sent after the epilogue (`Iter`) began on its link.
+    GrantAfterIter {
+        /// Link.
+        worker: usize,
+        /// Granted token.
+        token: u64,
+    },
+    /// `Params` arrived before `End` was sent on the link.
+    ParamsBeforeEnd {
+        /// Link.
+        worker: usize,
+    },
+    /// A frame arrived on a link after its `Params` (which must be last).
+    FrameAfterParams {
+        /// Link.
+        worker: usize,
+        /// Debug form of the late frame.
+        frame: String,
+    },
+    /// The server dequeued a message from a worker that does not match the
+    /// oldest not-yet-dequeued arrival from that worker.
+    InboxReorder {
+        /// Worker whose messages were reordered.
+        worker: usize,
+        /// Debug form of the expected (oldest) arrival.
+        expected: String,
+        /// Debug form of what was dequeued.
+        got: String,
+    },
+    /// The server dequeued a message from a worker with no recorded arrival.
+    InboxWithoutArrival {
+        /// Worker the phantom message was attributed to.
+        worker: usize,
+        /// Debug form of the dequeued message.
+        frame: String,
+    },
+    /// A `Grant` for `token` was delivered down the wrong link: the control
+    /// plane granted it to `granted_to`, the frame went to `delivered_to`.
+    MisroutedGrant {
+        /// Granted token.
+        token: u64,
+        /// Worker the plane granted the token to.
+        granted_to: usize,
+        /// Link the frame was actually sent down.
+        delivered_to: usize,
+    },
+}
+
+impl std::fmt::Display for SessionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionViolation::WrongDirection { worker, frame } => {
+                write!(f, "link {worker}: frame in the wrong direction: {frame}")
+            }
+            SessionViolation::WrongWorkerId { link, claimed } => {
+                write!(f, "link {link}: frame claims worker id {claimed}")
+            }
+            SessionViolation::ReportWithoutGrant { worker, token } => {
+                write!(
+                    f,
+                    "link {worker}: Report({token}) with no outstanding grant"
+                )
+            }
+            SessionViolation::ReportOutOfOrder {
+                worker,
+                expected,
+                got,
+            } => write!(
+                f,
+                "link {worker}: Report({got}) overtook outstanding grant {expected}"
+            ),
+            SessionViolation::CostReplyMismatch {
+                worker,
+                expected,
+                got,
+            } => write!(
+                f,
+                "link {worker}: CostReply({got}) does not answer pending query {expected:?}"
+            ),
+            SessionViolation::NestedCostQuery { worker, token } => {
+                write!(f, "link {worker}: CostQuery({token}) nested inside another")
+            }
+            SessionViolation::SendAfterEnd { worker, frame } => {
+                write!(f, "link {worker}: sent after End: {frame}")
+            }
+            SessionViolation::GrantAfterIter { worker, token } => {
+                write!(f, "link {worker}: Grant({token}) after the epilogue began")
+            }
+            SessionViolation::ParamsBeforeEnd { worker } => {
+                write!(f, "link {worker}: Params before End")
+            }
+            SessionViolation::FrameAfterParams { worker, frame } => {
+                write!(f, "link {worker}: frame after Params: {frame}")
+            }
+            SessionViolation::InboxReorder {
+                worker,
+                expected,
+                got,
+            } => write!(
+                f,
+                "worker {worker}: inbox dequeued {got}, oldest arrival is {expected}"
+            ),
+            SessionViolation::InboxWithoutArrival { worker, frame } => {
+                write!(f, "worker {worker}: inbox dequeued {frame} with no arrival")
+            }
+            SessionViolation::MisroutedGrant {
+                token,
+                granted_to,
+                delivered_to,
+            } => write!(
+                f,
+                "Grant({token}) for worker {granted_to} delivered down link {delivered_to}"
+            ),
+        }
+    }
+}
+
+/// Per-link session machine state.
+#[derive(Clone, Default)]
+struct LinkSession {
+    /// Tokens granted but not yet reported, oldest first.
+    outstanding: VecDeque<u64>,
+    /// Token of the unanswered `CostQuery`, if any.
+    pending_query: Option<u64>,
+    /// Whether the epilogue (`Iter`) has begun on this link.
+    sent_iter: bool,
+    /// Whether `End` was sent on this link.
+    sent_end: bool,
+    /// Whether `Params` arrived (must be the link's last inbound frame).
+    got_params: bool,
+    /// Arrivals not yet dequeued by the server loop (`None` = link closed).
+    arrivals: VecDeque<Option<Frame>>,
+}
+
+/// Outcome of verifying one event stream.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Distinct links observed.
+    pub links: usize,
+    /// Frames checked (sent + received, server perspective).
+    pub frames: u64,
+    /// Violations, in stream order.
+    pub violations: Vec<SessionViolation>,
+}
+
+impl SessionReport {
+    /// True when the stream was session-clean.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Incremental session verifier over a [`SyncEvent`] stream.
+///
+/// Events are checked from the server's perspective; worker-side events
+/// (`side == Endpoint::Worker`) describe the same frames and are skipped so
+/// a both-endpoints recording is not double-checked.
+#[derive(Clone, Default)]
+pub struct SessionVerifier {
+    links: BTreeMap<usize, LinkSession>,
+    /// Per-token queue of intended grantees, in plane issue order (from the
+    /// op log). `None` = no routing information; misroutes undetectable.
+    intents: Option<BTreeMap<u64, VecDeque<usize>>>,
+    violations: Vec<SessionViolation>,
+    frames: u64,
+}
+
+impl SessionVerifier {
+    /// A verifier with no routing information.
+    pub fn new() -> Self {
+        SessionVerifier::default()
+    }
+
+    /// A verifier that knows, from the control-plane op log, which worker
+    /// each grant was issued to — enabling [`SessionViolation::MisroutedGrant`].
+    pub fn with_grant_intents(ops: &[CoordOp]) -> Self {
+        let mut v = SessionVerifier {
+            intents: Some(BTreeMap::new()),
+            ..SessionVerifier::default()
+        };
+        for op in ops {
+            if let OpOutcome::Granted { worker, token, .. } = &op.outcome {
+                v.add_grant_intent(*token, *worker);
+            }
+        }
+        v
+    }
+
+    /// Records that the control plane issued `token` to `worker` (used by the
+    /// model checker, which learns intents as it explores).
+    pub fn add_grant_intent(&mut self, token: u64, worker: usize) {
+        self.intents
+            .get_or_insert_with(BTreeMap::new)
+            .entry(token)
+            .or_default()
+            .push_back(worker);
+    }
+
+    /// Violations found so far (drains; exploration calls this per transition).
+    pub fn take_violations(&mut self) -> Vec<SessionViolation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Feeds one event through the machine.
+    pub fn observe(&mut self, event: &SyncEvent) {
+        match event {
+            SyncEvent::FrameSent {
+                side: Endpoint::Server,
+                worker,
+                frame,
+            } => self.on_sent(*worker, frame),
+            SyncEvent::FrameReceived {
+                side: Endpoint::Server,
+                worker,
+                frame,
+            } => self.on_received(*worker, frame),
+            SyncEvent::LinkClosed {
+                side: Endpoint::Server,
+                worker,
+            } => {
+                let link = self.links.entry(*worker).or_default();
+                // A closed link forgives its session state (crash semantics);
+                // a restart starts a fresh machine on the same worker index.
+                // The arrival queue keeps the close marker so the inbox
+                // conservation check can match the pump's Gone notification.
+                link.outstanding.clear();
+                link.pending_query = None;
+                link.sent_iter = false;
+                link.sent_end = false;
+                link.got_params = false;
+                link.arrivals.push_back(None);
+            }
+            SyncEvent::InboxDequeued { worker, frame } => self.on_dequeued(*worker, frame),
+            // Worker-side mirror events and timer fires carry no session
+            // obligations of their own.
+            _ => {}
+        }
+    }
+
+    /// Finishes the stream and returns the report. End-of-stream link state
+    /// (outstanding grants, unanswered queries, undrained arrivals) is *not*
+    /// flagged: streams may legitimately be truncated mid-run.
+    pub fn finish(self) -> SessionReport {
+        SessionReport {
+            links: self.links.len(),
+            frames: self.frames,
+            violations: self.violations,
+        }
+    }
+
+    fn on_sent(&mut self, worker: usize, frame: &Frame) {
+        self.frames += 1;
+        // Routing first: a misrouted grant is flagged at the send even when
+        // locally well-formed on its link.
+        if let Frame::Grant { token, .. } = frame {
+            if let Some(intents) = self.intents.as_mut() {
+                let granted_to = intents.get_mut(token).and_then(VecDeque::pop_front);
+                match granted_to {
+                    Some(g) if g != worker => {
+                        self.violations.push(SessionViolation::MisroutedGrant {
+                            token: *token,
+                            granted_to: g,
+                            delivered_to: worker,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let link = self.links.entry(worker).or_default();
+        if link.sent_end {
+            self.violations.push(SessionViolation::SendAfterEnd {
+                worker,
+                frame: format!("{frame:?}"),
+            });
+            return;
+        }
+        match frame {
+            Frame::Grant { token, .. } => {
+                if link.sent_iter {
+                    self.violations.push(SessionViolation::GrantAfterIter {
+                        worker,
+                        token: *token,
+                    });
+                }
+                link.outstanding.push_back(*token);
+            }
+            Frame::CostQuery { token, .. } => {
+                if link.pending_query.is_some() {
+                    self.violations.push(SessionViolation::NestedCostQuery {
+                        worker,
+                        token: *token,
+                    });
+                }
+                link.pending_query = Some(*token);
+            }
+            Frame::Iter { .. } => link.sent_iter = true,
+            Frame::End => link.sent_end = true,
+            Frame::Hang { .. } => {}
+            other => self.violations.push(SessionViolation::WrongDirection {
+                worker,
+                frame: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn on_received(&mut self, worker: usize, frame: &Frame) {
+        self.frames += 1;
+        let link = self.links.entry(worker).or_default();
+        link.arrivals.push_back(Some(frame.clone()));
+        if link.got_params {
+            self.violations.push(SessionViolation::FrameAfterParams {
+                worker,
+                frame: format!("{frame:?}"),
+            });
+            return;
+        }
+        match frame {
+            Frame::Hello { .. } => {}
+            Frame::Request { worker: claimed } => {
+                if *claimed as usize != worker {
+                    self.violations.push(SessionViolation::WrongWorkerId {
+                        link: worker,
+                        claimed: *claimed as usize,
+                    });
+                }
+            }
+            Frame::Report {
+                worker: claimed,
+                token,
+            } => {
+                if *claimed as usize != worker {
+                    self.violations.push(SessionViolation::WrongWorkerId {
+                        link: worker,
+                        claimed: *claimed as usize,
+                    });
+                }
+                match link.outstanding.front().copied() {
+                    Some(oldest) if oldest == *token => {
+                        link.outstanding.pop_front();
+                    }
+                    Some(oldest) if link.outstanding.contains(token) => {
+                        self.violations.push(SessionViolation::ReportOutOfOrder {
+                            worker,
+                            expected: oldest,
+                            got: *token,
+                        });
+                        link.outstanding.retain(|t| t != token);
+                    }
+                    _ => self.violations.push(SessionViolation::ReportWithoutGrant {
+                        worker,
+                        token: *token,
+                    }),
+                }
+            }
+            Frame::CostReply { token, .. } => {
+                if link.pending_query == Some(*token) {
+                    link.pending_query = None;
+                } else {
+                    self.violations.push(SessionViolation::CostReplyMismatch {
+                        worker,
+                        expected: link.pending_query,
+                        got: *token,
+                    });
+                }
+            }
+            Frame::Params { .. } => {
+                if !link.sent_end {
+                    self.violations
+                        .push(SessionViolation::ParamsBeforeEnd { worker });
+                }
+                link.got_params = true;
+            }
+            other => self.violations.push(SessionViolation::WrongDirection {
+                worker,
+                frame: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn on_dequeued(&mut self, worker: usize, frame: &Option<Frame>) {
+        let link = self.links.entry(worker).or_default();
+        match link.arrivals.pop_front() {
+            None => self.violations.push(SessionViolation::InboxWithoutArrival {
+                worker,
+                frame: format!("{frame:?}"),
+            }),
+            Some(expected) if expected != *frame => {
+                self.violations.push(SessionViolation::InboxReorder {
+                    worker,
+                    expected: format!("{expected:?}"),
+                    got: format!("{frame:?}"),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Verifies a recorded event stream in one call. Pass the run's control-plane
+/// op log to also catch misrouted grants.
+pub fn verify_session(events: &[SyncEvent], ops: Option<&[CoordOp]>) -> SessionReport {
+    let mut verifier = match ops {
+        Some(ops) => SessionVerifier::with_grant_intents(ops),
+        None => SessionVerifier::new(),
+    };
+    for event in events {
+        verifier.observe(event);
+    }
+    verifier.finish()
+}
+
+/// A seeded wire-level mutation of a recorded event stream — the protocol
+/// half of the PR's mutation matrix (the model-level half,
+/// [`crate::mc::McMutation`], lives in the explorer).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireMutation {
+    /// Deletes the `nth` server-sent `Grant` (0-based): the wakeup is lost in
+    /// flight. Its `Report` then arrives unmatched.
+    DropGrant {
+        /// Which grant to drop, in stream order.
+        nth: usize,
+    },
+    /// Moves the `Report` answering the `nth` server-sent `Grant` to just
+    /// *before* that grant: the pair is reordered on the wire, breaking
+    /// per-direction FIFO.
+    ReorderGrantReport {
+        /// Which grant/report pair to reorder, in stream order.
+        nth: usize,
+    },
+    /// Rewrites the link of the `nth` server-sent `Grant` to the next worker
+    /// (mod links): the shard reply reaches the wrong requester.
+    MisrouteGrant {
+        /// Which grant to misroute, in stream order.
+        nth: usize,
+    },
+}
+
+/// Applies `mutation` to a recorded stream, returning the corrupted copy.
+/// If the stream has no matching frame the copy is returned unchanged (the
+/// caller's "mutation must be caught" assertion will then fail loudly).
+pub fn mutate_events(events: &[SyncEvent], mutation: &WireMutation) -> Vec<SyncEvent> {
+    let mut out: Vec<SyncEvent> = events.to_vec();
+    let is_nth_grant = |ev: &SyncEvent, seen: &mut usize| -> Option<(usize, u64)> {
+        if let SyncEvent::FrameSent {
+            side: Endpoint::Server,
+            worker,
+            frame: Frame::Grant { token, .. },
+        } = ev
+        {
+            let idx = *seen;
+            *seen += 1;
+            return Some((idx, *token))
+                .filter(|_| {
+                    idx == match mutation {
+                        WireMutation::DropGrant { nth }
+                        | WireMutation::ReorderGrantReport { nth }
+                        | WireMutation::MisrouteGrant { nth } => *nth,
+                    }
+                })
+                .map(|(_, t)| (*worker, t));
+        }
+        None
+    };
+    let mut seen = 0usize;
+    let mut target: Option<(usize, usize, u64)> = None; // (event idx, worker, token)
+    for (i, ev) in events.iter().enumerate() {
+        if let Some((worker, token)) = is_nth_grant(ev, &mut seen) {
+            target = Some((i, worker, token));
+            break;
+        }
+    }
+    let Some((grant_idx, grant_worker, token)) = target else {
+        return out;
+    };
+    match mutation {
+        WireMutation::DropGrant { .. } => {
+            out.remove(grant_idx);
+        }
+        WireMutation::ReorderGrantReport { .. } => {
+            let report_idx = events
+                .iter()
+                .enumerate()
+                .skip(grant_idx + 1)
+                .find_map(|(i, ev)| match ev {
+                    SyncEvent::FrameReceived {
+                        side: Endpoint::Server,
+                        worker,
+                        frame: Frame::Report { token: t, .. },
+                    } if *worker == grant_worker && *t == token => Some(i),
+                    _ => None,
+                });
+            if let Some(ri) = report_idx {
+                let report = out.remove(ri);
+                out.insert(grant_idx, report);
+            }
+        }
+        WireMutation::MisrouteGrant { .. } => {
+            let links: std::collections::BTreeSet<usize> = events
+                .iter()
+                .filter_map(|ev| match ev {
+                    SyncEvent::FrameSent {
+                        side: Endpoint::Server,
+                        worker,
+                        ..
+                    } => Some(*worker),
+                    _ => None,
+                })
+                .collect();
+            let wrong = links
+                .iter()
+                .copied()
+                .find(|w| *w != grant_worker)
+                .unwrap_or(grant_worker + 1);
+            if let SyncEvent::FrameSent { worker, .. } = &mut out[grant_idx] {
+                *worker = wrong;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(worker: usize, frame: Frame) -> SyncEvent {
+        SyncEvent::FrameSent {
+            side: Endpoint::Server,
+            worker,
+            frame,
+        }
+    }
+
+    fn received(worker: usize, frame: Frame) -> SyncEvent {
+        SyncEvent::FrameReceived {
+            side: Endpoint::Server,
+            worker,
+            frame,
+        }
+    }
+
+    fn grant(token: u64) -> Frame {
+        Frame::Grant {
+            token,
+            level: 0,
+            iteration: 0,
+            batch: 4,
+            unit_start: 0,
+            unit_end: 1,
+        }
+    }
+
+    fn report(worker: usize, token: u64) -> Frame {
+        Frame::Report {
+            worker: worker as u32,
+            token,
+        }
+    }
+
+    fn clean_stream() -> Vec<SyncEvent> {
+        vec![
+            received(0, Frame::Request { worker: 0 }),
+            received(1, Frame::Request { worker: 1 }),
+            sent(0, grant(0)),
+            sent(1, grant(1)),
+            received(0, report(0, 0)),
+            sent(0, grant(2)),
+            received(1, report(1, 1)),
+            received(0, report(0, 2)),
+            sent(
+                0,
+                Frame::Iter {
+                    iteration: 0,
+                    schedule: vec![],
+                },
+            ),
+            sent(0, Frame::End),
+            sent(1, Frame::End),
+            received(0, Frame::Params { bytes: vec![1, 2] }),
+            received(1, Frame::Params { bytes: vec![3] }),
+        ]
+    }
+
+    #[test]
+    fn a_clean_session_verifies() {
+        let report = verify_session(&clean_stream(), None);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.links, 2);
+    }
+
+    #[test]
+    fn each_wire_mutation_yields_a_distinct_diagnostic() {
+        let stream = clean_stream();
+        let dropped = verify_session(
+            &mutate_events(&stream, &WireMutation::DropGrant { nth: 0 }),
+            None,
+        );
+        assert!(
+            matches!(
+                dropped.violations.first(),
+                Some(SessionViolation::ReportWithoutGrant {
+                    worker: 0,
+                    token: 0
+                })
+            ),
+            "{:?}",
+            dropped.violations
+        );
+
+        let reordered = verify_session(
+            &mutate_events(&stream, &WireMutation::ReorderGrantReport { nth: 0 }),
+            None,
+        );
+        assert!(
+            matches!(
+                reordered.violations.first(),
+                Some(SessionViolation::ReportWithoutGrant {
+                    worker: 0,
+                    token: 0
+                })
+            ),
+            "{:?}",
+            reordered.violations
+        );
+
+        // Misrouting needs routing intents; fabricate the op log's grant view.
+        let mut verifier = SessionVerifier::new();
+        verifier.add_grant_intent(0, 0);
+        verifier.add_grant_intent(1, 1);
+        verifier.add_grant_intent(2, 0);
+        for ev in mutate_events(&stream, &WireMutation::MisrouteGrant { nth: 0 }) {
+            verifier.observe(&ev);
+        }
+        let misrouted = verifier.finish();
+        assert!(
+            matches!(
+                misrouted.violations.first(),
+                Some(SessionViolation::MisroutedGrant {
+                    token: 0,
+                    granted_to: 0,
+                    delivered_to: 1
+                })
+            ),
+            "{:?}",
+            misrouted.violations
+        );
+    }
+
+    #[test]
+    fn epilogue_discipline_is_enforced() {
+        let stream = vec![sent(0, Frame::End), sent(0, grant(7))];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::SendAfterEnd { worker: 0, .. })
+        ));
+
+        let stream = vec![received(0, Frame::Params { bytes: vec![] })];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::ParamsBeforeEnd { worker: 0 })
+        ));
+
+        let stream = vec![
+            sent(0, Frame::End),
+            received(0, Frame::Params { bytes: vec![] }),
+            received(0, report(0, 3)),
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::FrameAfterParams { worker: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn inbox_conservation_catches_pump_reordering() {
+        let stream = vec![
+            received(0, Frame::Request { worker: 0 }),
+            received(0, report(0, 9)),
+            SyncEvent::InboxDequeued {
+                worker: 0,
+                frame: Some(report(0, 9)),
+            },
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| matches!(v, SessionViolation::InboxReorder { worker: 0, .. })),
+            "{:?}",
+            rep.violations
+        );
+
+        let stream = vec![SyncEvent::InboxDequeued {
+            worker: 1,
+            frame: None,
+        }];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::InboxWithoutArrival { worker: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn cost_round_trips_must_match() {
+        let q = Frame::CostQuery {
+            worker: 0,
+            token: 5,
+            level: 0,
+            unit_start: 0,
+            unit_end: 1,
+            batch: 4,
+            iteration: 0,
+        };
+        let stream = vec![
+            sent(0, q.clone()),
+            received(
+                0,
+                Frame::CostReply {
+                    token: 6,
+                    secs_bits: 0,
+                },
+            ),
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::CostReplyMismatch {
+                worker: 0,
+                expected: Some(5),
+                got: 6
+            })
+        ));
+        let stream = vec![sent(0, q.clone()), sent(0, q)];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::NestedCostQuery {
+                worker: 0,
+                token: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn wrong_direction_and_identity_are_flagged() {
+        let stream = vec![
+            sent(0, report(0, 1)),
+            received(0, Frame::Request { worker: 3 }),
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, SessionViolation::WrongDirection { worker: 0, .. })));
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            SessionViolation::WrongWorkerId {
+                link: 0,
+                claimed: 3
+            }
+        )));
+    }
+}

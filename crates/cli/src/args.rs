@@ -38,6 +38,13 @@ pub struct CheckArgs {
     pub staleness: u64,
     /// Verify the whole model zoo × all policies × all candidate weights.
     pub all: bool,
+    /// Run the live-runtime concurrency model checker (`--mc`): exhaustive
+    /// interleaving exploration of small clusters plus the seeded-mutation
+    /// matrix.
+    pub mc: bool,
+    /// Run the frame-protocol session verifier (`--protocol`) over recorded
+    /// executions.
+    pub protocol: bool,
 }
 
 /// Options for `fela live`.
@@ -534,6 +541,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 ctd: None,
                 staleness: 0,
                 all: false,
+                mc: false,
+                protocol: false,
             };
             while let Some(flag) = it.next() {
                 if parse_common(&mut check.common, flag, &mut it)? {
@@ -567,6 +576,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                             .map_err(|_| ParseError("--staleness expects an integer".into()))?
                     }
                     "--all" => check.all = true,
+                    "--mc" => check.mc = true,
+                    "--protocol" => check.protocol = true,
                     other => return err(format!("unknown flag '{other}' for 'check'")),
                 }
             }
@@ -593,6 +604,13 @@ USAGE:
                (static DAG verification + race-checking a traced run;
                 omit --weights to verify every Phase-1 candidate vector)
   fela check   --all   (verify the whole zoo × all policies × all candidates)
+  fela check   --mc [--protocol]
+               (model-check the live runtime: explore every non-equivalent
+                message-delivery/lease-fire interleaving of small clusters,
+                check deadlock- and lost-wakeup-freedom plus linearizability
+                against the monolithic oracle, and prove the seeded-mutation
+                matrix is caught; --protocol additionally replays recorded
+                executions through the frame-session verifier)
   fela live    --model <name> [--workers <n>] [--transport chan|tcp]
                [--mode virtual|real] [--time-scale <s>] [--weights w1,w2,…]
                [--shards <n>] [--straggler <spec>] [--fault <spec>] [--json]

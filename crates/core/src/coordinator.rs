@@ -42,6 +42,7 @@ use fela_sim::SimTime;
 use crate::config::FelaConfig;
 use crate::error::ScheduleError;
 use crate::lease::{ExpiredLease, LeaseInfo, LeaseTable};
+use crate::oplog::{self, CoordOp, OpKind, OpOutcome};
 use crate::plan::TokenPlan;
 use crate::server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};
 use crate::shard::{level_ranges, score_key, LevelState, TokenShard};
@@ -1231,8 +1232,19 @@ impl Coordinator {
 /// The control-plane seam every layer holds: the monolithic oracle when
 /// `cfg.shards == 1` (the default), the sharded coordinator otherwise. Both
 /// variants expose the same API and produce byte-identical schedules.
+///
+/// With [`ControlPlane::enable_op_log`] the plane additionally records every
+/// mutating call as a [`CoordOp`] — inputs plus outcome digest — which
+/// `fela-check` replays against a fresh monolithic oracle to prove a history
+/// linearizable (see [`crate::oplog`]).
 #[derive(Clone)]
-pub enum ControlPlane {
+pub struct ControlPlane {
+    inner: Plane,
+    log: Option<Vec<CoordOp>>,
+}
+
+#[derive(Clone)]
+enum Plane {
     /// The monolithic [`TokenServer`] — the conformance oracle.
     Single(TokenServer),
     /// The sharded [`Coordinator`].
@@ -1241,10 +1253,10 @@ pub enum ControlPlane {
 
 /// Forwards a method call to whichever plane is active.
 macro_rules! either {
-    ($self:expr, $s:ident => $e:expr) => {
-        match $self {
-            ControlPlane::Single($s) => $e,
-            ControlPlane::Sharded($s) => $e,
+    ($plane:expr, $s:ident => $e:expr) => {
+        match $plane {
+            Plane::Single($s) => $e,
+            Plane::Sharded($s) => $e,
         }
     };
 }
@@ -1258,119 +1270,153 @@ impl ControlPlane {
         n_workers: usize,
         max_iterations: u64,
     ) -> Self {
-        if cfg.shards <= 1 {
-            ControlPlane::Single(TokenServer::new(plan, cfg, meta, n_workers, max_iterations))
+        let inner = if cfg.shards <= 1 {
+            Plane::Single(TokenServer::new(plan, cfg, meta, n_workers, max_iterations))
         } else {
-            ControlPlane::Sharded(Coordinator::new(plan, cfg, meta, n_workers, max_iterations))
+            Plane::Sharded(Coordinator::new(plan, cfg, meta, n_workers, max_iterations))
+        };
+        ControlPlane { inner, log: None }
+    }
+
+    /// Turns on operation recording: every subsequent mutating call appends
+    /// one [`CoordOp`] to the log. Off by default (zero overhead).
+    pub fn enable_op_log(&mut self) {
+        if self.log.is_none() {
+            self.log = Some(Vec::new());
+        }
+    }
+
+    /// Whether operation recording is on.
+    pub fn op_log_enabled(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Drains and returns the recorded operations (empty if recording is
+    /// off). Recording stays enabled.
+    pub fn take_op_log(&mut self) -> Vec<CoordOp> {
+        match &mut self.log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    fn record(&mut self, kind: OpKind, outcome: OpOutcome) {
+        if let Some(log) = &mut self.log {
+            log.push(CoordOp { kind, outcome });
         }
     }
 
     /// Number of shards (1 for the monolithic plane).
     pub fn shard_count(&self) -> usize {
-        match self {
-            ControlPlane::Single(_) => 1,
-            ControlPlane::Sharded(c) => c.shard_count(),
+        match &self.inner {
+            Plane::Single(_) => 1,
+            Plane::Sharded(c) => c.shard_count(),
         }
     }
 
     /// Run configuration (read access).
     pub fn config(&self) -> &FelaConfig {
-        either!(self, s => s.config())
+        either!(&self.inner, s => s.config())
     }
 
     /// The token plan (read access).
     pub fn plan(&self) -> &TokenPlan {
-        either!(self, s => s.plan())
+        either!(&self.inner, s => s.plan())
     }
 
     /// Cluster size the plane schedules for.
     pub fn n_workers(&self) -> usize {
-        either!(self, s => s.n_workers())
+        either!(&self.inner, s => s.n_workers())
     }
 
     /// Total iterations this run trains.
     pub fn max_iterations(&self) -> u64 {
-        either!(self, s => s.max_iterations())
+        either!(&self.inner, s => s.max_iterations())
     }
 
     /// A generated token by id (introspection for checkers).
     pub fn token(&self, id: TokenId) -> Option<&Token> {
-        either!(self, s => s.token(id))
+        either!(&self.inner, s => s.token(id))
     }
 
     /// The full token table (pair with [`Self::snapshot`] for restore).
     pub fn tokens(&self) -> &BTreeMap<TokenId, Token> {
-        either!(self, s => s.tokens())
+        either!(&self.inner, s => s.tokens())
     }
 
     /// Accumulated counters.
     pub fn stats(&self) -> &ServerStats {
-        either!(self, s => s.stats())
+        either!(&self.inner, s => s.stats())
     }
 
     /// Tokens trained per worker so far.
     pub fn trained_per_worker(&self) -> &[u64] {
-        either!(self, s => s.trained_per_worker())
+        either!(&self.inner, s => s.trained_per_worker())
     }
 
     /// Iterations whose root tokens have been released.
     pub fn released_root_iterations(&self) -> u64 {
-        either!(self, s => s.released_root_iterations())
+        either!(&self.inner, s => s.released_root_iterations())
     }
 
     /// Iterations fully finished.
     pub fn completed_iterations(&self) -> u64 {
-        either!(self, s => s.completed_iterations())
+        either!(&self.inner, s => s.completed_iterations())
     }
 
     /// True once all iterations are fully synced.
     pub fn run_complete(&self) -> bool {
-        either!(self, s => s.run_complete())
+        either!(&self.inner, s => s.run_complete())
     }
 
     /// Whether `worker` belongs to the CTD subset `S`.
     pub fn in_ctd_subset(&self, worker: usize) -> bool {
-        either!(self, s => s.in_ctd_subset(worker))
+        either!(&self.inner, s => s.in_ctd_subset(worker))
     }
 
     /// Whether lease-based recovery is enabled.
     pub fn recovery_on(&self) -> bool {
-        either!(self, s => s.recovery_on())
+        either!(&self.inner, s => s.recovery_on())
     }
 
     /// Whether the plane considers `worker` alive.
     pub fn is_alive(&self, worker: usize) -> bool {
-        either!(self, s => s.is_alive(worker))
+        either!(&self.inner, s => s.is_alive(worker))
     }
 
     /// Whether `worker` is quarantined.
     pub fn is_quarantined(&self, worker: usize) -> bool {
-        either!(self, s => s.is_quarantined(worker))
+        either!(&self.inner, s => s.is_quarantined(worker))
     }
 
     /// The active lease on `token`, if any (recovery mode only).
     pub fn lease_of(&self, token: TokenId) -> Option<LeaseInfo> {
-        either!(self, s => s.lease_of(token))
+        either!(&self.inner, s => s.lease_of(token))
     }
 
     /// How many times `token`'s lease has been revoked so far.
     pub fn attempt_of(&self, token: TokenId) -> u64 {
-        either!(self, s => s.attempt_of(token))
+        either!(&self.inner, s => s.attempt_of(token))
     }
 
     /// Where `worker`'s durable data currently lives.
     pub fn data_home_of(&self, worker: usize) -> usize {
-        either!(self, s => s.data_home_of(worker))
+        either!(&self.inner, s => s.data_home_of(worker))
     }
 
     /// Equation 1 locality score of `token` towards `worker`.
     pub fn locality_score(&self, worker: usize, token: TokenId) -> Result<f64, ScheduleError> {
-        either!(self, s => s.locality_score(worker, token))
+        either!(&self.inner, s => s.locality_score(worker, token))
     }
 
     /// A worker asks for a token at `now`.
     pub fn request(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
-        either!(self, s => s.request(worker, now))
+        let result = either!(&mut self.inner, s => s.request(worker, now));
+        if self.log.is_some() {
+            let outcome = oplog::outcome_of_request(worker, &result);
+            self.record(OpKind::Request { worker, now }, outcome);
+        }
+        result
     }
 
     /// Serves the longest-waiting worker that can now be granted.
@@ -1378,7 +1424,12 @@ impl ControlPlane {
         &mut self,
         now: SimTime,
     ) -> Result<Option<(usize, Grant)>, ScheduleError> {
-        either!(self, s => s.pop_ready_grant(now))
+        let result = either!(&mut self.inner, s => s.pop_ready_grant(now));
+        if self.log.is_some() {
+            let outcome = oplog::outcome_of_pop(&result);
+            self.record(OpKind::PopReadyGrant { now }, outcome);
+        }
+        result
     }
 
     /// A worker reports a completed token.
@@ -1387,22 +1438,48 @@ impl ControlPlane {
         worker: usize,
         token: TokenId,
     ) -> Result<Vec<SyncSpec>, ScheduleError> {
-        either!(self, s => s.report(worker, token))
+        let result = either!(&mut self.inner, s => s.report(worker, token));
+        if self.log.is_some() {
+            let outcome = oplog::outcome_of_report(&result);
+            self.record(
+                OpKind::Report {
+                    worker,
+                    token: token.0,
+                },
+                outcome,
+            );
+        }
+        result
     }
 
     /// Marks a level's parameter sync for `iteration` finished.
     pub fn sync_finished(&mut self, level: usize, iteration: u64) -> Result<(), ScheduleError> {
-        either!(self, s => s.sync_finished(level, iteration))
+        let result = either!(&mut self.inner, s => s.sync_finished(level, iteration));
+        if self.log.is_some() {
+            let outcome = oplog::outcome_of_unit(&result);
+            self.record(OpKind::SyncFinished { level, iteration }, outcome);
+        }
+        result
     }
 
     /// Handles a crash notification for `worker`.
     pub fn worker_crashed(&mut self, worker: usize) -> Result<Vec<TokenId>, ScheduleError> {
-        either!(self, s => s.worker_crashed(worker))
+        let result = either!(&mut self.inner, s => s.worker_crashed(worker));
+        if self.log.is_some() {
+            let outcome = oplog::outcome_of_crash(&result);
+            self.record(OpKind::WorkerCrashed { worker }, outcome);
+        }
+        result
     }
 
     /// Handles a restart notification for `worker`.
     pub fn worker_restarted(&mut self, worker: usize) -> Result<(), ScheduleError> {
-        either!(self, s => s.worker_restarted(worker))
+        let result = either!(&mut self.inner, s => s.worker_restarted(worker));
+        if self.log.is_some() {
+            let outcome = oplog::outcome_of_unit(&result);
+            self.record(OpKind::WorkerRestarted { worker }, outcome);
+        }
+        result
     }
 
     /// Handles a lease-deadline expiry for `(token, attempt)`.
@@ -1411,11 +1488,22 @@ impl ControlPlane {
         token: TokenId,
         attempt: u64,
     ) -> Result<Option<ExpiredLease>, ScheduleError> {
-        either!(self, s => s.lease_expired(token, attempt))
+        let result = either!(&mut self.inner, s => s.lease_expired(token, attempt));
+        if self.log.is_some() {
+            let outcome = oplog::outcome_of_expiry(&result);
+            self.record(
+                OpKind::LeaseExpired {
+                    token: token.0,
+                    attempt,
+                },
+                outcome,
+            );
+        }
+        result
     }
 
     /// A canonical snapshot of the scheduling state.
     pub fn snapshot(&self) -> ServerSnapshot {
-        either!(self, s => s.snapshot())
+        either!(&self.inner, s => s.snapshot())
     }
 }

@@ -26,6 +26,7 @@ mod config;
 mod coordinator;
 mod error;
 mod lease;
+pub mod oplog;
 mod plan;
 mod runtime;
 mod server;
@@ -37,6 +38,7 @@ pub use config::{CtdConfig, FelaConfig, RecoveryConfig};
 pub use coordinator::{ControlPlane, Coordinator};
 pub use error::ScheduleError;
 pub use lease::{ExpiredLease, LeaseInfo};
+pub use oplog::{apply_op, replay_oplog, CoordOp, OpDivergence, OpKind, OpOutcome};
 pub use plan::{LevelPlan, PlanError, TokenPlan};
 pub use runtime::{ComputeBackend, ComputeRequest, FelaRuntime, LocalCompute};
 pub use server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};

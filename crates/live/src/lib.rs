@@ -32,16 +32,20 @@
 
 pub mod real;
 pub mod replay;
+pub mod sched;
 pub mod transport;
 pub mod virt;
 pub mod wire;
 mod worker;
 
-pub use real::{run_real, RealOptions, RealOutcome};
+pub use real::{run_real, run_real_with, RealOptions, RealOutcome};
 pub use replay::{
     engine_setup, flatten_params, replay_schedules, replay_trace, schedules_from_trace,
 };
+pub use sched::{
+    pass, Endpoint, GateSched, PassSched, RecordingSched, Sched, SharedSched, SyncEvent,
+};
 pub use transport::{transport_by_name, ChanTransport, Link, TcpTransport, Transport};
-pub use virt::{plan_for, run_virtual, LiveOutcome};
-pub use wire::Frame;
+pub use virt::{plan_for, run_virtual, run_virtual_with, LiveOutcome};
+pub use wire::{Frame, WireError};
 pub use worker::{spawn_worker, WorkerSpec};

@@ -39,6 +39,7 @@ use fela_model::Partition;
 use fela_sim::{SimDuration, SimTime};
 
 use crate::replay::replay_schedules;
+use crate::sched::{pass, Endpoint, SharedSched, SyncEvent};
 use crate::transport::{LinkRx, LinkTx, Transport};
 use crate::wire::Frame;
 use crate::worker::{spawn_worker, WorkerSpec};
@@ -167,6 +168,7 @@ struct RealServer<'a> {
     crashes: u64,
     restarts: u64,
     revocations: u64,
+    sched: SharedSched,
 }
 
 impl RealServer<'_> {
@@ -190,6 +192,7 @@ impl RealServer<'_> {
             plan: self.plan.clone(),
             time_scale: self.opts.time_scale,
             pull,
+            sched: self.sched.clone(),
         }
     }
 
@@ -302,6 +305,10 @@ impl RealServer<'_> {
     fn fire_timer(&mut self, timer: Timer, transport: &mut dyn Transport) -> io::Result<()> {
         match timer {
             Timer::Lease { token, attempt } => {
+                self.sched.reached(&SyncEvent::LeaseFired {
+                    token: token.0,
+                    attempt,
+                });
                 match self.server.lease_expired(token, attempt) {
                     Ok(Some(expired)) => {
                         self.revocations += expired.revoked.len() as u64;
@@ -312,10 +319,12 @@ impl RealServer<'_> {
                 self.pump_grants();
             }
             Timer::Restart { worker } => {
+                self.sched.reached(&SyncEvent::RestartFired { worker });
                 if self.server.is_alive(worker) {
                     return Ok(());
                 }
-                let (server_link, worker_link) = transport.extra_link(worker)?;
+                let (mut server_link, worker_link) = transport.extra_link(worker)?;
+                server_link.instrument(self.sched.clone(), Endpoint::Server, worker);
                 let (tx, rx) = server_link.split();
                 self.txs[worker] = Some(tx);
                 let _ = spawn_pump(worker, rx, self.inbox_tx.clone());
@@ -382,12 +391,26 @@ impl RealServer<'_> {
     }
 }
 
-/// Runs `scenario` live in real-clock mode over `transport`.
+/// Runs `scenario` live in real-clock mode over `transport`, under the
+/// default pass-through scheduler.
 pub fn run_real(
     config: &FelaConfig,
     scenario: &Scenario,
     transport: &mut dyn Transport,
     opts: RealOptions,
+) -> io::Result<RealOutcome> {
+    run_real_with(config, scenario, transport, opts, pass())
+}
+
+/// [`run_real`] with an explicit [`Sched`](crate::sched::Sched): every link
+/// on both endpoints, every server inbox dequeue, and every timer fire yields
+/// to `sched`. Under [`pass`] this is the uninstrumented run.
+pub fn run_real_with(
+    config: &FelaConfig,
+    scenario: &Scenario,
+    transport: &mut dyn Transport,
+    opts: RealOptions,
+    sched: SharedSched,
 ) -> io::Result<RealOutcome> {
     scenario.cluster.validate();
     if let Err(e) = scenario.fault.validate() {
@@ -423,7 +446,8 @@ pub fn run_real(
     let (inbox_tx, inbox_rx): InboxPair = channel();
     let (server_links, worker_links) = transport.establish(n)?;
     let mut txs = Vec::with_capacity(n);
-    for (w, link) in server_links.into_iter().enumerate() {
+    for (w, mut link) in server_links.into_iter().enumerate() {
+        link.instrument(sched.clone(), Endpoint::Server, w);
         let (tx, rx) = link.split();
         txs.push(Some(tx));
         let _ = spawn_pump(w, rx, inbox_tx.clone());
@@ -452,6 +476,7 @@ pub fn run_real(
         crashes: 0,
         restarts: 0,
         revocations: 0,
+        sched: sched.clone(),
     };
 
     // Workers are spawned *after* the clock starts so their initial Requests
@@ -486,6 +511,16 @@ pub fn run_real(
                 Err(_) => panic!("every worker pump exited before the run completed"),
             },
         };
+        match &msg {
+            (worker, Inbound::Frame(frame)) => rs.sched.reached(&SyncEvent::InboxDequeued {
+                worker: *worker,
+                frame: Some(frame.clone()),
+            }),
+            (worker, Inbound::Gone) => rs.sched.reached(&SyncEvent::InboxDequeued {
+                worker: *worker,
+                frame: None,
+            }),
+        }
         match msg {
             (worker, Inbound::Frame(frame)) => rs.handle_frame(worker, frame, transport)?,
             (worker, Inbound::Gone) => {

@@ -19,7 +19,9 @@
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
+use crate::sched::{Endpoint, Sched, SyncEvent};
 use crate::wire::{decode_frame, encode_frame, read_frame, Frame};
 
 /// One endpoint of a bidirectional frame link.
@@ -28,33 +30,82 @@ pub struct Link {
     rx: LinkRx,
 }
 
-/// The sending half of a link.
-pub enum LinkTx {
+/// An instrumentation tap: a [`Sched`] plus the identity of the endpoint it
+/// observes. Cloned onto both halves of an instrumented [`Link`].
+#[derive(Clone)]
+struct Tap {
+    sched: Arc<dyn Sched>,
+    side: Endpoint,
+    worker: usize,
+}
+
+impl Tap {
+    fn sent(&self, frame: &Frame) {
+        self.sched.reached(&SyncEvent::FrameSent {
+            side: self.side,
+            worker: self.worker,
+            frame: frame.clone(),
+        });
+    }
+
+    fn received(&self, frame: &Frame) {
+        self.sched.reached(&SyncEvent::FrameReceived {
+            side: self.side,
+            worker: self.worker,
+            frame: frame.clone(),
+        });
+    }
+
+    fn closed(&self) {
+        self.sched.reached(&SyncEvent::LinkClosed {
+            side: self.side,
+            worker: self.worker,
+        });
+    }
+}
+
+enum TxKind {
     /// In-process channel of encoded frames.
     Chan(Option<Sender<Vec<u8>>>),
     /// TCP stream (a `try_clone` of the connection).
     Tcp(Option<TcpStream>),
 }
 
-/// The receiving half of a link.
-pub enum LinkRx {
+enum RxKind {
     /// In-process channel of encoded frames.
     Chan(Receiver<Vec<u8>>),
     /// TCP stream.
     Tcp(TcpStream),
 }
 
+/// The sending half of a link.
+pub struct LinkTx {
+    kind: TxKind,
+    tap: Option<Tap>,
+}
+
+/// The receiving half of a link.
+pub struct LinkRx {
+    kind: RxKind,
+    tap: Option<Tap>,
+}
+
 impl LinkTx {
     /// Sends one frame. Fails when the peer is gone or the link was closed.
+    /// Yields to the link's scheduler (if instrumented) *before* the bytes
+    /// move, so a test scheduler can hold the send at the sync point.
     pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
-        match self {
-            LinkTx::Chan(tx) => match tx {
+        if let Some(tap) = &self.tap {
+            tap.sent(frame);
+        }
+        match &mut self.kind {
+            TxKind::Chan(tx) => match tx {
                 Some(tx) => tx
                     .send(encode_frame(frame))
                     .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer hung up")),
                 None => Err(io::Error::new(io::ErrorKind::NotConnected, "link closed")),
             },
-            LinkTx::Tcp(stream) => match stream {
+            TxKind::Tcp(stream) => match stream {
                 Some(s) => {
                     s.write_all(&encode_frame(frame))?;
                     s.flush()
@@ -68,11 +119,14 @@ impl LinkTx {
     /// disconnect / TCP reset-EOF), which is the transport-level kill switch
     /// for fault injection.
     pub fn close(&mut self) {
-        match self {
-            LinkTx::Chan(tx) => {
+        if let Some(tap) = &self.tap {
+            tap.closed();
+        }
+        match &mut self.kind {
+            TxKind::Chan(tx) => {
                 tx.take();
             }
-            LinkTx::Tcp(stream) => {
+            TxKind::Tcp(stream) => {
                 if let Some(s) = stream.take() {
                     let _ = s.shutdown(Shutdown::Both);
                 }
@@ -83,23 +137,44 @@ impl LinkTx {
 
 impl LinkRx {
     /// Receives one frame, blocking. An error means the peer is gone (or the
-    /// link was closed under us).
+    /// link was closed under us, or it sent garbage — see
+    /// [`crate::wire::WireError`]).
     pub fn recv(&mut self) -> io::Result<Frame> {
-        match self {
-            LinkRx::Chan(rx) => {
+        let result = match &mut self.kind {
+            RxKind::Chan(rx) => {
                 let bytes = rx
                     .recv()
-                    .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"))?;
-                Ok(decode_frame(&bytes)?)
+                    .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"));
+                bytes.and_then(|bytes| decode_frame(&bytes).map_err(io::Error::from))
             }
-            LinkRx::Tcp(stream) => read_frame(stream),
+            RxKind::Tcp(stream) => read_frame(stream).map_err(io::Error::from),
+        };
+        if let Some(tap) = &self.tap {
+            match &result {
+                Ok(frame) => tap.received(frame),
+                Err(_) => tap.closed(),
+            }
         }
+        result
     }
 }
 
 impl Link {
     fn new(tx: LinkTx, rx: LinkRx) -> Self {
         Link { tx, rx }
+    }
+
+    /// Attaches a scheduler tap to both halves: every send, receive, and
+    /// close on this link yields a [`SyncEvent`] identifying `side`/`worker`.
+    /// Un-instrumented links (the default) skip the seam entirely.
+    pub fn instrument(&mut self, sched: Arc<dyn Sched>, side: Endpoint, worker: usize) {
+        let tap = Tap {
+            sched,
+            side,
+            worker,
+        };
+        self.tx.tap = Some(tap.clone());
+        self.rx.tap = Some(tap);
     }
 
     /// Sends one frame.
@@ -136,12 +211,26 @@ pub trait Transport {
 #[derive(Default)]
 pub struct ChanTransport;
 
+fn bare_tx(kind: TxKind) -> LinkTx {
+    LinkTx { kind, tap: None }
+}
+
+fn bare_rx(kind: RxKind) -> LinkRx {
+    LinkRx { kind, tap: None }
+}
+
 fn chan_pair() -> (Link, Link) {
     let (a_tx, b_rx) = channel();
     let (b_tx, a_rx) = channel();
     (
-        Link::new(LinkTx::Chan(Some(a_tx)), LinkRx::Chan(a_rx)),
-        Link::new(LinkTx::Chan(Some(b_tx)), LinkRx::Chan(b_rx)),
+        Link::new(
+            bare_tx(TxKind::Chan(Some(a_tx))),
+            bare_rx(RxKind::Chan(a_rx)),
+        ),
+        Link::new(
+            bare_tx(TxKind::Chan(Some(b_tx))),
+            bare_rx(RxKind::Chan(b_rx)),
+        ),
     )
 }
 
@@ -218,14 +307,14 @@ impl TcpTransport {
 }
 
 fn read_one(r: &mut impl Read) -> io::Result<Frame> {
-    read_frame(r)
+    read_frame(r).map_err(io::Error::from)
 }
 
 fn tcp_link(stream: TcpStream) -> io::Result<Link> {
     let write_half = stream.try_clone()?;
     Ok(Link::new(
-        LinkTx::Tcp(Some(write_half)),
-        LinkRx::Tcp(stream),
+        bare_tx(TxKind::Tcp(Some(write_half))),
+        bare_rx(RxKind::Tcp(stream)),
     ))
 }
 
@@ -335,5 +424,49 @@ mod tests {
     #[test]
     fn unknown_transport_name_is_rejected() {
         assert!(transport_by_name("udp").is_none());
+    }
+
+    #[test]
+    fn instrumented_links_record_sends_receives_and_closes() {
+        use crate::sched::{Endpoint, RecordingSched, SyncEvent};
+
+        let rec = RecordingSched::new();
+        let (mut server, mut worker) = chan_pair();
+        server.instrument(rec.clone(), Endpoint::Server, 3);
+        server.send(&Frame::End).expect("send");
+        assert_eq!(worker.recv().expect("recv"), Frame::End);
+        worker
+            .send(&Frame::Report {
+                worker: 3,
+                token: 7,
+            })
+            .expect("send report");
+        assert!(matches!(server.recv(), Ok(Frame::Report { .. })));
+        drop(worker);
+        assert!(server.recv().is_err(), "peer gone");
+        let events = rec.take();
+        assert_eq!(
+            events,
+            vec![
+                SyncEvent::FrameSent {
+                    side: Endpoint::Server,
+                    worker: 3,
+                    frame: Frame::End,
+                },
+                SyncEvent::FrameReceived {
+                    side: Endpoint::Server,
+                    worker: 3,
+                    frame: Frame::Report {
+                        worker: 3,
+                        token: 7,
+                    },
+                },
+                SyncEvent::LinkClosed {
+                    side: Endpoint::Server,
+                    worker: 3,
+                },
+            ],
+            "only the instrumented (server) side records, in program order"
+        );
     }
 }

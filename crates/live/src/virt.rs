@@ -24,6 +24,7 @@ use fela_metrics::RunReport;
 use fela_sim::Trace;
 
 use crate::replay::{replay_schedules, schedules_from_trace};
+use crate::sched::{pass, Endpoint, SharedSched};
 use crate::transport::{Link, Transport};
 use crate::wire::Frame;
 use crate::worker::{spawn_worker, WorkerSpec};
@@ -88,15 +89,30 @@ pub fn plan_for(config: &FelaConfig, scenario: &Scenario) -> io::Result<TokenPla
 }
 
 /// Runs `scenario` live in virtual-clock mode over `transport` with one
-/// worker thread per cluster node.
+/// worker thread per cluster node, under the default pass-through scheduler.
 pub fn run_virtual(
     config: &FelaConfig,
     scenario: &Scenario,
     transport: &mut dyn Transport,
 ) -> io::Result<LiveOutcome> {
+    run_virtual_with(config, scenario, transport, pass())
+}
+
+/// [`run_virtual`] with an explicit [`Sched`](crate::sched::Sched): every
+/// link on both endpoints yields its frame traffic to `sched`. Under
+/// [`pass`] this is byte-identical to the uninstrumented run.
+pub fn run_virtual_with(
+    config: &FelaConfig,
+    scenario: &Scenario,
+    transport: &mut dyn Transport,
+    sched: SharedSched,
+) -> io::Result<LiveOutcome> {
     let n = scenario.cluster.nodes;
     let plan = plan_for(config, scenario)?;
-    let (server_links, worker_links) = transport.establish(n)?;
+    let (mut server_links, worker_links) = transport.establish(n)?;
+    for (w, link) in server_links.iter_mut().enumerate() {
+        link.instrument(sched.clone(), Endpoint::Server, w);
+    }
     let handles: Vec<_> = worker_links
         .into_iter()
         .enumerate()
@@ -108,6 +124,7 @@ pub fn run_virtual(
                     plan: plan.clone(),
                     time_scale: 0.0,
                     pull: false,
+                    sched: sched.clone(),
                 },
                 link,
             )

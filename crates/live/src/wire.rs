@@ -15,7 +15,7 @@ use std::io::{self, Read, Write};
 
 /// Maximum accepted frame body, a defensive bound against corrupt length
 /// prefixes (the largest legitimate frame is a `Params` payload of a few KB).
-const MAX_FRAME: u32 = 16 * 1024 * 1024;
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
 /// One protocol message.
 #[derive(Clone, PartialEq, Debug)]
@@ -100,13 +100,95 @@ pub enum Frame {
     },
 }
 
-/// Decode failure: the peer sent bytes that are not a valid frame.
+/// Wire-protocol failure: the peer sent bytes that are not a valid frame, or
+/// the underlying stream failed mid-frame.
+///
+/// Structured (not a bare `io::Error`) so callers — and the protocol session
+/// verifier in `fela-check` — can distinguish a corrupt peer from a dead link
+/// without string matching.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct WireError(pub String);
+pub enum WireError {
+    /// The body ended before a field could be read.
+    Truncated {
+        /// Bytes the field needed.
+        wanted: usize,
+        /// Offset the read started at.
+        offset: usize,
+        /// Total body length.
+        body: usize,
+    },
+    /// Bytes remained after the frame's last field.
+    Trailing {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// The frame tag byte is not part of the protocol.
+    UnknownTag(u8),
+    /// The buffer is too short to even hold the length prefix.
+    MissingPrefix,
+    /// The length prefix disagrees with the buffer handed to `decode_frame`.
+    LengthMismatch {
+        /// Length the prefix claimed.
+        prefix: usize,
+        /// Bytes actually present after the prefix.
+        actual: usize,
+    },
+    /// A length prefix exceeded [`MAX_FRAME`] — a corrupt or adversarial peer
+    /// trying to drive an unbounded allocation.
+    Oversized {
+        /// The claimed body length.
+        len: u64,
+        /// The protocol bound.
+        max: u32,
+    },
+    /// An embedded element count is impossible for the bytes that follow it
+    /// (guards `Vec::with_capacity` against attacker-controlled counts).
+    BadCount {
+        /// Which field carried the count.
+        what: &'static str,
+        /// The claimed element count.
+        count: usize,
+        /// Bytes actually remaining in the body.
+        remaining: usize,
+    },
+    /// The underlying stream failed (peer gone, reset, short read).
+    Io(io::ErrorKind),
+}
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "wire protocol error: {}", self.0)
+        match self {
+            WireError::Truncated {
+                wanted,
+                offset,
+                body,
+            } => write!(
+                f,
+                "frame truncated: wanted {wanted} bytes at offset {offset}, body is {body}"
+            ),
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing byte(s) after frame body")
+            }
+            WireError::UnknownTag(tag) => write!(f, "unknown frame tag {tag}"),
+            WireError::MissingPrefix => write!(f, "missing length prefix"),
+            WireError::LengthMismatch { prefix, actual } => write!(
+                f,
+                "length prefix {prefix} disagrees with buffer size {actual}"
+            ),
+            WireError::Oversized { len, max } => write!(
+                f,
+                "frame of {len} bytes exceeds the {max}-byte protocol bound"
+            ),
+            WireError::BadCount {
+                what,
+                count,
+                remaining,
+            } => write!(
+                f,
+                "{what} count {count} is impossible with {remaining} body byte(s) remaining"
+            ),
+            WireError::Io(kind) => write!(f, "stream failed mid-frame: {kind}"),
+        }
     }
 }
 
@@ -114,7 +196,16 @@ impl std::error::Error for WireError {}
 
 impl From<WireError> for io::Error {
     fn from(e: WireError) -> io::Error {
-        io::Error::new(io::ErrorKind::InvalidData, e)
+        match e {
+            WireError::Io(kind) => io::Error::new(kind, e),
+            _ => io::Error::new(io::ErrorKind::InvalidData, e),
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e.kind())
     }
 }
 
@@ -133,16 +224,20 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
-            return Err(WireError(format!(
-                "frame truncated: wanted {n} bytes at offset {}, body is {}",
-                self.pos,
-                self.buf.len()
-            )));
+        if n > self.buf.len() - self.pos {
+            return Err(WireError::Truncated {
+                wanted: n,
+                offset: self.pos,
+                body: self.buf.len(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
@@ -161,10 +256,9 @@ impl<'a> Cursor<'a> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
-            Err(WireError(format!(
-                "{} trailing byte(s) after frame body",
-                self.buf.len() - self.pos
-            )))
+            Err(WireError::Trailing {
+                extra: self.buf.len() - self.pos,
+            })
         }
     }
 }
@@ -300,6 +394,15 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
         TAG_ITER => {
             let iteration = c.u64()?;
             let n = c.u32()? as usize;
+            // Each pair is 8 bytes; refuse counts the body cannot possibly
+            // hold before sizing the allocation off an untrusted value.
+            if n > c.remaining() / 8 {
+                return Err(WireError::BadCount {
+                    what: "Iter schedule",
+                    count: n,
+                    remaining: c.remaining(),
+                });
+            }
             let mut schedule = Vec::with_capacity(n);
             for _ in 0..n {
                 schedule.push((c.u32()?, c.u32()?));
@@ -313,11 +416,18 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
         TAG_END => Frame::End,
         TAG_PARAMS => {
             let n = c.u32()? as usize;
+            if n > c.remaining() {
+                return Err(WireError::BadCount {
+                    what: "Params payload",
+                    count: n,
+                    remaining: c.remaining(),
+                });
+            }
             Frame::Params {
                 bytes: c.take(n)?.to_vec(),
             }
         }
-        other => return Err(WireError(format!("unknown frame tag {other}"))),
+        other => return Err(WireError::UnknownTag(other)),
     };
     c.done()?;
     Ok(frame)
@@ -326,14 +436,20 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
 /// Decodes one length-prefixed frame from a full byte buffer.
 pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
     if bytes.len() < 4 {
-        return Err(WireError("missing length prefix".into()));
+        return Err(WireError::MissingPrefix);
     }
-    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
-    if bytes.len() != 4 + len {
-        return Err(WireError(format!(
-            "length prefix {len} disagrees with buffer size {}",
-            bytes.len() - 4
-        )));
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len: u64::from(len),
+            max: MAX_FRAME,
+        });
+    }
+    if bytes.len() - 4 != len as usize {
+        return Err(WireError::LengthMismatch {
+            prefix: len as usize,
+            actual: bytes.len() - 4,
+        });
     }
     decode_body(&bytes[4..])
 }
@@ -345,16 +461,24 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 }
 
 /// Reads one frame from a byte stream (blocking).
-pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+///
+/// The length prefix is validated against [`MAX_FRAME`] *before* the body
+/// buffer is allocated, so a corrupt or adversarial prefix cannot drive an
+/// unbounded allocation. Stream failures surface as [`WireError::Io`];
+/// `io::Result` callers can convert with `?` via `From<WireError>`.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     let mut prefix = [0u8; 4];
     r.read_exact(&mut prefix)?;
     let len = u32::from_le_bytes(prefix);
     if len > MAX_FRAME {
-        return Err(WireError(format!("frame of {len} bytes exceeds the protocol bound")).into());
+        return Err(WireError::Oversized {
+            len: u64::from(len),
+            max: MAX_FRAME,
+        });
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
-    Ok(decode_body(&body)?)
+    decode_body(&body)
 }
 
 #[cfg(test)]
@@ -431,11 +555,88 @@ mod tests {
             worker: 1,
             token: 2,
         });
-        assert!(decode_frame(&bytes[..bytes.len() - 1]).is_err());
+        assert!(matches!(
+            decode_frame(&bytes[..bytes.len() - 1]),
+            Err(WireError::LengthMismatch { .. })
+        ));
         let mut padded = bytes.clone();
         padded.push(0);
-        assert!(decode_frame(&padded).is_err());
-        assert!(decode_body(&[99]).is_err(), "unknown tag must fail");
+        assert!(matches!(
+            decode_frame(&padded),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        assert_eq!(decode_body(&[99]), Err(WireError::UnknownTag(99)));
+        assert!(matches!(
+            decode_body(&bytes[4..bytes.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut body_padded = bytes[4..].to_vec();
+        body_padded.push(0);
+        assert!(matches!(
+            decode_body(&body_padded),
+            Err(WireError::Trailing { extra: 1 })
+        ));
+        assert_eq!(decode_frame(&[1, 2]), Err(WireError::MissingPrefix));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        // A corrupt prefix claiming a 4 GiB-1 body must fail fast without
+        // the reader ever attempting the allocation.
+        let bytes = u32::MAX.to_le_bytes();
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(WireError::Oversized {
+                len: u64::from(u32::MAX),
+                max: MAX_FRAME,
+            })
+        );
+        let mut buf = bytes.to_vec();
+        buf.push(0);
+        assert!(matches!(
+            decode_frame(&buf),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn impossible_embedded_counts_are_rejected_before_allocation() {
+        // Iter claiming u32::MAX schedule pairs in an 8-byte-ish body.
+        let mut body = vec![TAG_ITER];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_body(&body),
+            Err(WireError::BadCount {
+                what: "Iter schedule",
+                ..
+            })
+        ));
+        // Params claiming more payload bytes than the body holds.
+        let mut body = vec![TAG_PARAMS];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.push(1);
+        assert!(matches!(
+            decode_body(&body),
+            Err(WireError::BadCount {
+                what: "Params payload",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn stream_failures_surface_as_io_kind() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(
+            read_frame(&mut empty),
+            Err(WireError::Io(io::ErrorKind::UnexpectedEof))
+        );
+        let err = io::Error::from(WireError::Io(io::ErrorKind::ConnectionReset));
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let err = io::Error::from(WireError::UnknownTag(42));
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -454,7 +655,144 @@ mod tests {
         }
     }
 
+    /// A reader that hands out at most `chunk` bytes per `read` call — the
+    /// shape of a TCP stream delivering a frame across several segments.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        chunk: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.chunk.min(self.data.len()).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frames_survive_arbitrarily_segmented_streams() {
+        // Regression for the TCP short-read case: `read_frame` must
+        // reassemble a frame delivered one byte at a time, and a stream that
+        // dies mid-body must surface as an EOF error, never a panic or a
+        // mis-framed success.
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).expect("write");
+        }
+        for chunk in [1, 2, 3, 7] {
+            let mut r = Chunked { data: &buf, chunk };
+            for f in &frames {
+                assert_eq!(&read_frame(&mut r).expect("chunked read"), f);
+            }
+        }
+        let cut = encode_frame(&Frame::Iter {
+            iteration: 3,
+            schedule: vec![(0, 0), (1, 1)],
+        });
+        for short in 1..cut.len() {
+            let mut r = Chunked {
+                data: &cut[..short],
+                chunk: 1,
+            };
+            assert_eq!(
+                read_frame(&mut r),
+                Err(WireError::Io(io::ErrorKind::UnexpectedEof)),
+                "short read at {short}/{} bytes",
+                cut.len()
+            );
+        }
+    }
+
+    /// Every `Frame` variant, with arbitrary field values.
+    fn arb_frame() -> impl Strategy<Value = Frame> {
+        prop_oneof![
+            any::<u32>().prop_map(|worker| Frame::Hello { worker }),
+            (
+                any::<u32>(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u64>(),
+                any::<u64>(),
+            )
+                .prop_map(
+                    |(worker, token, level, unit_start, unit_end, batch, iteration)| {
+                        Frame::CostQuery {
+                            worker,
+                            token,
+                            level,
+                            unit_start,
+                            unit_end,
+                            batch,
+                            iteration,
+                        }
+                    }
+                ),
+            (any::<u64>(), any::<u64>())
+                .prop_map(|(token, secs_bits)| Frame::CostReply { token, secs_bits }),
+            any::<u32>().prop_map(|worker| Frame::Request { worker }),
+            (
+                any::<u64>(),
+                any::<u32>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u32>(),
+            )
+                .prop_map(|(token, level, iteration, batch, unit_start, unit_end)| {
+                    Frame::Grant {
+                        token,
+                        level,
+                        iteration,
+                        batch,
+                        unit_start,
+                        unit_end,
+                    }
+                }),
+            (any::<u32>(), any::<u64>())
+                .prop_map(|(worker, token)| Frame::Report { worker, token }),
+            (
+                any::<u64>(),
+                prop::collection::vec((any::<u32>(), any::<u32>()), 0..64),
+            )
+                .prop_map(|(iteration, schedule)| Frame::Iter {
+                    iteration,
+                    schedule,
+                }),
+            any::<u64>().prop_map(|nanos| Frame::Hang { nanos }),
+            Just(Frame::End),
+            prop::collection::vec(any::<u8>(), 0..256).prop_map(|bytes| Frame::Params { bytes }),
+        ]
+    }
+
     proptest! {
+        #[test]
+        fn decode_frame_never_panics_on_arbitrary_bytes(
+            bytes in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            // Any outcome is fine — Ok for the rare byte string that happens
+            // to be a valid frame, a structured WireError otherwise — but the
+            // decoder must never panic or overflow on attacker-shaped input.
+            let _ = decode_frame(&bytes);
+            let _ = decode_body(&bytes);
+            let mut r = &bytes[..];
+            let _ = read_frame(&mut r);
+        }
+
+        #[test]
+        fn every_variant_round_trips_bit_exactly(f in arb_frame()) {
+            prop_assert_eq!(decode_frame(&encode_frame(&f)).unwrap(), f.clone());
+            // And through the stream path, including a 1-byte-chunk reader.
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let mut r = Chunked { data: &buf, chunk: 1 };
+            prop_assert_eq!(read_frame(&mut r).unwrap(), f);
+        }
+
         #[test]
         fn iter_frames_round_trip(
             iteration in 0u64..1000,

@@ -25,6 +25,7 @@ use fela_cluster::Scenario;
 use fela_core::TokenPlan;
 
 use crate::replay::{engine_setup, flatten_params};
+use crate::sched::{Endpoint, SharedSched};
 use crate::transport::Link;
 use crate::wire::Frame;
 
@@ -41,6 +42,9 @@ pub struct WorkerSpec {
     /// Send an initial `Request` on startup (real-clock pull mode). Virtual
     /// mode leaves this off: the simulated event loop injects requests.
     pub pull: bool,
+    /// Scheduler the worker's link yields to at every frame send/receive
+    /// ([`crate::sched::pass`] for the uninstrumented default).
+    pub sched: SharedSched,
 }
 
 /// Base compute seconds for a span, priced by the worker's own scenario copy.
@@ -83,6 +87,7 @@ fn scaled_sleep(secs: f64, time_scale: f64) {
 
 /// Spawns the worker thread. It runs until `End` or until its link dies.
 pub fn spawn_worker(spec: WorkerSpec, mut link: Link) -> JoinHandle<()> {
+    link.instrument(spec.sched.clone(), Endpoint::Worker, spec.index);
     thread::Builder::new()
         .name(format!("fela-worker-{}", spec.index))
         .spawn(move || {
@@ -190,6 +195,7 @@ mod tests {
             plan,
             time_scale: 0.0,
             pull: false,
+            sched: crate::sched::pass(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! Local shim for `proptest`: the subset of the API this workspace's property
 //! tests use — `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`,
-//! `Just`, numeric range strategies, tuple strategies and
+//! `Just`, `any`, `prop_map`, numeric range strategies, tuple strategies and
 //! `prop::collection::vec`.
 //!
 //! Case generation is fully deterministic: the RNG is seeded from the test

@@ -1,6 +1,6 @@
 //! The glob-import surface (`use proptest::prelude::*`).
 
-pub use crate::strategy::{Just, Strategy};
+pub use crate::strategy::{any, Arbitrary, Just, Strategy};
 pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
 /// Namespaced access to strategy modules (`prop::collection::vec`).
