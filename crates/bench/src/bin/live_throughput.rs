@@ -1,12 +1,13 @@
 //! `live_throughput` — token-grant throughput of the **real-clock** live
-//! runtime (`fela-live`) as the worker count scales 1 → 8, on both transports.
+//! runtime (`fela-live`) as the worker count scales 1 → 64, on both
+//! transports.
 //!
 //! Each cell runs the Token Server and `w` worker threads for a fixed AlexNet
 //! workload with the modeled compute spans scaled down to real sleeps
 //! (`time_scale`), and reports accepted token reports per wall-clock second.
 //! More workers sleep their spans concurrently, so throughput scales until
-//! the single-threaded server (and the wire round-trips) become the
-//! bottleneck.
+//! the server's poll loop (one thread sweeping every link, batching grants
+//! into `GrantBatch` frames) becomes the bottleneck.
 //!
 //! Knobs: `FELA_BENCH_DIR=<dir>` chooses where `BENCH_live_throughput.json`
 //! lands (default: the current directory); `FELA_BENCH_QUICK=1` shortens the
@@ -31,7 +32,11 @@ fn measure(transport_name: &str, workers: usize, iterations: u64, time_scale: f6
     let m = FelaRuntime::new(FelaConfig::new(1))
         .partition_for(&scenario)
         .len();
-    let config = FelaConfig::new(m);
+    // SSP staleness keeps several iterations in flight, so each worker has
+    // multiple tokens concurrently available — the regime the pipelined
+    // `GrantBatch`/`ReportBatch` hot path amortizes. Under BSP (staleness 0)
+    // every level is a hard barrier and batches are structurally size 1.
+    let config = FelaConfig::new(m).with_staleness(8);
     let mut transport = transport_by_name(transport_name).expect("known transport");
     let outcome = run_real(
         &config,
@@ -39,6 +44,7 @@ fn measure(transport_name: &str, workers: usize, iterations: u64, time_scale: f6
         transport.as_mut(),
         RealOptions {
             time_scale,
+            pipeline: 16,
             ..RealOptions::default()
         },
     )
@@ -57,12 +63,17 @@ fn measure(transport_name: &str, workers: usize, iterations: u64, time_scale: f6
 
 fn main() {
     let quick = std::env::var("FELA_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
-    let iterations: u64 = if quick { 3 } else { 10 };
+    let iterations: u64 = if quick { 3 } else { 20 };
     let time_scale = 2e-3;
+    let worker_axis: &[usize] = if quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 48, 64]
+    };
 
     let mut cells = Vec::new();
     for transport in ["chan", "tcp"] {
-        for workers in 1..=8usize {
+        for &workers in worker_axis {
             let cell = measure(transport, workers, iterations, time_scale);
             println!(
                 "{:<22} {:>10.0} tokens/s  ({} grants in {:.3}s)",
@@ -78,6 +89,7 @@ fn main() {
     body.push_str(&format!(
         "  \"iterations\": {iterations},\n  \"time_scale\": {time_scale},\n"
     ));
+    body.push_str("  \"staleness\": 8,\n  \"pipeline\": 16,\n");
     body.push_str("  \"benches\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };

@@ -221,6 +221,31 @@ impl std::fmt::Display for SessionViolation {
     }
 }
 
+/// FIFO grant/report matching for one reported token: shared by the `Report`
+/// and `ReportBatch` arms so a batched report is checked token by token,
+/// exactly as if each had arrived as its own frame.
+fn check_report_token(
+    violations: &mut Vec<SessionViolation>,
+    link: &mut LinkSession,
+    worker: usize,
+    token: u64,
+) {
+    match link.outstanding.front().copied() {
+        Some(oldest) if oldest == token => {
+            link.outstanding.pop_front();
+        }
+        Some(oldest) if link.outstanding.contains(&token) => {
+            violations.push(SessionViolation::ReportOutOfOrder {
+                worker,
+                expected: oldest,
+                got: token,
+            });
+            link.outstanding.retain(|t| *t != token);
+        }
+        _ => violations.push(SessionViolation::ReportWithoutGrant { worker, token }),
+    }
+}
+
 /// Per-link session machine state.
 #[derive(Clone, Default)]
 struct LinkSession {
@@ -354,24 +379,36 @@ impl SessionVerifier {
         }
     }
 
+    /// Routing check for one granted token: flags a delivery down a link the
+    /// control plane did not grant it to.
+    fn check_grant_intent(&mut self, worker: usize, token: u64) {
+        if let Some(intents) = self.intents.as_mut() {
+            let granted_to = intents.get_mut(&token).and_then(VecDeque::pop_front);
+            if let Some(g) = granted_to {
+                if g != worker {
+                    self.violations.push(SessionViolation::MisroutedGrant {
+                        token,
+                        granted_to: g,
+                        delivered_to: worker,
+                    });
+                }
+            }
+        }
+    }
+
     fn on_sent(&mut self, worker: usize, frame: &Frame) {
         self.frames += 1;
         // Routing first: a misrouted grant is flagged at the send even when
-        // locally well-formed on its link.
-        if let Frame::Grant { token, .. } = frame {
-            if let Some(intents) = self.intents.as_mut() {
-                let granted_to = intents.get_mut(token).and_then(VecDeque::pop_front);
-                match granted_to {
-                    Some(g) if g != worker => {
-                        self.violations.push(SessionViolation::MisroutedGrant {
-                            token: *token,
-                            granted_to: g,
-                            delivered_to: worker,
-                        });
-                    }
-                    _ => {}
+        // locally well-formed on its link. A `GrantBatch` is checked grant by
+        // grant, exactly as if each had shipped as its own frame.
+        match frame {
+            Frame::Grant { token, .. } => self.check_grant_intent(worker, *token),
+            Frame::GrantBatch { grants } => {
+                for g in grants {
+                    self.check_grant_intent(worker, g.token);
                 }
             }
+            _ => {}
         }
         let link = self.links.entry(worker).or_default();
         if link.sent_end {
@@ -390,6 +427,17 @@ impl SessionVerifier {
                     });
                 }
                 link.outstanding.push_back(*token);
+            }
+            Frame::GrantBatch { grants } => {
+                for g in grants {
+                    if link.sent_iter {
+                        self.violations.push(SessionViolation::GrantAfterIter {
+                            worker,
+                            token: g.token,
+                        });
+                    }
+                    link.outstanding.push_back(g.token);
+                }
             }
             Frame::CostQuery { token, .. } => {
                 if link.pending_query.is_some() {
@@ -441,22 +489,22 @@ impl SessionVerifier {
                         claimed: *claimed as usize,
                     });
                 }
-                match link.outstanding.front().copied() {
-                    Some(oldest) if oldest == *token => {
-                        link.outstanding.pop_front();
-                    }
-                    Some(oldest) if link.outstanding.contains(token) => {
-                        self.violations.push(SessionViolation::ReportOutOfOrder {
-                            worker,
-                            expected: oldest,
-                            got: *token,
-                        });
-                        link.outstanding.retain(|t| t != token);
-                    }
-                    _ => self.violations.push(SessionViolation::ReportWithoutGrant {
-                        worker,
-                        token: *token,
-                    }),
+                check_report_token(&mut self.violations, link, worker, *token);
+            }
+            Frame::ReportBatch {
+                worker: claimed,
+                tokens,
+            } => {
+                if *claimed as usize != worker {
+                    self.violations.push(SessionViolation::WrongWorkerId {
+                        link: worker,
+                        claimed: *claimed as usize,
+                    });
+                }
+                // Batched reports keep per-direction FIFO: each token must
+                // pop the oldest outstanding grant, in batch order.
+                for token in tokens {
+                    check_report_token(&mut self.violations, link, worker, *token);
                 }
             }
             Frame::CostReply { token, .. } => {
@@ -521,20 +569,23 @@ pub fn verify_session(events: &[SyncEvent], ops: Option<&[CoordOp]>) -> SessionR
 /// [`crate::mc::McMutation`], lives in the explorer).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WireMutation {
-    /// Deletes the `nth` server-sent `Grant` (0-based): the wakeup is lost in
-    /// flight. Its `Report` then arrives unmatched.
+    /// Deletes the `nth` server-sent grant (0-based): the wakeup is lost in
+    /// flight. Its report then arrives unmatched. A `GrantBatch` counts each
+    /// of its grants in stream order; dropping one from a batch leaves the
+    /// rest of the frame intact.
     DropGrant {
         /// Which grant to drop, in stream order.
         nth: usize,
     },
-    /// Moves the `Report` answering the `nth` server-sent `Grant` to just
+    /// Moves the report answering the `nth` server-sent grant to just
     /// *before* that grant: the pair is reordered on the wire, breaking
-    /// per-direction FIFO.
+    /// per-direction FIFO. A report inside a `ReportBatch` is split out of
+    /// the batch and overtakes the grant as its own frame.
     ReorderGrantReport {
         /// Which grant/report pair to reorder, in stream order.
         nth: usize,
     },
-    /// Rewrites the link of the `nth` server-sent `Grant` to the next worker
+    /// Rewrites the link of the `nth` server-sent grant to the next worker
     /// (mod links): the shard reply reaches the wrong requester.
     MisrouteGrant {
         /// Which grant to misroute, in stream order.
@@ -545,59 +596,115 @@ pub enum WireMutation {
 /// Applies `mutation` to a recorded stream, returning the corrupted copy.
 /// If the stream has no matching frame the copy is returned unchanged (the
 /// caller's "mutation must be caught" assertion will then fail loudly).
+///
+/// Grants are counted in stream order across both frame shapes: a singleton
+/// `Grant` is one grant, a `GrantBatch` contributes its grants in batch
+/// order — the mutations target the logical grant stream, not the framing.
 pub fn mutate_events(events: &[SyncEvent], mutation: &WireMutation) -> Vec<SyncEvent> {
     let mut out: Vec<SyncEvent> = events.to_vec();
-    let is_nth_grant = |ev: &SyncEvent, seen: &mut usize| -> Option<(usize, u64)> {
-        if let SyncEvent::FrameSent {
+    let nth = match mutation {
+        WireMutation::DropGrant { nth }
+        | WireMutation::ReorderGrantReport { nth }
+        | WireMutation::MisrouteGrant { nth } => *nth,
+    };
+    // Locate the nth logical grant: (event idx, index within a GrantBatch or
+    // None for a singleton, link, token).
+    let mut seen = 0usize;
+    let mut target: Option<(usize, Option<usize>, usize, u64)> = None;
+    'scan: for (i, ev) in events.iter().enumerate() {
+        let SyncEvent::FrameSent {
             side: Endpoint::Server,
             worker,
-            frame: Frame::Grant { token, .. },
+            frame,
         } = ev
-        {
-            let idx = *seen;
-            *seen += 1;
-            return Some((idx, *token))
-                .filter(|_| {
-                    idx == match mutation {
-                        WireMutation::DropGrant { nth }
-                        | WireMutation::ReorderGrantReport { nth }
-                        | WireMutation::MisrouteGrant { nth } => *nth,
+        else {
+            continue;
+        };
+        match frame {
+            Frame::Grant { token, .. } => {
+                if seen == nth {
+                    target = Some((i, None, *worker, *token));
+                    break 'scan;
+                }
+                seen += 1;
+            }
+            Frame::GrantBatch { grants } => {
+                for (j, g) in grants.iter().enumerate() {
+                    if seen == nth {
+                        target = Some((i, Some(j), *worker, g.token));
+                        break 'scan;
                     }
-                })
-                .map(|(_, t)| (*worker, t));
-        }
-        None
-    };
-    let mut seen = 0usize;
-    let mut target: Option<(usize, usize, u64)> = None; // (event idx, worker, token)
-    for (i, ev) in events.iter().enumerate() {
-        if let Some((worker, token)) = is_nth_grant(ev, &mut seen) {
-            target = Some((i, worker, token));
-            break;
+                    seen += 1;
+                }
+            }
+            _ => {}
         }
     }
-    let Some((grant_idx, grant_worker, token)) = target else {
+    let Some((grant_idx, within, grant_worker, token)) = target else {
         return out;
     };
     match mutation {
-        WireMutation::DropGrant { .. } => {
-            out.remove(grant_idx);
-        }
+        WireMutation::DropGrant { .. } => match within {
+            None => {
+                out.remove(grant_idx);
+            }
+            Some(j) => {
+                let SyncEvent::FrameSent {
+                    frame: Frame::GrantBatch { grants },
+                    ..
+                } = &mut out[grant_idx]
+                else {
+                    unreachable!("target indexed a GrantBatch");
+                };
+                grants.remove(j);
+                if grants.is_empty() {
+                    out.remove(grant_idx);
+                }
+            }
+        },
         WireMutation::ReorderGrantReport { .. } => {
-            let report_idx = events
-                .iter()
-                .enumerate()
-                .skip(grant_idx + 1)
-                .find_map(|(i, ev)| match ev {
+            // The answering report may be its own frame or one token of a
+            // ReportBatch; either way it overtakes the grant as a singleton.
+            let mut extracted: Option<SyncEvent> = None;
+            for i in grant_idx + 1..out.len() {
+                match &mut out[i] {
                     SyncEvent::FrameReceived {
                         side: Endpoint::Server,
                         worker,
                         frame: Frame::Report { token: t, .. },
-                    } if *worker == grant_worker && *t == token => Some(i),
-                    _ => None,
-                });
-            if let Some(ri) = report_idx {
-                let report = out.remove(ri);
+                    } if *worker == grant_worker && *t == token => {
+                        extracted = Some(out.remove(i));
+                        break;
+                    }
+                    SyncEvent::FrameReceived {
+                        side: Endpoint::Server,
+                        worker,
+                        frame:
+                            Frame::ReportBatch {
+                                worker: claimed,
+                                tokens,
+                            },
+                    } if *worker == grant_worker && tokens.contains(&token) => {
+                        let claimed = *claimed;
+                        tokens.retain(|t| *t != token);
+                        let empty = tokens.is_empty();
+                        if empty {
+                            out.remove(i);
+                        }
+                        extracted = Some(SyncEvent::FrameReceived {
+                            side: Endpoint::Server,
+                            worker: grant_worker,
+                            frame: Frame::Report {
+                                worker: claimed,
+                                token,
+                            },
+                        });
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(report) = extracted {
                 out.insert(grant_idx, report);
             }
         }
@@ -751,6 +858,220 @@ mod tests {
             "{:?}",
             misrouted.violations
         );
+    }
+
+    #[test]
+    fn wire_mutations_target_grants_inside_batch_frames() {
+        use fela_live::WireGrant;
+        let wire_grant = |token| WireGrant {
+            token,
+            level: 0,
+            iteration: 0,
+            batch: 4,
+            unit_start: 0,
+            unit_end: 1,
+        };
+        // A clean pipelined session: the logical grant stream is 0, 1, 2 but
+        // every frame is a batch — the mutations must see through the framing.
+        let stream = vec![
+            received(0, Frame::Request { worker: 0 }),
+            sent(
+                0,
+                Frame::GrantBatch {
+                    grants: vec![wire_grant(0), wire_grant(1), wire_grant(2)],
+                },
+            ),
+            received(
+                0,
+                Frame::ReportBatch {
+                    worker: 0,
+                    tokens: vec![0, 1, 2],
+                },
+            ),
+        ];
+        assert!(verify_session(&stream, None).ok());
+
+        // Dropping the middle grant of the batch leaves its batched report
+        // with no grant to match: token 1 was never (observed) granted.
+        let dropped = verify_session(
+            &mutate_events(&stream, &WireMutation::DropGrant { nth: 1 }),
+            None,
+        );
+        assert!(
+            matches!(
+                dropped.violations.first(),
+                Some(SessionViolation::ReportWithoutGrant {
+                    worker: 0,
+                    token: 1
+                })
+            ),
+            "{:?}",
+            dropped.violations
+        );
+
+        // Reordering splits the answering report out of the ReportBatch and
+        // moves it ahead of the whole grant batch: a report with no grant.
+        let reordered = verify_session(
+            &mutate_events(&stream, &WireMutation::ReorderGrantReport { nth: 1 }),
+            None,
+        );
+        assert!(
+            matches!(
+                reordered.violations.first(),
+                Some(SessionViolation::ReportWithoutGrant {
+                    worker: 0,
+                    token: 1
+                })
+            ),
+            "{:?}",
+            reordered.violations
+        );
+    }
+
+    #[test]
+    fn batched_grants_and_reports_verify_like_singles() {
+        use fela_live::WireGrant;
+        let wire_grant = |token| WireGrant {
+            token,
+            level: 0,
+            iteration: 0,
+            batch: 4,
+            unit_start: 0,
+            unit_end: 1,
+        };
+        // A clean pipelined session: one GrantBatch, one ReportBatch in FIFO
+        // order, then the epilogue.
+        let stream = vec![
+            received(0, Frame::Request { worker: 0 }),
+            sent(
+                0,
+                Frame::GrantBatch {
+                    grants: vec![wire_grant(0), wire_grant(1), wire_grant(2)],
+                },
+            ),
+            received(
+                0,
+                Frame::ReportBatch {
+                    worker: 0,
+                    tokens: vec![0, 1, 2],
+                },
+            ),
+            sent(0, Frame::End),
+            received(0, Frame::Params { bytes: vec![1] }),
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(rep.ok(), "{:?}", rep.violations);
+
+        // A batch reported out of FIFO order is flagged per token.
+        let stream = vec![
+            sent(
+                0,
+                Frame::GrantBatch {
+                    grants: vec![wire_grant(0), wire_grant(1)],
+                },
+            ),
+            received(
+                0,
+                Frame::ReportBatch {
+                    worker: 0,
+                    tokens: vec![1, 0],
+                },
+            ),
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::ReportOutOfOrder {
+                worker: 0,
+                expected: 0,
+                got: 1
+            })
+        ));
+
+        // A batched report with a phantom token is flagged.
+        let stream = vec![
+            sent(
+                0,
+                Frame::GrantBatch {
+                    grants: vec![wire_grant(0)],
+                },
+            ),
+            received(
+                0,
+                Frame::ReportBatch {
+                    worker: 0,
+                    tokens: vec![0, 9],
+                },
+            ),
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::ReportWithoutGrant {
+                worker: 0,
+                token: 9
+            })
+        ));
+
+        // A misrouted grant inside a batch is caught by the routing intents.
+        let mut verifier = SessionVerifier::new();
+        verifier.add_grant_intent(0, 0);
+        verifier.add_grant_intent(1, 1);
+        verifier.observe(&sent(
+            0,
+            Frame::GrantBatch {
+                grants: vec![wire_grant(0), wire_grant(1)],
+            },
+        ));
+        let rep = verifier.finish();
+        assert!(matches!(
+            rep.violations.first(),
+            Some(SessionViolation::MisroutedGrant {
+                token: 1,
+                granted_to: 1,
+                delivered_to: 0
+            })
+        ));
+
+        // A GrantBatch after the epilogue began is still a violation, and a
+        // ReportBatch claiming the wrong worker id is flagged.
+        let stream = vec![
+            sent(
+                0,
+                Frame::Iter {
+                    iteration: 0,
+                    schedule: vec![],
+                },
+            ),
+            sent(
+                0,
+                Frame::GrantBatch {
+                    grants: vec![wire_grant(5)],
+                },
+            ),
+            received(
+                0,
+                Frame::ReportBatch {
+                    worker: 3,
+                    tokens: vec![5],
+                },
+            ),
+        ];
+        let rep = verify_session(&stream, None);
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            SessionViolation::GrantAfterIter {
+                worker: 0,
+                token: 5
+            }
+        )));
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            SessionViolation::WrongWorkerId {
+                link: 0,
+                claimed: 3
+            }
+        )));
     }
 
     #[test]

@@ -601,6 +601,19 @@ impl Coordinator {
         Ok(None)
     }
 
+    /// Drains every currently servable waiting worker into `out`. Identical
+    /// contract to [`TokenServer::drain_ready_grants`].
+    pub fn drain_ready_grants(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<(usize, Grant)>,
+    ) -> Result<(), ScheduleError> {
+        while let Some(pair) = self.pop_ready_grant(now)? {
+            out.push(pair);
+        }
+        Ok(())
+    }
+
     fn try_grant(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
         let Some((bucket, stolen)) = self.pick_bucket(worker) else {
             return Ok(None);
@@ -1430,6 +1443,22 @@ impl ControlPlane {
             self.record(OpKind::PopReadyGrant { now }, outcome);
         }
         result
+    }
+
+    /// Drains every currently servable waiting worker into `out` — the
+    /// batched grant path. Implemented as the repeated-pop loop so the op-log
+    /// (and therefore lockstep byte-identity against the oracle) records
+    /// exactly the same [`OpKind::PopReadyGrant`] sequence a one-at-a-time
+    /// caller would have produced.
+    pub fn drain_ready_grants(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<(usize, Grant)>,
+    ) -> Result<(), ScheduleError> {
+        while let Some(pair) = self.pop_ready_grant(now)? {
+            out.push(pair);
+        }
+        Ok(())
     }
 
     /// A worker reports a completed token.

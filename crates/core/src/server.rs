@@ -1028,6 +1028,21 @@ impl TokenServer {
         Ok(None)
     }
 
+    /// Drains *every* currently servable waiting worker into `out` — exactly
+    /// the repeated-[`TokenServer::pop_ready_grant`]-until-`None` loop, so
+    /// callers that batch grants observe the same grant order and stats as
+    /// callers that pop one at a time.
+    pub fn drain_ready_grants(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<(usize, Grant)>,
+    ) -> Result<(), ScheduleError> {
+        while let Some(pair) = self.pop_ready_grant(now)? {
+            out.push(pair);
+        }
+        Ok(())
+    }
+
     /// Core distribution: pick a token for `worker` per HF/ADS/CTD.
     fn try_grant(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
         let Some((bucket, stolen)) = self.pick_bucket(worker) else {

@@ -45,7 +45,9 @@ pub use replay::{
 pub use sched::{
     pass, Endpoint, GateSched, PassSched, RecordingSched, Sched, SharedSched, SyncEvent,
 };
-pub use transport::{transport_by_name, ChanTransport, Link, TcpTransport, Transport};
+pub use transport::{
+    transport_by_name, ChanTransport, Link, LinkRx, LinkTx, TcpTransport, Transport,
+};
 pub use virt::{plan_for, run_virtual, run_virtual_with, LiveOutcome};
-pub use wire::{Frame, WireError};
+pub use wire::{Frame, WireError, WireGrant};
 pub use worker::{spawn_worker, WorkerSpec};

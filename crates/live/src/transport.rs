@@ -10,19 +10,28 @@
 //!   worker, identified by a `Hello` handshake frame at accept time.
 //!
 //! A link can be split into independently owned send/receive halves
-//! ([`Link::split`]) so the real-clock server can pump inbound frames from a
-//! reader thread while granting from its main loop, and it can be closed
-//! ([`LinkTx::close`]) — which is how the fault injector "drops the
+//! ([`Link::split`]) so the real-clock server can drive every receive half
+//! from its single poll loop while granting over the send halves, and it can
+//! be closed ([`LinkTx::close`]) — which is how the fault injector "drops the
 //! connection" to a worker: the peer's next receive fails and the thread dies,
 //! exactly like a real network partition.
+//!
+//! Receive halves carry an incremental frame parser ([`FrameBuf`]): inbound
+//! bytes accumulate in a per-link buffer and complete frames are peeled off,
+//! which is what makes **nonblocking** reads possible ([`LinkRx::try_recv`] +
+//! [`LinkRx::set_nonblocking`]) — a TCP segment boundary can land anywhere in
+//! a frame. Send halves own a reusable per-link encode buffer:
+//! [`LinkTx::queue`] appends encoded frames without a syscall and
+//! [`LinkTx::flush`] moves the whole batch with one write — the grant
+//! hot path of the real-clock server.
 
-use std::io::{self, Read, Write};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
 use crate::sched::{Endpoint, Sched, SyncEvent};
-use crate::wire::{decode_frame, encode_frame, read_frame, Frame};
+use crate::wire::{decode_body, encode_frame, read_frame, Frame, WireError, MAX_FRAME};
 
 /// One endpoint of a bidirectional frame link.
 pub struct Link {
@@ -65,54 +74,154 @@ impl Tap {
 }
 
 enum TxKind {
-    /// In-process channel of encoded frames.
+    /// In-process channel of encoded frame batches.
     Chan(Option<Sender<Vec<u8>>>),
     /// TCP stream (a `try_clone` of the connection).
     Tcp(Option<TcpStream>),
 }
 
 enum RxKind {
-    /// In-process channel of encoded frames.
+    /// In-process channel of encoded frame batches.
     Chan(Receiver<Vec<u8>>),
     /// TCP stream.
     Tcp(TcpStream),
+}
+
+/// Incremental frame parser: inbound bytes accumulate here and complete
+/// `[len][tag][fields]` frames are peeled off the front. Consumed space is
+/// reclaimed lazily (one `drain` once the buffer is fully parsed), so steady
+/// traffic reuses the same allocation.
+#[derive(Default)]
+struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    fn extend(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Peels one complete frame off the front, or `None` if more bytes are
+    /// needed. Corrupt prefixes and bodies surface as [`WireError`]s.
+    fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized {
+                len: u64::from(len),
+                max: MAX_FRAME,
+            });
+        }
+        let len = len as usize;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = decode_body(&avail[4..4 + len])?;
+        self.start += 4 + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
 }
 
 /// The sending half of a link.
 pub struct LinkTx {
     kind: TxKind,
     tap: Option<Tap>,
+    /// Reusable per-link encode buffer: [`LinkTx::queue`] appends frames
+    /// here; [`LinkTx::flush`] moves the whole batch in one write.
+    pending: Vec<u8>,
 }
 
 /// The receiving half of a link.
 pub struct LinkRx {
     kind: RxKind,
     tap: Option<Tap>,
+    parse: FrameBuf,
+}
+
+/// Writes `bytes` fully even on a socket in nonblocking mode: `WouldBlock`
+/// (the send buffer is momentarily full) yields and retries rather than
+/// erroring out. Server and worker share one underlying socket per link via
+/// `try_clone`, so putting the receive half in nonblocking mode makes writes
+/// nonblocking too — this keeps the send path correct either way.
+fn write_all_would_block(s: &mut TcpStream, mut bytes: &[u8]) -> io::Result<()> {
+    while !bytes.is_empty() {
+        match s.write(bytes) {
+            Ok(0) => return Err(io::Error::new(ErrorKind::WriteZero, "socket wrote 0 bytes")),
+            Ok(n) => bytes = &bytes[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 impl LinkTx {
-    /// Sends one frame. Fails when the peer is gone or the link was closed.
-    /// Yields to the link's scheduler (if instrumented) *before* the bytes
-    /// move, so a test scheduler can hold the send at the sync point.
-    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+    /// Queues one frame into the link's reusable encode buffer **without
+    /// moving any bytes** — the mid-batch path. Yields to the link's
+    /// scheduler (if instrumented) at queue time, which is the frame's send
+    /// sync point. Pair with [`LinkTx::flush`].
+    pub fn queue(&mut self, frame: &Frame) -> io::Result<()> {
+        let connected = match &self.kind {
+            TxKind::Chan(tx) => tx.is_some(),
+            TxKind::Tcp(stream) => stream.is_some(),
+        };
+        if !connected {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "link closed"));
+        }
         if let Some(tap) = &self.tap {
             tap.sent(frame);
         }
-        match &mut self.kind {
-            TxKind::Chan(tx) => match tx {
-                Some(tx) => tx
-                    .send(encode_frame(frame))
-                    .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer hung up")),
-                None => Err(io::Error::new(io::ErrorKind::NotConnected, "link closed")),
-            },
-            TxKind::Tcp(stream) => match stream {
-                Some(s) => {
-                    s.write_all(&encode_frame(frame))?;
-                    s.flush()
-                }
-                None => Err(io::Error::new(io::ErrorKind::NotConnected, "link closed")),
-            },
+        crate::wire::encode_frame_into(&mut self.pending, frame);
+        Ok(())
+    }
+
+    /// Flushes every queued frame with one write (and, on TCP, one syscall).
+    /// A no-op when nothing is queued.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
         }
+        match &mut self.kind {
+            TxKind::Chan(tx) => {
+                // The channel owns its message, so the batch is moved out;
+                // the allocation cost amortizes over every queued frame.
+                let batch = std::mem::take(&mut self.pending);
+                match tx {
+                    Some(tx) => tx
+                        .send(batch)
+                        .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer hung up")),
+                    None => Err(io::Error::new(io::ErrorKind::NotConnected, "link closed")),
+                }
+            }
+            TxKind::Tcp(stream) => {
+                let result = match stream {
+                    Some(s) => write_all_would_block(s, &self.pending).and_then(|()| s.flush()),
+                    None => Err(io::Error::new(io::ErrorKind::NotConnected, "link closed")),
+                };
+                self.pending.clear();
+                result
+            }
+        }
+    }
+
+    /// Sends one frame immediately ([`LinkTx::queue`] + [`LinkTx::flush`]).
+    /// Fails when the peer is gone or the link was closed.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.queue(frame)?;
+        self.flush()
     }
 
     /// Drops the connection. The peer's next receive fails (channel
@@ -122,6 +231,7 @@ impl LinkTx {
         if let Some(tap) = &self.tap {
             tap.closed();
         }
+        self.pending.clear();
         match &mut self.kind {
             TxKind::Chan(tx) => {
                 tx.take();
@@ -136,26 +246,131 @@ impl LinkTx {
 }
 
 impl LinkRx {
-    /// Receives one frame, blocking. An error means the peer is gone (or the
-    /// link was closed under us, or it sent garbage — see
-    /// [`crate::wire::WireError`]).
-    pub fn recv(&mut self) -> io::Result<Frame> {
-        let result = match &mut self.kind {
-            RxKind::Chan(rx) => {
-                let bytes = rx
-                    .recv()
-                    .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"));
-                bytes.and_then(|bytes| decode_frame(&bytes).map_err(io::Error::from))
-            }
-            RxKind::Tcp(stream) => read_frame(stream).map_err(io::Error::from),
-        };
+    fn tap_result(&self, result: &io::Result<Frame>) {
         if let Some(tap) = &self.tap {
-            match &result {
+            match result {
                 Ok(frame) => tap.received(frame),
                 Err(_) => tap.closed(),
             }
         }
+    }
+
+    /// Receives one frame, blocking. An error means the peer is gone (or the
+    /// link was closed under us, or it sent garbage — see
+    /// [`crate::wire::WireError`]).
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        let result = self.recv_inner();
+        self.tap_result(&result);
         result
+    }
+
+    fn recv_inner(&mut self) -> io::Result<Frame> {
+        loop {
+            if let Some(frame) = self.parse.next_frame().map_err(io::Error::from)? {
+                return Ok(frame);
+            }
+            match &mut self.kind {
+                RxKind::Chan(rx) => {
+                    let bytes = rx.recv().map_err(|_| {
+                        io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up")
+                    })?;
+                    self.parse.extend(&bytes);
+                }
+                RxKind::Tcp(stream) => {
+                    // One blocking read per wakeup; whole frames are peeled
+                    // from the parse buffer, so a single segment carrying a
+                    // batch costs a single syscall.
+                    if self.parse.start == 0 && self.parse.buf.is_empty() {
+                        let frame = read_frame(stream).map_err(io::Error::from)?;
+                        return Ok(frame);
+                    }
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = match stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "peer hung up",
+                            ))
+                        }
+                        Ok(n) => n,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    };
+                    self.parse.extend(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// Receives one frame **without blocking**: `Ok(None)` means no complete
+    /// frame is available right now, `Err` means the peer is gone. The
+    /// nonblocking primitive under the real-clock server's poll loop; TCP
+    /// links must be in nonblocking mode ([`LinkRx::set_nonblocking`]).
+    pub fn try_recv(&mut self) -> io::Result<Option<Frame>> {
+        loop {
+            match self.parse.next_frame() {
+                Ok(Some(frame)) => {
+                    if let Some(tap) = &self.tap {
+                        tap.received(&frame);
+                    }
+                    return Ok(Some(frame));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    if let Some(tap) = &self.tap {
+                        tap.closed();
+                    }
+                    return Err(e.into());
+                }
+            }
+            match &mut self.kind {
+                RxKind::Chan(rx) => match rx.try_recv() {
+                    Ok(bytes) => self.parse.extend(&bytes),
+                    Err(TryRecvError::Empty) => return Ok(None),
+                    Err(TryRecvError::Disconnected) => {
+                        if let Some(tap) = &self.tap {
+                            tap.closed();
+                        }
+                        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer hung up"));
+                    }
+                },
+                RxKind::Tcp(stream) => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    match stream.read(&mut chunk) {
+                        Ok(0) => {
+                            if let Some(tap) = &self.tap {
+                                tap.closed();
+                            }
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "peer hung up",
+                            ));
+                        }
+                        Ok(n) => self.parse.extend(&chunk[..n]),
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            if let Some(tap) = &self.tap {
+                                tap.closed();
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Switches a TCP link between blocking and nonblocking reads (a no-op on
+    /// channel links, whose `try_recv` never blocks anyway). Note that the
+    /// mode is a property of the underlying socket, shared with the link's
+    /// send half — the send path tolerates `WouldBlock` for exactly this
+    /// reason.
+    pub fn set_nonblocking(&mut self, nonblocking: bool) -> io::Result<()> {
+        match &self.kind {
+            RxKind::Chan(_) => Ok(()),
+            RxKind::Tcp(stream) => stream.set_nonblocking(nonblocking),
+        }
     }
 }
 
@@ -212,11 +427,19 @@ pub trait Transport {
 pub struct ChanTransport;
 
 fn bare_tx(kind: TxKind) -> LinkTx {
-    LinkTx { kind, tap: None }
+    LinkTx {
+        kind,
+        tap: None,
+        pending: Vec::new(),
+    }
 }
 
 fn bare_rx(kind: RxKind) -> LinkRx {
-    LinkRx { kind, tap: None }
+    LinkRx {
+        kind,
+        tap: None,
+        parse: FrameBuf::default(),
+    }
 }
 
 fn chan_pair() -> (Link, Link) {
@@ -424,6 +647,99 @@ mod tests {
     #[test]
     fn unknown_transport_name_is_rejected() {
         assert!(transport_by_name("udp").is_none());
+    }
+
+    #[test]
+    fn frame_buf_peels_frames_fed_one_byte_at_a_time() {
+        let frames = vec![
+            Frame::Request { worker: 2 },
+            Frame::Report {
+                worker: 2,
+                token: 9,
+            },
+            Frame::End,
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            crate::wire::encode_frame_into(&mut bytes, f);
+        }
+        let mut buf = FrameBuf::default();
+        let mut got = Vec::new();
+        for b in bytes {
+            buf.extend(&[b]);
+            while let Some(frame) = buf.next_frame().expect("valid stream") {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(buf.next_frame().expect("empty").is_none());
+    }
+
+    #[test]
+    fn queued_frames_flush_as_one_batch_and_try_recv_drains_them() {
+        for name in ["chan", "tcp"] {
+            let mut t = transport_by_name(name).expect("known transport");
+            let (servers, workers) = t.establish(1).expect("establish");
+            let (mut tx, _srx) = servers.into_iter().next().expect("one link").split();
+            let (_wtx, mut rx) = workers.into_iter().next().expect("one link").split();
+            rx.set_nonblocking(true).expect("nonblocking");
+            assert!(
+                rx.try_recv().expect("idle").is_none(),
+                "{name}: nothing queued yet"
+            );
+            let sent: Vec<Frame> = (0..5)
+                .map(|i| Frame::Grant {
+                    token: i,
+                    level: 0,
+                    iteration: 1,
+                    batch: 8,
+                    unit_start: 0,
+                    unit_end: 4,
+                })
+                .collect();
+            for f in &sent {
+                tx.queue(f).expect("queue");
+            }
+            tx.flush().expect("flush");
+            let mut got = Vec::new();
+            while got.len() < sent.len() {
+                match rx.try_recv().expect("try_recv") {
+                    Some(frame) => got.push(frame),
+                    None => std::thread::yield_now(),
+                }
+            }
+            assert_eq!(got, sent, "{name}");
+            assert!(rx.try_recv().expect("drained").is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn flush_with_nothing_queued_is_a_no_op() {
+        let (server, _worker) = chan_pair();
+        let (mut tx, _rx) = server.split();
+        tx.flush().expect("empty flush");
+        tx.flush().expect("still empty");
+    }
+
+    #[test]
+    fn try_recv_reports_a_gone_peer() {
+        for name in ["chan", "tcp"] {
+            let mut t = transport_by_name(name).expect("known transport");
+            let (servers, workers) = t.establish(1).expect("establish");
+            let (mut tx, rx) = servers.into_iter().next().expect("one link").split();
+            let (_wtx, mut wrx) = workers.into_iter().next().expect("one link").split();
+            wrx.set_nonblocking(true).expect("nonblocking");
+            tx.close();
+            drop(rx);
+            let dead = loop {
+                match wrx.try_recv() {
+                    Ok(Some(_)) => panic!("{name}: no frame was ever sent"),
+                    Ok(None) => std::thread::yield_now(),
+                    Err(_) => break true,
+                }
+            };
+            assert!(dead, "{name}: try_recv must surface the disconnect");
+        }
     }
 
     #[test]

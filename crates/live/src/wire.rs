@@ -76,6 +76,21 @@ pub enum Frame {
         /// Completed token id.
         token: u64,
     },
+    /// Real-clock mode, server → worker: train these tokens, in order. One
+    /// frame (one syscall, one flush) amortizes the grant hot path over N
+    /// tokens — the batched sibling of [`Frame::Grant`].
+    GrantBatch {
+        /// The granted tokens, in grant order.
+        grants: Vec<WireGrant>,
+    },
+    /// Real-clock mode, worker → server: these tokens are trained, in
+    /// completion order — the batched sibling of [`Frame::Report`].
+    ReportBatch {
+        /// Reporting worker.
+        worker: u32,
+        /// Completed token ids, oldest first.
+        tokens: Vec<u64>,
+    },
     /// Server → worker: one committed iteration's token schedule, as
     /// `(level, completion_index)` pairs — the worker applies it to its
     /// `fela-engine` model replica.
@@ -99,6 +114,28 @@ pub enum Frame {
         bytes: Vec<u8>,
     },
 }
+
+/// One grant inside a [`Frame::GrantBatch`]: the same fields as
+/// [`Frame::Grant`], packed as a plain value so a batch encodes as a count
+/// followed by fixed-size records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireGrant {
+    /// Token id.
+    pub token: u64,
+    /// Sub-model level.
+    pub level: u32,
+    /// Iteration.
+    pub iteration: u64,
+    /// Samples.
+    pub batch: u64,
+    /// First model unit (inclusive).
+    pub unit_start: u32,
+    /// Last model unit (exclusive).
+    pub unit_end: u32,
+}
+
+/// Encoded size of one [`WireGrant`] record.
+const WIRE_GRANT_BYTES: usize = 8 + 4 + 8 + 8 + 4 + 4;
 
 /// Wire-protocol failure: the peer sent bytes that are not a valid frame, or
 /// the underlying stream failed mid-frame.
@@ -273,14 +310,53 @@ const TAG_ITER: u8 = 7;
 const TAG_HANG: u8 = 8;
 const TAG_END: u8 = 9;
 const TAG_PARAMS: u8 = 10;
+const TAG_GRANT_BATCH: u8 = 11;
+const TAG_REPORT_BATCH: u8 = 12;
 
-/// Serializes one frame: `[body_len: u32 LE][tag: u8][fields...]`.
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let mut body = Vec::with_capacity(32);
+/// Exact encoded body size (tag byte included) of one frame.
+///
+/// The hot-path encoder pre-reserves exactly this many bytes, so batched
+/// frames never reallocate mid-encode; exactness is property-tested against
+/// [`encode_frame`] for every variant.
+pub fn body_len(frame: &Frame) -> usize {
+    1 + match frame {
+        Frame::Hello { .. } | Frame::Request { .. } => 4,
+        Frame::CostQuery { .. } => 4 + 8 + 4 + 4 + 4 + 8 + 8,
+        Frame::CostReply { .. } => 8 + 8,
+        Frame::Grant { .. } => WIRE_GRANT_BYTES,
+        Frame::Report { .. } => 4 + 8,
+        Frame::GrantBatch { grants } => 4 + WIRE_GRANT_BYTES * grants.len(),
+        Frame::ReportBatch { tokens, .. } => 4 + 4 + 8 * tokens.len(),
+        Frame::Iter { schedule, .. } => 8 + 4 + 8 * schedule.len(),
+        Frame::Hang { .. } => 8,
+        Frame::End => 0,
+        Frame::Params { bytes } => 4 + bytes.len(),
+    }
+}
+
+fn put_grant(out: &mut Vec<u8>, g: &WireGrant) {
+    put_u64(out, g.token);
+    put_u32(out, g.level);
+    put_u64(out, g.iteration);
+    put_u64(out, g.batch);
+    put_u32(out, g.unit_start);
+    put_u32(out, g.unit_end);
+}
+
+/// Serializes one frame — `[body_len: u32 LE][tag: u8][fields...]` — by
+/// *appending* to `out`, reserving the exact encoded size up front
+/// ([`body_len`]). This is the hot-path entry: a link keeps one buffer alive
+/// across frames instead of allocating a fresh `Vec` per frame, and a batch
+/// flush queues several frames into it before one write.
+pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
+    let body = body_len(frame);
+    out.reserve(4 + body);
+    let start = out.len();
+    put_u32(out, body as u32);
     match frame {
         Frame::Hello { worker } => {
-            body.push(TAG_HELLO);
-            put_u32(&mut body, *worker);
+            out.push(TAG_HELLO);
+            put_u32(out, *worker);
         }
         Frame::CostQuery {
             worker,
@@ -291,23 +367,23 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             batch,
             iteration,
         } => {
-            body.push(TAG_COST_QUERY);
-            put_u32(&mut body, *worker);
-            put_u64(&mut body, *token);
-            put_u32(&mut body, *level);
-            put_u32(&mut body, *unit_start);
-            put_u32(&mut body, *unit_end);
-            put_u64(&mut body, *batch);
-            put_u64(&mut body, *iteration);
+            out.push(TAG_COST_QUERY);
+            put_u32(out, *worker);
+            put_u64(out, *token);
+            put_u32(out, *level);
+            put_u32(out, *unit_start);
+            put_u32(out, *unit_end);
+            put_u64(out, *batch);
+            put_u64(out, *iteration);
         }
         Frame::CostReply { token, secs_bits } => {
-            body.push(TAG_COST_REPLY);
-            put_u64(&mut body, *token);
-            put_u64(&mut body, *secs_bits);
+            out.push(TAG_COST_REPLY);
+            put_u64(out, *token);
+            put_u64(out, *secs_bits);
         }
         Frame::Request { worker } => {
-            body.push(TAG_REQUEST);
-            put_u32(&mut body, *worker);
+            out.push(TAG_REQUEST);
+            put_u32(out, *worker);
         }
         Frame::Grant {
             token,
@@ -317,45 +393,70 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             unit_start,
             unit_end,
         } => {
-            body.push(TAG_GRANT);
-            put_u64(&mut body, *token);
-            put_u32(&mut body, *level);
-            put_u64(&mut body, *iteration);
-            put_u64(&mut body, *batch);
-            put_u32(&mut body, *unit_start);
-            put_u32(&mut body, *unit_end);
+            out.push(TAG_GRANT);
+            put_grant(
+                out,
+                &WireGrant {
+                    token: *token,
+                    level: *level,
+                    iteration: *iteration,
+                    batch: *batch,
+                    unit_start: *unit_start,
+                    unit_end: *unit_end,
+                },
+            );
         }
         Frame::Report { worker, token } => {
-            body.push(TAG_REPORT);
-            put_u32(&mut body, *worker);
-            put_u64(&mut body, *token);
+            out.push(TAG_REPORT);
+            put_u32(out, *worker);
+            put_u64(out, *token);
+        }
+        Frame::GrantBatch { grants } => {
+            out.push(TAG_GRANT_BATCH);
+            put_u32(out, grants.len() as u32);
+            for g in grants {
+                put_grant(out, g);
+            }
+        }
+        Frame::ReportBatch { worker, tokens } => {
+            out.push(TAG_REPORT_BATCH);
+            put_u32(out, *worker);
+            put_u32(out, tokens.len() as u32);
+            for &t in tokens {
+                put_u64(out, t);
+            }
         }
         Frame::Iter {
             iteration,
             schedule,
         } => {
-            body.push(TAG_ITER);
-            put_u64(&mut body, *iteration);
-            put_u32(&mut body, schedule.len() as u32);
+            out.push(TAG_ITER);
+            put_u64(out, *iteration);
+            put_u32(out, schedule.len() as u32);
             for &(level, idx) in schedule {
-                put_u32(&mut body, level);
-                put_u32(&mut body, idx);
+                put_u32(out, level);
+                put_u32(out, idx);
             }
         }
         Frame::Hang { nanos } => {
-            body.push(TAG_HANG);
-            put_u64(&mut body, *nanos);
+            out.push(TAG_HANG);
+            put_u64(out, *nanos);
         }
-        Frame::End => body.push(TAG_END),
+        Frame::End => out.push(TAG_END),
         Frame::Params { bytes } => {
-            body.push(TAG_PARAMS);
-            put_u32(&mut body, bytes.len() as u32);
-            body.extend_from_slice(bytes);
+            out.push(TAG_PARAMS);
+            put_u32(out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
         }
     }
-    let mut out = Vec::with_capacity(4 + body.len());
-    put_u32(&mut out, body.len() as u32);
-    out.extend_from_slice(&body);
+    debug_assert_eq!(out.len() - start, 4 + body, "body_len must be exact");
+}
+
+/// Serializes one frame into a fresh buffer: `[body_len: u32 LE][tag: u8]
+/// [fields...]`. Cold-path convenience over [`encode_frame_into`].
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body_len(frame));
+    encode_frame_into(&mut out, frame);
     out
 }
 
@@ -391,6 +492,44 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
             worker: c.u32()?,
             token: c.u64()?,
         },
+        TAG_GRANT_BATCH => {
+            let n = c.u32()? as usize;
+            if n > c.remaining() / WIRE_GRANT_BYTES {
+                return Err(WireError::BadCount {
+                    what: "GrantBatch grants",
+                    count: n,
+                    remaining: c.remaining(),
+                });
+            }
+            let mut grants = Vec::with_capacity(n);
+            for _ in 0..n {
+                grants.push(WireGrant {
+                    token: c.u64()?,
+                    level: c.u32()?,
+                    iteration: c.u64()?,
+                    batch: c.u64()?,
+                    unit_start: c.u32()?,
+                    unit_end: c.u32()?,
+                });
+            }
+            Frame::GrantBatch { grants }
+        }
+        TAG_REPORT_BATCH => {
+            let worker = c.u32()?;
+            let n = c.u32()? as usize;
+            if n > c.remaining() / 8 {
+                return Err(WireError::BadCount {
+                    what: "ReportBatch tokens",
+                    count: n,
+                    remaining: c.remaining(),
+                });
+            }
+            let mut tokens = Vec::with_capacity(n);
+            for _ in 0..n {
+                tokens.push(c.u64()?);
+            }
+            Frame::ReportBatch { worker, tokens }
+        }
         TAG_ITER => {
             let iteration = c.u64()?;
             let n = c.u32()? as usize;
@@ -454,10 +593,25 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
     decode_body(&bytes[4..])
 }
 
-/// Writes one frame to a byte stream.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
-    w.write_all(&encode_frame(frame))?;
+/// Queues one frame on a byte stream **without flushing** — the mid-batch
+/// path. The caller owns the flush: pair with [`flush_frames`] once the batch
+/// is complete so one flush (and, on a buffered writer, one syscall)
+/// amortizes over every queued frame.
+pub fn queue_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Flushes a stream previously fed by [`queue_frame`], ending a batch.
+pub fn flush_frames(w: &mut impl Write) -> io::Result<()> {
     w.flush()
+}
+
+/// Writes one frame to a byte stream and flushes it — the single-frame path
+/// ([`queue_frame`] + [`flush_frames`]). Callers mid-batch must use
+/// [`queue_frame`] instead so the batch flushes once.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    queue_frame(w, frame)?;
+    flush_frames(w)
 }
 
 /// Reads one frame from a byte stream (blocking).
@@ -514,6 +668,30 @@ mod tests {
             Frame::Report {
                 worker: 5,
                 token: 9,
+            },
+            Frame::GrantBatch {
+                grants: vec![
+                    WireGrant {
+                        token: 11,
+                        level: 1,
+                        iteration: 2,
+                        batch: 8,
+                        unit_start: 3,
+                        unit_end: 7,
+                    },
+                    WireGrant {
+                        token: 12,
+                        level: 0,
+                        iteration: 2,
+                        batch: 8,
+                        unit_start: 0,
+                        unit_end: 3,
+                    },
+                ],
+            },
+            Frame::ReportBatch {
+                worker: 5,
+                tokens: vec![11, 12, 13],
             },
             Frame::Iter {
                 iteration: 2,
@@ -624,6 +802,27 @@ mod tests {
                 ..
             })
         ));
+        // GrantBatch claiming u32::MAX records in a near-empty body.
+        let mut body = vec![TAG_GRANT_BATCH];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_body(&body),
+            Err(WireError::BadCount {
+                what: "GrantBatch grants",
+                ..
+            })
+        ));
+        // ReportBatch claiming more token ids than bytes remain.
+        let mut body = vec![TAG_REPORT_BATCH];
+        body.extend_from_slice(&3u32.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_body(&body),
+            Err(WireError::BadCount {
+                what: "ReportBatch tokens",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -706,6 +905,28 @@ mod tests {
         }
     }
 
+    /// An arbitrary `WireGrant` record.
+    fn arb_wire_grant() -> impl Strategy<Value = WireGrant> {
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+        )
+            .prop_map(
+                |(token, level, iteration, batch, unit_start, unit_end)| WireGrant {
+                    token,
+                    level,
+                    iteration,
+                    batch,
+                    unit_start,
+                    unit_end,
+                },
+            )
+    }
+
     /// Every `Frame` variant, with arbitrary field values.
     fn arb_frame() -> impl Strategy<Value = Frame> {
         prop_oneof![
@@ -755,6 +976,10 @@ mod tests {
                 }),
             (any::<u32>(), any::<u64>())
                 .prop_map(|(worker, token)| Frame::Report { worker, token }),
+            prop::collection::vec(arb_wire_grant(), 0..32)
+                .prop_map(|grants| Frame::GrantBatch { grants }),
+            (any::<u32>(), prop::collection::vec(any::<u64>(), 0..64))
+                .prop_map(|(worker, tokens)| Frame::ReportBatch { worker, tokens }),
             (
                 any::<u64>(),
                 prop::collection::vec((any::<u32>(), any::<u32>()), 0..64),
@@ -799,6 +1024,41 @@ mod tests {
             pairs in prop::collection::vec((0u32..8, 0u32..64), 0..40),
         ) {
             let f = Frame::Iter { iteration, schedule: pairs.clone() };
+            prop_assert_eq!(decode_frame(&encode_frame(&f)).unwrap(), f);
+        }
+
+        #[test]
+        fn body_len_is_exact_for_every_variant(f in arb_frame()) {
+            // The hot-path encoder pre-reserves body_len bytes; exactness is
+            // what guarantees batched frames never reallocate mid-encode.
+            let encoded = encode_frame(&f);
+            prop_assert_eq!(encoded.len(), 4 + body_len(&f));
+            // And appending into a pre-reserved buffer does not grow it.
+            let mut buf = Vec::with_capacity(4 + body_len(&f));
+            let cap = buf.capacity();
+            encode_frame_into(&mut buf, &f);
+            prop_assert_eq!(buf.capacity(), cap, "encode must not reallocate");
+            prop_assert_eq!(buf, encoded);
+        }
+
+        #[test]
+        fn grant_batch_frames_round_trip_bit_exactly(
+            grants in prop::collection::vec(arb_wire_grant(), 0..48),
+        ) {
+            let f = Frame::GrantBatch { grants };
+            prop_assert_eq!(decode_frame(&encode_frame(&f)).unwrap(), f.clone());
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &f).unwrap();
+            let mut r = Chunked { data: &buf, chunk: 1 };
+            prop_assert_eq!(read_frame(&mut r).unwrap(), f);
+        }
+
+        #[test]
+        fn report_batch_frames_round_trip_bit_exactly(
+            worker in any::<u32>(),
+            tokens in prop::collection::vec(any::<u64>(), 0..64),
+        ) {
+            let f = Frame::ReportBatch { worker, tokens };
             prop_assert_eq!(decode_frame(&encode_frame(&f)).unwrap(), f);
         }
 

@@ -61,23 +61,6 @@ fn span_secs(spec: &WorkerSpec, unit_start: usize, unit_end: usize, batch: u64) 
     )
 }
 
-/// Real-clock grant duration: span plus this worker's straggler delay for the
-/// iteration.
-fn grant_secs(
-    spec: &WorkerSpec,
-    unit_start: usize,
-    unit_end: usize,
-    batch: u64,
-    iteration: u64,
-) -> f64 {
-    span_secs(spec, unit_start, unit_end, batch)
-        + spec
-            .scenario
-            .straggler
-            .delay_for(iteration, spec.index, spec.scenario.cluster.nodes)
-            .as_secs_f64()
-}
-
 fn scaled_sleep(secs: f64, time_scale: f64) {
     let real = secs * time_scale;
     if real > 0.0 {
@@ -92,6 +75,21 @@ pub fn spawn_worker(spec: WorkerSpec, mut link: Link) -> JoinHandle<()> {
         .name(format!("fela-worker-{}", spec.index))
         .spawn(move || {
             let mut setup = engine_setup(&spec.plan);
+            // Memoized span pricing: the analytic model walk repeats for
+            // every token of a level, and the batched hot path prices whole
+            // grant batches at once.
+            let mut spans: std::collections::HashMap<(u32, u32, u64), f64> =
+                std::collections::HashMap::new();
+            let mut priced = |spec: &WorkerSpec, us: u32, ue: u32, batch: u64, iteration: u64| {
+                let base = *spans
+                    .entry((us, ue, batch))
+                    .or_insert_with(|| span_secs(spec, us as usize, ue as usize, batch));
+                base + spec
+                    .scenario
+                    .straggler
+                    .delay_for(iteration, spec.index, spec.scenario.cluster.nodes)
+                    .as_secs_f64()
+            };
             if spec.pull
                 && link
                     .send(&Frame::Request {
@@ -133,13 +131,7 @@ pub fn spawn_worker(spec: WorkerSpec, mut link: Link) -> JoinHandle<()> {
                         unit_end,
                         ..
                     } => {
-                        let secs = grant_secs(
-                            &spec,
-                            unit_start as usize,
-                            unit_end as usize,
-                            batch,
-                            iteration,
-                        );
+                        let secs = priced(&spec, unit_start, unit_end, batch, iteration);
                         scaled_sleep(secs, spec.time_scale);
                         if link
                             .send(&Frame::Report {
@@ -148,6 +140,29 @@ pub fn spawn_worker(spec: WorkerSpec, mut link: Link) -> JoinHandle<()> {
                             })
                             .is_err()
                         {
+                            return;
+                        }
+                    }
+                    Frame::GrantBatch { grants } => {
+                        // The whole pipelined batch "computes" as one coalesced
+                        // sleep, then reports with a single frame — the
+                        // worker-side half of the batched hot path.
+                        let secs: f64 = grants
+                            .iter()
+                            .map(|g| priced(&spec, g.unit_start, g.unit_end, g.batch, g.iteration))
+                            .sum();
+                        scaled_sleep(secs, spec.time_scale);
+                        let reply = match grants.as_slice() {
+                            [only] => Frame::Report {
+                                worker: spec.index as u32,
+                                token: only.token,
+                            },
+                            _ => Frame::ReportBatch {
+                                worker: spec.index as u32,
+                                tokens: grants.iter().map(|g| g.token).collect(),
+                            },
+                        };
+                        if link.send(&reply).is_err() {
                             return;
                         }
                     }
@@ -232,6 +247,48 @@ mod tests {
             Frame::Params { bytes } => assert!(!bytes.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
+        handle.join().expect("worker exits cleanly");
+    }
+
+    #[test]
+    fn grant_batch_reports_every_token_with_one_frame() {
+        use crate::wire::WireGrant;
+        let spec = test_spec(1);
+        let mut t = ChanTransport;
+        let (mut servers, workers) = t.establish(1).expect("establish");
+        let handle = spawn_worker(spec, workers.into_iter().next().expect("one"));
+        let grant = |token| WireGrant {
+            token,
+            level: 0,
+            iteration: 0,
+            batch: 16,
+            unit_start: 0,
+            unit_end: 2,
+        };
+        servers[0]
+            .send(&Frame::GrantBatch {
+                grants: vec![grant(4), grant(5), grant(6)],
+            })
+            .expect("send batch");
+        match servers[0].recv().expect("report batch") {
+            Frame::ReportBatch { worker, tokens } => {
+                assert_eq!(worker, 1);
+                assert_eq!(tokens, vec![4, 5, 6]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A batch of one degenerates to the plain Report frame.
+        servers[0]
+            .send(&Frame::GrantBatch {
+                grants: vec![grant(7)],
+            })
+            .expect("send singleton batch");
+        match servers[0].recv().expect("report") {
+            Frame::Report { worker, token } => assert_eq!((worker, token), (1, 7)),
+            other => panic!("unexpected {other:?}"),
+        }
+        servers[0].send(&Frame::End).expect("send end");
+        assert!(matches!(servers[0].recv(), Ok(Frame::Params { .. })));
         handle.join().expect("worker exits cleanly");
     }
 

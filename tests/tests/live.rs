@@ -134,6 +134,69 @@ fn recovery_verifier_accepts_a_faulted_live_trace() {
 }
 
 #[test]
+fn virtual_conformance_holds_at_64_workers() {
+    // The poll-loop/batching rewrite is gated by this invariant: even at 64
+    // live worker threads, a virtual-clock run on either transport stays
+    // event-for-event identical to the discrete-event simulator.
+    let mut scenario = Scenario::paper(zoo::alexnet(), 256);
+    scenario.iterations = 2;
+    scenario.cluster = ClusterSpec::k40c_cluster(64);
+    let m = FelaRuntime::new(FelaConfig::new(1))
+        .partition_for(&scenario)
+        .len();
+    let config = FelaConfig::new(m);
+    let (sim_report, sim_trace) = FelaRuntime::new(config.clone()).run_traced(&scenario);
+    for (tname, mut transport) in transports() {
+        let live = run_virtual(&config, &scenario, transport.as_mut()).expect("64-worker live run");
+        assert_eq!(
+            sim_trace.events(),
+            live.trace.events(),
+            "{tname}: 64-worker live trace must be event-for-event equal to the simulator"
+        );
+        assert_eq!(
+            sim_report.counters, live.report.counters,
+            "{tname}: counters must match at 64 workers"
+        );
+        assert!(!live.params.is_empty(), "{tname}: params collected");
+    }
+}
+
+#[test]
+fn real_clock_timer_edge_regression() {
+    // Timer-underflow regression at the workspace level: zero lease/downtime
+    // floors plus a tiny time scale put every lease and restart deadline in
+    // the past by the time it is armed. The old server loop panicked on the
+    // unchecked `at - now`; the poll loop must fire these immediately and
+    // still finish the faulted run on both transports.
+    let (_, config, mut scenario) = zoo_configs().remove(2); // alexnet: fastest
+    scenario.iterations = 4;
+    scenario.fault = FaultModel::Scripted {
+        worker: 1,
+        iteration: 1,
+        kind: FaultKind::CrashRestart {
+            down: SimDuration::from_millis(100),
+        },
+    };
+    for (tname, mut transport) in transports() {
+        let real = run_real(
+            &config,
+            &scenario,
+            transport.as_mut(),
+            RealOptions {
+                time_scale: 1e-7,
+                min_lease: std::time::Duration::ZERO,
+                min_down: std::time::Duration::ZERO,
+                ..RealOptions::default()
+            },
+        )
+        .expect("timer-edge run completes");
+        assert_eq!(real.iterations, 4, "{tname}");
+        assert!(real.crashes >= 1, "{tname}: the scripted crash happened");
+        assert!(real.restarts >= 1, "{tname}: the worker rejoined");
+    }
+}
+
+#[test]
 fn real_clock_smoke_matches_virtual_params() {
     // 4 workers, both transports, wall clock: nondeterministic interleavings,
     // deterministic outcome. Every replica (and the server's reference

@@ -410,3 +410,88 @@ fn faulted_mid_run_snapshot_restores_on_both_planes() {
     assert_eq!(r1.snapshot(), snap);
     assert_eq!(r2.snapshot(), snap);
 }
+
+/// Drives a fresh plane into a state with a non-empty waiting queue and
+/// servable tokens: one grant per worker, a starved second request that
+/// queues every worker, then reports that release the next level's tokens.
+macro_rules! starve_then_release {
+    ($p:expr) => {{
+        let mut clock = 0u64;
+        let mut granted = Vec::new();
+        for w in 0..N_WORKERS {
+            clock += 1_000;
+            let g = $p
+                .request(w, SimTime::from_nanos(clock))
+                .expect("request")
+                .expect("the first round must grant");
+            granted.push((w, g.token.id));
+        }
+        for w in 0..N_WORKERS {
+            clock += 1_000;
+            let g = $p.request(w, SimTime::from_nanos(clock)).expect("request");
+            assert!(g.is_none(), "second request must starve into the queue");
+        }
+        for (w, t) in granted {
+            clock += 1_000;
+            for s in $p.report(w, t).expect("report") {
+                $p.sync_finished(s.level, s.iteration).expect("sync");
+            }
+        }
+        clock + 1_000
+    }};
+}
+
+/// The batched grant path (`drain_ready_grants`) must be observably identical
+/// to the one-at-a-time `pop_ready_grant`-until-`None` loop — same grants in
+/// the same order, same stats — on both the oracle and the sharded plane.
+#[test]
+fn drain_ready_grants_matches_repeated_pop_on_both_planes() {
+    for shards in [1usize, 3] {
+        let cfg = build_cfg(true, true, false, false, shards);
+        let (plan, meta) = vgg_inputs(&cfg);
+        let mut drained = Coordinator::new(
+            plan.clone(),
+            cfg.clone(),
+            meta.clone(),
+            N_WORKERS,
+            ITERATIONS,
+        );
+        let mut popped = Coordinator::new(
+            plan.clone(),
+            cfg.clone(),
+            meta.clone(),
+            N_WORKERS,
+            ITERATIONS,
+        );
+        let mut oracle = TokenServer::new(plan, cfg, meta, N_WORKERS, ITERATIONS);
+
+        let clock = starve_then_release!(drained);
+        assert_eq!(clock, starve_then_release!(popped));
+        assert_eq!(clock, starve_then_release!(oracle));
+        let now = SimTime::from_nanos(clock);
+
+        let mut batch = Vec::new();
+        drained.drain_ready_grants(now, &mut batch).expect("drain");
+        let mut singles = Vec::new();
+        while let Some(pair) = popped.pop_ready_grant(now).expect("pop") {
+            singles.push(pair);
+        }
+        let mut oracle_batch = Vec::new();
+        oracle
+            .drain_ready_grants(now, &mut oracle_batch)
+            .expect("oracle drain");
+
+        assert!(
+            !batch.is_empty(),
+            "the scenario must exercise a non-empty drain (shards = {shards})"
+        );
+        assert_eq!(format!("{batch:?}"), format!("{singles:?}"));
+        assert_eq!(format!("{batch:?}"), format!("{oracle_batch:?}"));
+        assert_eq!(
+            format!("{:?}", drained.stats()),
+            format!("{:?}", popped.stats()),
+            "stats must not diverge between the batched and single-pop paths"
+        );
+        assert_eq!(drained.snapshot(), popped.snapshot());
+    }
+}
