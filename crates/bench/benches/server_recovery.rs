@@ -1,0 +1,129 @@
+//! Durable recovery versus restart-from-scratch on the control plane.
+//!
+//! A crashed Token Server has two ways back: replay the write-ahead log
+//! (latest checkpoint + op suffix, [`fela_core::recover`]) or rebuild a fresh
+//! plane and re-drive every grant/report/sync of the lost iterations from
+//! scratch. The WAL path fully decodes only the latest checkpoint and its op
+//! suffix — everything earlier is checksum-scanned and skipped — while the
+//! scratch path re-pays the whole control-plane scheduling history. These
+//! benches measure both at several run lengths; the committed
+//! `BENCH_server_recovery.json` is the acceptance artifact showing durable
+//! recovery beats restart-from-scratch.
+//!
+//! Run with `FELA_BENCH_DIR=<dir>` to emit `BENCH_server_recovery.json`;
+//! `FELA_BENCH_QUICK=1` shortens the measurement for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fela_core::{recover, ControlPlane, FelaConfig, LevelMeta, MemWal, RecoveryConfig, TokenPlan};
+use fela_model::{bin_partition, zoo, PartitionOptions, ThresholdProfile};
+use fela_sim::SimTime;
+
+const WORKERS: usize = 8;
+const BATCH: u64 = 1024;
+/// Run lengths (iterations of logged traffic) where both paths are measured.
+const ITER_COUNTS: [u64; 3] = [4, 16, 64];
+/// Completed iterations between checkpoints — the knob that bounds the WAL
+/// replay suffix (the same discipline both runtimes use).
+const CHECKPOINT_EVERY: u64 = 4;
+
+fn plan_inputs() -> (TokenPlan, FelaConfig, Vec<LevelMeta>) {
+    let partition = bin_partition(
+        &zoo::vgg19(),
+        &ThresholdProfile::k40c(),
+        PartitionOptions::default(),
+    );
+    // Crash-survivable deployments grant tokens as leases (faults imply
+    // recovery in both runtimes), so the bench plane does too.
+    let cfg = FelaConfig::new(3)
+        .with_weights(vec![1, 2, 4])
+        .with_recovery(RecoveryConfig::default());
+    let plan = TokenPlan::build(&partition, &cfg, BATCH, WORKERS).unwrap();
+    let meta: Vec<LevelMeta> = partition
+        .sub_models()
+        .iter()
+        .map(|s| LevelMeta {
+            param_bytes: s.param_bytes,
+            output_bytes_per_sample: s.output_bytes_per_sample,
+            input_bytes_per_sample: s.input_bytes_per_sample,
+            comm_intensive: s.comm_intensive,
+        })
+        .collect();
+    (plan, cfg, meta)
+}
+
+/// Grants, reports and syncs every token until the plane's run completes —
+/// the same traffic the simulator would generate, minus compute/network cost.
+/// With `checkpoint_every > 0` the WAL gets a checkpoint whenever the
+/// completed-iteration count crosses a multiple of it — the same cadence the
+/// simulator and the live runtime use (the plane must have a WAL attached).
+fn drive_to_completion(plane: &mut ControlPlane, checkpoint_every: u64) {
+    let mut clock = 0u64;
+    let mut last_checkpoint = 0u64;
+    while !plane.run_complete() {
+        let mut progressed = false;
+        for w in 0..WORKERS {
+            clock += 100_000;
+            while let Some(g) = plane.request(w, SimTime::from_nanos(clock)).unwrap() {
+                for s in plane.report(w, g.token.id).unwrap() {
+                    plane.sync_finished(s.level, s.iteration).unwrap();
+                }
+                progressed = true;
+            }
+        }
+        clock += 100_000;
+        while let Some((w, g)) = plane.pop_ready_grant(SimTime::from_nanos(clock)).unwrap() {
+            for s in plane.report(w, g.token.id).unwrap() {
+                plane.sync_finished(s.level, s.iteration).unwrap();
+            }
+            progressed = true;
+        }
+        // `checked_div` keeps `checkpoint_every == 0` meaning "never" (both
+        // sides None) without a separate guard.
+        let done = plane.completed_iterations();
+        if done.checked_div(checkpoint_every) > last_checkpoint.checked_div(checkpoint_every) {
+            plane.checkpoint_wal(&[]).unwrap();
+            last_checkpoint = done;
+        }
+        assert!(progressed, "control-plane drive stalled");
+    }
+}
+
+/// A completed logged run of `iterations`, checkpointed every
+/// [`CHECKPOINT_EVERY`] completed iterations; returns the WAL bytes.
+fn logged_run(iterations: u64) -> Vec<u8> {
+    let (plan, cfg, meta) = plan_inputs();
+    let mem = MemWal::new();
+    let mut plane = ControlPlane::new(plan, cfg, meta, WORKERS, iterations);
+    plane.attach_wal(Box::new(mem.clone())).unwrap();
+    drive_to_completion(&mut plane, CHECKPOINT_EVERY);
+    mem.bytes()
+}
+
+fn bench_server_recovery(c: &mut Criterion) {
+    let (plan, cfg, meta) = plan_inputs();
+    for iters in ITER_COUNTS {
+        let bytes = logged_run(iters);
+        c.bench_function(&format!("recovery/durable_{iters}iters"), |b| {
+            b.iter(|| {
+                let rec = recover(black_box(&bytes), &plan, &cfg, &meta, WORKERS, iters).unwrap();
+                assert!(rec.plane.run_complete());
+                black_box(rec.plane.completed_iterations())
+            })
+        });
+        c.bench_function(&format!("recovery/scratch_{iters}iters"), |b| {
+            b.iter_batched(
+                || ControlPlane::new(plan.clone(), cfg.clone(), meta.clone(), WORKERS, iters),
+                |mut plane| {
+                    drive_to_completion(&mut plane, 0);
+                    black_box(plane.completed_iterations())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(server_recovery, bench_server_recovery);
+criterion_main!(server_recovery);

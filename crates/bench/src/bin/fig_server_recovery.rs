@@ -1,0 +1,6 @@
+//! Server-recovery figure — durable WAL recovery vs restart-from-scratch.
+//! Thin wrapper over [`fela_bench::figures::fig_server_recovery`].
+
+fn main() {
+    fela_bench::figures::fig_server_recovery::run(fela_harness::default_jobs());
+}

@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fig_recovery;
+pub mod fig_server_recovery;
 pub mod table1;
 pub mod table2;
 
@@ -22,7 +23,7 @@ pub mod table2;
 pub type Experiment = fn(usize);
 
 /// Every experiment in DESIGN.md §4 order: `(name, entry point)`.
-pub const ALL: [(&str, Experiment); 11] = [
+pub const ALL: [(&str, Experiment); 12] = [
     ("table1_model_zoo", table1::run),
     ("table2_comparison", table2::run),
     ("fig1_layer_throughput", fig1::run),
@@ -33,5 +34,6 @@ pub const ALL: [(&str, Experiment); 11] = [
     ("fig9_round_robin", fig9::run),
     ("fig10_probabilistic", fig10::run),
     ("fig_recovery", fig_recovery::run),
+    ("fig_server_recovery", fig_server_recovery::run),
     ("ablation_design", ablation::run),
 ];

@@ -34,6 +34,11 @@
 //!   machine over the server ↔ worker `Frame` dialogue, replayed over recorded
 //!   [`fela_live::SyncEvent`] traces (from `RecordingSched`) and over the model
 //!   checker's explored executions.
+//! * [`wal`] — write-ahead-log verification: replays a Token Server WAL
+//!   through an oracle [`fela_core::ControlPlane`], proving the recovered
+//!   state is snapshot-equal and no token is applied twice. Seeded log
+//!   mutations (dropped, duplicated, reordered record, flipped byte) each
+//!   produce a distinct diagnostic.
 //! * [`lint`] — the source-level rules behind the determinism and crash-safety
 //!   arguments (`no-unwrap`, `no-wallclock`, `no-unseeded-rng`,
 //!   `hashmap-order`, `lock-order`, `no-blocking-under-lock`), enforced by the
@@ -49,6 +54,7 @@ pub mod mc;
 pub mod protocol;
 pub mod race;
 pub mod recovery;
+pub mod wal;
 
 pub use dag::{DagNode, DagSummary, DagViolation, Mutation, ScheduleDag};
 pub use explore::{exhaustive_schedule_check, ExploreOutcome, ExploreViolation, Explorer};
@@ -62,6 +68,10 @@ pub use protocol::{
 pub use race::{check_trace, HbAnalysis, RaceSummary, RaceViolation};
 pub use recovery::{
     check_recovery, mutate_trace, RecoveryMutation, RecoverySummary, RecoveryViolation,
+};
+pub use wal::{
+    check_wal, mutate_wal, reference_logged_run, reference_wal_check, run_wal_mutation_matrix,
+    WalMutation, WalMutationRun, WalSummary, WalViolation,
 };
 
 use fela_core::{FelaConfig, PlanError, TokenPlan};

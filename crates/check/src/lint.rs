@@ -30,6 +30,11 @@
 //!   while a `MutexGuard` is live: a blocking wire read under a lock turns a
 //!   slow peer into a stalled server. (`Condvar::wait` is fine — it releases
 //!   the guard.)
+//! * **`no-unflushed-wal`** — every `WalWriter` append
+//!   (`.append_op`/`.append_begin`/`.append_checkpoint`) in the durability
+//!   crates must be followed by a `.commit(` (the fsync-discipline call)
+//!   before its enclosing block closes: a staged-but-uncommitted record is
+//!   state the server believes durable that a crash would silently lose.
 //!
 //! The checker is line-based and intentionally simple: it strips `//` comments
 //! and string literals, skips `#[cfg(test)]` modules by brace counting, and
@@ -90,6 +95,13 @@ pub const DETERMINISM_CRATES: &[&str] = &["fela-core", "fela-sim"];
 /// outside its scheduler seam (threads communicate through channels), so the
 /// table below is tiny — these rules exist to keep it that way.
 pub const LOCK_DISCIPLINE_CRATES: &[&str] = &["fela-live", "fela-core"];
+
+/// Crates whose `WalWriter` usage is held to the fsync discipline
+/// (`no-unflushed-wal`): only these touch the control plane's write-ahead
+/// log, and every append they stage must be committed before the staging
+/// scope ends — otherwise a grant can become externally visible backed by a
+/// record that only exists in memory.
+pub const WAL_DISCIPLINE_CRATES: &[&str] = &["fela-core", "fela-live"];
 
 /// The declared total acquisition order of every named mutex in the
 /// lock-discipline crates, outermost first. A lock may only be taken while
@@ -396,6 +408,61 @@ pub fn lint_source(path: &str, crate_name: &str, content: &str) -> Vec<LintFindi
                     _ => {}
                 }
             }
+        }
+    }
+
+    // Pass 4 (WAL-discipline crates only): every staged WalWriter append must
+    // be committed before its enclosing block closes. `.commit(` flushes the
+    // whole staged batch, so one commit clears every pending append; an
+    // append whose scope ends first was never made durable.
+    if WAL_DISCIPLINE_CRATES.contains(&crate_name) {
+        let mut pending: Vec<(usize, i64)> = Vec::new(); // (line idx, depth at append)
+        let mut depth: i64 = 0;
+        for (i, line) in scrubbed_lines.iter().enumerate() {
+            if !in_test[i] {
+                let append_at = [".append_op(", ".append_begin(", ".append_checkpoint("]
+                    .iter()
+                    .filter_map(|p| line.find(p))
+                    .min();
+                let commit_at = line.find(".commit(");
+                if commit_at.is_some() {
+                    pending.clear();
+                }
+                if let Some(at) = append_at {
+                    // `append(..); commit()` on one line is already flushed.
+                    if commit_at.is_none_or(|c| c <= at) {
+                        pending.push((i, depth));
+                    }
+                }
+            }
+            for c in line.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        while let Some(pos) = pending.iter().position(|&(_, d)| d > depth) {
+                            let (l, _) = pending.remove(pos);
+                            findings.push(LintFinding {
+                                rule: "no-unflushed-wal",
+                                krate: crate_name.to_owned(),
+                                path: path.to_owned(),
+                                line: l + 1,
+                                snippet: lines[l].trim().to_owned(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (l, _) in pending {
+            findings.push(LintFinding {
+                rule: "no-unflushed-wal",
+                krate: crate_name.to_owned(),
+                path: path.to_owned(),
+                line: l + 1,
+                snippet: lines[l].trim().to_owned(),
+            });
         }
     }
     findings
@@ -723,6 +790,73 @@ fn f(&self) {
         let src = "let g = self.mystery.lock().unwrap_or_else(|p| p.into_inner());\n";
         let finding = &lint_source("src/x.rs", "fela-live", src)[0];
         let allow = Allowlist::parse("lock-order src/x.rs mystery\n");
+        assert!(allow.permits(finding));
+    }
+
+    #[test]
+    fn unflushed_wal_append_is_flagged() {
+        let src = "\
+fn record(&mut self) {
+    if let Some(wal) = self.wal.as_mut() {
+        wal.append_op(&op);
+    }
+}
+";
+        let findings = lint_source("a.rs", "fela-core", src);
+        assert_eq!(rules(&findings), ["no-unflushed-wal"]);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn committed_wal_append_is_clean() {
+        let src = "\
+fn record(&mut self) {
+    if let Some(wal) = self.wal.as_mut() {
+        wal.append_op(&op);
+        if let Err(e) = wal.commit() {
+            panic!(\"WAL append failed: {e}\");
+        }
+    }
+}
+";
+        assert!(lint_source("a.rs", "fela-core", src).is_empty());
+        // Same-line append + commit is also flushed.
+        let src = "fn f(w: &mut WalWriter) { w.append_op(&op); w.commit().ok(); }\n";
+        assert!(lint_source("a.rs", "fela-live", src).is_empty());
+    }
+
+    #[test]
+    fn a_commit_before_the_append_does_not_count() {
+        let src = "\
+fn f(w: &mut WalWriter) {
+    w.commit().ok();
+    w.append_checkpoint(payload, &tokens, &snapshot);
+}
+";
+        assert_eq!(
+            rules(&lint_source("a.rs", "fela-core", src)),
+            ["no-unflushed-wal"]
+        );
+    }
+
+    #[test]
+    fn unflushed_wal_rule_scopes_to_the_durability_crates() {
+        let src = "fn f(w: &mut WalWriter) { w.append_begin(1, 2, 3); }\n";
+        assert_eq!(
+            rules(&lint_source("a.rs", "fela-core", src)),
+            ["no-unflushed-wal"]
+        );
+        assert!(lint_source("a.rs", "fela-bench", src).is_empty());
+        // Definitions don't trip the receiver-dot patterns.
+        let def = "pub fn append_op(&mut self, op: &CoordOp) {\n    self.staged.push(0);\n}\n";
+        assert!(lint_source("a.rs", "fela-core", def).is_empty());
+    }
+
+    #[test]
+    fn unflushed_wal_findings_are_allowlistable() {
+        let src = "fn f(w: &mut WalWriter) { w.append_op(&op); }\n";
+        let finding = &lint_source("src/x.rs", "fela-core", src)[0];
+        let allow = Allowlist::parse("no-unflushed-wal src/x.rs append_op\n");
         assert!(allow.permits(finding));
     }
 

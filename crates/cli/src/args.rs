@@ -45,6 +45,10 @@ pub struct CheckArgs {
     /// Run the frame-protocol session verifier (`--protocol`) over recorded
     /// executions.
     pub protocol: bool,
+    /// Run the write-ahead-log replay verifier (`--wal`): replay a logged
+    /// control-plane run through the oracle, prove snapshot equality and
+    /// exactly-once token application, and run the seeded log-mutation matrix.
+    pub wal: bool,
 }
 
 /// Options for `fela live`.
@@ -90,6 +94,12 @@ pub struct CommonArgs {
     /// Artifact directory override (`--results-dir`); `None` =
     /// `FELA_RESULTS_DIR`/`results`.
     pub results_dir: Option<String>,
+    /// Durable control plane: directory for the write-ahead log
+    /// (`--wal-dir`); `None` = in-memory WAL when durability is needed.
+    pub wal_dir: Option<String>,
+    /// Checkpoint cadence in completed iterations (`--checkpoint-every`);
+    /// `None` = the default cadence (1), `Some(0)` = log-only.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for CommonArgs {
@@ -104,6 +114,8 @@ impl Default for CommonArgs {
             seed: None,
             jobs: None,
             results_dir: None,
+            wal_dir: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -193,7 +205,9 @@ pub fn parse_straggler(spec: &str) -> Result<StragglerModel, ParseError> {
 
 /// Parses `--fault` values: `none`, `crash:<iter>:<worker>`,
 /// `crash-restart:<iter>:<worker>:<down_secs>`, `hang:<iter>:<worker>:<secs>`,
-/// `link-down:<iter>:<worker>:<secs>` or `chaos:<p>:<down_secs>[:<seed>]`.
+/// `link-down:<iter>:<worker>:<secs>`, `chaos:<p>:<down_secs>[:<seed>]` or
+/// `server-crash-restart:<iter>:<down_secs>` (kills the Token Server itself;
+/// the run recovers from the write-ahead log).
 pub fn parse_fault(spec: &str) -> Result<FaultModel, ParseError> {
     let parts: Vec<&str> = spec.split(':').collect();
     let cell = |it: &str, w: &str| -> Result<(u64, usize), ParseError> {
@@ -237,6 +251,17 @@ pub fn parse_fault(spec: &str) -> Result<FaultModel, ParseError> {
                 down: parse_secs("outage", d)?,
             },
         ),
+        ["server-crash-restart", it, d] => {
+            let iteration = it
+                .parse()
+                .map_err(|_| ParseError(format!("bad iteration '{it}'")))?;
+            let model = FaultModel::ServerCrashRestart {
+                iteration,
+                down: parse_secs("downtime", d)?,
+            };
+            model.validate().map_err(ParseError)?;
+            Ok(model)
+        }
         ["chaos", p, d] | ["chaos", p, d, _] => {
             let p: f64 = p
                 .parse()
@@ -254,7 +279,8 @@ pub fn parse_fault(spec: &str) -> Result<FaultModel, ParseError> {
         _ => err(format!(
             "unknown fault spec '{spec}' (use none, crash:<iter>:<worker>, \
              crash-restart:<iter>:<worker>:<down_secs>, hang:<iter>:<worker>:<secs>, \
-             link-down:<iter>:<worker>:<secs> or chaos:<p>:<down_secs>[:<seed>])"
+             link-down:<iter>:<worker>:<secs>, chaos:<p>:<down_secs>[:<seed>] or \
+             server-crash-restart:<iter>:<down_secs>)"
         )),
     }
 }
@@ -376,6 +402,18 @@ fn parse_common<'a>(
                 return err("--results-dir expects a non-empty path");
             }
             common.results_dir = Some(dir.to_owned());
+        }
+        "--wal-dir" => {
+            let dir = take_value(flag, it)?;
+            if dir.is_empty() {
+                return err("--wal-dir expects a non-empty path");
+            }
+            common.wal_dir = Some(dir.to_owned());
+        }
+        "--checkpoint-every" => {
+            common.checkpoint_every = Some(take_value(flag, it)?.parse().map_err(|_| {
+                ParseError("--checkpoint-every expects a non-negative integer".into())
+            })?);
         }
         _ => return Ok(false),
     }
@@ -543,6 +581,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 all: false,
                 mc: false,
                 protocol: false,
+                wal: false,
             };
             while let Some(flag) = it.next() {
                 if parse_common(&mut check.common, flag, &mut it)? {
@@ -578,6 +617,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     "--all" => check.all = true,
                     "--mc" => check.mc = true,
                     "--protocol" => check.protocol = true,
+                    "--wal" => check.wal = true,
                     other => return err(format!("unknown flag '{other}' for 'check'")),
                 }
             }
@@ -611,6 +651,12 @@ USAGE:
                 against the monolithic oracle, and prove the seeded-mutation
                 matrix is caught; --protocol additionally replays recorded
                 executions through the frame-session verifier)
+  fela check   --wal
+               (replay a logged control-plane run through the oracle: the
+                recovered state must be snapshot-equal with no token applied
+                twice, and every seeded log mutation — dropped, duplicated,
+                reordered record, flipped byte — must be caught with a
+                distinct diagnostic)
   fela live    --model <name> [--workers <n>] [--transport chan|tcp]
                [--mode virtual|real] [--time-scale <s>] [--weights w1,w2,…]
                [--shards <n>] [--straggler <spec>] [--fault <spec>] [--json]
@@ -633,6 +679,13 @@ COMMON FLAGS:
                1 = the monolithic token server, >1 = the sharded coordinator
                — schedules are byte-identical either way, only control-plane
                cost changes; must not exceed the model's level count)
+  --wal-dir <dir>
+               durable control plane: write the Token Server's write-ahead
+               log to <dir>/fela.wal (default: in-memory WAL, attached
+               automatically when a server fault is declared)
+  --checkpoint-every <n>
+               checkpoint the control-plane state every <n> completed
+               iterations (default 1; 0 = log-only, replay from Begin)
 
 STRAGGLER SPECS:
   none | round-robin:<delay_secs> | prob:<p>:<delay_secs>[:<seed>]
@@ -641,6 +694,9 @@ FAULT SPECS (crashed workers lose their leases; Fela re-grants the tokens):
   none | crash:<iter>:<worker> | crash-restart:<iter>:<worker>:<down_secs>
        | hang:<iter>:<worker>:<secs> | link-down:<iter>:<worker>:<secs>
        | chaos:<p>:<down_secs>[:<seed>]
+       | server-crash-restart:<iter>:<down_secs>
+         (kills the Token Server itself mid-iteration; the run recovers
+          from the write-ahead log and resumes where it left off)
   e.g.  fela run --model vgg19 --batch 128 --iters 10 \\
             --weights 1,2,4 --fault crash-restart:3:2:30
 
@@ -812,6 +868,62 @@ mod tests {
     }
 
     #[test]
+    fn server_crash_restart_fault_spec() {
+        assert_eq!(
+            parse_fault("server-crash-restart:2:30").unwrap(),
+            FaultModel::ServerCrashRestart {
+                iteration: 2,
+                down: SimDuration::from_secs(30),
+            }
+        );
+        // Fractional downtime is fine.
+        assert_eq!(
+            parse_fault("server-crash-restart:0:0.5").unwrap(),
+            FaultModel::ServerCrashRestart {
+                iteration: 0,
+                down: SimDuration::from_millis(500),
+            }
+        );
+        for bad in [
+            "server-crash-restart:x:30",
+            "server-crash-restart:1:-3",
+            "server-crash-restart:1:inf",
+            "server-crash-restart:1",
+            "server-crash-restart:1:2:3",
+        ] {
+            assert!(parse_fault(bad).is_err(), "{bad} should be rejected");
+        }
+        // Reaches CommonArgs through --fault like every other spec.
+        let Command::Run(r) = parse(&["run", "--fault", "server-crash-restart:3:10"]).unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            r.common.fault,
+            FaultModel::ServerCrashRestart { iteration: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn durability_flags_parse_on_every_scenario_command() {
+        let Command::Run(r) =
+            parse(&["run", "--wal-dir", "/tmp/wal", "--checkpoint-every", "5"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.common.wal_dir.as_deref(), Some("/tmp/wal"));
+        assert_eq!(r.common.checkpoint_every, Some(5));
+        let Command::Live(l) = parse(&["live", "--checkpoint-every", "0"]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(l.common.checkpoint_every, Some(0), "0 = log-only");
+        assert!(l.common.wal_dir.is_none());
+        assert!(parse(&["run", "--wal-dir", ""]).is_err());
+        assert!(parse(&["run", "--checkpoint-every", "x"]).is_err());
+        assert!(parse(&["run", "--checkpoint-every", "-1"]).is_err());
+    }
+
+    #[test]
     fn fault_flag_reaches_common_args() {
         let Command::Run(r) = parse(&["run", "--fault", "crash-restart:2:3:15"]).unwrap() else {
             panic!()
@@ -960,6 +1072,12 @@ mod tests {
 
         assert!(parse(&["check", "--policy", "fast"]).is_err());
         assert!(parse(&["check", "--frobnicate"]).is_err());
+
+        let Command::Check(c) = parse(&["check", "--wal"]).unwrap() else {
+            panic!()
+        };
+        assert!(c.wal);
+        assert!(!c.mc);
     }
 
     #[test]

@@ -39,6 +39,19 @@ fn model_by_cli_name(name: &str) -> Option<fela_model::Model> {
     zoo::build_by_name(canonical)
 }
 
+/// Control-plane durability options from the shared `--wal-dir` /
+/// `--checkpoint-every` flags; `None` when neither was given (the runtimes
+/// then attach an in-memory WAL only if a server fault demands one).
+fn durability_from(common: &CommonArgs) -> Option<fela_core::DurabilityOptions> {
+    if common.wal_dir.is_none() && common.checkpoint_every.is_none() {
+        return None;
+    }
+    Some(fela_core::DurabilityOptions {
+        wal_dir: common.wal_dir.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every: common.checkpoint_every.unwrap_or(1),
+    })
+}
+
 fn scenario_from(common: &CommonArgs) -> Result<Scenario, String> {
     let model = model_by_cli_name(&common.model)
         .ok_or_else(|| format!("unknown model '{}' (try 'fela models')", common.model))?;
@@ -111,7 +124,11 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
         .with_shards(args::resolve_shards(run.shards, m).map_err(|e| e.to_string())?);
     config.validate(sc.cluster.nodes);
 
-    let report = FelaRuntime::new(config.clone()).run(&sc);
+    let mut runtime = FelaRuntime::new(config.clone());
+    if let Some(d) = durability_from(&run.common) {
+        runtime = runtime.with_durability(d);
+    }
+    let report = runtime.run(&sc);
     if run.json {
         println!(
             "{}",
@@ -170,6 +187,8 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
             ("leases revoked", "revocations"),
             ("stale reports", "stale_reports"),
             ("workers quarantined", "quarantined"),
+            ("server crashes", "server_crashes"),
+            ("server restarts", "server_restarts"),
         ] {
             table.row(vec![label.into(), report.counter(key).to_string()]);
         }
@@ -326,8 +345,12 @@ fn cmd_live(live: &LiveArgs) -> Result<(), String> {
         .ok_or_else(|| format!("unknown transport '{}'", live.transport))?;
 
     let scenario_label = format!("{}/b{}", sc.model.name, sc.total_batch);
+    let durability = durability_from(&common);
     let mut extra_rows: Vec<(String, String)> = Vec::new();
     let (runtime_label, report) = if live.mode == "virtual" {
+        if durability.is_some() {
+            eprintln!("warning: --wal-dir/--checkpoint-every only apply to --mode real; ignored");
+        }
         let outcome = fela_live::run_virtual(&config, &sc, transport.as_mut())
             .map_err(|e| format!("live run failed: {e}"))?;
         let label = format!("fela-live:virtual:{}", outcome.transport);
@@ -341,15 +364,14 @@ fn cmd_live(live: &LiveArgs) -> Result<(), String> {
         ));
         (label, outcome.report)
     } else {
-        let outcome = fela_live::run_real(
-            &config,
-            &sc,
-            transport.as_mut(),
-            fela_live::RealOptions {
-                time_scale: live.time_scale,
-                ..fela_live::RealOptions::default()
-            },
-        )
+        let opts = fela_live::RealOptions {
+            time_scale: live.time_scale,
+            ..fela_live::RealOptions::default()
+        };
+        let outcome = match &durability {
+            Some(d) => fela_live::run_real_durable(&config, &sc, transport.as_mut(), opts, d),
+            None => fela_live::run_real(&config, &sc, transport.as_mut(), opts),
+        }
         .map_err(|e| format!("live run failed: {e}"))?;
         let label = format!("fela-live:real:{}", outcome.transport);
         // Real-clock runs measure the wall clock, so the report carries real
@@ -362,6 +384,8 @@ fn cmd_live(live: &LiveArgs) -> Result<(), String> {
         report.bump("crashes", outcome.crashes);
         report.bump("restarts", outcome.restarts);
         report.bump("revocations", outcome.revocations);
+        report.bump("server_crashes", outcome.server_crashes);
+        report.bump("server_restarts", outcome.server_restarts);
         for (w, trained) in outcome.trained_per_worker.iter().enumerate() {
             report.bump(&format!("trained_worker_{w}"), *trained);
         }
@@ -421,7 +445,14 @@ fn cmd_live(live: &LiveArgs) -> Result<(), String> {
         report.counter("grants").to_string(),
     ]);
     if !sc.fault.is_none() {
-        for key in ["crashes", "restarts", "revocations", "stale_reports"] {
+        for key in [
+            "crashes",
+            "restarts",
+            "revocations",
+            "stale_reports",
+            "server_crashes",
+            "server_restarts",
+        ] {
             table.row(vec![key.into(), report.counter(key).to_string()]);
         }
     }
@@ -452,6 +483,9 @@ fn policy_config(policy: &str, m: usize, nodes: usize, ctd: Option<usize>) -> Fe
 }
 
 fn cmd_check(check: &CheckArgs) -> Result<(), String> {
+    if check.wal {
+        return cmd_check_wal();
+    }
     if check.mc || check.protocol {
         return cmd_check_mc(check);
     }
@@ -738,6 +772,94 @@ fn cmd_check_mc(check: &CheckArgs) -> Result<(), String> {
         return Err(format!(
             "check --mc/--protocol failed: {failures} problem(s)"
         ));
+    }
+    Ok(())
+}
+
+/// `fela check --wal`: the write-ahead-log replay verifier. Drives a
+/// reference logged run to completion on both plane shapes, replays each log
+/// through the oracle `ControlPlane` (snapshot-equal recovery, every token
+/// applied exactly once, every checkpoint verified), then applies the seeded
+/// log-mutation matrix — a dropped, duplicated and reordered record and a
+/// flipped byte must each be caught with a distinct diagnostic.
+fn cmd_check_wal() -> Result<(), String> {
+    let mut failures = 0usize;
+    let mut table = Table::new(
+        "WAL replay — checkpoint + log suffix must rebuild the exact server state",
+        &[
+            "plane",
+            "records",
+            "ops",
+            "checkpoints",
+            "applied",
+            "verdict",
+        ],
+    );
+    for (name, shards, checkpoint_every) in [
+        ("monolithic, log-only", 1usize, 0u64),
+        ("monolithic, checkpointed", 1, 1),
+        ("sharded x2, checkpointed", 2, 1),
+    ] {
+        match fela_check::reference_wal_check(shards, checkpoint_every) {
+            Ok(s) => {
+                table.row(vec![
+                    name.into(),
+                    s.records.to_string(),
+                    s.ops.to_string(),
+                    s.checkpoints.to_string(),
+                    s.applied.to_string(),
+                    "ok".into(),
+                ]);
+            }
+            Err(violations) => {
+                failures += violations.len();
+                table.row(vec![
+                    name.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{} violation(s)", violations.len()),
+                ]);
+                for v in &violations {
+                    eprintln!("wal: {name}: {v}");
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+
+    let matrix = fela_check::run_wal_mutation_matrix();
+    let mut mutation_table = Table::new(
+        "Seeded log-mutation matrix — every corruption caught, distinctly",
+        &["mutation", "caught", "diagnostic"],
+    );
+    let mut kinds = std::collections::BTreeSet::new();
+    for row in &matrix {
+        mutation_table.row(vec![
+            row.name.into(),
+            if row.caught {
+                "yes".into()
+            } else {
+                "MISSED".into()
+            },
+            row.diagnostic.clone(),
+        ]);
+        if !row.caught {
+            failures += 1;
+            eprintln!("wal: mutation '{}' was not caught", row.name);
+        }
+        if !kinds.insert(row.kind) {
+            failures += 1;
+            eprintln!(
+                "wal: mutation '{}' shares diagnostic kind '{}' with an earlier row",
+                row.name, row.kind
+            );
+        }
+    }
+    print!("{}", mutation_table.render());
+    if failures > 0 {
+        return Err(format!("check --wal failed: {failures} problem(s)"));
     }
     Ok(())
 }

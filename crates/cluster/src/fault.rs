@@ -68,6 +68,17 @@ pub enum FaultModel {
         /// Seed defining the (shared) realisation.
         seed: u64,
     },
+    /// The **Token Server process** dies at the start of `iteration` and
+    /// restarts after `down`, recovering its scheduling state from the
+    /// write-ahead log (`fela_core::wal`). Declared per iteration, not per
+    /// worker: [`FaultModel::fault_for`] never reports it — runtimes query
+    /// [`FaultModel::server_fault_for`] instead.
+    ServerCrashRestart {
+        /// Iteration (0-based) whose start kills the server.
+        iteration: u64,
+        /// Downtime between the crash and the recovered restart.
+        down: SimDuration,
+    },
 }
 
 impl FaultModel {
@@ -77,7 +88,7 @@ impl FaultModel {
             return None;
         }
         match *self {
-            FaultModel::None => None,
+            FaultModel::None | FaultModel::ServerCrashRestart { .. } => None,
             FaultModel::Scripted {
                 worker: w,
                 iteration: it,
@@ -94,6 +105,18 @@ impl FaultModel {
                 let mut rng = SimRng::seed_from_u64(mix);
                 rng.chance(p).then_some(FaultKind::CrashRestart { down })
             }
+        }
+    }
+
+    /// The server downtime (if any) a crash striking at the start of
+    /// `iteration` incurs. The worker-fault scenarios never kill the server.
+    pub fn server_fault_for(&self, iteration: u64) -> Option<SimDuration> {
+        match *self {
+            FaultModel::ServerCrashRestart {
+                iteration: it,
+                down,
+            } => (it == iteration).then_some(down),
+            _ => None,
         }
     }
 
@@ -118,7 +141,9 @@ impl FaultModel {
     /// `p` would otherwise be silently clamped by `SimRng::chance`).
     pub fn validate(&self) -> Result<(), String> {
         match *self {
-            FaultModel::None | FaultModel::Scripted { .. } => Ok(()),
+            FaultModel::None
+            | FaultModel::Scripted { .. }
+            | FaultModel::ServerCrashRestart { .. } => Ok(()),
             FaultModel::Chaos { p, .. } => {
                 if !p.is_finite() || !(0.0..=1.0).contains(&p) {
                     Err(format!("fault probability {p} outside [0, 1]"))
@@ -256,6 +281,47 @@ mod tests {
     }
 
     #[test]
+    fn server_crash_restart_hits_exactly_its_iteration() {
+        let m = FaultModel::ServerCrashRestart {
+            iteration: 3,
+            down: DOWN,
+        };
+        for it in 0..20u64 {
+            assert_eq!(m.server_fault_for(it), (it == 3).then_some(DOWN));
+            // The server fault never masquerades as a worker fault.
+            for w in 0..N {
+                assert_eq!(m.fault_for(it, w, N), None);
+            }
+        }
+        assert!(!m.is_none());
+        assert!(m.validate().is_ok());
+        // Seed re-rooting is a no-op: the spec carries no randomness.
+        assert_eq!(m.with_seed(123), m);
+    }
+
+    #[test]
+    fn worker_faults_never_kill_the_server() {
+        let models = [
+            FaultModel::None,
+            FaultModel::Scripted {
+                worker: 0,
+                iteration: 0,
+                kind: FaultKind::Crash,
+            },
+            FaultModel::Chaos {
+                p: 1.0,
+                down: DOWN,
+                seed: 3,
+            },
+        ];
+        for m in models {
+            for it in 0..10 {
+                assert_eq!(m.server_fault_for(it), None);
+            }
+        }
+    }
+
+    #[test]
     fn validate_rejects_bad_probability() {
         for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
             let m = FaultModel::Chaos {
@@ -273,5 +339,81 @@ mod tests {
         .validate()
         .is_ok());
         assert!(FaultModel::None.validate().is_ok());
+    }
+
+    // ---- determinism/range property tests (the StragglerModel contract:
+    // a fault model is a pure function of its declared coordinates) -------
+
+    use proptest::prelude::*;
+
+    fn arb_model() -> impl Strategy<Value = FaultModel> {
+        prop_oneof![
+            Just(FaultModel::None),
+            (0usize..16, 0u64..64, 0u64..60, any::<bool>()).prop_map(|(w, it, secs, perm)| {
+                FaultModel::Scripted {
+                    worker: w,
+                    iteration: it,
+                    kind: if perm {
+                        FaultKind::Crash
+                    } else {
+                        FaultKind::CrashRestart {
+                            down: SimDuration::from_secs(secs),
+                        }
+                    },
+                }
+            }),
+            (0.0f64..1.0, 0u64..60, any::<u64>()).prop_map(|(p, secs, seed)| {
+                FaultModel::Chaos {
+                    p,
+                    down: SimDuration::from_secs(secs),
+                    seed,
+                }
+            }),
+            (0u64..64, 0u64..60).prop_map(|(it, secs)| FaultModel::ServerCrashRestart {
+                iteration: it,
+                down: SimDuration::from_secs(secs),
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn every_model_is_a_pure_function_of_its_cell(
+            m in arb_model(),
+            it in 0u64..64,
+            w in 0usize..16
+        ) {
+            prop_assert_eq!(m.fault_for(it, w, N), m.fault_for(it, w, N));
+            prop_assert_eq!(m.server_fault_for(it), m.server_fault_for(it));
+        }
+
+        #[test]
+        fn out_of_range_workers_never_fault(m in arb_model(), it in 0u64..64) {
+            for w in N..N + 4 {
+                prop_assert_eq!(m.fault_for(it, w, N), None);
+            }
+        }
+
+        #[test]
+        fn server_faults_strike_exactly_one_iteration(
+            target in 0u64..64,
+            secs in 0u64..60,
+            probe in 0u64..64
+        ) {
+            let down = SimDuration::from_secs(secs);
+            let m = FaultModel::ServerCrashRestart { iteration: target, down };
+            prop_assert_eq!(
+                m.server_fault_for(probe),
+                (probe == target).then_some(down)
+            );
+        }
+
+        #[test]
+        fn valid_models_stay_valid_under_reseeding(m in arb_model(), seed in any::<u64>()) {
+            prop_assert!(m.validate().is_ok());
+            prop_assert!(m.with_seed(seed).validate().is_ok());
+            // Re-seeding never changes *whether* a scenario faults.
+            prop_assert_eq!(m.is_none(), m.with_seed(seed).is_none());
+        }
     }
 }

@@ -48,6 +48,7 @@ use crate::server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};
 use crate::shard::{level_ranges, score_key, LevelState, TokenShard};
 use crate::snapshot::ServerSnapshot;
 use crate::token::{Token, TokenId};
+use crate::wal::WalWriter;
 
 /// The sharded Token Server: cross-shard coordination over per-level-range
 /// [`TokenShard`]s. Public API mirrors [`TokenServer`] exactly; schedules are
@@ -1250,10 +1251,23 @@ impl Coordinator {
 /// mutating call as a [`CoordOp`] — inputs plus outcome digest — which
 /// `fela-check` replays against a fresh monolithic oracle to prove a history
 /// linearizable (see [`crate::oplog`]).
-#[derive(Clone)]
 pub struct ControlPlane {
     inner: Plane,
     log: Option<Vec<CoordOp>>,
+    wal: Option<WalWriter>,
+}
+
+impl Clone for ControlPlane {
+    /// A clone is a *logical copy* of the scheduling state, not a second log
+    /// writer: exploratory clones (what-if probes, checkers) must not
+    /// double-append to the durable log, so the clone's WAL is detached.
+    fn clone(&self) -> Self {
+        ControlPlane {
+            inner: self.inner.clone(),
+            log: self.log.clone(),
+            wal: None,
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -1288,7 +1302,52 @@ impl ControlPlane {
         } else {
             Plane::Sharded(Coordinator::new(plan, cfg, meta, n_workers, max_iterations))
         };
-        ControlPlane { inner, log: None }
+        ControlPlane {
+            inner,
+            log: None,
+            wal: None,
+        }
+    }
+
+    /// Rebuilds a plane from a snapshot + token table (the WAL recovery
+    /// path): the monolithic oracle when `cfg.shards <= 1`, the sharded
+    /// coordinator otherwise — mirroring [`ControlPlane::new`]'s selection.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        plan: TokenPlan,
+        cfg: FelaConfig,
+        meta: Vec<LevelMeta>,
+        n_workers: usize,
+        max_iterations: u64,
+        tokens: BTreeMap<TokenId, Token>,
+        snap: &ServerSnapshot,
+    ) -> Result<Self, ScheduleError> {
+        let inner = if cfg.shards <= 1 {
+            Plane::Single(TokenServer::restore(
+                plan,
+                cfg,
+                meta,
+                n_workers,
+                max_iterations,
+                tokens,
+                snap,
+            )?)
+        } else {
+            Plane::Sharded(Coordinator::restore(
+                plan,
+                cfg,
+                meta,
+                n_workers,
+                max_iterations,
+                tokens,
+                snap,
+            )?)
+        };
+        Ok(ControlPlane {
+            inner,
+            log: None,
+            wal: None,
+        })
     }
 
     /// Turns on operation recording: every subsequent mutating call appends
@@ -1313,9 +1372,67 @@ impl ControlPlane {
         }
     }
 
+    /// Attaches a write-ahead log: writes the opening `Begin` record and
+    /// makes every subsequent mutating call append (and sync) one op record
+    /// before its result is returned to the caller.
+    pub fn attach_wal(&mut self, sink: Box<dyn crate::wal::WalSink>) -> std::io::Result<()> {
+        let mut writer = WalWriter::new(sink);
+        writer.append_begin(
+            self.shard_count() as u32,
+            self.n_workers() as u32,
+            self.max_iterations(),
+        );
+        writer.commit()?;
+        self.wal = Some(writer);
+        Ok(())
+    }
+
+    /// Re-attaches a log after recovery, continuing the op sequence at
+    /// `next_seq` ([`crate::wal::Recovered::next_seq`]). Writes nothing.
+    pub fn resume_wal(&mut self, sink: Box<dyn crate::wal::WalSink>, next_seq: u64) {
+        self.wal = Some(WalWriter::resume(sink, next_seq));
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Appends a full-state checkpoint (snapshot + token table + the opaque
+    /// runtime `payload`) to the attached log and syncs it. No-op when no
+    /// log is attached.
+    pub fn checkpoint_wal(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let snapshot = self.snapshot();
+        let tokens = self.tokens().clone();
+        if let Some(wal) = &mut self.wal {
+            wal.append_checkpoint(payload, &tokens, &snapshot);
+            wal.commit()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// True when a mutating call must compute its [`CoordOp`] digest (either
+    /// sink is attached).
+    fn recording(&self) -> bool {
+        self.log.is_some() || self.wal.is_some()
+    }
+
     fn record(&mut self, kind: OpKind, outcome: OpOutcome) {
+        let op = CoordOp { kind, outcome };
+        if let Some(wal) = &mut self.wal {
+            wal.append_op(&op);
+            if let Err(e) = wal.commit() {
+                // A durable plane that cannot persist its decisions must not
+                // keep handing them out: failing loudly here is the contract.
+                panic!("WAL append failed — cannot guarantee durability: {e}");
+            }
+        }
         if let Some(log) = &mut self.log {
-            log.push(CoordOp { kind, outcome });
+            log.push(op);
         }
     }
 
@@ -1425,7 +1542,7 @@ impl ControlPlane {
     /// A worker asks for a token at `now`.
     pub fn request(&mut self, worker: usize, now: SimTime) -> Result<Option<Grant>, ScheduleError> {
         let result = either!(&mut self.inner, s => s.request(worker, now));
-        if self.log.is_some() {
+        if self.recording() {
             let outcome = oplog::outcome_of_request(worker, &result);
             self.record(OpKind::Request { worker, now }, outcome);
         }
@@ -1438,7 +1555,7 @@ impl ControlPlane {
         now: SimTime,
     ) -> Result<Option<(usize, Grant)>, ScheduleError> {
         let result = either!(&mut self.inner, s => s.pop_ready_grant(now));
-        if self.log.is_some() {
+        if self.recording() {
             let outcome = oplog::outcome_of_pop(&result);
             self.record(OpKind::PopReadyGrant { now }, outcome);
         }
@@ -1468,7 +1585,7 @@ impl ControlPlane {
         token: TokenId,
     ) -> Result<Vec<SyncSpec>, ScheduleError> {
         let result = either!(&mut self.inner, s => s.report(worker, token));
-        if self.log.is_some() {
+        if self.recording() {
             let outcome = oplog::outcome_of_report(&result);
             self.record(
                 OpKind::Report {
@@ -1484,7 +1601,7 @@ impl ControlPlane {
     /// Marks a level's parameter sync for `iteration` finished.
     pub fn sync_finished(&mut self, level: usize, iteration: u64) -> Result<(), ScheduleError> {
         let result = either!(&mut self.inner, s => s.sync_finished(level, iteration));
-        if self.log.is_some() {
+        if self.recording() {
             let outcome = oplog::outcome_of_unit(&result);
             self.record(OpKind::SyncFinished { level, iteration }, outcome);
         }
@@ -1494,7 +1611,7 @@ impl ControlPlane {
     /// Handles a crash notification for `worker`.
     pub fn worker_crashed(&mut self, worker: usize) -> Result<Vec<TokenId>, ScheduleError> {
         let result = either!(&mut self.inner, s => s.worker_crashed(worker));
-        if self.log.is_some() {
+        if self.recording() {
             let outcome = oplog::outcome_of_crash(&result);
             self.record(OpKind::WorkerCrashed { worker }, outcome);
         }
@@ -1504,7 +1621,7 @@ impl ControlPlane {
     /// Handles a restart notification for `worker`.
     pub fn worker_restarted(&mut self, worker: usize) -> Result<(), ScheduleError> {
         let result = either!(&mut self.inner, s => s.worker_restarted(worker));
-        if self.log.is_some() {
+        if self.recording() {
             let outcome = oplog::outcome_of_unit(&result);
             self.record(OpKind::WorkerRestarted { worker }, outcome);
         }
@@ -1518,7 +1635,7 @@ impl ControlPlane {
         attempt: u64,
     ) -> Result<Option<ExpiredLease>, ScheduleError> {
         let result = either!(&mut self.inner, s => s.lease_expired(token, attempt));
-        if self.log.is_some() {
+        if self.recording() {
             let outcome = oplog::outcome_of_expiry(&result);
             self.record(
                 OpKind::LeaseExpired {

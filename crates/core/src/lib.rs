@@ -33,6 +33,7 @@ mod server;
 mod shard;
 mod snapshot;
 mod token;
+pub mod wal;
 
 pub use config::{CtdConfig, FelaConfig, RecoveryConfig};
 pub use coordinator::{ControlPlane, Coordinator};
@@ -45,3 +46,7 @@ pub use server::{Grant, LevelMeta, ServerStats, SyncSpec, TokenServer};
 pub use shard::TokenShard;
 pub use snapshot::ServerSnapshot;
 pub use token::{Token, TokenId};
+pub use wal::{
+    recover, wal_path, DurabilityOptions, FileWal, MemWal, Recovered, WalError, WalRecord, WalSink,
+    WalWriter,
+};

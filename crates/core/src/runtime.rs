@@ -30,6 +30,7 @@ use crate::error::ScheduleError;
 use crate::plan::TokenPlan;
 use crate::server::{Grant, LevelMeta, SyncSpec};
 use crate::token::TokenId;
+use crate::wal::{self, DurabilityOptions, FileWal, MemWal};
 
 /// The simulation runtime treats any scheduling error as a fatal bug in the
 /// scheduler itself (a real deployment would abort the job the same way).
@@ -80,6 +81,9 @@ enum Ev {
     /// The lease deadline armed for `(token, attempt)` passes. Stale timers —
     /// the token was reported, or already revoked and re-granted — no-op.
     LeaseExpire { token: TokenId, attempt: u64 },
+    /// The Token Server process dies, recovers from its write-ahead log, and
+    /// is unreachable for `down` (every server-touching event stalls).
+    ServerCrash { down: SimDuration },
 }
 
 /// One compute-span query: everything a worker (local or remote) needs to
@@ -168,6 +172,28 @@ struct FaultStats {
     revocations: u64,
     stale_reports: u64,
     quarantines: u64,
+    server_crashes: u64,
+    server_restarts: u64,
+}
+
+/// Where the run's write-ahead log lives. The in-memory handle is the
+/// simulator's default (the crash injector reads the committed bytes straight
+/// back); a `--wal-dir` run goes through a real file and real fsyncs.
+enum WalHandle {
+    Mem(MemWal),
+    File(std::path::PathBuf),
+}
+
+impl WalHandle {
+    fn bytes(&self) -> Vec<u8> {
+        match self {
+            WalHandle::Mem(m) => m.bytes(),
+            WalHandle::File(path) => match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => panic!("cannot read WAL {}: {e}", path.display()),
+            },
+        }
+    }
 }
 
 struct FelaWorld<'a> {
@@ -193,6 +219,19 @@ struct FelaWorld<'a> {
     /// Iterations whose fault declarations have been turned into events.
     faults_armed: usize,
     fault_stats: FaultStats,
+    /// Level metadata, kept for rebuilding a plane on WAL recovery.
+    meta: Vec<LevelMeta>,
+    /// The write-ahead log, when durability is on (explicitly, or implied by
+    /// a declared server fault).
+    wal: Option<WalHandle>,
+    /// Checkpoint after every N completed iterations (0 = never).
+    checkpoint_every: u64,
+    /// Completed-iteration count at the last checkpoint written.
+    last_checkpoint: u64,
+    /// The server process is down until this instant: server-touching events
+    /// arriving earlier are deferred to it (ZERO when the server is up,
+    /// which keeps crash-free runs byte-identical).
+    server_frozen_until: SimTime,
 }
 
 impl FelaWorld<'_> {
@@ -261,6 +300,9 @@ impl FelaWorld<'_> {
                 if let Some(kind) = self.scenario.fault_for(it, worker) {
                     sched.schedule_now(Ev::Fault { worker, kind });
                 }
+            }
+            if let Some(down) = self.scenario.fault.server_fault_for(it) {
+                sched.schedule_now(Ev::ServerCrash { down });
             }
             self.faults_armed += 1;
         }
@@ -379,9 +421,79 @@ impl FelaWorld<'_> {
         }
         self.arm_faults(sched);
         self.serve_waiting(sched);
+        self.maybe_checkpoint();
         if self.server.run_complete() {
             self.finished_at = Some(now);
         }
+    }
+
+    /// Writes a checkpoint when the completed-iteration count crosses a
+    /// `checkpoint_every` multiple. Scheduling is untouched — the log only
+    /// grows — so durable crash-free runs stay byte-identical.
+    fn maybe_checkpoint(&mut self) {
+        if self.wal.is_none() || self.checkpoint_every == 0 || !self.server.wal_attached() {
+            return;
+        }
+        let done = self.server.completed_iterations();
+        if done / self.checkpoint_every > self.last_checkpoint / self.checkpoint_every {
+            if let Err(e) = self.server.checkpoint_wal(&[]) {
+                panic!("WAL checkpoint failed — cannot guarantee durability: {e}");
+            }
+            self.last_checkpoint = done;
+        }
+    }
+
+    /// The Token Server process dies and is reborn from its write-ahead log:
+    /// restore the latest checkpoint, replay the op suffix, verify the
+    /// recovered plane is snapshot-equal to the one that died, and freeze all
+    /// server-touching traffic for the downtime.
+    fn on_server_crash(&mut self, down: SimDuration, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        self.fault_stats.server_crashes += 1;
+        self.trace.record(now, "fault", || {
+            format!("token server crashed, recovering from WAL, back in {down}")
+        });
+        let Some(handle) = &self.wal else {
+            panic!("server crash injected without a write-ahead log attached");
+        };
+        let bytes = handle.bytes();
+        let expected = self.server.snapshot();
+        let rec = match wal::recover(
+            &bytes,
+            self.server.plan(),
+            self.server.config(),
+            &self.meta,
+            self.server.n_workers(),
+            self.server.max_iterations(),
+        ) {
+            Ok(r) => r,
+            Err(e) => panic!("WAL recovery failed: {e}"),
+        };
+        assert_eq!(
+            rec.plane.snapshot(),
+            expected,
+            "recovered plane must be snapshot-equal to the crashed one"
+        );
+        assert_eq!(
+            rec.plane.tokens(),
+            self.server.tokens(),
+            "recovered token table must match the crashed one"
+        );
+        let mut plane = rec.plane;
+        let valid = bytes.len() - rec.torn_bytes;
+        match handle {
+            WalHandle::Mem(m) => {
+                m.truncate(valid);
+                plane.resume_wal(Box::new(m.clone()), rec.next_seq);
+            }
+            WalHandle::File(path) => match FileWal::resume(path, valid as u64) {
+                Ok(f) => plane.resume_wal(Box::new(f), rec.next_seq),
+                Err(e) => panic!("cannot resume WAL {}: {e}", path.display()),
+            },
+        }
+        self.server = plane;
+        self.fault_stats.server_restarts += 1;
+        self.server_frozen_until = now + down;
     }
 
     fn on_flow_done(
@@ -673,6 +785,33 @@ impl World for FelaWorld<'_> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        // Server downtime: anything that would reach the (dead) Token Server
+        // process — requests, reports, fault notifications, lease timers, and
+        // the network wake that commits sync watermarks — stalls until the
+        // recovered process is back. Worker-local events (grant arrival,
+        // compute completion) proceed: the machines are alive, only the
+        // coordinator is down. `server_frozen_until` is ZERO in crash-free
+        // runs, so this guard never fires there.
+        if now < self.server_frozen_until {
+            let at = self.server_frozen_until;
+            match event {
+                Ev::RequestArrive { .. }
+                | Ev::ReportArrive { .. }
+                | Ev::Fault { .. }
+                | Ev::Restart { .. }
+                | Ev::LeaseExpire { .. }
+                | Ev::ServerCrash { .. } => {
+                    sched.schedule_at(at, event);
+                    return;
+                }
+                Ev::NetWake => {
+                    // Keep the single-in-flight NetWake invariant intact.
+                    self.net_ev = Some(sched.schedule_at(at, Ev::NetWake));
+                    return;
+                }
+                Ev::GrantArrive { .. } | Ev::ComputeDone { .. } => {}
+            }
+        }
         match event {
             Ev::RequestArrive { worker } => {
                 match self.server.request(worker, now) {
@@ -841,6 +980,7 @@ impl World for FelaWorld<'_> {
                 sched.schedule_in(self.rpc(), Ev::RequestArrive { worker });
             }
             Ev::LeaseExpire { token, attempt } => self.on_lease_expiry(token, attempt, sched),
+            Ev::ServerCrash { down } => self.on_server_crash(down, sched),
         }
     }
 }
@@ -851,6 +991,12 @@ pub struct FelaRuntime {
     pub config: FelaConfig,
     /// Partitioning options (defaults reproduce the paper's 3-way splits).
     pub partition_options: PartitionOptions,
+    /// Control-plane durability (write-ahead log + checkpoints). `None`
+    /// keeps the plane purely in-memory — unless the scenario declares a
+    /// server fault, which implies an in-memory WAL (the crash cannot be
+    /// survived without one). Logging never perturbs scheduling, so a
+    /// durable crash-free run reports byte-identically to a non-durable one.
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl FelaRuntime {
@@ -859,7 +1005,15 @@ impl FelaRuntime {
         FelaRuntime {
             config,
             partition_options: PartitionOptions::default(),
+            durability: None,
         }
+    }
+
+    /// Enables control-plane durability.
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityOptions) -> Self {
+        self.durability = Some(durability);
+        self
     }
 
     /// Builds the partition this runtime would use for a scenario's model.
@@ -936,7 +1090,46 @@ impl FelaRuntime {
             .collect();
         let n = scenario.cluster.nodes;
         let fault_active = !scenario.fault.is_none();
-        let server = ControlPlane::new(plan, config.clone(), meta, n, scenario.iterations);
+        let mut server =
+            ControlPlane::new(plan, config.clone(), meta.clone(), n, scenario.iterations);
+        // Durability: explicit options, or implied by a declared server fault
+        // (which is unsurvivable without a log). A `--wal-dir` goes through a
+        // real file with real fsyncs; otherwise the log lives in memory.
+        let server_fault_declared =
+            (0..scenario.iterations).any(|it| scenario.fault.server_fault_for(it).is_some());
+        let durability = if self.durability.is_some() || server_fault_declared {
+            Some(self.durability.clone().unwrap_or_default())
+        } else {
+            None
+        };
+        let wal_handle = match &durability {
+            Some(DurabilityOptions {
+                wal_dir: Some(dir), ..
+            }) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    panic!("cannot create WAL directory {}: {e}", dir.display());
+                }
+                let path = wal::wal_path(dir);
+                match FileWal::create(&path) {
+                    Ok(f) => {
+                        if let Err(e) = server.attach_wal(Box::new(f)) {
+                            panic!("cannot attach WAL {}: {e}", path.display());
+                        }
+                    }
+                    Err(e) => panic!("cannot create WAL {}: {e}", path.display()),
+                }
+                Some(WalHandle::File(path))
+            }
+            Some(_) => {
+                let mem = MemWal::new();
+                if let Err(e) = server.attach_wal(Box::new(mem.clone())) {
+                    panic!("cannot attach in-memory WAL: {e}");
+                }
+                Some(WalHandle::Mem(mem))
+            }
+            None => None,
+        };
+        let checkpoint_every = durability.as_ref().map_or(0, |d| d.checkpoint_every);
         let world = FelaWorld {
             trace,
             backend,
@@ -964,6 +1157,11 @@ impl FelaRuntime {
             // declarations are primed below rather than armed by an event.
             faults_armed: 1,
             fault_stats: FaultStats::default(),
+            meta,
+            wal: wal_handle,
+            checkpoint_every,
+            last_checkpoint: 0,
+            server_frozen_until: SimTime::ZERO,
         };
         let mut engine = Engine::new(world);
         // Every worker fires its first request at t=0 (arrives after one RPC).
@@ -978,6 +1176,9 @@ impl FelaRuntime {
                 if let Some(kind) = scenario.fault_for(0, worker) {
                     engine.prime_at(SimTime::ZERO, Ev::Fault { worker, kind });
                 }
+            }
+            if let Some(down) = scenario.fault.server_fault_for(0) {
+                engine.prime_at(SimTime::ZERO, Ev::ServerCrash { down });
             }
         }
         let outcome = engine.run(1 << 32);
@@ -1036,6 +1237,12 @@ impl FelaRuntime {
             report.bump("revocations", world.fault_stats.revocations);
             report.bump("stale_reports", world.fault_stats.stale_reports);
             report.bump("quarantined", world.fault_stats.quarantines);
+        }
+        if world.fault_active && world.fault_stats.server_crashes > 0 {
+            // Gated separately from the worker-fault block so existing
+            // worker-fault reports gain no new keys.
+            report.bump("server_crashes", world.fault_stats.server_crashes);
+            report.bump("server_restarts", world.fault_stats.server_restarts);
         }
         (report, world.trace)
     }
@@ -1429,5 +1636,106 @@ mod tests {
         let r = rt.run(&sc);
         assert_eq!(r.iterations, 3);
         assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
+    }
+
+    #[test]
+    fn server_crash_restart_recovers_and_completes() {
+        // The tentpole path: the Token Server dies at the start of iteration 1,
+        // rebuilds itself from the write-ahead log (snapshot-equality is
+        // asserted inside the crash handler), and the run still trains every
+        // token of every iteration exactly once.
+        let base = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let sc = quick_scenario(128).with_fault(FaultModel::ServerCrashRestart {
+            iteration: 1,
+            down: SimDuration::from_secs(10),
+        });
+        let r = runtime(vec![1, 2, 4]).run(&sc);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.counter("server_crashes"), 1);
+        assert_eq!(r.counter("server_restarts"), 1);
+        assert_eq!(trained_total(&r, 8), trained_total(&base, 8));
+        // The downtime is real: the run cannot finish faster than the outage.
+        assert!(
+            r.total_time_secs >= 10.0,
+            "downtime must show in the makespan, got {}",
+            r.total_time_secs
+        );
+    }
+
+    #[test]
+    fn server_crash_at_iteration_zero_recovers_an_early_log() {
+        // Crash before any checkpoint: recovery replays from the Begin record.
+        let sc = quick_scenario(128).with_fault(FaultModel::ServerCrashRestart {
+            iteration: 0,
+            down: SimDuration::from_secs(3),
+        });
+        let r = runtime(vec![1, 2, 4]).run(&sc);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.counter("server_crashes"), 1);
+        assert_eq!(trained_total(&r, 8), TOKENS_PER_ITER * 3);
+    }
+
+    #[test]
+    fn durable_crash_free_run_is_byte_identical() {
+        // Logging every op and writing checkpoints must not perturb
+        // scheduling: a durable run's report is the fault-free report.
+        let base = runtime(vec![1, 2, 4]).run(&quick_scenario(128));
+        let durable = runtime(vec![1, 2, 4])
+            .with_durability(crate::wal::DurabilityOptions::default())
+            .run(&quick_scenario(128));
+        assert_eq!(
+            serde_json::to_string(&durable).expect("serialize"),
+            serde_json::to_string(&base).expect("serialize")
+        );
+    }
+
+    #[test]
+    fn file_backed_wal_survives_the_crash() {
+        // Same recovery path, but through a real log file and real fsyncs.
+        let dir = std::env::temp_dir().join(format!(
+            "fela-runtime-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sc = quick_scenario(128).with_fault(FaultModel::ServerCrashRestart {
+            iteration: 1,
+            down: SimDuration::from_secs(5),
+        });
+        let rt = runtime(vec![1, 2, 4]).with_durability(crate::wal::DurabilityOptions {
+            wal_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+        });
+        let r = rt.run(&sc);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.counter("server_crashes"), 1);
+        let log = std::fs::read(crate::wal::wal_path(&dir)).expect("log file exists");
+        let read = crate::wal::read_log(&log).expect("log is well-formed");
+        assert_eq!(read.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn server_and_worker_faults_do_not_mix_counters() {
+        // A worker-fault run must not gain server counters (tracked-report
+        // byte-identity) and a pure server-fault run reports no worker
+        // crashes.
+        let worker_faulted =
+            runtime(vec![1, 2, 4]).run(&quick_scenario(128).with_fault(FaultModel::Scripted {
+                worker: 2,
+                iteration: 1,
+                kind: FaultKind::CrashRestart {
+                    down: SimDuration::from_secs(5),
+                },
+            }));
+        assert_eq!(worker_faulted.counter("server_crashes"), 0);
+        assert!(worker_faulted.counter("crashes") >= 1);
+        let server_faulted = runtime(vec![1, 2, 4]).run(&quick_scenario(128).with_fault(
+            FaultModel::ServerCrashRestart {
+                iteration: 1,
+                down: SimDuration::from_secs(5),
+            },
+        ));
+        assert_eq!(server_faulted.counter("crashes"), 0);
+        assert_eq!(server_faulted.counter("server_crashes"), 1);
     }
 }

@@ -13,7 +13,7 @@ use serde::Serialize;
 pub struct TokenId(pub u64);
 
 /// One unit of schedulable work.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
 pub struct Token {
     /// Unique id.
     pub id: TokenId,

@@ -38,7 +38,7 @@ pub mod virt;
 pub mod wire;
 mod worker;
 
-pub use real::{run_real, run_real_with, RealOptions, RealOutcome};
+pub use real::{run_real, run_real_durable, run_real_with, RealOptions, RealOutcome};
 pub use replay::{
     engine_setup, flatten_params, replay_schedules, replay_trace, schedules_from_trace,
 };

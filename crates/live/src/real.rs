@@ -58,9 +58,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use fela_cluster::{FaultKind, Scenario};
+use fela_core::wal::{decode_u64_pairs, encode_u64_pairs};
 use fela_core::{
-    ControlPlane, FelaConfig, FelaRuntime, Grant, LevelMeta, RecoveryConfig, ScheduleError,
-    TokenId, TokenPlan,
+    recover, wal_path, ControlPlane, DurabilityOptions, FelaConfig, FelaRuntime, FileWal, Grant,
+    LevelMeta, MemWal, OpKind, OpOutcome, RecoveryConfig, ScheduleError, TokenId, TokenPlan,
 };
 use fela_model::Partition;
 use fela_sim::{SimDuration, SimTime};
@@ -122,11 +123,30 @@ pub struct RealOutcome {
     pub restarts: u64,
     /// Leases revoked (expiry or crash).
     pub revocations: u64,
+    /// Token Server process crashes injected (recovered from the WAL).
+    pub server_crashes: u64,
+    /// Token Server recoveries completed.
+    pub server_restarts: u64,
     /// Final model parameters (bit-identical on every surviving replica and
     /// to the server's reference replay).
     pub params: Vec<u8>,
     /// Transport used.
     pub transport: &'static str,
+}
+
+/// Where the run's write-ahead log lives.
+enum WalHandle {
+    Mem(MemWal),
+    File(std::path::PathBuf),
+}
+
+impl WalHandle {
+    fn bytes(&self) -> io::Result<Vec<u8>> {
+        match self {
+            WalHandle::Mem(m) => Ok(m.bytes()),
+            WalHandle::File(path) => std::fs::read(path),
+        }
+    }
 }
 
 enum Timer {
@@ -198,6 +218,17 @@ struct RealServer<'a> {
     crashes: u64,
     restarts: u64,
     revocations: u64,
+    /// Level metadata, retained for WAL recovery (rebuilding the plane from
+    /// the log needs the same inputs the original construction had).
+    meta: Vec<LevelMeta>,
+    /// Write-ahead log backing the control plane, when the run is durable.
+    wal: Option<WalHandle>,
+    /// Checkpoint cadence in completed iterations (0 = log-only, never
+    /// checkpoint).
+    checkpoint_every: u64,
+    last_checkpoint: u64,
+    server_crashes: u64,
+    server_restarts: u64,
     sched: SharedSched,
 }
 
@@ -383,6 +414,154 @@ impl RealServer<'_> {
         }
     }
 
+    /// Appends a checkpoint once `checkpoint_every` more iterations have
+    /// completed since the last one. The payload is the accepted-report
+    /// schedule, so recovery rebuilds [`RealServer::completions`] from the
+    /// checkpoint plus the short log suffix instead of the whole history.
+    fn maybe_checkpoint(&mut self) -> io::Result<()> {
+        if self.wal.is_none() || self.checkpoint_every == 0 {
+            return Ok(());
+        }
+        let done = self.server.completed_iterations();
+        if done / self.checkpoint_every <= self.last_checkpoint / self.checkpoint_every {
+            return Ok(());
+        }
+        let pairs: Vec<(u64, u64)> = self
+            .completions
+            .iter()
+            .map(|&(iteration, level)| (iteration, level as u64))
+            .collect();
+        self.server.checkpoint_wal(&encode_u64_pairs(&pairs))?;
+        self.last_checkpoint = done;
+        Ok(())
+    }
+
+    /// The injected Token Server crash: the server "process" dies (every
+    /// worker link drops and all volatile server-side state is discarded),
+    /// the downtime elapses, then a fresh process recovers from the WAL,
+    /// reconciles in-flight grants against the replayed log, and respawns
+    /// the fleet over fresh links.
+    fn crash_server(&mut self, down: SimDuration, transport: &mut dyn Transport) -> io::Result<()> {
+        let bytes = match &self.wal {
+            Some(handle) => handle.bytes()?,
+            None => panic!("server crash injected without a write-ahead log attached"),
+        };
+        self.server_crashes += 1;
+        // The server dies: every link drops, which kills the worker threads
+        // on their next recv. Replicas are only mutated by the epilogue's
+        // Iter frames, so no training state is lost worker-side.
+        for worker in 0..self.txs.len() {
+            if let Some(mut tx) = self.txs[worker].take() {
+                tx.close();
+            }
+            self.rxs[worker] = None;
+            self.pending[worker].clear();
+            self.expect_replies[worker] = 0;
+        }
+        self.token_info.clear();
+        let pre_crash = self.server.snapshot();
+        let real_down = Duration::from_secs_f64(down.as_secs_f64() * self.opts.time_scale)
+            .max(self.opts.min_down);
+        thread::sleep(real_down);
+
+        let rec = recover(
+            &bytes,
+            self.server.plan(),
+            self.server.config(),
+            &self.meta,
+            self.server.n_workers(),
+            self.server.max_iterations(),
+        )
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        assert_eq!(
+            rec.plane.snapshot(),
+            pre_crash,
+            "recovered control plane diverged from the crashed one"
+        );
+        // Rebuild the accepted-report schedule from the log alone — the
+        // in-memory vector died with the process. Checkpoint payload first,
+        // then every accepted report in the replayed suffix, in log order.
+        let mut replayed: Vec<(u64, usize)> = if rec.payload.is_empty() {
+            Vec::new()
+        } else {
+            decode_u64_pairs(&rec.payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                .into_iter()
+                .map(|(iteration, level)| (iteration, level as usize))
+                .collect()
+        };
+        for op in &rec.ops {
+            let OpKind::Report { token, .. } = op.kind else {
+                continue;
+            };
+            if !matches!(op.outcome, OpOutcome::Synced { .. }) {
+                continue;
+            }
+            match rec.plane.token(TokenId(token)) {
+                Some(t) => replayed.push((t.iteration, t.level)),
+                None => panic!("replayed report names a token the plan never minted"),
+            }
+        }
+        assert_eq!(
+            replayed, self.completions,
+            "WAL replay reconstructed a different completion schedule"
+        );
+        self.completions = replayed;
+
+        let mut plane = rec.plane;
+        let valid = bytes.len() - rec.torn_bytes;
+        match &self.wal {
+            Some(WalHandle::Mem(mem)) => {
+                mem.truncate(valid);
+                plane.resume_wal(Box::new(mem.clone()), rec.next_seq);
+            }
+            Some(WalHandle::File(path)) => {
+                let file = FileWal::resume(path, valid as u64)?;
+                plane.resume_wal(Box::new(file), rec.next_seq);
+            }
+            None => unreachable!("wal presence was checked at entry"),
+        }
+        self.server = plane;
+
+        // Reconcile in-flight grants: tokens granted but never reported died
+        // with the worker threads. Crash-then-restart revokes those leases
+        // for immediate regrant without charging lease expiries (which would
+        // quarantine innocent workers). Both transitions land in the resumed
+        // log, so a second crash replays them too.
+        for worker in 0..self.txs.len() {
+            if !self.server.is_alive(worker) {
+                continue; // a downed worker's Restart timer will revive it
+            }
+            match self.server.worker_crashed(worker) {
+                Ok(revoked) => self.revocations += revoked.len() as u64,
+                Err(e) => panic!("Fela scheduler invariant violated: {e}"),
+            }
+            if let Err(e) = self.server.worker_restarted(worker) {
+                panic!("Fela scheduler invariant violated: {e}");
+            }
+        }
+        // Respawn the fleet over fresh links; each worker reconnects with
+        // the usual pull handshake. Workers downed by their own declared
+        // faults stay down until their Restart timers fire.
+        for worker in 0..self.txs.len() {
+            if !self.server.is_alive(worker) {
+                continue;
+            }
+            let (mut server_link, worker_link) = transport.extra_link(worker)?;
+            server_link.instrument(self.sched.clone(), Endpoint::Server, worker);
+            let (tx, mut rx) = server_link.split();
+            rx.set_nonblocking(true)?;
+            self.txs[worker] = Some(tx);
+            self.rxs[worker] = Some(rx);
+            self.quiet_until[worker] = Instant::now();
+            self.expect_replies[worker] = 1;
+            let _ = spawn_worker(self.worker_spec(worker, true), worker_link);
+        }
+        self.server_restarts += 1;
+        self.drain_ready();
+        Ok(())
+    }
+
     /// Turns fault declarations into actions as root iterations are released.
     fn arm_faults(&mut self, transport: &mut dyn Transport) -> io::Result<bool> {
         if self.scenario.fault.is_none() {
@@ -417,9 +596,12 @@ impl RealServer<'_> {
                     }
                 }
             }
+            if let Some(down) = self.scenario.fault.server_fault_for(it) {
+                self.crash_server(down, transport)?;
+                acted = true;
+            }
             self.faults_armed += 1;
         }
-        let _ = transport;
         Ok(acted)
     }
 
@@ -508,6 +690,7 @@ impl RealServer<'_> {
             Frame::Report { worker: w, token } => {
                 debug_assert_eq!(w as usize, worker);
                 let released = self.accept_report(worker, TokenId(token));
+                self.maybe_checkpoint()?;
                 // Piggybacked pull, exactly like the simulated control plane —
                 // widened to the pipeline depth.
                 self.pull_into(worker);
@@ -523,6 +706,7 @@ impl RealServer<'_> {
                 for token in tokens {
                     released |= self.accept_report(worker, TokenId(token));
                 }
+                self.maybe_checkpoint()?;
                 self.pull_into(worker);
                 if self.arm_faults(transport)? || released {
                     self.drain_ready();
@@ -555,6 +739,33 @@ pub fn run_real_with(
     opts: RealOptions,
     sched: SharedSched,
 ) -> io::Result<RealOutcome> {
+    run_real_impl(config, scenario, transport, opts, None, sched)
+}
+
+/// [`run_real`] with a durable control plane: every control-plane transition
+/// is write-ahead logged (to `fela.wal` under `durability.wal_dir`, or an
+/// in-memory sink when unset) and the accepted-report schedule is
+/// checkpointed every `durability.checkpoint_every` completed iterations, so
+/// an injected [`fela_cluster::FaultModel::ServerCrashRestart`] recovers
+/// mid-iteration instead of restarting the job from scratch.
+pub fn run_real_durable(
+    config: &FelaConfig,
+    scenario: &Scenario,
+    transport: &mut dyn Transport,
+    opts: RealOptions,
+    durability: &DurabilityOptions,
+) -> io::Result<RealOutcome> {
+    run_real_impl(config, scenario, transport, opts, Some(durability), pass())
+}
+
+fn run_real_impl(
+    config: &FelaConfig,
+    scenario: &Scenario,
+    transport: &mut dyn Transport,
+    opts: RealOptions,
+    durability: Option<&DurabilityOptions>,
+    sched: SharedSched,
+) -> io::Result<RealOutcome> {
     scenario.cluster.validate();
     if let Err(e) = scenario.fault.validate() {
         panic!("invalid fault model: {e}");
@@ -583,7 +794,38 @@ pub fn run_real_with(
         })
         .collect();
     let n = scenario.cluster.nodes;
-    let server = ControlPlane::new(plan.clone(), config.clone(), meta, n, scenario.iterations);
+    let mut server = ControlPlane::new(
+        plan.clone(),
+        config.clone(),
+        meta.clone(),
+        n,
+        scenario.iterations,
+    );
+
+    // A declared server fault implies durability: the run cannot survive the
+    // crash without a log to recover from, so one is attached even when the
+    // caller did not ask for it explicitly (in-memory unless a `wal_dir` was
+    // configured, exactly like the simulated runtime).
+    let server_fault =
+        (0..scenario.iterations).any(|it| scenario.fault.server_fault_for(it).is_some());
+    let mut wal = None;
+    if durability.is_some() || server_fault {
+        let handle = match durability.and_then(|d| d.wal_dir.as_deref()) {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = wal_path(dir);
+                server.attach_wal(Box::new(FileWal::create(&path)?))?;
+                WalHandle::File(path)
+            }
+            None => {
+                let mem = MemWal::new();
+                server.attach_wal(Box::new(mem.clone()))?;
+                WalHandle::Mem(mem)
+            }
+        };
+        wal = Some(handle);
+    }
+    let checkpoint_every = durability.map_or(1, |d| d.checkpoint_every);
 
     let (server_links, worker_links) = transport.establish(n)?;
     let mut txs = Vec::with_capacity(n);
@@ -625,6 +867,12 @@ pub fn run_real_with(
         crashes: 0,
         restarts: 0,
         revocations: 0,
+        meta,
+        wal,
+        checkpoint_every,
+        last_checkpoint: 0,
+        server_crashes: 0,
+        server_restarts: 0,
         sched: sched.clone(),
     };
 
@@ -825,6 +1073,8 @@ pub fn run_real_with(
         crashes: rs.crashes,
         restarts: rs.restarts,
         revocations: rs.revocations,
+        server_crashes: rs.server_crashes,
+        server_restarts: rs.server_restarts,
         params: reference,
         transport: transport.name(),
     })
@@ -950,5 +1200,115 @@ mod tests {
         assert_eq!(out.crashes, 1);
         assert_eq!(out.restarts, 1);
         assert!(!out.params.is_empty());
+    }
+
+    #[test]
+    fn server_crash_restart_matches_the_uninterrupted_run() {
+        // The acceptance bar for the durable control plane: kill the server
+        // mid-iteration, recover from the WAL, and land on final parameters
+        // byte-identical to a run that was never interrupted.
+        let (config, mut scenario) = quick();
+        scenario.iterations = 8;
+        let baseline = run_real(&config, &scenario, &mut ChanTransport, fast())
+            .expect("uninterrupted run succeeds");
+        scenario.fault = FaultModel::ServerCrashRestart {
+            iteration: 1,
+            down: fela_sim::SimDuration::from_millis(100),
+        };
+        let opts = RealOptions {
+            time_scale: 1e-3,
+            min_down: Duration::from_millis(1),
+            ..RealOptions::default()
+        };
+        let out = run_real(&config, &scenario, &mut ChanTransport, opts)
+            .expect("durable run survives the server crash");
+        assert_eq!(out.iterations, 8);
+        assert_eq!(out.server_crashes, 1);
+        assert_eq!(out.server_restarts, 1);
+        assert_eq!(out.crashes, 0, "no worker fault was declared");
+        assert_eq!(
+            out.params, baseline.params,
+            "recovered run must produce byte-identical parameters"
+        );
+    }
+
+    #[test]
+    fn tcp_server_crash_restart_recovers() {
+        let (config, mut scenario) = quick();
+        scenario.iterations = 6;
+        scenario.fault = FaultModel::ServerCrashRestart {
+            iteration: 1,
+            down: fela_sim::SimDuration::from_millis(100),
+        };
+        let opts = RealOptions {
+            time_scale: 1e-3,
+            min_down: Duration::from_millis(1),
+            ..RealOptions::default()
+        };
+        let out = run_real(&config, &scenario, &mut TcpTransport::default(), opts)
+            .expect("durable run survives the server crash over TCP");
+        assert_eq!(out.iterations, 6);
+        assert_eq!(out.server_crashes, 1);
+        assert_eq!(out.server_restarts, 1);
+        assert!(!out.params.is_empty());
+    }
+
+    #[test]
+    fn durable_run_writes_a_replayable_wal_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "fela-live-wal-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let (config, mut scenario) = quick();
+        scenario.iterations = 4;
+        scenario.fault = FaultModel::ServerCrashRestart {
+            iteration: 1,
+            down: fela_sim::SimDuration::from_millis(50),
+        };
+        let durability = DurabilityOptions {
+            wal_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+        };
+        let opts = RealOptions {
+            time_scale: 1e-3,
+            min_down: Duration::from_millis(1),
+            ..RealOptions::default()
+        };
+        let out = run_real_durable(&config, &scenario, &mut ChanTransport, opts, &durability)
+            .expect("durable run succeeds");
+        assert_eq!(out.iterations, 4);
+        assert_eq!(out.server_crashes, 1);
+        let bytes = std::fs::read(wal_path(&dir)).expect("wal file exists");
+        let log = fela_core::wal::read_log(&bytes).expect("wal parses cleanly");
+        assert_eq!(log.torn_bytes, 0, "resumed file log must end on a record");
+        assert!(log.records.len() > 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_and_server_faults_keep_separate_counters() {
+        // A worker CrashRestart run must not touch the server counters.
+        let (config, mut scenario) = quick();
+        scenario.iterations = 6;
+        scenario.fault = FaultModel::Scripted {
+            worker: 0,
+            iteration: 1,
+            kind: FaultKind::CrashRestart {
+                down: fela_sim::SimDuration::from_millis(100),
+            },
+        };
+        let opts = RealOptions {
+            time_scale: 1e-3,
+            min_down: Duration::from_millis(1),
+            ..RealOptions::default()
+        };
+        let out =
+            run_real(&config, &scenario, &mut ChanTransport, opts).expect("real run succeeds");
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.server_crashes, 0);
+        assert_eq!(out.server_restarts, 0);
     }
 }
