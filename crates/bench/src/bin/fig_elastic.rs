@@ -1,0 +1,6 @@
+//! Elasticity figure — makespan under resize churn. Thin wrapper over
+//! [`fela_bench::figures::fig_elastic`].
+
+fn main() {
+    fela_bench::figures::fig_elastic::run(fela_harness::default_jobs());
+}

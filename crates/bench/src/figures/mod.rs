@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_elastic;
 pub mod fig_recovery;
 pub mod fig_server_recovery;
 pub mod table1;
@@ -23,7 +24,7 @@ pub mod table2;
 pub type Experiment = fn(usize);
 
 /// Every experiment in DESIGN.md §4 order: `(name, entry point)`.
-pub const ALL: [(&str, Experiment); 12] = [
+pub const ALL: [(&str, Experiment); 13] = [
     ("table1_model_zoo", table1::run),
     ("table2_comparison", table2::run),
     ("fig1_layer_throughput", fig1::run),
@@ -34,6 +35,7 @@ pub const ALL: [(&str, Experiment); 12] = [
     ("fig9_round_robin", fig9::run),
     ("fig10_probabilistic", fig10::run),
     ("fig_recovery", fig_recovery::run),
+    ("fig_elastic", fig_elastic::run),
     ("fig_server_recovery", fig_server_recovery::run),
     ("ablation_design", ablation::run),
 ];

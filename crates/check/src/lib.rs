@@ -34,6 +34,12 @@
 //!   machine over the server ↔ worker `Frame` dialogue, replayed over recorded
 //!   [`fela_live::SyncEvent`] traces (from `RecordingSched`) and over the model
 //!   checker's explored executions.
+//! * [`elastic`] — elastic-run verification: replays every epoch of a
+//!   resized run against its membership (no grants to departed workers),
+//!   re-runs the full two-phase search as an oracle against the incremental
+//!   boundary re-tune (no re-bin divergence), and composes the race and
+//!   recovery checkers per epoch. Seeded mutations prove both elastic
+//!   diagnostics fire.
 //! * [`wal`] — write-ahead-log verification: replays a Token Server WAL
 //!   through an oracle [`fela_core::ControlPlane`], proving the recovered
 //!   state is snapshot-equal and no token is applied twice. Seeded log
@@ -48,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dag;
+pub mod elastic;
 pub mod explore;
 pub mod lint;
 pub mod mc;
@@ -57,6 +64,10 @@ pub mod recovery;
 pub mod wal;
 
 pub use dag::{DagNode, DagSummary, DagViolation, Mutation, ScheduleDag};
+pub use elastic::{
+    check_elastic, mutate_elastic, run_elastic_mutation_matrix, ElasticMutation,
+    ElasticMutationRun, ElasticSummary, ElasticViolation,
+};
 pub use explore::{exhaustive_schedule_check, ExploreOutcome, ExploreViolation, Explorer};
 pub use mc::{
     model_check, record_execution, run_mutation_matrix, McConfig, McMutation, McOutcome,

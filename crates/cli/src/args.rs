@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing for the `fela` CLI (kept dependency-free).
 
-use fela_cluster::{FaultKind, FaultModel, StragglerModel};
+use fela_cluster::{FaultKind, FaultModel, ResizeAction, ResizeEvent, ResizeModel, StragglerModel};
 use fela_sim::SimDuration;
 
 /// Parsed command line.
@@ -49,6 +49,10 @@ pub struct CheckArgs {
     /// control-plane run through the oracle, prove snapshot equality and
     /// exactly-once token application, and run the seeded log-mutation matrix.
     pub wal: bool,
+    /// Run the elastic-run verifier (`--elastic`): check traced resized runs
+    /// against their per-epoch membership and the full-search re-tune oracle,
+    /// then run the seeded elastic mutation matrix.
+    pub elastic: bool,
 }
 
 /// Options for `fela live`.
@@ -87,7 +91,10 @@ pub struct CommonArgs {
     pub straggler: StragglerModel,
     /// Fault injection.
     pub fault: FaultModel,
-    /// Seed override re-rooting the straggler/fault realisations (`--seed`).
+    /// Planned elasticity (`--resize`, repeatable; `FELA_RESIZE` fallback).
+    pub resize: ResizeModel,
+    /// Seed override re-rooting the straggler/fault/resize realisations
+    /// (`--seed`).
     pub seed: Option<u64>,
     /// Harness worker threads (`--jobs`); `None` = `FELA_JOBS`/auto.
     pub jobs: Option<usize>,
@@ -111,6 +118,7 @@ impl Default for CommonArgs {
             nodes: 8,
             straggler: StragglerModel::None,
             fault: FaultModel::None,
+            resize: ResizeModel::None,
             seed: None,
             jobs: None,
             results_dir: None,
@@ -285,6 +293,106 @@ pub fn parse_fault(spec: &str) -> Result<FaultModel, ParseError> {
     }
 }
 
+/// Parses one `--resize` value: `none`, `join:<iter>:<n>`,
+/// `leave:<iter>:<w,…>` or `churn:<rate>[:<seed>]`. Every spec is validated
+/// at parse time through [`ResizeModel::validate`], so a bad script fails
+/// before any run starts.
+pub fn parse_resize(spec: &str) -> Result<ResizeModel, ParseError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let iter_of = |it: &str| -> Result<u64, ParseError> {
+        it.parse()
+            .map_err(|_| ParseError(format!("bad iteration '{it}'")))
+    };
+    let model = match parts.as_slice() {
+        ["none"] => ResizeModel::None,
+        ["join", it, n] => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| ParseError(format!("bad join count '{n}'")))?;
+            ResizeModel::Scripted(vec![ResizeEvent {
+                iteration: iter_of(it)?,
+                action: ResizeAction::Join(n),
+            }])
+        }
+        ["leave", it, ws] => {
+            let ranks: Result<Vec<usize>, _> = ws.split(',').map(str::parse).collect();
+            let ranks =
+                ranks.map_err(|_| ParseError(format!("bad worker list '{ws}' (use e.g. 0,3)")))?;
+            ResizeModel::Scripted(vec![ResizeEvent {
+                iteration: iter_of(it)?,
+                action: ResizeAction::Leave(ranks),
+            }])
+        }
+        ["churn", rate] | ["churn", rate, _] => {
+            let rate: f64 = rate
+                .parse()
+                .map_err(|_| ParseError(format!("bad churn rate '{rate}'")))?;
+            let seed = parts
+                .get(2)
+                .map(|s| s.parse().map_err(|_| ParseError(format!("bad seed '{s}'"))))
+                .transpose()?
+                .unwrap_or(42);
+            ResizeModel::Churn { rate, seed }
+        }
+        _ => {
+            return err(format!(
+                "unknown resize spec '{spec}' (use none, join:<iter>:<n>, \
+                 leave:<iter>:<w,…> or churn:<rate>[:<seed>])"
+            ))
+        }
+    };
+    model.validate().map_err(ParseError)?;
+    Ok(model)
+}
+
+/// Folds a freshly parsed `--resize` value into the model accumulated so far:
+/// repeated scripted specs compose into one sorted script; `churn` stands
+/// alone; `none` resets.
+pub fn merge_resize(base: ResizeModel, next: ResizeModel) -> Result<ResizeModel, ParseError> {
+    let merged = match (base, next) {
+        (_, ResizeModel::None) => ResizeModel::None,
+        (ResizeModel::None, next) => next,
+        (ResizeModel::Scripted(mut events), ResizeModel::Scripted(more)) => {
+            events.extend(more);
+            events.sort_by_key(|e| e.iteration);
+            ResizeModel::Scripted(events)
+        }
+        (ResizeModel::Churn { .. }, _) | (_, ResizeModel::Churn { .. }) => {
+            return err("churn cannot combine with other resize specs");
+        }
+    };
+    // Re-validate the composition: two scripted specs may collide on an
+    // iteration, which a single parse cannot see.
+    merged.validate().map_err(ParseError)?;
+    Ok(merged)
+}
+
+/// Resolves the resize model for a command: `--resize` flags win; otherwise
+/// `FELA_RESIZE` (whitespace-separated specs, composed exactly like repeated
+/// flags) is consulted; otherwise no resizes.
+pub fn resolve_resize(explicit: &ResizeModel) -> Result<ResizeModel, ParseError> {
+    let env = std::env::var("FELA_RESIZE").ok();
+    resolve_resize_with(explicit, env.as_deref())
+}
+
+fn resolve_resize_with(
+    explicit: &ResizeModel,
+    env: Option<&str>,
+) -> Result<ResizeModel, ParseError> {
+    if !explicit.is_none() {
+        return Ok(explicit.clone());
+    }
+    let Some(specs) = env else {
+        return Ok(ResizeModel::None);
+    };
+    let mut model = ResizeModel::None;
+    for spec in specs.split_whitespace() {
+        let next = parse_resize(spec).map_err(|e| ParseError(format!("FELA_RESIZE: {e}")))?;
+        model = merge_resize(model, next).map_err(|e| ParseError(format!("FELA_RESIZE: {e}")))?;
+    }
+    Ok(model)
+}
+
 /// Resolves the worker-thread count for a command: `--jobs` (already validated
 /// at parse time), else `FELA_JOBS`, else available parallelism. A `FELA_JOBS`
 /// that is set but not a positive integer is rejected here rather than silently
@@ -380,6 +488,11 @@ fn parse_common<'a>(
         }
         "--straggler" => common.straggler = parse_straggler(take_value(flag, it)?)?,
         "--fault" => common.fault = parse_fault(take_value(flag, it)?)?,
+        "--resize" => {
+            let next = parse_resize(take_value(flag, it)?)?;
+            let base = std::mem::take(&mut common.resize);
+            common.resize = merge_resize(base, next)?;
+        }
         "--seed" => {
             common.seed = Some(
                 take_value(flag, it)?
@@ -582,6 +695,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                 mc: false,
                 protocol: false,
                 wal: false,
+                elastic: false,
             };
             while let Some(flag) = it.next() {
                 if parse_common(&mut check.common, flag, &mut it)? {
@@ -618,6 +732,7 @@ pub fn parse(args: &[&str]) -> Result<Command, ParseError> {
                     "--mc" => check.mc = true,
                     "--protocol" => check.protocol = true,
                     "--wal" => check.wal = true,
+                    "--elastic" => check.elastic = true,
                     other => return err(format!("unknown flag '{other}' for 'check'")),
                 }
             }
@@ -634,11 +749,13 @@ USAGE:
   fela run     --model <name> --batch <n> [--iters <n>] [--nodes <n>]
                [--weights w1,w2,…] [--ctd <size>] [--staleness <s>]
                [--no-pipelining] [--shards <n>] [--straggler <spec>]
-               [--fault <spec>] [--json]
-               (omit --weights to auto-tune first)
+               [--fault <spec>] [--resize <spec>]… [--json]
+               (omit --weights to auto-tune first; with --resize the elastic
+                controller re-bins and re-tunes at every resize boundary)
   fela tune    --model <name> --batch <n> [--iters <n>] [--nodes <n>]
   fela compare --model <name> --batch <n> [--iters <n>] [--straggler <spec>]
-               [--fault <spec>]
+               [--fault <spec>] [--resize <spec>]…
+               (with --resize: elastic Fela vs stop-and-restart DP/HP)
   fela check   --model <name> [--policy full|ads|hf|ctd|none] [--batch <n>]
                [--weights w1,w2,…] [--ctd <size>] [--staleness <s>]
                (static DAG verification + race-checking a traced run;
@@ -657,12 +774,21 @@ USAGE:
                 twice, and every seeded log mutation — dropped, duplicated,
                 reordered record, flipped byte — must be caught with a
                 distinct diagnostic)
+  fela check   --elastic
+               (verify traced resized runs: every grant within its epoch's
+                membership, the incremental boundary re-tune bit-identical to
+                the full two-phase search, the lease protocol clean across
+                boundaries; the seeded elastic mutation matrix — a grant to a
+                departed worker, a diverged re-bin — must be caught)
   fela live    --model <name> [--workers <n>] [--transport chan|tcp]
                [--mode virtual|real] [--time-scale <s>] [--weights w1,w2,…]
-               [--shards <n>] [--straggler <spec>] [--fault <spec>] [--json]
+               [--shards <n>] [--straggler <spec>] [--fault <spec>]
+               [--resize <spec>]… [--json]
                (run the Token Server and workers as real threads over the
                 wire protocol; virtual mode is byte-identical to the
-                simulator, real mode races the wall clock)
+                simulator, real mode races the wall clock; with --resize each
+                epoch is its own live session — joiners hot-join via the
+                Hello handshake, leavers drain at the epoch boundary)
   fela models
   fela help
 
@@ -686,6 +812,14 @@ COMMON FLAGS:
   --checkpoint-every <n>
                checkpoint the control-plane state every <n> completed
                iterations (default 1; 0 = log-only, replay from Begin)
+
+RESIZE SPECS (planned elasticity; takes effect at the start of <iter>):
+  none | join:<iter>:<n> | leave:<iter>:<w,…> | churn:<rate>[:<seed>]
+  --resize is repeatable: scripted join/leave specs compose into one script
+  (one event per iteration); churn stands alone. FELA_RESIZE holds
+  whitespace-separated specs as a fallback when no flag is given.
+  e.g.  fela run --model googlenet --batch 256 --iters 10 \\
+            --resize join:3:2 --resize leave:7:0,4
 
 STRAGGLER SPECS:
   none | round-robin:<delay_secs> | prob:<p>:<delay_secs>[:<seed>]
@@ -1151,6 +1285,134 @@ mod tests {
     }
 
     #[test]
+    fn resize_specs() {
+        assert_eq!(parse_resize("none").unwrap(), ResizeModel::None);
+        assert_eq!(
+            parse_resize("join:3:2").unwrap(),
+            ResizeModel::Scripted(vec![ResizeEvent {
+                iteration: 3,
+                action: ResizeAction::Join(2),
+            }])
+        );
+        assert_eq!(
+            parse_resize("leave:7:0,4").unwrap(),
+            ResizeModel::Scripted(vec![ResizeEvent {
+                iteration: 7,
+                action: ResizeAction::Leave(vec![0, 4]),
+            }])
+        );
+        match parse_resize("churn:0.3:9").unwrap() {
+            ResizeModel::Churn { rate, seed } => {
+                assert_eq!(rate, 0.3);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_resize("churn:0.3").unwrap() {
+            ResizeModel::Churn { seed, .. } => assert_eq!(seed, 42),
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "join:0:2",    // iteration 0 is the initial membership
+            "join:3:0",    // joins nobody
+            "join:x:2",    // bad iteration
+            "join:3",      // missing count
+            "leave:4:",    // empty worker list
+            "leave:4:1,1", // repeated rank
+            "leave:4:1,x", // bad rank
+            "churn:1.5",   // rate out of [0, 1]
+            "churn:nan",   // non-finite rate
+            "churn:0.3:z", // bad seed
+            "shrink:3:1",  // unknown verb
+        ] {
+            assert!(parse_resize(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn repeated_resize_flags_compose_into_one_sorted_script() {
+        let Command::Run(r) =
+            parse(&["run", "--resize", "leave:7:0,4", "--resize", "join:3:2"]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            r.common.resize,
+            ResizeModel::Scripted(vec![
+                ResizeEvent {
+                    iteration: 3,
+                    action: ResizeAction::Join(2),
+                },
+                ResizeEvent {
+                    iteration: 7,
+                    action: ResizeAction::Leave(vec![0, 4]),
+                },
+            ])
+        );
+        // Two events on the same boundary cannot compose.
+        let e = parse(&["run", "--resize", "join:3:1", "--resize", "leave:3:0"]).unwrap_err();
+        assert!(e.0.contains("one event per iteration"), "{e}");
+        // Churn composes with nothing.
+        assert!(parse(&["run", "--resize", "churn:0.2", "--resize", "join:3:1"]).is_err());
+        assert!(parse(&["run", "--resize", "join:3:1", "--resize", "churn:0.2"]).is_err());
+        // A trailing `none` resets the accumulated script.
+        let Command::Run(r) = parse(&["run", "--resize", "join:3:1", "--resize", "none"]).unwrap()
+        else {
+            panic!()
+        };
+        assert!(r.common.resize.is_none());
+        // The flag parses on every scenario command.
+        let Command::Live(l) = parse(&["live", "--resize", "join:2:1"]).unwrap() else {
+            panic!()
+        };
+        assert!(!l.common.resize.is_none());
+        let Command::Compare(c) = parse(&["compare", "--resize", "churn:0.1"]).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(c.resize, ResizeModel::Churn { .. }));
+    }
+
+    #[test]
+    fn fela_resize_env_is_a_fallback_only() {
+        // Explicit flag wins regardless of the environment.
+        let flag = ResizeModel::Churn { rate: 0.1, seed: 1 };
+        assert_eq!(resolve_resize_with(&flag, Some("join:2:1")).unwrap(), flag);
+        // Unset env, no flag → no resizes.
+        assert_eq!(
+            resolve_resize_with(&ResizeModel::None, None).unwrap(),
+            ResizeModel::None
+        );
+        // Whitespace-separated specs compose like repeated flags.
+        let m = resolve_resize_with(&ResizeModel::None, Some("join:3:2  leave:7:0")).unwrap();
+        assert_eq!(
+            m,
+            ResizeModel::Scripted(vec![
+                ResizeEvent {
+                    iteration: 3,
+                    action: ResizeAction::Join(2),
+                },
+                ResizeEvent {
+                    iteration: 7,
+                    action: ResizeAction::Leave(vec![0]),
+                },
+            ])
+        );
+        // Malformed env is a named error, not a silent ignore.
+        let e = resolve_resize_with(&ResizeModel::None, Some("join:0:2")).unwrap_err();
+        assert!(e.0.contains("FELA_RESIZE"), "{e}");
+        assert!(resolve_resize_with(&ResizeModel::None, Some("churn:0.1 join:2:1")).is_err());
+    }
+
+    #[test]
+    fn check_elastic_flag_parses() {
+        let Command::Check(c) = parse(&["check", "--elastic"]).unwrap() else {
+            panic!()
+        };
+        assert!(c.elastic);
+        assert!(!c.wal && !c.mc);
+    }
+
+    #[test]
     fn tune_and_compare_share_common_flags() {
         let Command::Tune(c) = parse(&["tune", "--batch", "64"]).unwrap() else {
             panic!()
@@ -1160,5 +1422,73 @@ mod tests {
             panic!()
         };
         assert!(matches!(c.straggler, StragglerModel::Probabilistic { .. }));
+    }
+
+    // ---- resize-spec property tests --------------------------------------
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn well_formed_resize_specs_always_parse_valid(
+            kind in 0usize..3,
+            it in 1u64..1000,
+            n in 1usize..64,
+            raw_ranks in prop::collection::vec(0usize..64, 1..8),
+            rate in 0.0f64..1.0,
+            seed in any::<u64>(),
+        ) {
+            let mut ranks = raw_ranks;
+            ranks.sort_unstable();
+            ranks.dedup();
+            let spec = match kind {
+                0 => format!("join:{it}:{n}"),
+                1 => {
+                    let list: Vec<String> =
+                        ranks.iter().map(usize::to_string).collect();
+                    format!("leave:{it}:{}", list.join(","))
+                }
+                _ => format!("churn:{rate}:{seed}"),
+            };
+            let model = parse_resize(&spec).expect("well-formed spec");
+            prop_assert!(model.validate().is_ok());
+            prop_assert!(!model.is_none());
+        }
+
+        #[test]
+        fn resize_parsing_never_panics(bytes in prop::collection::vec(0usize..16, 0..40)) {
+            // Arbitrary input over the spec alphabet either parses to a
+            // valid model or errors — never panics.
+            const ALPHABET: &[u8; 16] = b"jolinecurh:,.059";
+            let spec: String =
+                bytes.iter().map(|&b| ALPHABET[b] as char).collect();
+            if let Ok(model) = parse_resize(&spec) {
+                prop_assert!(model.validate().is_ok());
+            }
+        }
+
+        #[test]
+        fn disjoint_scripted_specs_always_compose(
+            raw_its in prop::collection::vec(1u64..1000, 1..6),
+            n in 1usize..8,
+        ) {
+            // Any set of distinct boundaries composes, in any order, into
+            // one valid sorted script.
+            let mut its = raw_its;
+            its.sort_unstable();
+            its.dedup();
+            let half = its.len() / 2;
+            its.rotate_left(half); // not sorted when len > 1
+            let mut model = ResizeModel::None;
+            for it in &its {
+                let next = parse_resize(&format!("join:{it}:{n}")).expect("parses");
+                model = merge_resize(model, next).expect("disjoint specs compose");
+            }
+            let ResizeModel::Scripted(events) = model else {
+                panic!("expected a script");
+            };
+            prop_assert_eq!(events.len(), its.len());
+            prop_assert!(events.windows(2).all(|p| p[0].iteration < p[1].iteration));
+        }
     }
 }

@@ -61,9 +61,11 @@ fn scenario_from(common: &CommonArgs) -> Result<Scenario, String> {
     }
     sc.straggler = common.straggler;
     sc.fault = common.fault;
+    sc.resize = args::resolve_resize(&common.resize).map_err(|e| e.to_string())?;
     if let Some(seed) = common.seed {
         sc.straggler = sc.straggler.with_seed(seed);
         sc.fault = sc.fault.with_seed(seed);
+        sc.resize = sc.resize.with_seed(seed);
     }
     Ok(sc)
 }
@@ -92,8 +94,118 @@ fn cmd_models() {
     print!("{}", table.render());
 }
 
+/// `fela run --resize …`: the elastic path. The controller re-bins and
+/// re-tunes at every boundary, so per-epoch weights are chosen online —
+/// explicit `--weights`/`--ctd` would contradict that and are rejected.
+fn cmd_run_elastic(run: &RunArgs, sc: &Scenario) -> Result<(), String> {
+    if run.weights.is_some() || run.ctd.is_some() {
+        return Err(
+            "--weights/--ctd cannot combine with --resize: the elastic controller \
+             re-tunes the configuration at every resize boundary"
+                .into(),
+        );
+    }
+    let runtime = fela_elastic::ElasticRuntime::new(fela_elastic::ElasticOptions::default());
+    let outcome = runtime.run_elastic(sc).map_err(|e| e.to_string())?;
+    if run.json {
+        #[derive(serde::Serialize)]
+        struct ElasticRunPayload {
+            report: RunReport,
+            epochs: Vec<fela_elastic::EpochSummary>,
+        }
+        let payload = ElasticRunPayload {
+            report: outcome.report.clone(),
+            epochs: outcome
+                .plan
+                .epochs
+                .iter()
+                .map(fela_elastic::EpochPlan::summary)
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let mut epochs = Table::new(
+        format!(
+            "Fela elastic — {} @ batch {}, {} iterations, {} resize(s)",
+            sc.model.name,
+            sc.total_batch,
+            sc.iterations,
+            outcome.plan.resizes()
+        ),
+        &[
+            "epoch",
+            "from iter",
+            "iters",
+            "workers",
+            "batch",
+            "weights",
+            "profiled",
+            "reused",
+            "transition (s)",
+        ],
+    );
+    for e in &outcome.plan.epochs {
+        let s = e.summary();
+        epochs.row(vec![
+            s.index.to_string(),
+            s.start_iteration.to_string(),
+            s.iterations.to_string(),
+            s.n_workers.to_string(),
+            s.total_batch.to_string(),
+            format!("{:?}", s.weights),
+            s.retune_profiled.to_string(),
+            s.retune_reused.to_string(),
+            f2(s.transition_secs),
+        ]);
+    }
+    print!("{}", epochs.render());
+    let report = &outcome.report;
+    let mut table = Table::new("Stitched run", &["metric", "value"]);
+    table.row(vec![
+        "total time (s, incl. transitions)".into(),
+        f2(report.total_time_secs),
+    ]);
+    table.row(vec![
+        "transition overhead (s)".into(),
+        f2(outcome.plan.total_transition_secs),
+    ]);
+    table.row(vec![
+        "throughput (samples/s)".into(),
+        f2(report.average_throughput()),
+    ]);
+    table.row(vec![
+        "samples trained".into(),
+        report.counter("elastic_samples").to_string(),
+    ]);
+    table.row(vec![
+        "join / leave events".into(),
+        format!(
+            "{} / {}",
+            report.counter("elastic_joins"),
+            report.counter("elastic_leaves")
+        ),
+    ]);
+    table.row(vec![
+        "retune cases profiled / reused".into(),
+        format!(
+            "{} / {}",
+            report.counter("elastic_retune_profiled"),
+            report.counter("elastic_retune_reused")
+        ),
+    ]);
+    print!("{}", table.render());
+    Ok(())
+}
+
 fn cmd_run(run: &RunArgs) -> Result<(), String> {
     let sc = scenario_from(&run.common)?;
+    if !sc.resize.is_none() {
+        return cmd_run_elastic(run, &sc);
+    }
     let m = {
         let probe = FelaRuntime::new(FelaConfig::new(1));
         probe.partition_for(&sc).len()
@@ -199,6 +311,11 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
 
 fn cmd_tune(common: &CommonArgs) -> Result<(), String> {
     let sc = scenario_from(common)?;
+    if !sc.resize.is_none() {
+        return Err("tune works on a fixed membership; for resized runs use \
+             'fela run --resize …' (the elastic controller re-tunes per epoch)"
+            .into());
+    }
     let outcome = Tuner::default().tune_with_jobs(&sc, jobs_from(common)?);
     let mut table = Table::new(
         format!("Tuning {} @ batch {}", sc.model.name, sc.total_batch),
@@ -247,26 +364,55 @@ fn cmd_tune(common: &CommonArgs) -> Result<(), String> {
 fn cmd_compare(common: &CommonArgs) -> Result<(), String> {
     let sc = scenario_from(common)?;
     let jobs = jobs_from(common)?;
-    eprintln!("tuning Fela first…");
-    let fela_config = Tuner::default().tune_with_jobs(&sc, jobs).best_config;
-
-    // One harness sweep: four runtimes × this scenario. Labels come from each
-    // runtime's own name() so reports and artifacts agree with the runtimes.
-    let fela = FelaRuntime::new(fela_config);
-    let fela_label = fela.name();
     let scenario_label = format!("{}/b{}", sc.model.name, sc.total_batch);
-    let result = SweepSpec::new("compare")
-        .runtime_factory(fela_label, fela_harness::sweep::share_runtime(fela))
-        .runtime(DpRuntime::default().name(), |_| {
-            Box::new(DpRuntime::default())
-        })
-        .runtime(MpRuntime::default().name(), |_| {
-            Box::new(MpRuntime::default())
-        })
-        .runtime(HpRuntime.name(), |_| Box::new(HpRuntime))
-        .scenario(scenario_label.clone(), sc.clone())
-        .with_seed(common.seed)
-        .run(jobs);
+    let result = if sc.resize.is_none() {
+        eprintln!("tuning Fela first…");
+        let fela_config = Tuner::default().tune_with_jobs(&sc, jobs).best_config;
+
+        // One harness sweep: four runtimes × this scenario. Labels come from
+        // each runtime's own name() so reports and artifacts agree with the
+        // runtimes.
+        let fela = FelaRuntime::new(fela_config);
+        SweepSpec::new("compare")
+            .runtime_factory(fela.name(), fela_harness::sweep::share_runtime(fela))
+            .runtime(DpRuntime::default().name(), |_| {
+                Box::new(DpRuntime::default())
+            })
+            .runtime(MpRuntime::default().name(), |_| {
+                Box::new(MpRuntime::default())
+            })
+            .runtime(HpRuntime.name(), |_| Box::new(HpRuntime))
+            .scenario(scenario_label.clone(), sc.clone())
+            .with_seed(common.seed)
+            .run(jobs)
+    } else {
+        // Elastic comparison: Fela re-tunes and keeps training across each
+        // boundary; the baselines stop the job and relaunch it at the new
+        // membership. Each runtime tunes per epoch internally, so no
+        // up-front tuning pass.
+        use fela_elastic::{ElasticOptions, ElasticRuntime, StopRestartRuntime};
+        ElasticRuntime::new(ElasticOptions::default())
+            .plan(&sc)
+            .map_err(|e| e.to_string())?;
+        SweepSpec::new("compare-elastic")
+            .runtime("fela-elastic", |_| {
+                Box::new(ElasticRuntime::new(ElasticOptions::default()))
+            })
+            .runtime("dp-restart", |_| {
+                Box::new(StopRestartRuntime::new(DpRuntime::default(), "dp-restart"))
+            })
+            .runtime("hp-restart", |_| {
+                Box::new(StopRestartRuntime::new(HpRuntime, "hp-restart"))
+            })
+            .scenario(scenario_label.clone(), sc.clone())
+            .with_seed(common.seed)
+            .run(jobs)
+    };
+    let fela_label = if sc.resize.is_none() {
+        FelaRuntime::new(FelaConfig::new(1)).name()
+    } else {
+        "fela-elastic"
+    };
     let dir = args::resolve_results_dir(common.results_dir.as_deref());
     if let Err(e) = result.write_artifacts_to(&dir) {
         eprintln!("warning: cannot write compare artifacts: {e}");
@@ -322,6 +468,9 @@ fn cmd_live(live: &LiveArgs) -> Result<(), String> {
         common.nodes = workers;
     }
     let sc = scenario_from(&common)?;
+    if !sc.resize.is_none() {
+        return cmd_live_elastic(live, &common, &sc);
+    }
     let m = {
         let probe = FelaRuntime::new(FelaConfig::new(1));
         probe.partition_for(&sc).len()
@@ -463,6 +612,87 @@ fn cmd_live(live: &LiveArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `fela live --resize …`: each epoch runs as its own live session over a
+/// fresh transport — joiners genuinely perform the `Hello` handshake when
+/// their epoch begins, leavers drain through the epoch's `End` epilogue. The
+/// stitched report is byte-identical to the simulated elastic run, so only
+/// virtual-clock mode is supported.
+fn cmd_live_elastic(live: &LiveArgs, common: &CommonArgs, sc: &Scenario) -> Result<(), String> {
+    if live.mode != "virtual" {
+        return Err(
+            "--resize with 'fela live' supports --mode virtual only (per-epoch \
+             sessions conform to the simulator bytewise)"
+                .into(),
+        );
+    }
+    if live.weights.is_some() {
+        return Err(
+            "--weights cannot combine with --resize: the elastic controller \
+             re-tunes the configuration at every resize boundary"
+                .into(),
+        );
+    }
+    let outcome = fela_elastic::run_live_elastic(
+        fela_elastic::ElasticOptions::default(),
+        sc,
+        &live.transport,
+    )
+    .map_err(|e| format!("live elastic run failed: {e}"))?;
+    let runtime_label = format!("fela-live-elastic:virtual:{}", live.transport);
+    let scenario_label = format!("{}/b{}", sc.model.name, sc.total_batch);
+    let record = fela_harness::RunRecord::new(
+        "live",
+        &runtime_label,
+        &scenario_label,
+        sc,
+        common.seed,
+        outcome.report.clone(),
+    );
+    let dir = args::resolve_results_dir(common.results_dir.as_deref());
+    match fela_harness::write_jsonl_to(&dir, "live", std::slice::from_ref(&record)) {
+        Ok(path) => eprintln!("[live] 1 run -> {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write live artifacts: {e}"),
+    }
+    if live.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let mut table = Table::new(
+        format!(
+            "fela live elastic — {} @ batch {}, {} iterations, {} epoch(s)",
+            sc.model.name,
+            sc.total_batch,
+            sc.iterations,
+            outcome.plan.epochs.len()
+        ),
+        &["metric", "value"],
+    );
+    table.row(vec!["runtime".into(), runtime_label]);
+    table.row(vec!["transport".into(), live.transport.clone()]);
+    table.row(vec![
+        "simulated time (s, incl. transitions)".into(),
+        f2(outcome.report.total_time_secs),
+    ]);
+    table.row(vec!["resizes".into(), outcome.plan.resizes().to_string()]);
+    table.row(vec![
+        "join / leave events".into(),
+        format!(
+            "{} / {}",
+            outcome.report.counter("elastic_joins"),
+            outcome.report.counter("elastic_leaves")
+        ),
+    ]);
+    table.row(vec![
+        "conformance".into(),
+        "stitched report byte-identical to the simulated elastic run".into(),
+    ]);
+    print!("{}", table.render());
+    Ok(())
+}
+
 /// Maps a `--policy` preset onto a configuration (weights applied separately).
 fn policy_config(policy: &str, m: usize, nodes: usize, ctd: Option<usize>) -> FelaConfig {
     let base = FelaConfig::new(m);
@@ -483,6 +713,9 @@ fn policy_config(policy: &str, m: usize, nodes: usize, ctd: Option<usize>) -> Fe
 }
 
 fn cmd_check(check: &CheckArgs) -> Result<(), String> {
+    if check.elastic {
+        return cmd_check_elastic();
+    }
     if check.wal {
         return cmd_check_wal();
     }
@@ -860,6 +1093,136 @@ fn cmd_check_wal() -> Result<(), String> {
     print!("{}", mutation_table.render());
     if failures > 0 {
         return Err(format!("check --wal failed: {failures} problem(s)"));
+    }
+    Ok(())
+}
+
+/// `fela check --elastic`: the elastic-run verifier. Traces real resized runs
+/// (a scripted join+leave and a churn walk), replays every epoch against its
+/// membership (no grant may reach a departed worker), re-runs the full
+/// two-phase search as an oracle against the incremental boundary re-tune (no
+/// re-bin divergence), and composes the race + lease-protocol checkers per
+/// epoch. Then the seeded elastic mutation matrix must be caught, each kind
+/// with its own diagnostic.
+fn cmd_check_elastic() -> Result<(), String> {
+    use fela_cluster::{ResizeAction, ResizeEvent, ResizeModel};
+    use fela_elastic::{ElasticOptions, ElasticRuntime};
+
+    let mut failures = 0usize;
+    let options = ElasticOptions {
+        profile_iterations: 1,
+        ..ElasticOptions::default()
+    };
+    let base = |resize: ResizeModel| -> Result<Scenario, String> {
+        let model = model_by_cli_name("googlenet").ok_or("zoo model missing")?;
+        Ok(Scenario::paper(model, 256)
+            .with_iterations(6)
+            .with_resize(resize))
+    };
+    let scripted = base(ResizeModel::Scripted(vec![
+        ResizeEvent {
+            iteration: 2,
+            action: ResizeAction::Join(2),
+        },
+        ResizeEvent {
+            iteration: 4,
+            action: ResizeAction::Leave(vec![9, 3]),
+        },
+    ]))?;
+    let churn = base(ResizeModel::Churn {
+        rate: 0.5,
+        seed: 11,
+    })?;
+
+    let mut table = Table::new(
+        "Elastic replay — every epoch against its membership and the full-search oracle",
+        &[
+            "scenario", "epochs", "resizes", "grants", "applied", "reused", "verdict",
+        ],
+    );
+    for (name, sc) in [("scripted join+leave", &scripted), ("churn 0.5", &churn)] {
+        let (outcome, traces) = ElasticRuntime::new(options)
+            .run_elastic_traced(sc)
+            .map_err(|e| format!("{name}: {e}"))?;
+        match fela_check::check_elastic(&outcome.plan, &traces, options.profile_iterations) {
+            Ok(s) => {
+                table.row(vec![
+                    name.into(),
+                    s.epochs.to_string(),
+                    s.resizes.to_string(),
+                    s.grants.to_string(),
+                    s.applied.to_string(),
+                    s.retune_reused.to_string(),
+                    "ok".into(),
+                ]);
+            }
+            Err(violations) => {
+                failures += violations.len();
+                table.row(vec![
+                    name.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{} violation(s)", violations.len()),
+                ]);
+                for v in &violations {
+                    eprintln!("elastic: {name}: {v}");
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+
+    let matrix = fela_check::run_elastic_mutation_matrix(&scripted, options, &[0, 1, 2])
+        .map_err(|e| e.to_string())?;
+    let mut mutation_table = Table::new(
+        "Seeded elastic-mutation matrix — every corruption caught, distinctly",
+        &["mutation", "caught", "diagnostic"],
+    );
+    for run in &matrix {
+        let (name, want_kind) = match run.mutation {
+            fela_check::ElasticMutation::GrantToDeparted { seed } => (
+                format!("grant-to-departed (seed {seed})"),
+                "GrantToDepartedWorker",
+            ),
+            fela_check::ElasticMutation::RebinDiverge { seed } => {
+                (format!("re-bin-diverge (seed {seed})"), "RebinDivergence")
+            }
+        };
+        let caught = match run.mutation {
+            fela_check::ElasticMutation::GrantToDeparted { .. } => run.violations.iter().any(|v| {
+                matches!(
+                    v,
+                    fela_check::ElasticViolation::GrantToDepartedWorker { .. }
+                )
+            }),
+            fela_check::ElasticMutation::RebinDiverge { .. } => run
+                .violations
+                .iter()
+                .any(|v| matches!(v, fela_check::ElasticViolation::RebinDivergence { .. })),
+        };
+        mutation_table.row(vec![
+            name.clone(),
+            if caught {
+                "yes".into()
+            } else {
+                "MISSED".into()
+            },
+            run.violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "(none)".into()),
+        ]);
+        if !caught {
+            failures += 1;
+            eprintln!("elastic: mutation '{name}' did not provoke its {want_kind} diagnostic");
+        }
+    }
+    print!("{}", mutation_table.render());
+    if failures > 0 {
+        return Err(format!("check --elastic failed: {failures} problem(s)"));
     }
     Ok(())
 }

@@ -9,11 +9,13 @@
 #![forbid(unsafe_code)]
 
 mod fault;
+mod resize;
 mod runtime;
 mod scenario;
 mod straggler;
 
 pub use fault::{FaultKind, FaultModel};
+pub use resize::{ResizeAction, ResizeEvent, ResizeModel, MAX_CHURN_WORKERS, MIN_CHURN_WORKERS};
 pub use runtime::TrainingRuntime;
 pub use scenario::{ClusterSpec, Scenario};
 pub use straggler::StragglerModel;

@@ -11,6 +11,7 @@ use fela_net::NetworkConfig;
 use fela_sim::SimDuration;
 
 use crate::fault::{FaultKind, FaultModel};
+use crate::resize::ResizeModel;
 use crate::straggler::StragglerModel;
 
 /// Static description of the cluster hardware.
@@ -116,6 +117,10 @@ pub struct Scenario {
     pub straggler: StragglerModel,
     /// Fault injection (crashes, hangs, link outages).
     pub fault: FaultModel,
+    /// Planned cluster resizes (joins/leaves at iteration boundaries),
+    /// consumed by the elastic controller. [`ResizeModel::None`] keeps the
+    /// classic fixed-membership behaviour.
+    pub resize: ResizeModel,
 }
 
 impl Scenario {
@@ -129,6 +134,7 @@ impl Scenario {
             cluster: ClusterSpec::paper_testbed(),
             straggler: StragglerModel::None,
             fault: FaultModel::None,
+            resize: ResizeModel::None,
         }
     }
 
@@ -141,6 +147,12 @@ impl Scenario {
     /// Replaces the fault model (builder style).
     pub fn with_fault(mut self, fault: FaultModel) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Replaces the resize model (builder style).
+    pub fn with_resize(mut self, resize: ResizeModel) -> Self {
+        self.resize = resize;
         self
     }
 

@@ -47,6 +47,6 @@ pub use shard::TokenShard;
 pub use snapshot::ServerSnapshot;
 pub use token::{Token, TokenId};
 pub use wal::{
-    recover, wal_path, DurabilityOptions, FileWal, MemWal, Recovered, WalError, WalRecord, WalSink,
-    WalWriter,
+    recover, recover_elastic, wal_path, DurabilityOptions, EpochShape, FileWal, MemWal, Recovered,
+    WalError, WalRecord, WalSink, WalWriter,
 };

@@ -173,6 +173,14 @@ pub enum WalError {
     },
     /// Restoring the checkpoint snapshot failed.
     Restore(ScheduleError),
+    /// An elastic log describes more epochs than the caller provided shapes
+    /// for.
+    EpochOutOfRange {
+        /// Epoch index the log's live segment belongs to.
+        epoch: usize,
+        /// Number of epoch shapes the caller supplied.
+        epochs: usize,
+    },
     /// The underlying log store failed.
     Io(io::ErrorKind),
 }
@@ -225,6 +233,10 @@ impl std::fmt::Display for WalError {
                 "replayed op {seq} produced a different outcome than recorded"
             ),
             WalError::Restore(e) => write!(f, "checkpoint restore failed: {e}"),
+            WalError::EpochOutOfRange { epoch, epochs } => write!(
+                f,
+                "log's live segment is epoch {epoch} but only {epochs} epoch shape(s) were given"
+            ),
             WalError::Io(kind) => write!(f, "log store failed: {kind}"),
         }
     }
@@ -948,6 +960,7 @@ fn get_snapshot(c: &mut Cursor<'_>) -> Result<ServerSnapshot, WalError> {
 const TAG_BEGIN: u8 = 1;
 const TAG_OP: u8 = 2;
 const TAG_CHECKPOINT: u8 = 3;
+const TAG_RESIZE: u8 = 4;
 
 /// One log record.
 #[derive(Clone, PartialEq, Debug)]
@@ -968,6 +981,17 @@ pub enum WalRecord {
         seq: u64,
         /// The operation.
         op: CoordOp,
+    },
+    /// An epoch boundary in an elastic log: the cluster resized at
+    /// `iteration` to `n_workers` workers. The next `Begin` record opens the
+    /// new epoch's segment (its writer restarts op sequencing at 0).
+    /// Fixed-membership recovery ([`recover`]) rejects these; elastic
+    /// recovery ([`recover_elastic`]) uses them to locate the live segment.
+    Resize {
+        /// Global iteration the resize took effect at.
+        iteration: u64,
+        /// Cluster size *after* the resize.
+        n_workers: u32,
     },
     /// A full-state checkpoint; replay resumes from the latest one.
     Checkpoint {
@@ -1002,6 +1026,14 @@ fn encode_body(rec: &WalRecord) -> Vec<u8> {
             put_u64(&mut body, *seq);
             put_coord_op(&mut body, op);
         }
+        WalRecord::Resize {
+            iteration,
+            n_workers,
+        } => {
+            put_u8(&mut body, TAG_RESIZE);
+            put_u64(&mut body, *iteration);
+            put_u32(&mut body, *n_workers);
+        }
         WalRecord::Checkpoint {
             seq,
             payload,
@@ -1033,6 +1065,10 @@ fn decode_body(body: &[u8]) -> Result<WalRecord, WalError> {
         TAG_OP => WalRecord::Op {
             seq: c.u64()?,
             op: get_coord_op(&mut c)?,
+        },
+        TAG_RESIZE => WalRecord::Resize {
+            iteration: c.u64()?,
+            n_workers: c.u32()?,
         },
         TAG_CHECKPOINT => {
             let seq = c.u64()?;
@@ -1305,6 +1341,17 @@ impl WalWriter {
             }));
     }
 
+    /// Stages a `Resize` epoch-boundary marker. The elastic driver appends
+    /// one *between* epochs: after the old epoch's plane detaches and before
+    /// the new epoch's plane stages its `Begin`.
+    pub fn append_resize(&mut self, iteration: u64, n_workers: u32) {
+        self.staged
+            .extend_from_slice(&encode_record(&WalRecord::Resize {
+                iteration,
+                n_workers,
+            }));
+    }
+
     /// Stages a checkpoint of the given state at the current sequence point.
     pub fn append_checkpoint(
         &mut self,
@@ -1455,6 +1502,11 @@ pub fn recover(
                     what: "duplicate Begin record",
                 })
             }
+            Some(TAG_RESIZE) => {
+                return Err(WalError::Malformed {
+                    what: "Resize record inside a fixed-membership segment (use recover_elastic)",
+                })
+            }
             Some(TAG_OP) | Some(TAG_CHECKPOINT) | None => {
                 // Too short for its seq header (or empty) — decode for the
                 // precise malformed-record error.
@@ -1538,6 +1590,159 @@ pub fn recover(
         torn_bytes,
         next_seq: expected_seq,
     })
+}
+
+// ---- elastic recovery ----------------------------------------------------
+
+/// One epoch's plane shape, for [`recover_elastic`]. The elastic controller
+/// supplies one per planned epoch, in epoch order.
+pub struct EpochShape<'a> {
+    /// Token plan of the epoch.
+    pub plan: &'a TokenPlan,
+    /// Runtime configuration of the epoch.
+    pub cfg: &'a FelaConfig,
+    /// Per-level metadata of the epoch.
+    pub meta: &'a [LevelMeta],
+    /// Cluster size during the epoch.
+    pub n_workers: usize,
+    /// Iteration budget of the epoch's plane.
+    pub max_iterations: u64,
+}
+
+/// Recovers the **live segment** of an elastic log.
+///
+/// An elastic log is a chain of fixed-membership segments separated by
+/// [`WalRecord::Resize`] markers:
+///
+/// ```text
+/// Begin₀ ops… [ckpt] Resize(it, n₁) Begin₁ ops… Resize(it, n₂) Begin₂ ops…
+/// ```
+///
+/// Each epoch's plane logs exactly as in a fixed-membership run (its own
+/// `Begin`, op sequencing restarting at 0), so a crash anywhere lands inside
+/// the *last* segment: this scan locates the final `Begin`, matches it to
+/// the corresponding [`EpochShape`], and hands the segment to the strict
+/// fixed-membership [`recover`]. Returns the epoch index alongside the
+/// recovered plane. A log whose final complete record is a `Resize` crashed
+/// between the boundary marker and the next epoch's first commit — the new
+/// epoch's log is empty, so it resumes from a fresh plane at seq 0.
+///
+/// # Errors
+/// Fails on framing/checksum corruption, a missing `Begin`, a live segment
+/// beyond the supplied shapes, and everything [`recover`] rejects within
+/// the live segment.
+pub fn recover_elastic(
+    bytes: &[u8],
+    epochs: &[EpochShape<'_>],
+) -> Result<(usize, Recovered), WalError> {
+    // Offset-tracking frame scan, tolerant of the multi-segment layout.
+    // Only framing, checksums and record tags are validated here; `recover`
+    // re-validates the live segment strictly (seq chain, digests, shape).
+    let mut pos = 0usize;
+    let mut begin_count = 0usize;
+    let mut last_begin_offset: Option<usize> = None;
+    let mut trailing_resize = false;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            break;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        if len > MAX_RECORD {
+            return Err(WalError::Oversized {
+                len: len as u64,
+                max: MAX_RECORD,
+            });
+        }
+        let len = len as usize;
+        if remaining - 8 < len {
+            break;
+        }
+        let stored = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        let body = &bytes[pos + 8..pos + 8 + len];
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(WalError::BadChecksum {
+                offset: pos,
+                stored,
+                computed,
+            });
+        }
+        match body.first().copied() {
+            Some(TAG_BEGIN) => {
+                begin_count += 1;
+                last_begin_offset = Some(pos);
+                trailing_resize = false;
+            }
+            Some(TAG_RESIZE) => {
+                // Fully decode the small marker so corruption is caught even
+                // when the segment it closes is superseded.
+                decode_body(body)?;
+                if last_begin_offset.is_none() {
+                    return Err(WalError::MissingBegin);
+                }
+                trailing_resize = true;
+            }
+            Some(TAG_OP) | Some(TAG_CHECKPOINT) => {}
+            Some(tag) => return Err(WalError::UnknownTag(tag)),
+            None => {
+                return Err(WalError::Malformed {
+                    what: "empty record body",
+                })
+            }
+        }
+        pos += 8 + len;
+    }
+    let torn_bytes = bytes.len() - pos;
+    let offset = match last_begin_offset {
+        Some(o) => o,
+        None => return Err(WalError::MissingBegin),
+    };
+    if trailing_resize {
+        // Crash between the Resize marker and the next epoch's Begin: the
+        // new epoch has logged nothing yet.
+        let epoch = begin_count;
+        let shape = epochs.get(epoch).ok_or(WalError::EpochOutOfRange {
+            epoch,
+            epochs: epochs.len(),
+        })?;
+        let plane = ControlPlane::new(
+            shape.plan.clone(),
+            shape.cfg.clone(),
+            shape.meta.to_vec(),
+            shape.n_workers,
+            shape.max_iterations,
+        );
+        return Ok((
+            epoch,
+            Recovered {
+                plane,
+                payload: Vec::new(),
+                ops: Vec::new(),
+                torn_bytes,
+                next_seq: 0,
+            },
+        ));
+    }
+    let epoch = begin_count - 1;
+    let shape = epochs.get(epoch).ok_or(WalError::EpochOutOfRange {
+        epoch,
+        epochs: epochs.len(),
+    })?;
+    let recovered = recover(
+        &bytes[offset..],
+        shape.plan,
+        shape.cfg,
+        shape.meta,
+        shape.n_workers,
+        shape.max_iterations,
+    )?;
+    Ok((epoch, recovered))
 }
 
 // ---- payload helpers -----------------------------------------------------
@@ -1813,6 +2018,10 @@ mod tests {
             tokens: vec![root, token],
             snapshot: Box::new(sample_snapshot()),
         });
+        records.push(WalRecord::Resize {
+            iteration: 1,
+            n_workers: 3,
+        });
         records
     }
 
@@ -2036,6 +2245,179 @@ mod tests {
         }
     }
 
+    // ---- elastic logs ----------------------------------------------------
+
+    fn plane_n(n_workers: usize) -> ControlPlane {
+        ControlPlane::new(small_plan(), cfg(1), meta(), n_workers, 2)
+    }
+
+    /// One request/report/sync round for every worker that gets a grant.
+    fn step_workers(plane: &mut ControlPlane, n: usize) {
+        let now = SimTime::ZERO;
+        for w in 0..n {
+            if let Ok(Some(grant)) = plane.request(w, now) {
+                let syncs = plane.report(w, grant.token.id).expect("report");
+                for s in syncs {
+                    plane.sync_finished(s.level, s.iteration).expect("sync");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recover_elastic_resumes_the_latest_epoch_after_a_join() {
+        // Epoch 0: two workers run to completion, with a mid-run checkpoint
+        // so the superseded segment also carries one.
+        let mut p0 = plane(1);
+        let mem = attach(&mut p0);
+        step_workers(&mut p0, 2);
+        p0.checkpoint_wal(&[9]).expect("checkpoint");
+        drive(&mut p0, None, &mut Vec::new());
+
+        // The cluster grows 2 → 3 at the boundary; the driver logs the
+        // marker between the segments.
+        let mut marker = WalWriter::new(Box::new(mem.clone()));
+        marker.append_resize(2, 3);
+        marker.commit().expect("commit marker");
+
+        // Epoch 1: three workers, crash after a few committed ops plus a
+        // torn record the fsync never finished.
+        let mut p1 = plane_n(3);
+        p1.attach_wal(Box::new(mem.clone())).expect("attach");
+        step_workers(&mut p1, 3);
+        let committed = p1.snapshot();
+        let torn = encode_record(&WalRecord::Resize {
+            iteration: 9,
+            n_workers: 9,
+        });
+        let mut sink = mem.clone();
+        WalSink::append(&mut sink, &torn[..5]).expect("tear");
+
+        let bytes = mem.bytes();
+        // The fixed-membership reader refuses to cross the resize — the
+        // fixed-worker-set assumption recover_elastic exists to lift.
+        assert!(matches!(
+            recover(&bytes, p0.plan(), p0.config(), &meta(), 2, 2).map(|_| ()),
+            Err(WalError::Malformed { .. })
+        ));
+        let plan = small_plan();
+        let c = cfg(1);
+        let m = meta();
+        let shapes = [
+            EpochShape {
+                plan: &plan,
+                cfg: &c,
+                meta: &m,
+                n_workers: 2,
+                max_iterations: 2,
+            },
+            EpochShape {
+                plan: &plan,
+                cfg: &c,
+                meta: &m,
+                n_workers: 3,
+                max_iterations: 2,
+            },
+        ];
+        let (epoch, rec) = recover_elastic(&bytes, &shapes).expect("elastic recovery");
+        assert_eq!(epoch, 1, "the live segment is the post-join epoch");
+        assert_eq!(rec.torn_bytes, 5);
+        assert_eq!(rec.plane.snapshot(), committed);
+        assert!(rec.next_seq > 0, "epoch 1 logged ops before the crash");
+    }
+
+    #[test]
+    fn crash_between_resize_and_next_begin_resumes_a_fresh_epoch() {
+        let mut p0 = plane(1);
+        let mem = attach(&mut p0);
+        drive(&mut p0, None, &mut Vec::new());
+        let mut marker = WalWriter::new(Box::new(mem.clone()));
+        marker.append_resize(2, 3);
+        marker.commit().expect("commit marker");
+        let bytes = mem.bytes();
+        let plan = small_plan();
+        let c = cfg(1);
+        let m = meta();
+        let shapes = [
+            EpochShape {
+                plan: &plan,
+                cfg: &c,
+                meta: &m,
+                n_workers: 2,
+                max_iterations: 2,
+            },
+            EpochShape {
+                plan: &plan,
+                cfg: &c,
+                meta: &m,
+                n_workers: 3,
+                max_iterations: 2,
+            },
+        ];
+        let (epoch, rec) = recover_elastic(&bytes, &shapes).expect("recover");
+        assert_eq!(epoch, 1);
+        assert_eq!(rec.next_seq, 0);
+        assert!(rec.ops.is_empty());
+        assert_eq!(
+            rec.plane.snapshot(),
+            plane_n(3).snapshot(),
+            "a trailing Resize resumes the next epoch from scratch"
+        );
+    }
+
+    #[test]
+    fn recover_elastic_on_a_single_segment_matches_recover() {
+        let mut p = plane(1);
+        let mem = attach(&mut p);
+        drive(&mut p, None, &mut Vec::new());
+        let bytes = mem.bytes();
+        let plan = small_plan();
+        let c = cfg(1);
+        let m = meta();
+        let shapes = [EpochShape {
+            plan: &plan,
+            cfg: &c,
+            meta: &m,
+            n_workers: 2,
+            max_iterations: 2,
+        }];
+        let (epoch, rec) = recover_elastic(&bytes, &shapes).expect("recover");
+        let fixed = recover(&bytes, p.plan(), p.config(), &meta(), 2, 2).expect("fixed");
+        assert_eq!(epoch, 0);
+        assert_eq!(rec.plane.snapshot(), fixed.plane.snapshot());
+        assert_eq!(rec.next_seq, fixed.next_seq);
+    }
+
+    #[test]
+    fn recover_elastic_rejects_more_segments_than_shapes() {
+        let mut p0 = plane(1);
+        let mem = attach(&mut p0);
+        drive(&mut p0, None, &mut Vec::new());
+        let mut marker = WalWriter::new(Box::new(mem.clone()));
+        marker.append_resize(2, 3);
+        marker.commit().expect("commit marker");
+        let mut p1 = plane_n(3);
+        p1.attach_wal(Box::new(mem.clone())).expect("attach");
+        step_workers(&mut p1, 3);
+        let plan = small_plan();
+        let c = cfg(1);
+        let m = meta();
+        let shapes = [EpochShape {
+            plan: &plan,
+            cfg: &c,
+            meta: &m,
+            n_workers: 2,
+            max_iterations: 2,
+        }];
+        assert!(matches!(
+            recover_elastic(&mem.bytes(), &shapes).map(|_| ()),
+            Err(WalError::EpochOutOfRange {
+                epoch: 1,
+                epochs: 1
+            })
+        ));
+    }
+
     #[test]
     fn payload_pairs_round_trip() {
         let pairs = vec![(0u64, 1u64), (7, 2), (u64::MAX, 0)];
@@ -2136,6 +2518,10 @@ mod tests {
                 }
             }),
             (any::<u64>(), arb_op()).prop_map(|(seq, op)| WalRecord::Op { seq, op }),
+            (any::<u64>(), any::<u32>()).prop_map(|(iteration, n_workers)| WalRecord::Resize {
+                iteration,
+                n_workers,
+            }),
             (
                 any::<u64>(),
                 prop::collection::vec(any::<u8>(), 0..64),
@@ -2165,6 +2551,23 @@ mod tests {
         ) {
             let p = plane(1);
             let _ = recover(&bytes, p.plan(), p.config(), &meta(), 2, 2);
+        }
+
+        #[test]
+        fn recover_elastic_never_panics_on_arbitrary_bytes(
+            bytes in prop::collection::vec(any::<u8>(), 0..512)
+        ) {
+            let plan = small_plan();
+            let c = cfg(1);
+            let m = meta();
+            let shapes = [EpochShape {
+                plan: &plan,
+                cfg: &c,
+                meta: &m,
+                n_workers: 2,
+                max_iterations: 2,
+            }];
+            let _ = recover_elastic(&bytes, &shapes);
         }
 
         #[test]

@@ -1,0 +1,274 @@
+//! Incremental two-phase re-tuning across resize boundaries.
+//!
+//! At every resize the controller must re-run Fela's two-phase configuration
+//! search (§IV-B) for the new worker count and batch. Running the full
+//! search from scratch at each boundary wastes most of its profiling budget:
+//! churny clusters revisit worker counts they have already seen, and a
+//! profiled case's per-iteration time is a **pure function** of
+//! `(worker set, batch, weights, subset)` — the simulator is deterministic.
+//!
+//! [`IncrementalTuner`] therefore memoises every profiled case across
+//! epochs. It enumerates *exactly* the same candidates in *exactly* the same
+//! order as [`Tuner::tune_with_jobs`] and calls *the same*
+//! [`Tuner::profile`] on cache misses, so its [`TuningOutcome`] is
+//! bit-identical to a fresh full search — the full search is kept as a
+//! byte-identity oracle in the tests — while cache hits skip the profiling
+//! entirely. [`RetuneStats`] reports how much simulated search time the
+//! cache saved.
+
+use std::collections::BTreeMap;
+
+use fela_cluster::Scenario;
+use fela_core::{FelaConfig, FelaRuntime};
+use fela_tuning::{
+    phase1_candidates, phase2_candidates, CaseResult, Tuner, TuningCase, TuningOutcome,
+};
+use serde::Serialize;
+
+/// Everything a profiled case's time depends on, in hashable form. The
+/// speed-factor bits matter: two epochs with equal worker counts but
+/// different surviving stragglers must not share profiles.
+type CacheKey = (usize, u64, Vec<u64>, Vec<u64>, Option<usize>);
+
+/// Cost accounting for one incremental re-tune.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize)]
+pub struct RetuneStats {
+    /// Cases profiled from scratch (cache misses).
+    pub profiled: usize,
+    /// Cases answered from the cross-epoch cache.
+    pub reused: usize,
+    /// Simulated seconds spent profiling the missed cases
+    /// (`profile_iterations × per-iteration time`, summed over feasible
+    /// misses). This is the search cost an elastic run pays at the boundary.
+    pub search_secs: f64,
+}
+
+/// A [`Tuner`] with a cross-epoch profile cache.
+#[derive(Clone, Debug)]
+pub struct IncrementalTuner {
+    /// The underlying tuner (its `profile_iterations` sets the per-case
+    /// budget, as in the paper's 5-iteration probes).
+    pub tuner: Tuner,
+    cache: BTreeMap<CacheKey, Option<u64>>,
+}
+
+impl IncrementalTuner {
+    /// A fresh tuner profiling `profile_iterations` per case.
+    pub fn new(profile_iterations: u64) -> Self {
+        IncrementalTuner {
+            tuner: Tuner { profile_iterations },
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Number of cached case profiles.
+    pub fn cached_cases(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn key(scenario: &Scenario, weights: &[u64], subset: Option<usize>) -> CacheKey {
+        (
+            scenario.cluster.nodes,
+            scenario.total_batch,
+            scenario
+                .cluster
+                .speed_factors
+                .iter()
+                .map(|f| f.to_bits())
+                .collect(),
+            weights.to_vec(),
+            subset,
+        )
+    }
+
+    /// Profiles one case through the cache, recording hit/miss in `stats`.
+    fn profile_cached(
+        &mut self,
+        scenario: &Scenario,
+        config: &FelaConfig,
+        weights: &[u64],
+        subset: Option<usize>,
+        stats: &mut RetuneStats,
+    ) -> Option<f64> {
+        let key = Self::key(scenario, weights, subset);
+        if let Some(bits) = self.cache.get(&key) {
+            stats.reused += 1;
+            return bits.map(f64::from_bits);
+        }
+        let time = self.tuner.profile(scenario, config);
+        stats.profiled += 1;
+        if let Some(t) = time {
+            stats.search_secs += t * self.tuner.profile_iterations as f64;
+        }
+        self.cache.insert(key, time.map(f64::to_bits));
+        time
+    }
+
+    /// Runs the two-phase search for `scenario`, reusing cached profiles.
+    ///
+    /// The returned [`TuningOutcome`] is bit-identical to
+    /// [`Tuner::tune_with_jobs`] on the same scenario — same candidate
+    /// enumeration, same order, same [`Tuner::profile`] on misses, and
+    /// determinism of the simulator makes a cached value equal to a fresh
+    /// one.
+    ///
+    /// # Panics
+    /// Panics if no Phase-1 case is feasible (the all-ones weight vector
+    /// always is, matching the full tuner's invariant).
+    pub fn tune(&mut self, scenario: &Scenario) -> (TuningOutcome, RetuneStats) {
+        let mut stats = RetuneStats::default();
+        let n = scenario.cluster.nodes;
+        let m = {
+            let runtime = FelaRuntime::new(FelaConfig::new(1));
+            runtime.partition_for(scenario).len()
+        };
+        let phase1 = phase1_candidates(m, n);
+        let mut cases: Vec<CaseResult> = phase1
+            .into_iter()
+            .enumerate()
+            .map(|(id, weights)| {
+                let config = FelaConfig::new(m).with_weights(weights.clone());
+                let time = self.profile_cached(scenario, &config, &weights, None, &mut stats);
+                CaseResult {
+                    case: TuningCase {
+                        id,
+                        phase: 1,
+                        weights,
+                        subset: None,
+                    },
+                    per_iteration_secs: time,
+                }
+            })
+            .collect();
+        let phase1_best = cases
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.per_iteration_secs.map(|t| (i, t)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("at least one feasible Phase-1 case (all-ones always is)");
+        let best_weights = cases[phase1_best].case.weights.clone();
+        let base = cases.len();
+        cases.extend(
+            phase2_candidates(n)
+                .into_iter()
+                .enumerate()
+                .map(|(i, subset)| {
+                    let config = FelaConfig::new(m)
+                        .with_weights(best_weights.clone())
+                        .with_ctd(subset);
+                    let time = self.profile_cached(
+                        scenario,
+                        &config,
+                        &best_weights,
+                        Some(subset),
+                        &mut stats,
+                    );
+                    CaseResult {
+                        case: TuningCase {
+                            id: base + i,
+                            phase: 2,
+                            weights: best_weights.clone(),
+                            subset: Some(subset),
+                        },
+                        per_iteration_secs: time,
+                    }
+                }),
+        );
+        let best = cases
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.per_iteration_secs.map(|t| (i, t)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("a best case exists");
+        let best_case = &cases[best].case;
+        let mut best_config = FelaConfig::new(m).with_weights(best_case.weights.clone());
+        if let Some(s) = best_case.subset {
+            if s < n {
+                best_config = best_config.with_ctd(s);
+            }
+        }
+        let outcome = TuningOutcome {
+            cases,
+            phase1_best,
+            best,
+            best_config,
+            profile_iterations: self.tuner.profile_iterations,
+        };
+        (outcome, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fela_model::zoo;
+
+    fn scenario(batch: u64) -> Scenario {
+        Scenario::paper(zoo::googlenet(), batch).with_iterations(4)
+    }
+
+    fn assert_outcomes_bit_identical(a: &TuningOutcome, b: &TuningOutcome) {
+        let ja = serde_json::to_string(a).expect("serializes");
+        let jb = serde_json::to_string(b).expect("serializes");
+        assert_eq!(ja, jb, "incremental and full search must agree to the bit");
+    }
+
+    #[test]
+    fn cold_cache_matches_the_full_search_exactly() {
+        let sc = scenario(256);
+        let mut inc = IncrementalTuner::new(2);
+        let (outcome, stats) = inc.tune(&sc);
+        let oracle = Tuner {
+            profile_iterations: 2,
+        }
+        .tune_with_jobs(&sc, 1);
+        assert_outcomes_bit_identical(&outcome, &oracle);
+        assert_eq!(stats.reused, 0);
+        assert_eq!(stats.profiled, outcome.cases.len());
+        assert!(stats.search_secs > 0.0);
+    }
+
+    #[test]
+    fn warm_cache_reuses_and_still_matches_the_oracle() {
+        let sc = scenario(256);
+        let mut inc = IncrementalTuner::new(2);
+        let (first, cold) = inc.tune(&sc);
+        let (second, warm) = inc.tune(&sc);
+        assert_outcomes_bit_identical(&first, &second);
+        assert_eq!(warm.profiled, 0, "everything must come from the cache");
+        assert_eq!(warm.reused, cold.profiled);
+        assert!((warm.search_secs - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn cache_distinguishes_batches() {
+        let mut inc = IncrementalTuner::new(1);
+        let (_, s1) = inc.tune(&scenario(256));
+        let (out2, s2) = inc.tune(&scenario(512));
+        assert!(s2.profiled > 0, "a new batch must profile fresh cases");
+        assert!(s1.profiled > 0);
+        let oracle = Tuner {
+            profile_iterations: 1,
+        }
+        .tune_with_jobs(&scenario(512), 1);
+        assert_outcomes_bit_identical(&out2, &oracle);
+    }
+
+    #[test]
+    fn cache_distinguishes_speed_factors() {
+        let mut inc = IncrementalTuner::new(1);
+        let sc = scenario(256);
+        let mut slow = scenario(256);
+        slow.cluster.speed_factors[3] = 2.0;
+        inc.tune(&sc);
+        let (out, stats) = inc.tune(&slow);
+        assert!(stats.profiled > 0, "different hardware must re-profile");
+        let oracle = Tuner {
+            profile_iterations: 1,
+        }
+        .tune_with_jobs(&slow, 1);
+        assert_outcomes_bit_identical(&out, &oracle);
+    }
+}

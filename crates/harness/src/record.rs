@@ -14,7 +14,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use fela_cluster::{FaultModel, Scenario, StragglerModel};
+use fela_cluster::{FaultModel, ResizeModel, Scenario, StragglerModel};
 use fela_metrics::RunReport;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +47,10 @@ pub struct RunRecord {
     /// fault-free artifacts stay byte-identical to pre-fault-injection ones.
     #[serde(default, skip_serializing_if = "FaultModel::is_none")]
     pub fault: FaultModel,
+    /// Resize scenario the run executed under. Skipped when `None` so
+    /// resize-free artifacts stay byte-identical to pre-elasticity ones.
+    #[serde(default, skip_serializing_if = "ResizeModel::is_none")]
+    pub resize: ResizeModel,
     /// Simulated makespan in seconds (copy of `report.total_time_secs`).
     pub sim_time_secs: f64,
     /// The runtime's full report.
@@ -77,6 +81,7 @@ impl RunRecord {
             nodes: scenario.cluster.nodes,
             straggler: scenario.straggler,
             fault: scenario.fault,
+            resize: scenario.resize.clone(),
             sim_time_secs: report.total_time_secs,
             report,
             trace_path: None,
@@ -105,15 +110,17 @@ pub fn config_hash(scenario: &Scenario) -> u64 {
         cluster_summary,
         scenario.straggler,
     );
-    if scenario.fault.is_none() {
-        // Fault-free hashes must stay byte-identical to pre-fault-injection
-        // artifacts, so `FaultModel::None` contributes nothing to the key.
-        let json = serde_json::to_string(&key).expect("scenario serializes");
-        fnv1a(json.as_bytes())
-    } else {
-        let json = serde_json::to_string(&(key, scenario.fault)).expect("scenario serializes");
-        fnv1a(json.as_bytes())
+    // Fault- and resize-free hashes must stay byte-identical to
+    // pre-injection artifacts, so `FaultModel::None` / `ResizeModel::None`
+    // contribute nothing to the key.
+    let json = match (scenario.fault.is_none(), scenario.resize.is_none()) {
+        (true, true) => serde_json::to_string(&key),
+        (false, true) => serde_json::to_string(&(key, scenario.fault)),
+        (true, false) => serde_json::to_string(&(key, (), &scenario.resize)),
+        (false, false) => serde_json::to_string(&(key, scenario.fault, &scenario.resize)),
     }
+    .expect("scenario serializes");
+    fnv1a(json.as_bytes())
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -217,6 +224,53 @@ mod tests {
         let parsed: RunRecord =
             serde_json::from_str(line.trim_end()).expect("fault-free record parses");
         assert_eq!(parsed.fault, FaultModel::None);
+    }
+
+    #[test]
+    fn resize_free_records_serialize_without_a_resize_key() {
+        // Byte-identity with pre-elasticity artifacts: the `resize` field must
+        // vanish from the JSON when the scenario has a fixed worker set.
+        let line = to_jsonl(&[record_for(&scenario())]);
+        assert!(
+            !line.contains("\"resize\""),
+            "unexpected resize key: {line}"
+        );
+    }
+
+    #[test]
+    fn resized_records_serialize_and_round_trip_the_resize_model() {
+        use fela_cluster::{ResizeAction, ResizeEvent, ResizeModel};
+        let sc = scenario().with_resize(ResizeModel::Scripted(vec![ResizeEvent {
+            iteration: 2,
+            action: ResizeAction::Join(1),
+        }]));
+        let line = to_jsonl(&[record_for(&sc)]);
+        assert!(line.contains("\"resize\""), "missing resize key: {line}");
+        let parsed: RunRecord =
+            serde_json::from_str(line.trim_end()).expect("resized record parses");
+        assert_eq!(parsed.resize, sc.resize);
+    }
+
+    #[test]
+    fn config_hash_ignores_resize_none_but_not_real_resizes() {
+        use fela_cluster::ResizeModel;
+        let plain = scenario();
+        let churn = scenario().with_resize(ResizeModel::Churn {
+            rate: 0.1,
+            seed: 42,
+        });
+        // ResizeModel::None must contribute nothing (hash equality with any
+        // pre-elasticity artifact), while a real resize model must change the
+        // hash so elastic and fixed-membership runs are never conflated.
+        assert_eq!(config_hash(&plain), config_hash(&scenario()));
+        assert_ne!(config_hash(&plain), config_hash(&churn));
+        assert_ne!(
+            config_hash(&churn),
+            config_hash(&scenario().with_resize(ResizeModel::Churn {
+                rate: 0.1,
+                seed: 43,
+            }))
+        );
     }
 
     #[test]

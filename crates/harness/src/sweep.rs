@@ -52,9 +52,10 @@ pub struct SweepSpec {
     pub runtimes: Vec<(String, RuntimeFactory)>,
     /// Labeled scenarios (the second sweep axis).
     pub scenarios: Vec<(String, Scenario)>,
-    /// Optional seed override, re-rooting each scenario's straggler and fault
-    /// realisations via [`fela_cluster::StragglerModel::with_seed`] and
-    /// [`fela_cluster::FaultModel::with_seed`]. Applied per scenario, so all
+    /// Optional seed override, re-rooting each scenario's straggler, fault
+    /// and resize realisations via [`fela_cluster::StragglerModel::with_seed`],
+    /// [`fela_cluster::FaultModel::with_seed`] and
+    /// [`fela_cluster::ResizeModel::with_seed`]. Applied per scenario, so all
     /// runtimes still compare under one realisation.
     pub seed: Option<u64>,
 }
@@ -132,7 +133,8 @@ impl SweepSpec {
                 Some(seed) => scenario
                     .clone()
                     .with_straggler(scenario.straggler.with_seed(seed))
-                    .with_fault(scenario.fault.with_seed(seed)),
+                    .with_fault(scenario.fault.with_seed(seed))
+                    .with_resize(scenario.resize.clone().with_seed(seed)),
                 None => scenario.clone(),
             };
             for (runtime_label, factory) in &self.runtimes {

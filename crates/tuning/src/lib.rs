@@ -168,7 +168,11 @@ impl Default for Tuner {
 impl Tuner {
     /// Profiles one candidate config for [`Tuner::profile_iterations`]
     /// iterations; `None` if the config is infeasible for this workload.
-    fn profile(&self, scenario: &Scenario, config: &FelaConfig) -> Option<f64> {
+    ///
+    /// Public so the elastic controller's incremental re-tuner can profile
+    /// through *exactly* this code path — bit-equality between incremental and
+    /// full searches rests on both sides calling the same function.
+    pub fn profile(&self, scenario: &Scenario, config: &FelaConfig) -> Option<f64> {
         let runtime = FelaRuntime::new(config.clone());
         let partition = runtime.partition_for(scenario);
         // Skip infeasible weight/batch combinations up front.
